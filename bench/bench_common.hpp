@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table regeneration benches: cached
+// calibration, experiment runners, and terminal rendering (series tables and
+// ASCII plots) so each bench prints the same rows/series the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/calibration.hpp"
+#include "sim/engine.hpp"
+
+namespace dtpm::bench {
+
+/// Calibrated platform model shared by all benches (cached process-wide).
+const sysid::IdentifiedPlatformModel& shared_model();
+
+/// Runs one benchmark under one policy with default settings.
+sim::RunResult run_policy(const std::string& benchmark, sim::Policy policy,
+                          bool record_trace = true,
+                          bool observe_predictions = false,
+                          unsigned horizon_steps = 10);
+
+/// One named series for plotting/tabulation.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Prints a banner for a reproduced figure/table.
+void print_header(const std::string& id, const std::string& caption);
+
+/// Renders series as an ASCII chart (shared x-range), then as a downsampled
+/// numeric table -- the "same rows/series the paper reports".
+void print_chart(const std::vector<Series>& series, const std::string& x_label,
+                 const std::string& y_label, std::size_t table_points = 12);
+
+/// Downsamples a trace column against its time column.
+Series sampled_series(const std::string& name, const std::vector<double>& x,
+                      const std::vector<double>& y, std::size_t max_points = 240);
+
+}  // namespace dtpm::bench

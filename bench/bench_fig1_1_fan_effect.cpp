@@ -1,0 +1,40 @@
+// Reproduces Fig. 1.1: maximum core temperature of a heavy workload with and
+// without the fan. The fan-less trace keeps climbing toward an unsafe
+// steady state while the stock fan policy holds the hysteresis band.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dtpm;
+  bench::print_header("Figure 1.1",
+                      "Maximum core temperature with and without the fan "
+                      "(heavy gaming load: templerun + background matmul)");
+
+  const sim::RunResult with_fan =
+      bench::run_policy("templerun", sim::Policy::kDefaultWithFan);
+  const sim::RunResult without_fan =
+      bench::run_policy("templerun", sim::Policy::kWithoutFan);
+
+  std::vector<bench::Series> series;
+  series.push_back(bench::sampled_series(
+      "without-fan", without_fan.trace->column("time_s"),
+      without_fan.trace->column("t_max_c")));
+  series.push_back(bench::sampled_series("with-fan",
+                                         with_fan.trace->column("time_s"),
+                                         with_fan.trace->column("t_max_c")));
+  bench::print_chart(series, "time [s]", "max core temp [C]");
+
+  std::printf("  with fan   : avg %.1f C, max %.1f C\n",
+              with_fan.max_temp_stats.mean(), with_fan.max_temp_stats.max());
+  std::printf("  without fan: avg %.1f C, max %.1f C%s\n",
+              without_fan.max_temp_stats.mean(),
+              without_fan.max_temp_stats.max(),
+              without_fan.completed ? "" : " (run aborted on runaway)");
+  std::printf(
+      "  paper: fan-less trace rises past ~85 C and keeps climbing; the fan\n"
+      "  holds the 57-70 C band. Shape check: without-fan max exceeds\n"
+      "  with-fan max by %.1f C.\n",
+      without_fan.max_temp_stats.max() - with_fan.max_temp_stats.max());
+  return 0;
+}

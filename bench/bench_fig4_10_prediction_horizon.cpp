@@ -1,0 +1,38 @@
+// Reproduces Fig. 4.10: average temperature prediction error of the
+// Templerun game as a function of the prediction horizon, 0.5 s to 5 s.
+// The unmodeled slow board pole makes the error grow with the horizon,
+// exactly the mechanism behind the paper's curve.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dtpm;
+  bench::print_header("Figure 4.10",
+                      "Average temperature prediction error vs prediction "
+                      "time (Templerun)");
+
+  bench::Series err{"error [%]", {}, {}};
+  bench::Series mae{"MAE [C]", {}, {}};
+  std::printf("  %-18s %-12s %-12s %-12s\n", "horizon [s]", "mean err [%]",
+              "MAE [C]", "max err [%]");
+  for (unsigned steps : {5u, 10u, 20u, 30u, 40u, 50u}) {
+    const sim::RunResult r =
+        bench::run_policy("templerun", sim::Policy::kDefaultWithFan,
+                          /*record_trace=*/false, /*observe_predictions=*/true,
+                          steps);
+    const double horizon_s = 0.1 * steps;
+    err.x.push_back(horizon_s);
+    err.y.push_back(r.prediction_mape);
+    mae.x.push_back(horizon_s);
+    mae.y.push_back(r.prediction_mae_c);
+    std::printf("  %-18.1f %-12.2f %-12.3f %-12.2f\n", horizon_s,
+                r.prediction_mape, r.prediction_mae_c, r.prediction_max_ape);
+  }
+  bench::print_chart({err}, "prediction time [s]", "error [%]", 6);
+  std::printf(
+      "  paper shape: error grows with the horizon -- <3 %% at 1 s, within\n"
+      "  ~7 %% at 5 s. Reproduced ratio err(5s)/err(1s) = %.1fx.\n",
+      err.y.back() / err.y[1]);
+  return 0;
+}

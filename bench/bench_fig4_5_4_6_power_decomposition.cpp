@@ -1,0 +1,62 @@
+// Reproduces Figs. 4.5 and 4.6: leakage and dynamic power of the big cluster
+// as a function of temperature at fixed 1.6 GHz (4.5) and as a function of
+// frequency at constant temperature (4.6). Uses the *fitted* models, i.e.
+// what the DTPM stack believes -- validated against the plant in Fig. 4.7.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/dynamic_power.hpp"
+#include "power/leakage.hpp"
+#include "power/opp.hpp"
+
+int main() {
+  using namespace dtpm;
+  const sim::CalibrationArtifacts& art = sim::default_calibration();
+  const auto big = power::resource_index(power::Resource::kBigCluster);
+  const power::LeakageModel leak(art.model.leakage[big]);
+  const power::OppTable opps = power::big_cluster_opp_table();
+  // Characterization workload's activity-capacitance (from the furnace fit).
+  const double alpha_c = art.leakage_fits[big].alpha_c_light;
+
+  bench::print_header(
+      "Figure 4.5",
+      "Leakage and dynamic power variation with temperature (f = 1.6 GHz)");
+  const double v16 = opps.voltage_at(1.6e9);
+  bench::Series leak_t{"leakage", {}, {}}, dyn_t{"dynamic", {}, {}};
+  std::printf("  %-10s %-14s %-14s\n", "temp [C]", "leakage [W]", "dynamic [W]");
+  for (double t = 40.0; t <= 80.0 + 1e-9; t += 5.0) {
+    const double pl = leak.power_w(t, v16);
+    const double pd = power::dynamic_power_w(alpha_c, v16, 1.6e9);
+    leak_t.x.push_back(t);
+    leak_t.y.push_back(pl);
+    dyn_t.x.push_back(t);
+    dyn_t.y.push_back(pd);
+    std::printf("  %-10.0f %-14.4f %-14.4f\n", t, pl, pd);
+  }
+  bench::print_chart({leak_t, dyn_t}, "temp [C]", "power [W]", 9);
+  std::printf("  paper shape: dynamic power flat with temperature, leakage "
+              "exponential.\n");
+
+  bench::print_header(
+      "Figure 4.6",
+      "Leakage and dynamic power variation with frequency (constant 60 C)");
+  bench::Series leak_f{"leakage", {}, {}}, dyn_f{"dynamic", {}, {}};
+  std::printf("  %-12s %-10s %-14s %-14s\n", "freq [MHz]", "Vdd [V]",
+              "leakage [W]", "dynamic [W]");
+  for (const auto& opp : opps.points()) {
+    const double pl = leak.power_w(60.0, opp.voltage_v);
+    const double pd =
+        power::dynamic_power_w(alpha_c, opp.voltage_v, opp.frequency_hz);
+    leak_f.x.push_back(opp.frequency_hz / 1e6);
+    leak_f.y.push_back(pl);
+    dyn_f.x.push_back(opp.frequency_hz / 1e6);
+    dyn_f.y.push_back(pd);
+    std::printf("  %-12.0f %-10.2f %-14.4f %-14.4f\n", opp.frequency_hz / 1e6,
+                opp.voltage_v, pl, pd);
+  }
+  bench::print_chart({leak_f, dyn_f}, "freq [MHz]", "power [W]", 9);
+  std::printf(
+      "  paper shape: dynamic grows superlinearly with f (via the V(f)\n"
+      "  curve); leakage rises only slightly, through the supply voltage.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figs. 6.3 and 6.4: maximum core temperature traces for
+// Templerun and Basicmath under the three configurations -- without fan,
+// with the stock fan policy, and with the proposed DTPM algorithm.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void run_figure(const char* figure, const char* benchmark) {
+  using namespace dtpm;
+  bench::print_header(figure, std::string("Temperature control for ") +
+                                  benchmark + " (constraint 63 C)");
+
+  const sim::RunResult without_fan =
+      bench::run_policy(benchmark, sim::Policy::kWithoutFan);
+  const sim::RunResult with_fan =
+      bench::run_policy(benchmark, sim::Policy::kDefaultWithFan);
+  const sim::RunResult dtpm =
+      bench::run_policy(benchmark, sim::Policy::kProposedDtpm);
+
+  std::vector<bench::Series> series;
+  series.push_back(bench::sampled_series(
+      "no-fan", without_fan.trace->column("time_s"),
+      without_fan.trace->column("t_max_c")));
+  series.push_back(bench::sampled_series("fan",
+                                         with_fan.trace->column("time_s"),
+                                         with_fan.trace->column("t_max_c")));
+  series.push_back(bench::sampled_series("dtpm", dtpm.trace->column("time_s"),
+                                         dtpm.trace->column("t_max_c")));
+  bench::print_chart(series, "time [s]", "max core temp [C]");
+
+  auto summarize = [](const char* name, const sim::RunResult& r) {
+    std::printf(
+        "  %-8s max %.1f C, avg %.1f C, time above 63 C: %.1f s, exec %.1f s\n",
+        name, r.max_temp_stats.max(), r.max_temp_stats.mean(),
+        r.violation_time_s, r.execution_time_s);
+  };
+  summarize("no-fan", without_fan);
+  summarize("fan", with_fan);
+  summarize("dtpm", dtpm);
+  std::printf(
+      "  paper shape: no-fan blows through the constraint; the fan holds a\n"
+      "  wide oscillating band; DTPM pins the temperature just below 63 C.\n");
+}
+
+}  // namespace
+
+int main() {
+  run_figure("Figure 6.3", "templerun");
+  run_figure("Figure 6.4", "basicmath");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Figs. 6.6-6.8: big-cluster frequency and maximum core
+// temperature traces under the default (fan) configuration and under the
+// proposed DTPM algorithm, for one benchmark of each activity class:
+// Dijkstra (low), Patricia (medium), and the multithreaded matrix
+// multiplication (high).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void run_figure(const char* figure, const char* benchmark,
+                const char* activity) {
+  using namespace dtpm;
+  bench::print_header(
+      figure, std::string("Frequency and temperature for ") + benchmark +
+                  " (" + activity + " activity): default+fan vs DTPM");
+
+  const sim::RunResult def =
+      bench::run_policy(benchmark, sim::Policy::kDefaultWithFan);
+  const sim::RunResult dtpm =
+      bench::run_policy(benchmark, sim::Policy::kProposedDtpm);
+
+  std::printf("\n  big-cluster frequency [GHz]\n");
+  auto to_ghz = [](std::vector<double> mhz) {
+    for (double& v : mhz) v /= 1000.0;
+    return mhz;
+  };
+  bench::print_chart(
+      {bench::sampled_series("default", def.trace->column("time_s"),
+                             to_ghz(def.trace->column("f_big_mhz"))),
+       bench::sampled_series("dtpm", dtpm.trace->column("time_s"),
+                             to_ghz(dtpm.trace->column("f_big_mhz")))},
+      "time [s]", "f [GHz]");
+
+  std::printf("\n  max core temperature [C]\n");
+  bench::print_chart(
+      {bench::sampled_series("default", def.trace->column("time_s"),
+                             def.trace->column("t_max_c")),
+       bench::sampled_series("dtpm", dtpm.trace->column("time_s"),
+                             dtpm.trace->column("t_max_c"))},
+      "time [s]", "T [C]");
+
+  util::RunningStats f_def, f_dtpm;
+  for (double f : def.trace->column("f_big_mhz")) f_def.add(f);
+  for (double f : dtpm.trace->column("f_big_mhz")) f_dtpm.add(f);
+  std::printf("  avg frequency: default %.0f MHz, dtpm %.0f MHz\n",
+              f_def.mean(), f_dtpm.mean());
+  std::printf("  exec time: default %.1f s, dtpm %.1f s (%.1f %% loss)\n",
+              def.execution_time_s, dtpm.execution_time_s,
+              100.0 * (dtpm.execution_time_s - def.execution_time_s) /
+                  def.execution_time_s);
+  std::printf("  platform power: default %.2f W, dtpm %.2f W (%.1f %% saved)\n",
+              def.avg_platform_power_w, dtpm.avg_platform_power_w,
+              100.0 *
+                  (def.avg_platform_power_w - dtpm.avg_platform_power_w) /
+                  def.avg_platform_power_w);
+  std::printf("  dtpm actuation: %ld freq caps, %ld hotplugs, %ld migrations, "
+              "%ld gpu throttles\n",
+              dtpm.dtpm.frequency_cap_events, dtpm.dtpm.hotplug_events,
+              dtpm.dtpm.cluster_migration_events,
+              dtpm.dtpm.gpu_throttle_events);
+}
+
+}  // namespace
+
+int main() {
+  run_figure("Figure 6.6", "dijkstra", "low");
+  run_figure("Figure 6.7", "patricia", "medium");
+  run_figure("Figure 6.8", "matmul", "high");
+  std::printf(
+      "\n  paper shapes: Dijkstra's DTPM trace matches the default (no\n"
+      "  throttling needed, ~3%% savings from the absent fan); Patricia is\n"
+      "  mildly capped; matmul shows clear throttling regions while staying\n"
+      "  at the constraint with small execution-time impact.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces the Chapter-7 future-work study (Fig. 7.1, Eqs. 7.1-7.3):
+// distributing a dynamic power budget across the heterogeneous components.
+// Compares three strategies over a budget sweep:
+//   - cpu-first: throttle only the CPU (the Chapter-5 algorithm's knob),
+//   - greedy: the marginal-cost heuristic of Eq. 7.3,
+//   - b&b: the optimal branch-and-bound reference.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/budget_distribution.hpp"
+
+namespace {
+
+std::vector<dtpm::core::BudgetComponent> platform_components() {
+  using dtpm::core::BudgetComponent;
+  // Normalized frequencies from Tables 6.1/6.3, with perf/power coefficients
+  // in the spirit of Eqs. 7.1/7.2 (cost ~ c_i / f_i, power ~ a_i f_i^3).
+  BudgetComponent cpu{"big-cpu",
+                      {0.50, 0.5625, 0.625, 0.6875, 0.75, 0.8125, 0.875,
+                       0.9375, 1.0},
+                      1.0, 2.4};
+  BudgetComponent gpu{"gpu", {0.332, 0.499, 0.657, 0.901, 1.0}, 0.7, 1.3};
+  BudgetComponent little{"little-cpu",
+                         {0.4167, 0.5, 0.5833, 0.6667, 0.75, 0.8333, 0.9167,
+                          1.0},
+                         0.25, 0.4};
+  return {cpu, gpu, little};
+}
+
+}  // namespace
+
+int main() {
+  using namespace dtpm;
+  bench::print_header("Figure 7.1 / Eq. 7.3",
+                      "Dynamic power budget distribution across "
+                      "heterogeneous components");
+
+  const auto comps = platform_components();
+  const double p_max = core::distribution_power(
+      comps, {comps[0].frequencies_hz.size() - 1,
+              comps[1].frequencies_hz.size() - 1,
+              comps[2].frequencies_hz.size() - 1});
+  std::printf("  unconstrained power: %.2f (normalized W), cost J = %.3f\n\n",
+              p_max,
+              core::distribution_cost(
+                  comps, {comps[0].frequencies_hz.size() - 1,
+                          comps[1].frequencies_hz.size() - 1,
+                          comps[2].frequencies_hz.size() - 1}));
+
+  std::printf("  %-10s | %-18s | %-18s | %-18s | %8s\n", "budget",
+              "cpu-first J (gap)", "greedy J (gap)", "b&b J (optimal)",
+              "b&b nodes");
+  for (double fraction : {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3}) {
+    const double budget = fraction * p_max;
+    // CPU-first: step only the big CPU down until the budget is met.
+    std::vector<std::size_t> cpu_first{comps[0].frequencies_hz.size() - 1,
+                                       comps[1].frequencies_hz.size() - 1,
+                                       comps[2].frequencies_hz.size() - 1};
+    while (core::distribution_power(comps, cpu_first) > budget &&
+           cpu_first[0] > 0) {
+      --cpu_first[0];
+    }
+    const bool cpu_first_ok =
+        core::distribution_power(comps, cpu_first) <= budget;
+    const double cpu_first_cost = core::distribution_cost(comps, cpu_first);
+
+    const core::DistributionResult greedy =
+        core::distribute_greedy(comps, budget);
+    const core::DistributionResult optimal =
+        core::distribute_branch_and_bound(comps, budget);
+
+    auto gap = [&](double cost, bool feasible) {
+      return feasible && optimal.feasible
+                 ? 100.0 * (cost - optimal.cost) / optimal.cost
+                 : -1.0;
+    };
+    std::printf("  %-10.2f | %8.3f (%5.1f%%) | %8.3f (%5.1f%%) | %12.3f     | "
+                "%8zu\n",
+                budget, cpu_first_ok ? cpu_first_cost : -1.0,
+                gap(cpu_first_cost, cpu_first_ok), greedy.cost,
+                gap(greedy.cost, greedy.feasible), optimal.cost,
+                optimal.evaluations);
+  }
+  std::printf(
+      "\n  reading: the greedy marginal-cost rule of Eq. 7.3 stays close to\n"
+      "  the branch-and-bound optimum while CPU-only throttling pays a\n"
+      "  growing penalty as the budget tightens -- the paper's motivation\n"
+      "  for distributing the budget across the heterogeneous components.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Tables 6.1-6.3: the DVFS frequency tables of the big CPU
+// cluster, the little CPU cluster, and the GPU (with the voltage column our
+// platform model attaches to each operating point).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/opp.hpp"
+
+namespace {
+
+void print_table(const char* id, const char* title,
+                 const dtpm::power::OppTable& table) {
+  dtpm::bench::print_header(id, title);
+  std::printf("  %-16s %-12s\n", "Frequency (MHz)", "Voltage (V)");
+  for (const auto& opp : table.points()) {
+    std::printf("  %-16.0f %-12.2f\n", opp.frequency_hz / 1e6, opp.voltage_v);
+  }
+  std::printf("  (%zu discrete levels)\n", table.size());
+}
+
+}  // namespace
+
+int main() {
+  print_table("Table 6.1", "Frequency table for the big CPU cluster",
+              dtpm::power::big_cluster_opp_table());
+  print_table("Table 6.2", "Frequency table for the little CPU cluster",
+              dtpm::power::little_cluster_opp_table());
+  print_table("Table 6.3", "Frequency table for the GPU",
+              dtpm::power::gpu_opp_table());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Example: extending the framework with a user-defined thermal policy.
+//
+// The governors::ThermalPolicy interface is the extension point the paper's
+// framework diagram (Fig. 3.1) leaves open: anything that transforms the
+// default governor's proposal can be dropped into the simulation engine.
+// Here we implement a naive "hard trip" policy (cut straight to the minimum
+// frequency above a trip temperature, recover below it) and compare it
+// against the shipped DTPM governor on the same benchmark.
+#include <cstdio>
+
+#include "governors/governor.hpp"
+#include "power/opp.hpp"
+#include "sim/calibration.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dtpm;
+
+/// Bang-bang trip policy: everything or nothing.
+class HardTripPolicy final : public governors::ThermalPolicy {
+ public:
+  explicit HardTripPolicy(double trip_c = 63.0)
+      : trip_c_(trip_c), big_opps_(power::big_cluster_opp_table()) {}
+
+  governors::Decision adjust(const soc::PlatformView& view,
+                             const governors::Decision& proposal) override {
+    if (view.max_big_temp_c() > trip_c_) {
+      tripped_ = true;
+    } else if (view.max_big_temp_c() < trip_c_ - 4.0) {
+      tripped_ = false;
+    }
+    governors::Decision out = proposal;
+    out.fan = thermal::FanSpeed::kOff;
+    if (tripped_) out.soc.big_freq_hz = big_opps_.min().frequency_hz;
+    return out;
+  }
+
+  std::string_view name() const override { return "hard-trip"; }
+
+ private:
+  double trip_c_;
+  power::OppTable big_opps_;
+  bool tripped_ = false;
+};
+
+}  // namespace
+
+int main() {
+  const sysid::IdentifiedPlatformModel& model = sim::default_calibration().model;
+  const char* benchmark = "fft";
+
+  std::printf("== Custom policy comparison on '%s' ==\n\n", benchmark);
+
+  // Baseline: the shipped DTPM governor via the engine.
+  sim::ExperimentConfig config;
+  config.benchmark = benchmark;
+  config.policy = sim::Policy::kProposedDtpm;
+  const sim::RunResult dtpm = sim::run_experiment(config, &model);
+
+  // The custom policy runs through the same engine by reusing the reactive
+  // slot? No -- the engine owns policy construction, so for a custom policy
+  // we demonstrate the interface directly against recorded views: replay the
+  // DTPM run's sensor trace through HardTripPolicy and count how often it
+  // would have tripped to f_min.
+  HardTripPolicy custom;
+  governors::Decision proposal;
+  proposal.soc.big_freq_hz = 1.6e9;
+  long trip_intervals = 0;
+  const auto times = dtpm.trace->column("time_s");
+  const auto temps = dtpm.trace->column("t_max_c");
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    soc::PlatformView view;
+    view.time_s = times[k];
+    view.big_temps_c = {temps[k], temps[k], temps[k], temps[k]};
+    const governors::Decision d = custom.adjust(view, proposal);
+    if (d.soc.big_freq_hz < 1.6e9) ++trip_intervals;
+  }
+
+  std::printf("DTPM:      exec %.1f s, max temp %.1f C, %ld gentle frequency "
+              "caps\n",
+              dtpm.execution_time_s, dtpm.max_temp_stats.max(),
+              dtpm.dtpm.frequency_cap_events);
+  std::printf("hard-trip: would have spent %ld of %zu intervals (%.0f %%) "
+              "slammed to f_min --\n"
+              "           the performance cliff the predictive budget "
+              "avoids.\n",
+              trip_intervals, times.size(),
+              100.0 * double(trip_intervals) / double(times.size()));
+  std::printf(
+      "\nTo run a custom policy closed-loop, implement\n"
+      "governors::ThermalPolicy and wire it where sim/engine.cpp builds the\n"
+      "policy stack (see make_policy()).\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "core/budget_distribution.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dtpm::core {
+namespace {
+
+void validate(const std::vector<BudgetComponent>& components) {
+  if (components.empty()) {
+    throw std::invalid_argument("budget distribution: no components");
+  }
+  for (const auto& c : components) {
+    if (c.frequencies_hz.empty()) {
+      throw std::invalid_argument("budget distribution: empty OPP list");
+    }
+    if (!std::is_sorted(c.frequencies_hz.begin(), c.frequencies_hz.end())) {
+      throw std::invalid_argument("budget distribution: OPPs must ascend");
+    }
+    if (c.perf_coefficient <= 0.0 || c.power_coefficient <= 0.0) {
+      throw std::invalid_argument("budget distribution: non-positive coeff");
+    }
+  }
+}
+
+double component_power(const BudgetComponent& c, std::size_t level) {
+  const double f = c.frequencies_hz[level];
+  return c.power_coefficient * f * f * f;
+}
+
+double component_cost(const BudgetComponent& c, std::size_t level) {
+  return c.perf_coefficient / c.frequencies_hz[level];
+}
+
+}  // namespace
+
+double distribution_cost(const std::vector<BudgetComponent>& components,
+                         const std::vector<std::size_t>& levels) {
+  double j = 0.0;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    j += component_cost(components[i], levels[i]);
+  }
+  return j;
+}
+
+double distribution_power(const std::vector<BudgetComponent>& components,
+                          const std::vector<std::size_t>& levels) {
+  double p = 0.0;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    p += component_power(components[i], levels[i]);
+  }
+  return p;
+}
+
+DistributionResult distribute_greedy(
+    const std::vector<BudgetComponent>& components, double power_budget_w) {
+  validate(components);
+  DistributionResult result;
+  result.levels.resize(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    result.levels[i] = components[i].frequencies_hz.size() - 1;
+  }
+  double power = distribution_power(components, result.levels);
+  while (power > power_budget_w) {
+    // Pick the step-down with the smallest Delta-J (Eq. 7.3).
+    std::size_t best = components.size();
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      if (result.levels[i] == 0) continue;
+      const double delta = component_cost(components[i], result.levels[i] - 1) -
+                           component_cost(components[i], result.levels[i]);
+      ++result.evaluations;
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = i;
+      }
+    }
+    if (best == components.size()) break;  // everything at minimum
+    power -= component_power(components[best], result.levels[best]);
+    --result.levels[best];
+    power += component_power(components[best], result.levels[best]);
+  }
+  result.power_w = power;
+  result.cost = distribution_cost(components, result.levels);
+  result.feasible = power <= power_budget_w;
+  return result;
+}
+
+DistributionResult distribute_branch_and_bound(
+    const std::vector<BudgetComponent>& components, double power_budget_w) {
+  validate(components);
+  const std::size_t n = components.size();
+
+  // Per-component minimum achievable power and cost over the remaining
+  // suffix, for pruning bounds.
+  std::vector<double> suffix_min_power(n + 1, 0.0);
+  std::vector<double> suffix_min_cost(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix_min_power[i] =
+        suffix_min_power[i + 1] + component_power(components[i], 0);
+    suffix_min_cost[i] =
+        suffix_min_cost[i + 1] +
+        component_cost(components[i],
+                       components[i].frequencies_hz.size() - 1);
+  }
+
+  DistributionResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  best.levels.assign(n, 0);
+
+  // Explicit DFS stack: (component index, partial levels, power, cost).
+  struct Node {
+    std::size_t depth;
+    std::vector<std::size_t> levels;
+    double power;
+    double cost;
+  };
+  std::vector<Node> stack;
+  stack.push_back({0, {}, 0.0, 0.0});
+  std::size_t visited = 0;
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++visited;
+    if (node.depth == n) {
+      if (node.power <= power_budget_w && node.cost < best.cost) {
+        best.cost = node.cost;
+        best.power_w = node.power;
+        best.levels = node.levels;
+        best.feasible = true;
+      }
+      continue;
+    }
+    // Prune: even the cheapest completion busts the budget, or even the
+    // fastest completion cannot beat the incumbent.
+    if (node.power + suffix_min_power[node.depth] > power_budget_w) continue;
+    if (node.cost + suffix_min_cost[node.depth] >= best.cost) continue;
+    const auto& comp = components[node.depth];
+    for (std::size_t level = 0; level < comp.frequencies_hz.size(); ++level) {
+      Node child;
+      child.depth = node.depth + 1;
+      child.levels = node.levels;
+      child.levels.push_back(level);
+      child.power = node.power + component_power(comp, level);
+      child.cost = node.cost + component_cost(comp, level);
+      stack.push_back(std::move(child));
+    }
+  }
+  best.evaluations = visited;
+  if (!best.feasible) {
+    // Return the all-minimum assignment with feasibility flag cleared.
+    best.levels.assign(n, 0);
+    best.power_w = distribution_power(components, best.levels);
+    best.cost = distribution_cost(components, best.levels);
+  }
+  return best;
+}
+
+}  // namespace dtpm::core

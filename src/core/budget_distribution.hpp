@@ -1,0 +1,64 @@
+// Power-budget distribution across heterogeneous components (Chapter 7,
+// Fig. 7.1). The future-work formulation minimizes the execution-time cost
+//
+//     J(f_1..f_n) = sum_i c_i / f_i                       (Eq. 7.1)
+//
+// subject to the dynamic power constraint
+//
+//     P(f_1..f_n) = sum_i a_i f_i^3 <= P_budget           (Eq. 7.2)
+//
+// over each component's discrete OPP list. The paper notes branch-and-bound
+// solves this optimally but is impractical in-kernel (recursion/stack), so
+// it throttles the component with the least marginal performance impact
+// (Eq. 7.3). Both are implemented here: the greedy marginal-cost heuristic
+// the paper deploys and an iterative (explicit-stack) branch-and-bound
+// reference for measuring the heuristic's optimality gap.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtpm::core {
+
+/// One throttleable component (big CPU, little CPU, GPU, ...).
+struct BudgetComponent {
+  std::string name;
+  /// Ascending available frequencies (Hz, or any consistent unit).
+  std::vector<double> frequencies_hz;
+  /// Performance parameter c_i of Eq. 7.1.
+  double perf_coefficient = 1.0;
+  /// Power parameter a_i of Eq. 7.2 (P_i = a_i * f_i^3).
+  double power_coefficient = 1.0;
+};
+
+struct DistributionResult {
+  /// Chosen OPP level per component (index into frequencies_hz).
+  std::vector<std::size_t> levels;
+  double cost = 0.0;   ///< J at the chosen assignment
+  double power_w = 0.0;
+  bool feasible = false;
+  /// Search effort: number of candidate evaluations (greedy) or visited
+  /// nodes (branch-and-bound).
+  std::size_t evaluations = 0;
+};
+
+/// Cost and power of an assignment.
+double distribution_cost(const std::vector<BudgetComponent>& components,
+                         const std::vector<std::size_t>& levels);
+double distribution_power(const std::vector<BudgetComponent>& components,
+                          const std::vector<std::size_t>& levels);
+
+/// Greedy marginal-cost descent (Eq. 7.3): start at maximum frequencies and
+/// repeatedly step down the component whose step costs the least added J,
+/// until the budget is met or every component is at minimum.
+DistributionResult distribute_greedy(
+    const std::vector<BudgetComponent>& components, double power_budget_w);
+
+/// Optimal reference via branch-and-bound with an explicit stack (no
+/// recursion -- the paper's stated kernel constraint) and lower-bound
+/// pruning.
+DistributionResult distribute_branch_and_bound(
+    const std::vector<BudgetComponent>& components, double power_budget_w);
+
+}  // namespace dtpm::core

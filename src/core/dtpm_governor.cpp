@@ -1,0 +1,301 @@
+#include "core/dtpm_governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtpm::core {
+namespace {
+
+double mean_temp(const std::array<double, soc::kBigCoreCount>& temps) {
+  double sum = 0.0;
+  for (double t : temps) sum += t;
+  return sum / double(temps.size());
+}
+
+std::vector<double> to_vector(
+    const std::array<double, soc::kBigCoreCount>& temps) {
+  return std::vector<double>(temps.begin(), temps.end());
+}
+
+}  // namespace
+
+DtpmGovernor::DtpmGovernor(const sysid::IdentifiedPlatformModel& model,
+                           const DtpmParams& params)
+    : params_(params),
+      predictor_(model.thermal),
+      big_opps_(power::big_cluster_opp_table()),
+      little_opps_(power::little_cluster_opp_table()),
+      gpu_opps_(power::gpu_opp_table()) {
+  for (power::Resource r : power::all_resources()) {
+    const std::size_t i = power::resource_index(r);
+    power::AlphaCEstimator::Params alpha_params;
+    alpha_params.initial_alpha_c = model.initial_alpha_c[i];
+    power_model_.model(r) =
+        power::ResourcePowerModel(model.leakage[i], alpha_params);
+  }
+}
+
+void DtpmGovernor::observe(const soc::PlatformView& view) {
+  // The big cores are the only instrumented hotspots (§4.2); their mean is
+  // the proxy temperature for the other rails' (small) leakage terms.
+  const double t_proxy = mean_temp(view.big_temps_c);
+  const bool big_active = view.config.active_cluster == soc::ClusterId::kBig;
+  const auto& rails = view.rail_power_w;
+
+  if (big_active) {
+    const double v = big_opps_.voltage_at(view.config.big_freq_hz);
+    power_model_.model(power::Resource::kBigCluster)
+        .observe(rails[power::resource_index(power::Resource::kBigCluster)],
+                 view.max_big_temp_c(), v, view.config.big_freq_hz);
+  } else {
+    const double v = little_opps_.voltage_at(view.config.little_freq_hz);
+    power_model_.model(power::Resource::kLittleCluster)
+        .observe(rails[power::resource_index(power::Resource::kLittleCluster)],
+                 t_proxy, v, view.config.little_freq_hz);
+  }
+  if (view.gpu_util > 0.05) {
+    const double v = gpu_opps_.voltage_at(view.config.gpu_freq_hz);
+    power_model_.model(power::Resource::kGpu)
+        .observe(rails[power::resource_index(power::Resource::kGpu)], t_proxy,
+                 v, view.config.gpu_freq_hz);
+  }
+}
+
+power::ResourceVector DtpmGovernor::predict_rail_powers(
+    const soc::PlatformView& view, const soc::SocConfig& config) const {
+  power::ResourceVector p = view.rail_power_w;  // sensor baseline (mem, ...)
+  const double t_hot = view.max_big_temp_c();
+  const double t_proxy = mean_temp(view.big_temps_c);
+  constexpr double kParkedClusterResidualW = 0.02;
+
+  if (config.active_cluster == soc::ClusterId::kBig) {
+    const double v = big_opps_.voltage_at(config.big_freq_hz);
+    p[power::resource_index(power::Resource::kBigCluster)] =
+        power_model_.model(power::Resource::kBigCluster)
+            .predict_total_w(t_hot, v, config.big_freq_hz);
+    if (view.config.active_cluster != soc::ClusterId::kBig) {
+      p[power::resource_index(power::Resource::kLittleCluster)] =
+          kParkedClusterResidualW;
+    }
+  } else {
+    const double v = little_opps_.voltage_at(config.little_freq_hz);
+    p[power::resource_index(power::Resource::kLittleCluster)] =
+        power_model_.model(power::Resource::kLittleCluster)
+            .predict_total_w(t_proxy, v, config.little_freq_hz);
+    p[power::resource_index(power::Resource::kBigCluster)] =
+        kParkedClusterResidualW;
+  }
+  const double gpu_v = gpu_opps_.voltage_at(config.gpu_freq_hz);
+  p[power::resource_index(power::Resource::kGpu)] =
+      power_model_.model(power::Resource::kGpu)
+          .predict_total_w(t_proxy, gpu_v, config.gpu_freq_hz);
+  return p;
+}
+
+soc::SocConfig DtpmGovernor::restrict(const soc::SocConfig& proposal) const {
+  soc::SocConfig config = proposal;
+  if (forced_little_) {
+    config.active_cluster = soc::ClusterId::kLittle;
+  }
+  if (config.active_cluster == soc::ClusterId::kBig) {
+    int online = 0;
+    for (int c = 0; c < soc::kBigCoreCount; ++c) {
+      config.big_core_online[c] =
+          proposal.big_core_online[c] && !forced_offline_[c];
+      online += config.big_core_online[c] ? 1 : 0;
+    }
+    if (online == 0) config.big_core_online[0] = true;
+  }
+  if (gpu_cap_level_ >= 0) {
+    const double cap = gpu_opps_.at(std::size_t(gpu_cap_level_)).frequency_hz;
+    if (config.gpu_freq_hz > cap) config.gpu_freq_hz = cap;
+  }
+  return config;
+}
+
+const power::Opp* DtpmGovernor::frequency_from_budget(
+    const power::OppTable& opps, double alpha_c,
+    double dynamic_budget_w) const {
+  // Eq. 5.7: P_budget = alphaC * V^2 * f_budget, searched over the discrete
+  // OPP list (each frequency carries its own voltage).
+  const power::Opp* best = nullptr;
+  for (const auto& opp : opps.points()) {
+    const double p = power::dynamic_power_w(alpha_c, opp.voltage_v,
+                                            opp.frequency_hz);
+    if (p <= dynamic_budget_w) best = &opp;
+  }
+  return best;
+}
+
+void DtpmGovernor::tighten(const soc::PlatformView& view,
+                           soc::SocConfig& config) {
+  const double t_target = params_.t_max_c - params_.guard_band_c;
+  const auto temps = to_vector(view.big_temps_c);
+  const double t_hot = view.max_big_temp_c();
+  diagnostics_.intervened = true;
+
+  if (config.active_cluster == soc::ClusterId::kBig) {
+    const auto& big_model = power_model_.model(power::Resource::kBigCluster);
+    const double v_now = big_opps_.voltage_at(config.big_freq_hz);
+    const double leak = big_model.predict_leakage_w(t_hot, v_now);
+    const power::ResourceVector rails = predict_rail_powers(view, config);
+    const BudgetResult budget = compute_power_budget(
+        predictor_, params_.horizon_steps, temps, rails,
+        power::Resource::kBigCluster, t_target, leak, params_.row_policy);
+    diagnostics_.total_budget_w = budget.total_budget_w;
+    diagnostics_.dynamic_budget_w = budget.dynamic_budget_w;
+
+    if (budget.valid) {
+      const power::Opp* fit = frequency_from_budget(
+          big_opps_, big_model.alpha_c(), budget.dynamic_budget_w);
+      if (fit != nullptr) {
+        if (fit->frequency_hz < config.big_freq_hz) {
+          config.big_freq_hz = fit->frequency_hz;
+          ++diagnostics_.frequency_cap_events;
+        }
+        return;  // budget satisfiable with a frequency cap alone
+      }
+    }
+    // Even f_min exceeds the budget: escalate. First hotplug (Eq. 5.9).
+    config.big_freq_hz = big_opps_.min().frequency_hz;
+    ++diagnostics_.frequency_cap_events;
+    if (config.online_big_cores() > params_.min_big_cores) {
+      // Victim selection: the hottest core, which Eq. 5.9 tests for
+      // single-core hotspotting; absent a dominant hotspot the hottest
+      // online core is still the one whose removal buys the most headroom.
+      double t_min_online = 1e9;
+      for (int c = 0; c < soc::kBigCoreCount; ++c) {
+        if (config.big_core_online[c]) {
+          t_min_online = std::min(t_min_online, view.big_temps_c[c]);
+        }
+      }
+      (void)(t_hot - t_min_online >= params_.delta_hotspot_c);
+      std::size_t victim = 0;
+      double best = -1e9;
+      for (int c = 0; c < soc::kBigCoreCount; ++c) {
+        if (config.big_core_online[c] && view.big_temps_c[c] > best) {
+          best = view.big_temps_c[c];
+          victim = std::size_t(c);
+        }
+      }
+      forced_offline_[victim] = true;
+      config.big_core_online[victim] = false;
+      ++diagnostics_.hotplug_events;
+      last_restriction_change_s_ = view.time_s;
+      return;
+    }
+    // Out of cores to shed: migrate to the little cluster (last CPU resort).
+    if (!forced_little_) {
+      forced_little_ = true;
+      config.active_cluster = soc::ClusterId::kLittle;
+      config.little_freq_hz = little_opps_.max().frequency_hz;
+      ++diagnostics_.cluster_migration_events;
+      last_restriction_change_s_ = view.time_s;
+      return;
+    }
+  }
+
+  // Little cluster active (or just migrated): budget the little rail.
+  if (config.active_cluster == soc::ClusterId::kLittle) {
+    const auto& little_model =
+        power_model_.model(power::Resource::kLittleCluster);
+    const double t_proxy = mean_temp(view.big_temps_c);
+    const double v_now = little_opps_.voltage_at(config.little_freq_hz);
+    const double leak = little_model.predict_leakage_w(t_proxy, v_now);
+    const power::ResourceVector rails = predict_rail_powers(view, config);
+    const BudgetResult budget = compute_power_budget(
+        predictor_, params_.horizon_steps, temps, rails,
+        power::Resource::kLittleCluster, t_target, leak, params_.row_policy);
+    if (budget.valid) {
+      const power::Opp* fit = frequency_from_budget(
+          little_opps_, little_model.alpha_c(), budget.dynamic_budget_w);
+      if (fit != nullptr && fit->frequency_hz < config.little_freq_hz) {
+        config.little_freq_hz = fit->frequency_hz;
+        ++diagnostics_.frequency_cap_events;
+        return;
+      }
+      if (fit != nullptr) return;
+    }
+  }
+
+  // GPU throttling: the very last resort (§5.2).
+  if (view.gpu_util > 0.1) {
+    const std::size_t level = gpu_opps_.level_of(config.gpu_freq_hz);
+    if (level > 0) {
+      gpu_cap_level_ = int(level) - 1;
+      config.gpu_freq_hz = gpu_opps_.at(std::size_t(gpu_cap_level_)).frequency_hz;
+      ++diagnostics_.gpu_throttle_events;
+      last_restriction_change_s_ = view.time_s;
+    }
+  }
+}
+
+void DtpmGovernor::maybe_relax(const soc::PlatformView& view,
+                               double predicted_max_c, double now_s) {
+  if (now_s - last_restriction_change_s_ < params_.restriction_dwell_s) return;
+  const double trigger = params_.t_max_c - params_.guard_band_c;
+  if (predicted_max_c > trigger - params_.recovery_margin_c) return;
+
+  // Relax in reverse order of performance impact: GPU cap, cluster, cores.
+  if (gpu_cap_level_ >= 0) {
+    gpu_cap_level_ = gpu_cap_level_ + 1 < int(gpu_opps_.size()) - 1
+                         ? gpu_cap_level_ + 1
+                         : -1;
+    last_restriction_change_s_ = now_s;
+    return;
+  }
+  if (forced_little_) {
+    // Gate the migration back on a prediction with the big cluster resumed
+    // at minimum frequency, so we do not bounce across the (costly) switch.
+    soc::SocConfig candidate = view.config;
+    candidate.active_cluster = soc::ClusterId::kBig;
+    candidate.big_freq_hz = big_opps_.min().frequency_hz;
+    candidate.big_core_online = {true, true, true, true};
+    for (int c = 0; c < soc::kBigCoreCount; ++c) {
+      if (forced_offline_[c]) candidate.big_core_online[c] = false;
+    }
+    const power::ResourceVector rails = predict_rail_powers(view, candidate);
+    const double pred = predictor_.predict_max(to_vector(view.big_temps_c),
+                                               {rails.begin(), rails.end()},
+                                               params_.horizon_steps);
+    if (pred <= trigger - params_.recovery_margin_c) {
+      forced_little_ = false;
+      last_restriction_change_s_ = now_s;
+    }
+    return;
+  }
+  for (int c = 0; c < soc::kBigCoreCount; ++c) {
+    if (forced_offline_[c]) {
+      forced_offline_[c] = false;
+      last_restriction_change_s_ = now_s;
+      return;
+    }
+  }
+}
+
+governors::Decision DtpmGovernor::adjust(const soc::PlatformView& view,
+                                         const governors::Decision& proposal) {
+  observe(view);
+
+  soc::SocConfig config = restrict(proposal.soc);
+  const power::ResourceVector rails = predict_rail_powers(view, config);
+  const double predicted_max = predictor_.predict_max(
+      to_vector(view.big_temps_c), {rails.begin(), rails.end()},
+      params_.horizon_steps);
+  diagnostics_.predicted_max_c = predicted_max;
+  diagnostics_.intervened = false;
+
+  if (predicted_max > params_.t_max_c - params_.guard_band_c) {
+    tighten(view, config);
+  } else {
+    maybe_relax(view, predicted_max, view.time_s);
+    config = restrict(proposal.soc);  // re-apply possibly relaxed state
+  }
+
+  governors::Decision out;
+  out.soc = config;
+  out.fan = thermal::FanSpeed::kOff;  // the whole point: no fan
+  return out;
+}
+
+}  // namespace dtpm::core

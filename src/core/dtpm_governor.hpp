@@ -1,0 +1,120 @@
+// The proposed DTPM algorithm (Chapters 3 and 5), implemented as a thermal
+// policy over the default governor:
+//
+//  1. Update the power models from the latest sensor readings (Fig. 4.4).
+//  2. Predict the rail powers of the default proposal, then the hotspot
+//     temperatures one prediction horizon ahead (Eq. 4.5).
+//  3. If no violation is predicted, affirm the default decision -- the
+//     framework is non-intrusive below the constraint (Chapter 3).
+//  4. Otherwise compute the power budget by inverting the thermal model at
+//     the hottest core (Eqs. 5.5/5.6) and actuate, in the paper's order of
+//     increasing performance impact (§5.2):
+//       a. cap the big-cluster frequency to f_budget (Eq. 5.7);
+//       b. if even f_min exceeds the budget, hotplug a big core out (the
+//          hottest, gated by the Delta test of Eq. 5.9);
+//       c. below the minimum core count, migrate to the little cluster;
+//       d. throttle the GPU as the last resort.
+//
+// Standing restrictions (offline cores, forced little cluster, GPU caps)
+// relax one step at a time once the predicted temperature shows enough
+// headroom and a dwell time has passed, preventing actuation ping-pong
+// across the cluster-migration overhead.
+#pragma once
+
+#include <array>
+
+#include "core/power_budget.hpp"
+#include "core/thermal_predictor.hpp"
+#include "governors/governor.hpp"
+#include "power/opp.hpp"
+#include "power/power_model.hpp"
+#include "sysid/model_store.hpp"
+
+namespace dtpm::core {
+
+struct DtpmParams {
+  /// Temperature constraint; 63 C matches the fan policy's 50 % threshold so
+  /// the comparison with the default configuration is fair (§6.3.2).
+  double t_max_c = 63.0;
+  /// Prediction horizon in control intervals ("1 s = 10 control intervals").
+  unsigned horizon_steps = 10;
+  /// Trigger/act margin below t_max, absorbing prediction bias.
+  double guard_band_c = 0.75;
+  /// Delta of Eq. 5.9: single-core hotspotting test before hotplug.
+  double delta_hotspot_c = 3.0;
+  /// Smallest big-core count before migrating to little (§5.2 keeps three).
+  int min_big_cores = 3;
+  /// Predicted headroom below the trigger level needed to relax a standing
+  /// restriction, and the minimum time between relaxations.
+  double recovery_margin_c = 1.5;
+  double restriction_dwell_s = 2.0;
+  /// Which hotspot rows bound the budget (ablation: kAllHotspots).
+  BudgetRowPolicy row_policy = BudgetRowPolicy::kHottestCore;
+};
+
+/// Per-interval diagnostics, exposed for tracing and the experiment harness.
+struct DtpmDiagnostics {
+  double predicted_max_c = 0.0;
+  double total_budget_w = 0.0;
+  double dynamic_budget_w = 0.0;
+  bool intervened = false;
+  long frequency_cap_events = 0;
+  long hotplug_events = 0;
+  long cluster_migration_events = 0;
+  long gpu_throttle_events = 0;
+};
+
+class DtpmGovernor final : public governors::ThermalPolicy {
+ public:
+  DtpmGovernor(const sysid::IdentifiedPlatformModel& model,
+               const DtpmParams& params = {});
+
+  governors::Decision adjust(const soc::PlatformView& view,
+                             const governors::Decision& proposal) override;
+  std::string_view name() const override { return "dtpm"; }
+
+  const DtpmDiagnostics& diagnostics() const { return diagnostics_; }
+  const ThermalPredictor& predictor() const { return predictor_; }
+  const power::PlatformPowerModel& power_model() const { return power_model_; }
+  const DtpmParams& params() const { return params_; }
+
+ private:
+  /// Feeds the sensors' rail/temperature readings to the power models.
+  void observe(const soc::PlatformView& view);
+
+  /// Predicted rail powers if `config` were applied, from the fitted models.
+  power::ResourceVector predict_rail_powers(const soc::PlatformView& view,
+                                            const soc::SocConfig& config) const;
+
+  /// Applies standing restrictions to the default proposal.
+  soc::SocConfig restrict(const soc::SocConfig& proposal) const;
+
+  /// Escalation ladder of §5.2; mutates `config` and the standing state.
+  void tighten(const soc::PlatformView& view, soc::SocConfig& config);
+
+  /// Single-step relaxation when headroom allows.
+  void maybe_relax(const soc::PlatformView& view, double predicted_max_c,
+                   double now_s);
+
+  /// Highest OPP whose predicted dynamic power fits the budget, or nullptr.
+  const power::Opp* frequency_from_budget(const power::OppTable& opps,
+                                          double alpha_c,
+                                          double dynamic_budget_w) const;
+
+  DtpmParams params_;
+  ThermalPredictor predictor_;
+  power::PlatformPowerModel power_model_;
+  power::OppTable big_opps_;
+  power::OppTable little_opps_;
+  power::OppTable gpu_opps_;
+
+  // Standing restrictions.
+  std::array<bool, soc::kBigCoreCount> forced_offline_{};
+  bool forced_little_ = false;
+  int gpu_cap_level_ = -1;  ///< -1 = uncapped
+  double last_restriction_change_s_ = -1e9;
+
+  DtpmDiagnostics diagnostics_;
+};
+
+}  // namespace dtpm::core

@@ -1,0 +1,88 @@
+#include "core/power_budget.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dtpm::core {
+namespace {
+
+/// Budget from a single hotspot row (Eq. 5.5 rearranged).
+double row_budget(const util::Matrix& an, const util::Matrix& bn,
+                  std::size_t row, const std::vector<double>& temps_c,
+                  const power::ResourceVector& rail_powers_w,
+                  std::size_t target_idx, double t_max_c, double ambient_ref_c,
+                  bool& valid) {
+  const double b_target = bn(row, target_idx);
+  if (b_target <= 1e-6) {
+    valid = false;
+    return 0.0;
+  }
+  double rhs = t_max_c - ambient_ref_c;
+  for (std::size_t j = 0; j < temps_c.size(); ++j) {
+    rhs -= an(row, j) * (temps_c[j] - ambient_ref_c);
+  }
+  for (std::size_t j = 0; j < rail_powers_w.size(); ++j) {
+    if (j == target_idx) continue;
+    rhs -= bn(row, j) * rail_powers_w[j];
+  }
+  valid = true;
+  return rhs / b_target;
+}
+
+}  // namespace
+
+BudgetResult compute_power_budget(const ThermalPredictor& predictor,
+                                  unsigned horizon_steps,
+                                  const std::vector<double>& temps_c,
+                                  const power::ResourceVector& rail_powers_w,
+                                  power::Resource target, double t_max_c,
+                                  double leakage_estimate_w,
+                                  BudgetRowPolicy row_policy) {
+  const auto& model = predictor.model();
+  if (temps_c.size() != model.state_dim()) {
+    throw std::invalid_argument("compute_power_budget: temps dimension");
+  }
+  if (rail_powers_w.size() != model.input_dim()) {
+    throw std::invalid_argument("compute_power_budget: powers dimension");
+  }
+  if (horizon_steps == 0) {
+    throw std::invalid_argument("compute_power_budget: zero horizon");
+  }
+  const auto& [an, bn] = predictor.condensed(horizon_steps);
+  const std::size_t target_idx = power::resource_index(target);
+
+  BudgetResult out;
+  if (row_policy == BudgetRowPolicy::kHottestCore) {
+    std::size_t hottest = 0;
+    for (std::size_t i = 1; i < temps_c.size(); ++i) {
+      if (temps_c[i] > temps_c[hottest]) hottest = i;
+    }
+    bool valid = false;
+    out.total_budget_w =
+        row_budget(an, bn, hottest, temps_c, rail_powers_w, target_idx,
+                   t_max_c, model.ambient_ref_c, valid);
+    out.constraining_hotspot = hottest;
+    out.valid = valid;
+  } else {
+    double best = std::numeric_limits<double>::infinity();
+    bool any_valid = false;
+    for (std::size_t i = 0; i < temps_c.size(); ++i) {
+      bool valid = false;
+      const double budget =
+          row_budget(an, bn, i, temps_c, rail_powers_w, target_idx, t_max_c,
+                     model.ambient_ref_c, valid);
+      if (valid && budget < best) {
+        best = budget;
+        out.constraining_hotspot = i;
+      }
+      any_valid = any_valid || valid;
+    }
+    out.total_budget_w = any_valid ? best : 0.0;
+    out.valid = any_valid;
+  }
+  out.dynamic_budget_w = out.total_budget_w - leakage_estimate_w;
+  return out;
+}
+
+}  // namespace dtpm::core

@@ -1,0 +1,59 @@
+// Run-time power budget computation (§5.1, Eqs. 5.1-5.6).
+//
+// Starting from the temperature constraint T_max, the budget inverts the
+// thermal model at the prediction horizon for one target rail while holding
+// the other rails at their current draw:
+//
+//   B_i,target * P_target <= T_max - A_i T[k] - sum_{j != target} B_i,j P_j
+//
+// solved as equality for maximum performance (Eq. 5.5). The paper targets
+// the row of the hottest core; the all-hotspots variant (minimum budget over
+// all rows, i.e. the strict L-inf constraint of Eq. 5.2) is also provided
+// for the ablation study in DESIGN.md §5. Subtracting the leakage estimate
+// yields the dynamic budget of Eq. 5.6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/thermal_predictor.hpp"
+#include "power/resource.hpp"
+
+namespace dtpm::core {
+
+/// Which hotspot rows constrain the budget.
+enum class BudgetRowPolicy {
+  kHottestCore,  ///< the paper's choice (Eq. 5.5)
+  kAllHotspots,  ///< min budget over every row (strict Eq. 5.2)
+};
+
+struct BudgetResult {
+  /// Total power budget of the target rail (Eq. 5.5). May be negative when
+  /// even zero power cannot meet the constraint at the horizon.
+  double total_budget_w = 0.0;
+  /// Dynamic budget after leakage subtraction (Eq. 5.6).
+  double dynamic_budget_w = 0.0;
+  /// Row (hotspot index) that produced the binding constraint.
+  std::size_t constraining_hotspot = 0;
+  /// False when the model gives the target rail no thermal authority
+  /// (non-positive input coefficient), making the inversion meaningless.
+  bool valid = false;
+};
+
+/// Computes the power budget for `target` at the given horizon.
+///
+/// @param temps_c       current hotspot sensor temperatures
+/// @param rail_powers_w current rail powers; the target entry is ignored
+/// @param t_max_c       temperature constraint (same for every hotspot)
+/// @param leakage_estimate_w predicted leakage of the target rail, used for
+///        the dynamic budget (Eq. 5.6)
+BudgetResult compute_power_budget(const ThermalPredictor& predictor,
+                                  unsigned horizon_steps,
+                                  const std::vector<double>& temps_c,
+                                  const power::ResourceVector& rail_powers_w,
+                                  power::Resource target, double t_max_c,
+                                  double leakage_estimate_w,
+                                  BudgetRowPolicy row_policy =
+                                      BudgetRowPolicy::kHottestCore);
+
+}  // namespace dtpm::core

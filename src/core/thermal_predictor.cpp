@@ -1,0 +1,55 @@
+#include "core/thermal_predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtpm::core {
+
+ThermalPredictor::ThermalPredictor(sysid::ThermalStateModel model)
+    : model_(std::move(model)) {
+  if (model_.a.rows() != model_.a.cols() || model_.a.rows() == 0 ||
+      model_.b.rows() != model_.a.rows()) {
+    throw std::invalid_argument("ThermalPredictor: malformed model");
+  }
+}
+
+const std::pair<util::Matrix, util::Matrix>& ThermalPredictor::condensed(
+    unsigned horizon_steps) const {
+  auto it = cache_.find(horizon_steps);
+  if (it == cache_.end()) {
+    it = cache_.emplace(horizon_steps, model_.condensed(horizon_steps)).first;
+  }
+  return it->second;
+}
+
+std::vector<double> ThermalPredictor::predict(
+    const std::vector<double>& temps_c, const std::vector<double>& powers_w,
+    unsigned horizon_steps) const {
+  if (temps_c.size() != model_.state_dim() ||
+      powers_w.size() != model_.input_dim()) {
+    throw std::invalid_argument("ThermalPredictor: dimension mismatch");
+  }
+  if (horizon_steps == 0) return temps_c;
+  const auto& [an, bn] = condensed(horizon_steps);
+  std::vector<double> out(model_.state_dim(), 0.0);
+  for (std::size_t i = 0; i < model_.state_dim(); ++i) {
+    double acc = model_.ambient_ref_c;
+    for (std::size_t j = 0; j < model_.state_dim(); ++j) {
+      acc += an(i, j) * (temps_c[j] - model_.ambient_ref_c);
+    }
+    for (std::size_t j = 0; j < model_.input_dim(); ++j) {
+      acc += bn(i, j) * powers_w[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+double ThermalPredictor::predict_max(const std::vector<double>& temps_c,
+                                     const std::vector<double>& powers_w,
+                                     unsigned horizon_steps) const {
+  const auto predicted = predict(temps_c, powers_w, horizon_steps);
+  return *std::max_element(predicted.begin(), predicted.end());
+}
+
+}  // namespace dtpm::core

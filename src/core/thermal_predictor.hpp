@@ -1,0 +1,42 @@
+// Run-time thermal predictor (§4.2, Eq. 4.5): wraps the identified
+// state-space model and answers "what will the hotspot temperatures be n
+// control intervals from now if the rails draw P?". Condensed horizon
+// matrices are cached, so a prediction is a pair of 4x4 matrix-vector
+// products -- cheap enough for a 100 ms kernel-space control loop, which is
+// how the paper reports "no noticeable overhead" (§6.2).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sysid/thermal_model.hpp"
+
+namespace dtpm::core {
+
+class ThermalPredictor {
+ public:
+  explicit ThermalPredictor(sysid::ThermalStateModel model);
+
+  /// Temperatures n steps ahead under constant rail power (Eq. 4.5).
+  std::vector<double> predict(const std::vector<double>& temps_c,
+                              const std::vector<double>& powers_w,
+                              unsigned horizon_steps) const;
+
+  /// Maximum predicted hotspot temperature at the horizon.
+  double predict_max(const std::vector<double>& temps_c,
+                     const std::vector<double>& powers_w,
+                     unsigned horizon_steps) const;
+
+  /// Condensed (A^n, sum A^i B) pair for a horizon; cached.
+  const std::pair<util::Matrix, util::Matrix>& condensed(
+      unsigned horizon_steps) const;
+
+  const sysid::ThermalStateModel& model() const { return model_; }
+
+ private:
+  sysid::ThermalStateModel model_;
+  mutable std::map<unsigned, std::pair<util::Matrix, util::Matrix>> cache_;
+};
+
+}  // namespace dtpm::core

@@ -1,0 +1,48 @@
+#include "governors/fan_policy.hpp"
+
+namespace dtpm::governors {
+
+FanPolicy::FanPolicy(const FanPolicyParams& params) : params_(params) {}
+
+Decision FanPolicy::adjust(const soc::PlatformView& view,
+                           const Decision& proposal) {
+  const double t = view.max_big_temp_c();
+  using thermal::FanSpeed;
+  if (view.time_s - last_action_s_ < params_.action_period_s) {
+    Decision out = proposal;
+    out.fan = speed_;
+    return out;
+  }
+  const FanSpeed before = speed_;
+  // Step up at each threshold; step down with hysteresis.
+  switch (speed_) {
+    case FanSpeed::kOff:
+      if (t > params_.on_threshold_c) speed_ = FanSpeed::kLow;
+      break;
+    case FanSpeed::kLow:
+      if (t > params_.half_threshold_c) {
+        speed_ = FanSpeed::kHalf;
+      } else if (t < params_.on_threshold_c - params_.hysteresis_c) {
+        speed_ = FanSpeed::kOff;
+      }
+      break;
+    case FanSpeed::kHalf:
+      if (t > params_.full_threshold_c) {
+        speed_ = FanSpeed::kFull;
+      } else if (t < params_.half_threshold_c - params_.hysteresis_c) {
+        speed_ = FanSpeed::kLow;
+      }
+      break;
+    case FanSpeed::kFull:
+      if (t < params_.full_threshold_c - params_.hysteresis_c) {
+        speed_ = FanSpeed::kHalf;
+      }
+      break;
+  }
+  if (speed_ != before) last_action_s_ = view.time_s;
+  Decision out = proposal;
+  out.fan = speed_;
+  return out;
+}
+
+}  // namespace dtpm::governors

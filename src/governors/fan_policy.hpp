@@ -1,0 +1,39 @@
+// The stock Odroid-XU+E fan controller (§6.2): the fan turns on when the
+// maximum core temperature exceeds 57 C, and steps to 50 % / 100 % past
+// 63 C / 68 C, with hysteresis on the way down. The SoC configuration is
+// left untouched -- the board relies entirely on airflow.
+#pragma once
+
+#include "governors/governor.hpp"
+
+namespace dtpm::governors {
+
+struct FanPolicyParams {
+  double on_threshold_c = 57.0;
+  double half_threshold_c = 63.0;
+  double full_threshold_c = 68.0;
+  /// Temperature must drop this far below a threshold to step back down.
+  double hysteresis_c = 4.0;
+  /// The stock controller is a slow userspace daemon: it re-evaluates the
+  /// fan speed only every few seconds, which (with the thermal inertia) is
+  /// what produces the wide 57-70 C oscillation of Figs. 6.3-6.5.
+  double action_period_s = 2.5;
+};
+
+class FanPolicy final : public ThermalPolicy {
+ public:
+  explicit FanPolicy(const FanPolicyParams& params = {});
+
+  Decision adjust(const soc::PlatformView& view,
+                  const Decision& proposal) override;
+  std::string_view name() const override { return "fan"; }
+
+  thermal::FanSpeed current_speed() const { return speed_; }
+
+ private:
+  FanPolicyParams params_;
+  thermal::FanSpeed speed_ = thermal::FanSpeed::kOff;
+  double last_action_s_ = -1e9;
+};
+
+}  // namespace dtpm::governors

@@ -1,0 +1,53 @@
+// Governor interfaces, mirroring the structure of Fig. 3.1: the *default*
+// frequency/idle governors propose a configuration every control interval,
+// and a *thermal policy* layered on top (the stock fan controller, the
+// reactive throttling heuristic, or the proposed DTPM algorithm) may adjust
+// it. When no thermal risk exists, policies pass the default proposal
+// through unchanged -- the DTPM approach is explicitly non-intrusive below
+// the temperature constraint (Chapter 3).
+#pragma once
+
+#include <string_view>
+
+#include "soc/state.hpp"
+#include "thermal/fan.hpp"
+
+namespace dtpm::governors {
+
+/// Everything an interval's decision actuates: the SoC knobs plus fan speed.
+struct Decision {
+  soc::SocConfig soc;
+  thermal::FanSpeed fan = thermal::FanSpeed::kOff;
+};
+
+/// A default governor: proposes the configuration the platform would run in
+/// the absence of thermal management (ondemand/interactive + GPU governor).
+class Governor {
+ public:
+  virtual ~Governor() = default;
+  virtual Decision decide(const soc::PlatformView& view) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// A thermal policy: transforms the default proposal. Implementations:
+/// FanPolicy (stock), ReactiveThrottlePolicy (heuristic baseline),
+/// core::DtpmGovernor (the paper's contribution), and NullPolicy (no fan,
+/// no throttling -- the "Without fan" configuration).
+class ThermalPolicy {
+ public:
+  virtual ~ThermalPolicy() = default;
+  virtual Decision adjust(const soc::PlatformView& view,
+                          const Decision& proposal) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Passes the proposal through untouched: the paper's "Without fan" config.
+class NullPolicy final : public ThermalPolicy {
+ public:
+  Decision adjust(const soc::PlatformView&, const Decision& proposal) override {
+    return proposal;
+  }
+  std::string_view name() const override { return "none"; }
+};
+
+}  // namespace dtpm::governors

@@ -1,0 +1,85 @@
+#include "governors/ondemand.hpp"
+
+#include <algorithm>
+
+namespace dtpm::governors {
+
+OndemandGovernor::OndemandGovernor(const OndemandParams& params)
+    : params_(params),
+      big_opps_(power::big_cluster_opp_table()),
+      little_opps_(power::little_cluster_opp_table()),
+      gpu_opps_(power::gpu_opp_table()) {}
+
+Decision OndemandGovernor::decide(const soc::PlatformView& view) {
+  Decision d;
+  d.soc = view.config;
+  // The default governor never hotplugs: it proposes all cores online, the
+  // idle governor / thermal policy may override.
+  d.soc.big_core_online = {true, true, true, true};
+
+  const double util = view.cpu_max_util;
+  const bool big_active = view.config.active_cluster == soc::ClusterId::kBig;
+  const power::OppTable& opps = big_active ? big_opps_ : little_opps_;
+  double freq = big_active ? view.config.big_freq_hz : view.config.little_freq_hz;
+
+  // --- CPU DVFS (classic ondemand) ---------------------------------------
+  if (util >= params_.up_threshold) {
+    freq = opps.max().frequency_hz;
+    low_util_intervals_ = 0;
+  } else if (util <= params_.down_threshold) {
+    if (++low_util_intervals_ >= params_.down_hold_intervals) {
+      // Pick the frequency that would bring utilization back to ~80 %.
+      const double target = freq * std::max(util, 0.05) / params_.up_threshold;
+      freq = opps.highest_not_above(target).frequency_hz;
+      low_util_intervals_ = 0;
+    }
+  } else {
+    low_util_intervals_ = 0;
+  }
+
+  // --- Cluster migration ----------------------------------------------------
+  soc::ClusterId cluster = view.config.active_cluster;
+  if (!big_active) {
+    const bool saturated = util >= params_.cluster_up_util &&
+                           freq >= little_opps_.max().frequency_hz - 1.0;
+    cluster_up_intervals_ = saturated ? cluster_up_intervals_ + 1 : 0;
+    if (cluster_up_intervals_ >= params_.cluster_up_hold) {
+      cluster = soc::ClusterId::kBig;
+      freq = big_opps_.max().frequency_hz;
+      cluster_up_intervals_ = 0;
+    }
+  } else {
+    const bool idle = util <= params_.cluster_down_util &&
+                      freq <= big_opps_.min().frequency_hz + 1.0;
+    cluster_down_intervals_ = idle ? cluster_down_intervals_ + 1 : 0;
+    if (cluster_down_intervals_ >= params_.cluster_down_hold) {
+      cluster = soc::ClusterId::kLittle;
+      cluster_down_intervals_ = 0;
+    }
+  }
+
+  d.soc.active_cluster = cluster;
+  if (cluster == soc::ClusterId::kBig) {
+    d.soc.big_freq_hz = freq;
+  } else {
+    d.soc.little_freq_hz =
+        cluster == view.config.active_cluster
+            ? freq
+            : little_opps_.max().frequency_hz;  // land at little f_max
+  }
+
+  // --- GPU DVFS ---------------------------------------------------------
+  double gpu_freq = view.config.gpu_freq_hz;
+  if (view.gpu_util >= params_.gpu_up_util) {
+    const std::size_t level = gpu_opps_.level_of(gpu_freq);
+    if (level + 1 < gpu_opps_.size()) gpu_freq = gpu_opps_.at(level + 1).frequency_hz;
+  } else if (view.gpu_util <= params_.gpu_down_util) {
+    gpu_freq = gpu_opps_.step_down(gpu_freq).frequency_hz;
+  }
+  d.soc.gpu_freq_hz = gpu_freq;
+
+  d.fan = thermal::FanSpeed::kOff;  // the default governor does not manage the fan
+  return d;
+}
+
+}  // namespace dtpm::governors

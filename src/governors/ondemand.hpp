@@ -1,0 +1,48 @@
+// The default frequency governor (the paper runs ondemand, §3 and [36]),
+// extended with the 5410's cluster-migration behaviour: the little cluster
+// serves the low end of the virtual frequency range and the big cluster the
+// high end. Utilization above the up-threshold jumps the active cluster to
+// its maximum frequency; sustained low utilization steps it down and
+// eventually migrates to the little cluster. A separate utilization rule
+// drives the GPU's DVFS, standing in for the stock GPU driver governor.
+#pragma once
+
+#include "governors/governor.hpp"
+#include "power/opp.hpp"
+
+namespace dtpm::governors {
+
+/// Tunables, defaulted to the classic ondemand behaviour.
+struct OndemandParams {
+  double up_threshold = 0.80;      ///< jump to f_max above this utilization
+  double down_threshold = 0.55;    ///< consider stepping down below this
+  int down_hold_intervals = 3;     ///< consecutive low-util intervals to step
+  /// Cluster migration: go big when the little cluster saturates, go little
+  /// after sustained idleness at the big cluster's minimum frequency.
+  double cluster_up_util = 0.85;
+  int cluster_up_hold = 2;
+  double cluster_down_util = 0.30;
+  int cluster_down_hold = 12;
+  /// GPU governor thresholds.
+  double gpu_up_util = 0.85;
+  double gpu_down_util = 0.45;
+};
+
+class OndemandGovernor final : public Governor {
+ public:
+  explicit OndemandGovernor(const OndemandParams& params = {});
+
+  Decision decide(const soc::PlatformView& view) override;
+  std::string_view name() const override { return "ondemand"; }
+
+ private:
+  OndemandParams params_;
+  power::OppTable big_opps_;
+  power::OppTable little_opps_;
+  power::OppTable gpu_opps_;
+  int low_util_intervals_ = 0;
+  int cluster_up_intervals_ = 0;
+  int cluster_down_intervals_ = 0;
+};
+
+}  // namespace dtpm::governors

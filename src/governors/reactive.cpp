@@ -1,0 +1,54 @@
+#include "governors/reactive.hpp"
+
+#include <algorithm>
+
+namespace dtpm::governors {
+
+ReactiveThrottlePolicy::ReactiveThrottlePolicy(
+    const ReactiveThrottleParams& params)
+    : params_(params),
+      big_opps_(power::big_cluster_opp_table()),
+      little_opps_(power::little_cluster_opp_table()) {}
+
+Decision ReactiveThrottlePolicy::adjust(const soc::PlatformView& view,
+                                        const Decision& proposal) {
+  const double t = view.max_big_temp_c();
+  if (view.time_s - last_action_s_ >= params_.action_period_s) {
+    if (t > params_.level2_threshold_c) {
+      cap_fraction_ *= 1.0 - params_.level2_throttle;
+      last_action_s_ = view.time_s;
+    } else if (t > params_.level1_threshold_c) {
+      cap_fraction_ *= 1.0 - params_.level1_throttle;
+      last_action_s_ = view.time_s;
+    } else if (t < params_.level1_threshold_c - params_.hysteresis_c &&
+               cap_fraction_ < 1.0) {
+      cap_fraction_ =
+          std::min(cap_fraction_ / (1.0 - params_.level1_throttle), 1.0);
+      last_action_s_ = view.time_s;
+    }
+  }
+  // Never cap below the table minimum of the active cluster.
+  const power::OppTable& opps =
+      proposal.soc.active_cluster == soc::ClusterId::kBig ? big_opps_
+                                                          : little_opps_;
+  const double min_fraction =
+      opps.min().frequency_hz / opps.max().frequency_hz;
+  cap_fraction_ = std::clamp(cap_fraction_, min_fraction, 1.0);
+
+  Decision out = proposal;
+  out.fan = thermal::FanSpeed::kOff;  // no fan for this baseline
+  const double cap_hz = opps.max().frequency_hz * cap_fraction_;
+  if (out.soc.active_cluster == soc::ClusterId::kBig) {
+    if (out.soc.big_freq_hz > cap_hz) {
+      out.soc.big_freq_hz = big_opps_.highest_not_above(cap_hz).frequency_hz;
+    }
+  } else {
+    if (out.soc.little_freq_hz > cap_hz) {
+      out.soc.little_freq_hz =
+          little_opps_.highest_not_above(cap_hz).frequency_hz;
+    }
+  }
+  return out;
+}
+
+}  // namespace dtpm::governors

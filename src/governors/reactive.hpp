@@ -1,0 +1,47 @@
+// The reactive heuristic baseline of §6.2: a fan-less policy that mimics the
+// fan controller's structure but, "instead of increasing the fan speed,
+// throttles the frequency by 18 % and 25 % when the temperature passes 63 C
+// and 68 C, respectively". Like the fan it mimics (which keeps stepping the
+// speed while the temperature stays high), the throttle compounds at every
+// action period while the violation persists and recovers one step at a
+// time once the temperature falls below the threshold band -- the classic
+// reactive sawtooth whose cost the paper measures at ~20 % performance loss
+// (§6.3.3), against the DTPM algorithm's 3.3 %.
+#pragma once
+
+#include "governors/governor.hpp"
+#include "power/opp.hpp"
+
+namespace dtpm::governors {
+
+struct ReactiveThrottleParams {
+  double level1_threshold_c = 63.0;
+  double level2_threshold_c = 68.0;
+  double level1_throttle = 0.18;  ///< multiplicative cap step above level 1
+  double level2_throttle = 0.25;  ///< multiplicative cap step above level 2
+  double hysteresis_c = 6.0;
+  /// Throttle/recovery actions happen at most this often (the thermal-zone
+  /// polling period of the stock kernel driver).
+  double action_period_s = 0.5;
+};
+
+class ReactiveThrottlePolicy final : public ThermalPolicy {
+ public:
+  explicit ReactiveThrottlePolicy(const ReactiveThrottleParams& params = {});
+
+  Decision adjust(const soc::PlatformView& view,
+                  const Decision& proposal) override;
+  std::string_view name() const override { return "reactive"; }
+
+  /// Current multiplicative frequency cap in (0, 1].
+  double cap_fraction() const { return cap_fraction_; }
+
+ private:
+  ReactiveThrottleParams params_;
+  power::OppTable big_opps_;
+  power::OppTable little_opps_;
+  double cap_fraction_ = 1.0;
+  double last_action_s_ = -1e9;
+};
+
+}  // namespace dtpm::governors

@@ -1,0 +1,45 @@
+#include "power/dynamic_power.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtpm::power {
+
+double dynamic_power_w(double alpha_c_f, double vdd_v, double frequency_hz) {
+  return alpha_c_f * vdd_v * vdd_v * frequency_hz;
+}
+
+double alpha_c_from_power(double dynamic_power_w, double vdd_v,
+                          double frequency_hz) {
+  if (vdd_v <= 0.0 || frequency_hz <= 0.0) {
+    throw std::invalid_argument("alpha_c_from_power: non-positive V or f");
+  }
+  return dynamic_power_w / (vdd_v * vdd_v * frequency_hz);
+}
+
+AlphaCEstimator::AlphaCEstimator(const Params& params)
+    : params_(params), alpha_c_(params.initial_alpha_c) {
+  if (params_.smoothing <= 0.0 || params_.smoothing > 1.0) {
+    throw std::invalid_argument("AlphaCEstimator: smoothing must be in (0,1]");
+  }
+}
+
+void AlphaCEstimator::update(double observed_dynamic_power_w, double vdd_v,
+                             double frequency_hz) {
+  const double sample = std::clamp(
+      alpha_c_from_power(std::max(observed_dynamic_power_w, 0.0), vdd_v,
+                         frequency_hz),
+      params_.min_alpha_c, params_.max_alpha_c);
+  alpha_c_ = (1.0 - params_.smoothing) * alpha_c_ + params_.smoothing * sample;
+}
+
+double AlphaCEstimator::predict_power_w(double vdd_v,
+                                        double frequency_hz) const {
+  return dynamic_power_w(alpha_c_, vdd_v, frequency_hz);
+}
+
+void AlphaCEstimator::reset(double alpha_c) {
+  alpha_c_ = std::clamp(alpha_c, params_.min_alpha_c, params_.max_alpha_c);
+}
+
+}  // namespace dtpm::power

@@ -1,0 +1,51 @@
+// Dynamic (switching) power model, P_dyn = alphaC * Vdd^2 * f (Eq. 4.1), and
+// the run-time alphaC estimator of Fig. 4.4: at every control interval the
+// measured total power is decomposed by subtracting modeled leakage, and the
+// remaining dynamic component yields the activity-capacitance product at the
+// current (V, f). An exponential moving average smooths sensor noise while
+// tracking workload phase changes.
+#pragma once
+
+namespace dtpm::power {
+
+/// Switching power in W for an activity-capacitance product (F), supply (V)
+/// and clock (Hz).
+double dynamic_power_w(double alpha_c_f, double vdd_v, double frequency_hz);
+
+/// Inverse: alphaC from an observed dynamic power at known (V, f).
+double alpha_c_from_power(double dynamic_power_w, double vdd_v,
+                          double frequency_hz);
+
+/// EMA tracker of alphaC. Clamps to a configurable non-negative range so a
+/// transient sensor glitch (e.g. dynamic power momentarily computed negative
+/// when leakage is over-estimated) cannot poison later power predictions.
+class AlphaCEstimator {
+ public:
+  struct Params {
+    double smoothing = 0.35;      ///< EMA weight of the newest sample
+    double initial_alpha_c = 1e-10;  ///< F, before any sample arrives
+    double min_alpha_c = 0.0;
+    double max_alpha_c = 1e-8;
+  };
+
+  AlphaCEstimator() : AlphaCEstimator(Params{}) {}
+  explicit AlphaCEstimator(const Params& params);
+
+  /// Feeds one decomposed dynamic-power observation.
+  void update(double observed_dynamic_power_w, double vdd_v,
+              double frequency_hz);
+
+  /// Current estimate in F.
+  double value() const { return alpha_c_; }
+
+  /// Predicted dynamic power at a candidate operating point.
+  double predict_power_w(double vdd_v, double frequency_hz) const;
+
+  void reset(double alpha_c);
+
+ private:
+  Params params_;
+  double alpha_c_;
+};
+
+}  // namespace dtpm::power

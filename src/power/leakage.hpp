@@ -1,0 +1,48 @@
+// Temperature-dependent leakage model (Eq. 4.2 of the paper):
+//
+//     I_leak = c1 * T^2 * exp(c2 / T) + I_gate          (T in Kelvin, c2 < 0)
+//     P_leak = Vdd * I_leak
+//
+// The plant ("true physics") additionally scales the subthreshold term with
+// supply voltage (a DIBL-like effect), which the paper's fitted model does
+// not capture -- this is a deliberate, realistic structural mismatch between
+// what the hardware does and what the modeling methodology of Chapter 4 can
+// recover from furnace measurements at a single fixed voltage.
+#pragma once
+
+namespace dtpm::power {
+
+/// Celsius/Kelvin helpers used across the power stack.
+constexpr double kKelvinOffset = 273.15;
+constexpr double celsius_to_kelvin(double c) { return c + kKelvinOffset; }
+
+/// Parameters of the leakage current model.
+struct LeakageParams {
+  double c1 = 0.0;      ///< A/K^2 prefactor of the subthreshold term
+  double c2_k = 0.0;    ///< exponent scale in Kelvin (negative)
+  double i_gate_a = 0.0;  ///< temperature-independent gate leakage, A
+  double v_ref = 1.0;   ///< voltage at which c1/i_gate were characterized
+  /// Exponent of the (Vdd/v_ref) scaling on the subthreshold term. The
+  /// fitted model uses 0 (no scaling beyond the explicit Vdd factor of
+  /// P = V*I); the plant uses ~1.5.
+  double dibl_exponent = 0.0;
+};
+
+/// Evaluates leakage current and power from the parameters.
+class LeakageModel {
+ public:
+  explicit LeakageModel(const LeakageParams& params = {}) : params_(params) {}
+
+  /// Leakage current in A at the given temperature (Celsius) and supply.
+  double current_a(double temp_c, double vdd_v) const;
+
+  /// Leakage power in W: Vdd * I_leak.
+  double power_w(double temp_c, double vdd_v) const;
+
+  const LeakageParams& params() const { return params_; }
+
+ private:
+  LeakageParams params_;
+};
+
+}  // namespace dtpm::power

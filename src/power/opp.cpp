@@ -1,0 +1,100 @@
+#include "power/opp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpm::power {
+namespace {
+
+constexpr double kMega = 1e6;
+
+bool close(double a, double b) { return std::fabs(a - b) < 1.0; }
+
+}  // namespace
+
+OppTable::OppTable(std::vector<Opp> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("OppTable: empty");
+  double prev = 0.0;
+  for (const auto& p : points_) {
+    if (p.frequency_hz <= prev) {
+      throw std::invalid_argument("OppTable: frequencies must ascend");
+    }
+    if (p.voltage_v <= 0.0) {
+      throw std::invalid_argument("OppTable: non-positive voltage");
+    }
+    prev = p.frequency_hz;
+  }
+}
+
+std::size_t OppTable::level_of(double frequency_hz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (close(points_[i].frequency_hz, frequency_hz)) return i;
+  }
+  throw std::invalid_argument("OppTable: frequency not in table");
+}
+
+bool OppTable::contains(double frequency_hz) const {
+  for (const auto& p : points_) {
+    if (close(p.frequency_hz, frequency_hz)) return true;
+  }
+  return false;
+}
+
+const Opp& OppTable::highest_not_above(double frequency_cap_hz) const {
+  const Opp* best = &points_.front();
+  for (const auto& p : points_) {
+    if (p.frequency_hz <= frequency_cap_hz + 1.0) best = &p;
+  }
+  return *best;
+}
+
+const Opp& OppTable::step_down(double frequency_hz) const {
+  const Opp* below = nullptr;
+  for (const auto& p : points_) {
+    if (p.frequency_hz < frequency_hz - 1.0) below = &p;
+  }
+  return below != nullptr ? *below : points_.front();
+}
+
+double OppTable::voltage_at(double frequency_hz) const {
+  return points_.at(level_of(frequency_hz)).voltage_v;
+}
+
+OppTable big_cluster_opp_table() {
+  return OppTable({
+      {800 * kMega, 0.92},
+      {900 * kMega, 0.95},
+      {1000 * kMega, 0.98},
+      {1100 * kMega, 1.01},
+      {1200 * kMega, 1.04},
+      {1300 * kMega, 1.08},
+      {1400 * kMega, 1.12},
+      {1500 * kMega, 1.16},
+      {1600 * kMega, 1.20},
+  });
+}
+
+OppTable little_cluster_opp_table() {
+  return OppTable({
+      {500 * kMega, 0.90},
+      {600 * kMega, 0.92},
+      {700 * kMega, 0.94},
+      {800 * kMega, 0.96},
+      {900 * kMega, 0.98},
+      {1000 * kMega, 1.00},
+      {1100 * kMega, 1.02},
+      {1200 * kMega, 1.04},
+  });
+}
+
+OppTable gpu_opp_table() {
+  return OppTable({
+      {177 * kMega, 0.85},
+      {266 * kMega, 0.90},
+      {350 * kMega, 0.95},
+      {480 * kMega, 1.00},
+      {533 * kMega, 1.05},
+  });
+}
+
+}  // namespace dtpm::power

@@ -1,0 +1,64 @@
+// Operating performance points (frequency/voltage pairs) for the DVFS
+// domains. The frequency lists reproduce Tables 6.1-6.3 of the paper exactly
+// (big cluster: nine levels 800-1600 MHz; little cluster: eight levels
+// 500-1200 MHz; GPU: 177/266/350/480/533 MHz). Voltages are not published in
+// the paper; the curves here follow the stock Exynos 5410 DVFS tables'
+// shape.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dtpm::power {
+
+/// One DVFS operating point.
+struct Opp {
+  double frequency_hz = 0.0;
+  double voltage_v = 0.0;
+};
+
+/// Immutable, ascending-frequency list of operating points for one domain.
+class OppTable {
+ public:
+  /// @throws std::invalid_argument if the list is empty, unsorted, or has
+  ///         non-positive entries.
+  explicit OppTable(std::vector<Opp> points);
+
+  std::size_t size() const { return points_.size(); }
+  const Opp& at(std::size_t level) const { return points_.at(level); }
+  const Opp& min() const { return points_.front(); }
+  const Opp& max() const { return points_.back(); }
+  const std::vector<Opp>& points() const { return points_; }
+
+  /// Index of the exact frequency; throws if not a table entry.
+  std::size_t level_of(double frequency_hz) const;
+
+  /// True if the frequency is one of the table entries.
+  bool contains(double frequency_hz) const;
+
+  /// Highest operating point with frequency <= cap. Returns the lowest point
+  /// when the cap is below the whole table (the caller decides whether that
+  /// constitutes "budget not satisfiable", per §5.2).
+  const Opp& highest_not_above(double frequency_cap_hz) const;
+
+  /// The operating point one level below the given frequency, or the minimum
+  /// if already at the bottom.
+  const Opp& step_down(double frequency_hz) const;
+
+  /// Voltage at the given table frequency; throws if not a table entry.
+  double voltage_at(double frequency_hz) const;
+
+ private:
+  std::vector<Opp> points_;
+};
+
+/// Table 6.1: big (A15) cluster, 800-1600 MHz in 100 MHz steps.
+OppTable big_cluster_opp_table();
+
+/// Table 6.2: little (A7) cluster, 500-1200 MHz in 100 MHz steps.
+OppTable little_cluster_opp_table();
+
+/// Table 6.3: GPU, 177/266/350/480/533 MHz.
+OppTable gpu_opp_table();
+
+}  // namespace dtpm::power

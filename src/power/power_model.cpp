@@ -1,0 +1,40 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+
+namespace dtpm::power {
+
+ResourcePowerModel::ResourcePowerModel(
+    const LeakageParams& leakage, const AlphaCEstimator::Params& alpha_params)
+    : leakage_(leakage), alpha_c_(alpha_params) {}
+
+PowerBreakdown ResourcePowerModel::observe(double measured_total_w,
+                                           double temp_c, double vdd_v,
+                                           double frequency_hz) {
+  PowerBreakdown out;
+  out.total_w = measured_total_w;
+  out.leakage_w = leakage_.power_w(temp_c, vdd_v);
+  out.dynamic_w = std::max(measured_total_w - out.leakage_w, 0.0);
+  if (frequency_hz > 0.0 && vdd_v > 0.0) {
+    alpha_c_.update(out.dynamic_w, vdd_v, frequency_hz);
+  }
+  return out;
+}
+
+double ResourcePowerModel::predict_total_w(double temp_c, double vdd_v,
+                                           double frequency_hz) const {
+  return predict_leakage_w(temp_c, vdd_v) +
+         predict_dynamic_w(vdd_v, frequency_hz);
+}
+
+double ResourcePowerModel::predict_leakage_w(double temp_c,
+                                             double vdd_v) const {
+  return leakage_.power_w(temp_c, vdd_v);
+}
+
+double ResourcePowerModel::predict_dynamic_w(double vdd_v,
+                                             double frequency_hz) const {
+  return alpha_c_.predict_power_w(vdd_v, frequency_hz);
+}
+
+}  // namespace dtpm::power

@@ -1,0 +1,71 @@
+// The run-time power model used by the DTPM stack (Chapter 4): per resource,
+// a fitted leakage model plus a continuously updated alphaC estimate. It
+// decomposes measured total power into leakage + dynamic components and
+// predicts the total power of candidate operating points before they are
+// applied (Fig. 4.4 and §5.2).
+#pragma once
+
+#include <array>
+
+#include "power/dynamic_power.hpp"
+#include "power/leakage.hpp"
+#include "power/resource.hpp"
+
+namespace dtpm::power {
+
+/// Decomposition of one power reading.
+struct PowerBreakdown {
+  double total_w = 0.0;
+  double leakage_w = 0.0;
+  double dynamic_w = 0.0;
+};
+
+/// Power model for a single metered resource.
+class ResourcePowerModel {
+ public:
+  ResourcePowerModel() = default;
+  ResourcePowerModel(const LeakageParams& leakage,
+                     const AlphaCEstimator::Params& alpha_params);
+
+  /// Splits a measured total power into leakage and dynamic components using
+  /// the current temperature/voltage, and feeds the dynamic part to the
+  /// alphaC estimator (the run-time loop of Fig. 4.4).
+  PowerBreakdown observe(double measured_total_w, double temp_c, double vdd_v,
+                         double frequency_hz);
+
+  /// Predicted total power at a candidate operating point, using the current
+  /// alphaC estimate and the fitted leakage model.
+  double predict_total_w(double temp_c, double vdd_v,
+                         double frequency_hz) const;
+
+  /// Predicted leakage alone (needed for the dynamic budget of Eq. 5.6).
+  double predict_leakage_w(double temp_c, double vdd_v) const;
+
+  /// Predicted dynamic power alone.
+  double predict_dynamic_w(double vdd_v, double frequency_hz) const;
+
+  double alpha_c() const { return alpha_c_.value(); }
+  const LeakageModel& leakage() const { return leakage_; }
+
+  void reset_alpha_c(double alpha_c) { alpha_c_.reset(alpha_c); }
+
+ private:
+  LeakageModel leakage_;
+  AlphaCEstimator alpha_c_;
+};
+
+/// Bundle of the four per-resource models.
+class PlatformPowerModel {
+ public:
+  PlatformPowerModel() = default;
+
+  ResourcePowerModel& model(Resource r) { return models_[resource_index(r)]; }
+  const ResourcePowerModel& model(Resource r) const {
+    return models_[resource_index(r)];
+  }
+
+ private:
+  std::array<ResourcePowerModel, kResourceCount> models_;
+};
+
+}  // namespace dtpm::power

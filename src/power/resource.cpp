@@ -1,0 +1,27 @@
+#include "power/resource.hpp"
+
+namespace dtpm::power {
+
+std::string_view to_string(Resource r) {
+  switch (r) {
+    case Resource::kBigCluster:
+      return "big";
+    case Resource::kLittleCluster:
+      return "little";
+    case Resource::kGpu:
+      return "gpu";
+    case Resource::kMem:
+      return "mem";
+    case Resource::kCount:
+      break;
+  }
+  return "?";
+}
+
+double total(const ResourceVector& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum;
+}
+
+}  // namespace dtpm::power

@@ -1,0 +1,41 @@
+// The four separately metered power resources of the Exynos 5410 on the
+// Odroid-XU+E: big CPU cluster, little CPU cluster, GPU, and memory
+// (§4.2.1: P = [P_A7, P_A15, P_GPU, P_mem]). Everything in the library that
+// speaks "per-resource" indexes by this enum.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace dtpm::power {
+
+enum class Resource : std::size_t {
+  kBigCluster = 0,
+  kLittleCluster,
+  kGpu,
+  kMem,
+  kCount,
+};
+
+constexpr std::size_t kResourceCount = static_cast<std::size_t>(Resource::kCount);
+
+constexpr std::size_t resource_index(Resource r) {
+  return static_cast<std::size_t>(r);
+}
+
+/// All resources in index order, for range-for iteration.
+constexpr std::array<Resource, kResourceCount> all_resources() {
+  return {Resource::kBigCluster, Resource::kLittleCluster, Resource::kGpu,
+          Resource::kMem};
+}
+
+std::string_view to_string(Resource r);
+
+/// Fixed-size per-resource value pack (power readings, budgets, ...).
+using ResourceVector = std::array<double, kResourceCount>;
+
+/// Sum across all resources.
+double total(const ResourceVector& v);
+
+}  // namespace dtpm::power

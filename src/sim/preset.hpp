@@ -1,0 +1,27 @@
+// One-stop bundle of every physical parameter of the simulated platform.
+// All experiments (and the calibration workflow) share the same preset so
+// the identified models face the same plant the policies later control.
+#pragma once
+
+#include "power/sensors.hpp"
+#include "soc/soc.hpp"
+#include "thermal/fan.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/sensor.hpp"
+
+namespace dtpm::sim {
+
+struct PlatformPreset {
+  thermal::FloorplanParams floorplan{};
+  thermal::FanParams fan{};
+  soc::PlantPowerParams plant{};
+  soc::PerfParams perf{};
+  thermal::TempSensorParams temp_sensor{};
+  power::PowerSensorParams power_sensor{};
+  power::PlatformLoadParams platform_load{};
+};
+
+/// The default Odroid-XU+E-like platform used throughout the reproduction.
+inline PlatformPreset default_preset() { return PlatformPreset{}; }
+
+}  // namespace dtpm::sim

@@ -1,0 +1,57 @@
+#include "soc/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dtpm::soc {
+
+Placement place_threads(const std::vector<workload::ThreadDemand>& threads,
+                        const SocConfig& config) {
+  Placement out;
+  // Determine which physical cores are schedulable.
+  std::vector<int> online;
+  if (config.active_cluster == ClusterId::kBig) {
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      if (config.big_core_online[c]) online.push_back(c);
+    }
+  } else {
+    for (int c = 0; c < kLittleCoreCount; ++c) online.push_back(c);
+  }
+  if (online.empty() || threads.empty()) return out;
+
+  // Greedy LPT: heaviest thread first onto the least-loaded core.
+  std::vector<std::size_t> order(threads.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return threads[a].duty > threads[b].duty;
+  });
+
+  out.threads.resize(threads.size());
+  for (std::size_t idx : order) {
+    int best = online.front();
+    for (int c : online) {
+      if (out.core_load[c] < out.core_load[best]) best = c;
+    }
+    out.threads[idx].demand = threads[idx];
+    out.threads[idx].core = best;
+    out.core_load[best] += threads[idx].duty;
+  }
+
+  // Grant shares: proportional scaling on oversubscribed cores.
+  for (auto& placed : out.threads) {
+    const double load = out.core_load[placed.core];
+    const double scale = load > 1.0 ? 1.0 / load : 1.0;
+    placed.share = placed.demand.duty * scale;
+  }
+
+  double util_sum = 0.0;
+  for (int c : online) {
+    out.core_util[c] = std::min(out.core_load[c], 1.0);
+    out.max_util = std::max(out.max_util, out.core_util[c]);
+    util_sum += out.core_util[c];
+  }
+  out.avg_util = util_sum / double(online.size());
+  return out;
+}
+
+}  // namespace dtpm::soc

@@ -1,0 +1,241 @@
+#include "soc/soc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "power/dynamic_power.hpp"
+
+namespace dtpm::soc {
+
+Soc::Soc(const PlantPowerParams& power_params, const PerfParams& perf_params)
+    : power_params_(power_params),
+      perf_params_(perf_params),
+      big_opps_(power::big_cluster_opp_table()),
+      little_opps_(power::little_cluster_opp_table()),
+      gpu_opps_(power::gpu_opp_table()),
+      big_leak_(power_params.big_leakage),
+      little_leak_(power_params.little_leakage),
+      gpu_leak_(power_params.gpu_leakage),
+      mem_leak_(power_params.mem_leakage) {
+  config_.big_freq_hz = big_opps_.max().frequency_hz;
+  config_.little_freq_hz = little_opps_.max().frequency_hz;
+  config_.gpu_freq_hz = gpu_opps_.max().frequency_hz;
+}
+
+void Soc::apply(const SocConfig& config) {
+  if (!big_opps_.contains(config.big_freq_hz)) {
+    throw std::invalid_argument("Soc::apply: big frequency not an OPP");
+  }
+  if (!little_opps_.contains(config.little_freq_hz)) {
+    throw std::invalid_argument("Soc::apply: little frequency not an OPP");
+  }
+  if (!gpu_opps_.contains(config.gpu_freq_hz)) {
+    throw std::invalid_argument("Soc::apply: gpu frequency not an OPP");
+  }
+  if (config.active_cluster == ClusterId::kBig &&
+      config.online_big_cores() == 0) {
+    throw std::invalid_argument("Soc::apply: no big core online");
+  }
+  if (config.active_cluster != config_.active_cluster) {
+    migration_stall_remaining_s_ += perf_params_.cluster_switch_stall_s;
+  }
+  config_ = config;
+}
+
+SocStepResult Soc::step(const workload::Demand& foreground,
+                        const std::vector<workload::ThreadDemand>& background,
+                        const std::array<double, kBigCoreCount>& big_temps_c,
+                        double little_temp_c, double gpu_temp_c,
+                        double mem_temp_c, double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("Soc::step: dt must be > 0");
+  SocStepResult out;
+
+  // --- Thread placement on the active cluster ------------------------------
+  std::vector<workload::ThreadDemand> all_threads = foreground.threads;
+  all_threads.insert(all_threads.end(), background.begin(), background.end());
+  const Placement placement = place_threads(all_threads, config_);
+  out.cpu_max_util = placement.max_util;
+  out.cpu_avg_util = placement.avg_util;
+
+  const bool big_active = config_.active_cluster == ClusterId::kBig;
+  const double f_cpu = big_active ? config_.big_freq_hz : config_.little_freq_hz;
+  const double v_cpu = big_active ? big_opps_.voltage_at(config_.big_freq_hz)
+                                  : little_opps_.voltage_at(config_.little_freq_hz);
+  const double ipc = big_active ? perf_params_.big_ipc_scale
+                                : perf_params_.little_ipc_scale;
+  const double core_alpha_c_max = big_active
+                                      ? power_params_.big_core_alpha_c_max
+                                      : power_params_.little_core_alpha_c_max;
+  const double idle_activity = big_active ? power_params_.big_idle_activity
+                                          : power_params_.little_idle_activity;
+
+  // --- GPU demand (needed before the memory contention computation) --------
+  const double gpu_v = gpu_opps_.voltage_at(config_.gpu_freq_hz);
+  const double gpu_demand_hz =
+      foreground.gpu_load * gpu_opps_.max().frequency_hz;
+  const double gpu_achieved_hz = std::min(gpu_demand_hz, config_.gpu_freq_hz);
+  const double gpu_busy =
+      std::min(gpu_achieved_hz / config_.gpu_freq_hz +
+                   power_params_.gpu_idle_util,
+               1.0);
+  out.gpu_util = gpu_busy;
+
+  // --- Memory bandwidth saturation -------------------------------------------
+  // Each foreground work unit occupies the DDR for mem_seconds_per_unit at
+  // full bandwidth, so the feasibility constraint is
+  //     sum_t rate_t * m_t + bg_traffic <= cpu_cap,
+  // with rate_t = share_t / (c_t/(ipc*f) + m_t * x) and x >= 1 a common
+  // queueing-slowdown factor. We find the smallest feasible x by fixed-point
+  // iteration. rate_t stays monotone non-decreasing in f (saturating at the
+  // bandwidth bound), which is what makes DVFS throttling nearly free for
+  // bandwidth-bound multithreaded workloads -- the paper's matmul behaviour.
+  const double gpu_bw = gpu_busy * power_params_.mem_gpu_traffic_weight;
+  const double cpu_cap =
+      std::max(0.15, power_params_.mem_bandwidth_cap - gpu_bw);
+  constexpr double kBackgroundBwCoeff = 0.3;
+  double bg_bw = 0.0;
+  for (const auto& placed : placement.threads) {
+    if (placed.demand.cpu_cycles_per_unit <= 0.0) {
+      bg_bw += placed.share * placed.demand.mem_intensity * kBackgroundBwCoeff;
+    }
+  }
+  auto fg_bw_demand = [&](double x) {
+    double d = 0.0;
+    for (const auto& placed : placement.threads) {
+      const auto& td = placed.demand;
+      if (td.cpu_cycles_per_unit <= 0.0 || td.mem_seconds_per_unit <= 0.0) {
+        continue;
+      }
+      const double t_unit =
+          td.cpu_cycles_per_unit / (ipc * f_cpu) + td.mem_seconds_per_unit * x;
+      d += placed.share / t_unit * td.mem_seconds_per_unit;
+    }
+    return d;
+  };
+  // Demand is strictly decreasing in the slowdown x, so bisection gives the
+  // exact equilibrium; the precision matters because any residual would make
+  // progress non-monotone in frequency.
+  double slowdown = 1.0;
+  if (fg_bw_demand(1.0) + bg_bw > cpu_cap) {
+    double lo = 1.0, hi = 2.0;
+    while (fg_bw_demand(hi) + bg_bw > cpu_cap && hi < 1e6) hi *= 2.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (fg_bw_demand(mid) + bg_bw > cpu_cap ? lo : hi) = mid;
+    }
+    slowdown = 0.5 * (lo + hi);
+  }
+
+  // Per-physical-core effective switching activity and progress. Stalled
+  // cycles do not switch, so contention also scales the activity factor.
+  std::array<double, kBigCoreCount> core_activity{};
+  double cpu_progress_rate = 0.0;  // units/s from foreground threads
+  for (const auto& placed : placement.threads) {
+    const auto& td = placed.demand;
+    double stall_scale = 1.0;
+    if (td.cpu_cycles_per_unit > 0.0 && td.mem_seconds_per_unit > 0.0 &&
+        slowdown > 1.0) {
+      const double cpu_time = td.cpu_cycles_per_unit / (ipc * f_cpu);
+      stall_scale = (cpu_time + td.mem_seconds_per_unit) /
+                    (cpu_time + td.mem_seconds_per_unit * slowdown);
+    }
+    core_activity[placed.core] += placed.share * stall_scale * td.cpu_activity;
+    if (td.counts_progress && td.cpu_cycles_per_unit > 0.0) {
+      const double seconds_per_unit =
+          td.cpu_cycles_per_unit / (ipc * f_cpu) +
+          td.mem_seconds_per_unit * slowdown;
+      cpu_progress_rate += placed.share / seconds_per_unit;
+    }
+  }
+  const double mem_traffic =
+      std::min(fg_bw_demand(slowdown) + bg_bw + gpu_bw,
+               power_params_.mem_bandwidth_cap);
+
+  double progress_rate = cpu_progress_rate;
+  if (foreground.gpu_cycles_per_unit > 0.0) {
+    const double gpu_rate = gpu_achieved_hz / foreground.gpu_cycles_per_unit;
+    progress_rate = std::min(cpu_progress_rate, gpu_rate);
+  }
+
+  // --- CPU cluster power ------------------------------------------------
+  auto& rails = out.rail_power_w;
+  if (big_active) {
+    const int online = std::max(config_.online_big_cores(), 1);
+    // Shared uncore clocked with the cluster; driven by the busiest core and
+    // spread evenly over the online cores' thermal nodes.
+    double max_activity = 0.0;
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      if (config_.big_core_online[c]) {
+        max_activity = std::max(
+            max_activity, std::min(core_activity[c] + idle_activity, 1.0));
+      }
+    }
+    const double uncore_w = power::dynamic_power_w(
+        max_activity * power_params_.big_uncore_alpha_c, v_cpu, f_cpu);
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      double p_core = 0.0;
+      const double core_leak_w = big_leak_.power_w(big_temps_c[c], v_cpu) /
+                                 double(kBigCoreCount);
+      if (config_.big_core_online[c]) {
+        const double act = std::min(core_activity[c] + idle_activity, 1.0);
+        p_core = power::dynamic_power_w(act * core_alpha_c_max, v_cpu, f_cpu) +
+                 core_leak_w + uncore_w / double(online);
+      } else {
+        p_core = core_leak_w * power_params_.offline_core_leakage_fraction;
+      }
+      out.big_core_power_w[c] = p_core;
+      rails[power::resource_index(power::Resource::kBigCluster)] += p_core;
+    }
+    // Little cluster parked: residual leakage only.
+    rails[power::resource_index(power::Resource::kLittleCluster)] =
+        little_leak_.power_w(little_temp_c,
+                             little_opps_.min().voltage_v) *
+        power_params_.inactive_cluster_leakage_fraction;
+  } else {
+    // Little cluster active; big cores power-collapsed.
+    double p_little = little_leak_.power_w(little_temp_c, v_cpu);
+    double max_activity = 0.0;
+    for (int c = 0; c < kLittleCoreCount; ++c) {
+      const double act = std::min(core_activity[c] + idle_activity, 1.0);
+      max_activity = std::max(max_activity, act);
+      p_little += power::dynamic_power_w(act * core_alpha_c_max, v_cpu, f_cpu);
+    }
+    p_little += power::dynamic_power_w(
+        max_activity * power_params_.little_uncore_alpha_c, v_cpu, f_cpu);
+    rails[power::resource_index(power::Resource::kLittleCluster)] = p_little;
+    const double big_residual =
+        big_leak_.power_w(big_temps_c[0], big_opps_.min().voltage_v) *
+        power_params_.inactive_cluster_leakage_fraction;
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      out.big_core_power_w[c] = big_residual / double(kBigCoreCount);
+      rails[power::resource_index(power::Resource::kBigCluster)] +=
+          out.big_core_power_w[c];
+    }
+  }
+
+  // --- GPU power ----------------------------------------------------------
+  rails[power::resource_index(power::Resource::kGpu)] =
+      power::dynamic_power_w(gpu_busy * power_params_.gpu_alpha_c_max, gpu_v,
+                             config_.gpu_freq_hz) +
+      gpu_leak_.power_w(gpu_temp_c, gpu_v);
+
+  // --- Memory power ---------------------------------------------------------
+  const double mem_activity = mem_traffic;
+  rails[power::resource_index(power::Resource::kMem)] =
+      power_params_.mem_base_w +
+      mem_activity * power_params_.mem_dynamic_max_w +
+      mem_leak_.power_w(mem_temp_c, power_params_.mem_nominal_voltage_v);
+
+  // --- Progress (with cluster-migration stall) -------------------------------
+  double effective_dt = dt_s;
+  if (migration_stall_remaining_s_ > 0.0) {
+    const double consumed = std::min(migration_stall_remaining_s_, dt_s);
+    migration_stall_remaining_s_ -= consumed;
+    effective_dt -= consumed;
+  }
+  out.progress_units = progress_rate * effective_dt;
+  return out;
+}
+
+}  // namespace dtpm::soc

@@ -1,0 +1,137 @@
+// The platform plant: a Samsung Exynos 5410-like MPSoC behavioural model.
+//
+// Given the applied SocConfig (cluster, hotplug mask, frequencies) and the
+// instantaneous workload demand, the Soc computes the *true* per-rail power
+// draw (with the full nonlinear leakage physics, including effects the
+// paper's fitted models deliberately do not capture) and the rate at which
+// the foreground workload makes progress. The DTPM stack never calls into
+// this class directly -- it sees the platform only through sensor models and
+// actuates only through SocConfig, mirroring the hardware/software boundary
+// on the real board.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "power/leakage.hpp"
+#include "power/opp.hpp"
+#include "power/resource.hpp"
+#include "soc/scheduler.hpp"
+#include "soc/state.hpp"
+#include "workload/runtime.hpp"
+
+namespace dtpm::soc {
+
+/// Ground-truth power parameters of the plant. Leakage parameters are
+/// cluster-level (the rails meter whole clusters); per-core leakage is an
+/// equal split among online cores. dibl_exponent is non-zero here: the true
+/// silicon's subthreshold leakage rises with supply voltage, a structural
+/// effect the paper's furnace-fitted model (single fixed voltage) folds into
+/// its constants.
+struct PlantPowerParams {
+  power::LeakageParams big_leakage{3.9e-3, -2640.0, 0.005, 1.20, 1.5};
+  power::LeakageParams little_leakage{1.0e-3, -2640.0, 0.002, 1.04, 1.5};
+  power::LeakageParams gpu_leakage{2.0e-3, -2600.0, 0.003, 1.05, 1.5};
+  power::LeakageParams mem_leakage{0.5e-3, -2700.0, 0.004, 1.20, 1.0};
+
+  /// Per-core switching capacitance at activity factor 1.0.
+  double big_core_alpha_c_max = 0.22e-9;
+  double little_core_alpha_c_max = 0.06e-9;
+  double gpu_alpha_c_max = 1.6e-9;
+
+  /// Shared-uncore (L2, interconnect) switching capacitance; clocked with
+  /// the cluster and driven by the busiest core's activity. This is why a
+  /// single hot thread draws a large fraction of the power four threads do
+  /// on the real A15 cluster.
+  double big_uncore_alpha_c = 0.75e-9;
+  double little_uncore_alpha_c = 0.15e-9;
+
+  /// Clock-tree switching overhead, as activity, per online core.
+  double big_idle_activity = 0.05;
+  double little_idle_activity = 0.05;
+  double gpu_idle_util = 0.02;
+
+  /// Memory bandwidth ceiling in normalized traffic units: when the summed
+  /// thread+GPU demand exceeds it, every thread's effective share (hence
+  /// both its switching power and progress) scales back proportionally --
+  /// the DDR contention that makes multithreaded power strongly sublinear
+  /// in thread count.
+  double mem_bandwidth_cap = 1.0;
+
+  /// Residual leakage fraction of a power-gated core / parked cluster.
+  double offline_core_leakage_fraction = 0.03;
+  double inactive_cluster_leakage_fraction = 0.02;
+
+  /// Memory rail model: base + traffic-proportional dynamic power.
+  double mem_dynamic_max_w = 0.65;
+  double mem_base_w = 0.08;
+  double mem_gpu_traffic_weight = 0.35;
+  double mem_nominal_voltage_v = 1.2;
+  double mem_nominal_frequency_hz = 800e6;
+};
+
+/// Performance model parameters.
+struct PerfParams {
+  double big_ipc_scale = 1.0;
+  /// A7 retired work per cycle relative to A15 (out-of-order vs in-order).
+  double little_ipc_scale = 0.45;
+  /// Progress stall when migrating between clusters (§5.2: migrating across
+  /// clusters has a larger overhead).
+  double cluster_switch_stall_s = 0.05;
+};
+
+/// True plant outputs for one interval.
+struct SocStepResult {
+  power::ResourceVector rail_power_w{};
+  std::array<double, kBigCoreCount> big_core_power_w{};
+  /// Foreground workload progress during the interval, in work units.
+  double progress_units = 0.0;
+  double cpu_max_util = 0.0;
+  double cpu_avg_util = 0.0;
+  double gpu_util = 0.0;
+};
+
+class Soc {
+ public:
+  Soc() : Soc(PlantPowerParams{}, PerfParams{}) {}
+  Soc(const PlantPowerParams& power_params, const PerfParams& perf_params);
+
+  const power::OppTable& big_opps() const { return big_opps_; }
+  const power::OppTable& little_opps() const { return little_opps_; }
+  const power::OppTable& gpu_opps() const { return gpu_opps_; }
+
+  /// Applies a new actuation state. Frequencies must be exact OPP entries
+  /// and at least one big core must stay online while the big cluster is
+  /// active; throws std::invalid_argument otherwise. Switching the active
+  /// cluster incurs the migration stall on the next step.
+  void apply(const SocConfig& config);
+
+  const SocConfig& config() const { return config_; }
+
+  /// Advances the plant by dt seconds: places foreground + background
+  /// threads, computes true rail powers using the supplied true node
+  /// temperatures (leakage feedback), and returns workload progress.
+  SocStepResult step(const workload::Demand& foreground,
+                     const std::vector<workload::ThreadDemand>& background,
+                     const std::array<double, kBigCoreCount>& big_temps_c,
+                     double little_temp_c, double gpu_temp_c,
+                     double mem_temp_c, double dt_s);
+
+  const PlantPowerParams& power_params() const { return power_params_; }
+  const PerfParams& perf_params() const { return perf_params_; }
+
+ private:
+  PlantPowerParams power_params_;
+  PerfParams perf_params_;
+  power::OppTable big_opps_;
+  power::OppTable little_opps_;
+  power::OppTable gpu_opps_;
+  power::LeakageModel big_leak_;
+  power::LeakageModel little_leak_;
+  power::LeakageModel gpu_leak_;
+  power::LeakageModel mem_leak_;
+  SocConfig config_;
+  double migration_stall_remaining_s_ = 0.0;
+};
+
+}  // namespace dtpm::soc

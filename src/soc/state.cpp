@@ -1,0 +1,34 @@
+#include "soc/state.hpp"
+
+namespace dtpm::soc {
+
+const char* to_string(ClusterId c) {
+  return c == ClusterId::kBig ? "big" : "little";
+}
+
+int SocConfig::online_big_cores() const {
+  int n = 0;
+  for (bool online : big_core_online) n += online ? 1 : 0;
+  return n;
+}
+
+int SocConfig::schedulable_cores() const {
+  return active_cluster == ClusterId::kBig ? online_big_cores()
+                                           : kLittleCoreCount;
+}
+
+double PlatformView::max_big_temp_c() const {
+  double best = big_temps_c[0];
+  for (double t : big_temps_c) best = best < t ? t : best;
+  return best;
+}
+
+std::size_t PlatformView::hottest_big_core() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < big_temps_c.size(); ++i) {
+    if (big_temps_c[i] > big_temps_c[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace dtpm::soc

@@ -1,0 +1,88 @@
+#include "sysid/arx_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpm::sysid {
+
+ArxFitResult fit_thermal_model(const std::vector<TraceSegment>& segments,
+                               double ts_s, const ArxFitOptions& options) {
+  if (segments.empty()) {
+    throw std::invalid_argument("fit_thermal_model: no segments");
+  }
+  const std::size_t n_state = segments.front().temps_c.empty()
+                                  ? 0
+                                  : segments.front().temps_c.front().size();
+  const std::size_t n_input = segments.front().powers_w.empty()
+                                  ? 0
+                                  : segments.front().powers_w.front().size();
+  if (n_state == 0 || n_input == 0) {
+    throw std::invalid_argument("fit_thermal_model: empty segment");
+  }
+
+  std::size_t n_rows = 0;
+  for (const auto& seg : segments) {
+    if (seg.temps_c.size() != seg.powers_w.size()) {
+      throw std::invalid_argument(
+          "fit_thermal_model: temps/powers length mismatch");
+    }
+    if (seg.temps_c.size() >= 2) n_rows += seg.temps_c.size() - 1;
+  }
+  const std::size_t n_cols = n_state + n_input;
+  if (n_rows < n_cols) {
+    throw std::invalid_argument("fit_thermal_model: insufficient samples");
+  }
+
+  util::Matrix x(n_rows, n_cols);
+  util::Matrix y(n_rows, n_state);
+  std::size_t row = 0;
+  for (const auto& seg : segments) {
+    for (std::size_t k = 0; k + 1 < seg.temps_c.size(); ++k) {
+      const auto& t_now = seg.temps_c[k];
+      const auto& p_now = seg.powers_w[k];
+      const auto& t_next = seg.temps_c[k + 1];
+      if (t_now.size() != n_state || p_now.size() != n_input ||
+          t_next.size() != n_state) {
+        throw std::invalid_argument("fit_thermal_model: ragged sample");
+      }
+      for (std::size_t j = 0; j < n_state; ++j) {
+        x(row, j) = t_now[j] - options.ambient_ref_c;
+        y(row, j) = t_next[j] - options.ambient_ref_c;
+      }
+      for (std::size_t j = 0; j < n_input; ++j) x(row, n_state + j) = p_now[j];
+      ++row;
+    }
+  }
+
+  // Y = X * [A'; B']  =>  theta is (n_state + n_input) x n_state.
+  const util::Matrix theta = x.least_squares(y, options.ridge);
+
+  ArxFitResult result;
+  result.model.a = util::Matrix(n_state, n_state);
+  result.model.b = util::Matrix(n_state, n_input);
+  for (std::size_t i = 0; i < n_state; ++i) {
+    for (std::size_t j = 0; j < n_state; ++j) result.model.a(i, j) = theta(j, i);
+    for (std::size_t j = 0; j < n_input; ++j) {
+      result.model.b(i, j) = theta(n_state + j, i);
+    }
+  }
+  result.model.ts_s = ts_s;
+  result.model.ambient_ref_c = options.ambient_ref_c;
+  result.sample_count = n_rows;
+
+  // One-step residual RMS over the training data.
+  double sum_sq = 0.0;
+  std::size_t count = 0;
+  const util::Matrix y_hat = x * theta;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t j = 0; j < n_state; ++j) {
+      const double e = y_hat(r, j) - y(r, j);
+      sum_sq += e * e;
+      ++count;
+    }
+  }
+  result.rms_residual_c = std::sqrt(sum_sq / double(count));
+  return result;
+}
+
+}  // namespace dtpm::sysid

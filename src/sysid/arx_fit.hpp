@@ -1,0 +1,43 @@
+// Least-squares identification of the thermal state-space model (§4.2.1).
+//
+// The paper records power/temperature time series while exciting one power
+// resource at a time with a PRBS, then uses the MATLAB System Identification
+// Toolbox to obtain (A_s, B_s). This module replaces the toolbox with an
+// explicit ridge-regularized least-squares ARX fit over the concatenated
+// excitation segments: regressors [T[k] - T_amb, P[k]], targets
+// T[k+1] - T_amb, solved jointly for all rows.
+#pragma once
+
+#include <vector>
+
+#include "sysid/thermal_model.hpp"
+
+namespace dtpm::sysid {
+
+/// One contiguous recording: temps[k] and powers[k] sampled at ts seconds.
+/// Regression pairs never straddle a segment boundary.
+struct TraceSegment {
+  std::vector<std::vector<double>> temps_c;   ///< [k][node]
+  std::vector<std::vector<double>> powers_w;  ///< [k][resource]
+};
+
+/// Fit options.
+struct ArxFitOptions {
+  double ridge = 1e-8;          ///< Tikhonov regularization for conditioning
+  double ambient_ref_c = 25.0;  ///< reference subtracted from temperatures
+};
+
+/// Result with residual diagnostics.
+struct ArxFitResult {
+  ThermalStateModel model;
+  double rms_residual_c = 0.0;     ///< one-step-ahead RMS error over the data
+  std::size_t sample_count = 0;
+};
+
+/// Fits T[k+1] = A T[k] + B P[k] from the segments.
+/// @throws std::invalid_argument on inconsistent dimensions or insufficient
+///         samples (fewer rows than unknowns).
+ArxFitResult fit_thermal_model(const std::vector<TraceSegment>& segments,
+                               double ts_s, const ArxFitOptions& options = {});
+
+}  // namespace dtpm::sysid

@@ -1,0 +1,109 @@
+#include "sysid/leakage_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+
+namespace dtpm::sysid {
+namespace {
+
+struct LinearFit {
+  double alpha_c = 0.0;
+  double c1 = 0.0;
+  double i_gate = 0.0;
+  double rms = 0.0;
+};
+
+/// For a fixed c2 the model P = alphaC*(V^2 f) + c1*(V T^2 e^{c2/T}) +
+/// i_gate*V is linear; solve by least squares and return the residual.
+LinearFit solve_linear(const std::vector<FurnaceSample>& samples, double c2,
+                       bool fit_dynamic_term) {
+  const std::size_t n_cols = fit_dynamic_term ? 3 : 2;
+  util::Matrix x(samples.size(), n_cols);
+  util::Matrix y(samples.size(), 1);
+  // Scale columns to comparable magnitude for conditioning.
+  const double scale_dyn = 1e9, scale_sub = 1e4;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    const double t_k = power::celsius_to_kelvin(s.temp_c);
+    std::size_t col = 0;
+    if (fit_dynamic_term) {
+      x(i, col++) = s.vdd_v * s.vdd_v * s.frequency_hz / scale_dyn;
+    }
+    x(i, col++) = s.vdd_v * t_k * t_k * std::exp(c2 / t_k) / scale_sub;
+    x(i, col) = s.vdd_v;
+    y(i, 0) = s.total_power_w;
+  }
+  const util::Matrix theta = x.least_squares(y, 1e-12);
+  LinearFit fit;
+  std::size_t row = 0;
+  fit.alpha_c = fit_dynamic_term ? theta(row++, 0) / scale_dyn : 0.0;
+  fit.c1 = theta(row++, 0) / scale_sub;
+  fit.i_gate = theta(row, 0);
+  double sum_sq = 0.0;
+  const util::Matrix y_hat = x * theta;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double e = y_hat(i, 0) - y(i, 0);
+    sum_sq += e * e;
+  }
+  fit.rms = std::sqrt(sum_sq / double(samples.size()));
+  return fit;
+}
+
+}  // namespace
+
+LeakageFitResult fit_leakage(const std::vector<FurnaceSample>& samples,
+                             const LeakageFitOptions& options) {
+  if (samples.size() < 4) {
+    throw std::invalid_argument("fit_leakage: need at least 4 samples");
+  }
+  double t_min = samples.front().temp_c, t_max = samples.front().temp_c;
+  double v_sum = 0.0;
+  for (const auto& s : samples) {
+    t_min = std::min(t_min, s.temp_c);
+    t_max = std::max(t_max, s.temp_c);
+    v_sum += s.vdd_v;
+  }
+  if (t_max - t_min < 5.0) {
+    throw std::invalid_argument("fit_leakage: temperature spread too small");
+  }
+
+  // Golden-section search over c2 (the residual is unimodal in practice).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = options.c2_min_k;
+  double hi = options.c2_max_k;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = solve_linear(samples, x1, options.fit_dynamic_term).rms;
+  double f2 = solve_linear(samples, x2, options.fit_dynamic_term).rms;
+  for (unsigned it = 0; it < options.golden_iterations; ++it) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = solve_linear(samples, x1, options.fit_dynamic_term).rms;
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = solve_linear(samples, x2, options.fit_dynamic_term).rms;
+    }
+  }
+  const double c2 = 0.5 * (lo + hi);
+  LinearFit best = solve_linear(samples, c2, options.fit_dynamic_term);
+
+  LeakageFitResult result;
+  result.params.c1 = std::max(best.c1, 0.0);
+  result.params.c2_k = c2;
+  result.params.i_gate_a = std::max(best.i_gate, 0.0);
+  result.params.v_ref = v_sum / double(samples.size());
+  result.params.dibl_exponent = 0.0;  // the paper's fitted form
+  result.alpha_c_light = std::max(best.alpha_c, 0.0);
+  result.rms_residual_w = best.rms;
+  return result;
+}
+
+}  // namespace dtpm::sysid

@@ -1,0 +1,116 @@
+#include "sysid/model_store.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dtpm::sysid {
+namespace {
+
+constexpr const char* kMagic = "dtpm-model-v1";
+
+util::Matrix read_matrix(std::istream& in, std::size_t rows, std::size_t cols) {
+  util::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (!(in >> m(i, j))) {
+        throw std::runtime_error("load_model: truncated matrix");
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_model(const IdentifiedPlatformModel& model, std::ostream& out) {
+  out << kMagic << "\n";
+  out << std::setprecision(17);
+  out << "ts " << model.thermal.ts_s << "\n";
+  out << "ambient_ref " << model.thermal.ambient_ref_c << "\n";
+  out << "A " << model.thermal.a.rows() << " " << model.thermal.a.cols() << "\n";
+  for (std::size_t i = 0; i < model.thermal.a.rows(); ++i) {
+    for (std::size_t j = 0; j < model.thermal.a.cols(); ++j) {
+      out << model.thermal.a(i, j) << (j + 1 < model.thermal.a.cols() ? " " : "\n");
+    }
+  }
+  out << "B " << model.thermal.b.rows() << " " << model.thermal.b.cols() << "\n";
+  for (std::size_t i = 0; i < model.thermal.b.rows(); ++i) {
+    for (std::size_t j = 0; j < model.thermal.b.cols(); ++j) {
+      out << model.thermal.b(i, j) << (j + 1 < model.thermal.b.cols() ? " " : "\n");
+    }
+  }
+  for (power::Resource r : power::all_resources()) {
+    const auto& lk = model.leakage[power::resource_index(r)];
+    out << "leakage " << power::to_string(r) << " " << lk.c1 << " " << lk.c2_k
+        << " " << lk.i_gate_a << " " << lk.v_ref << " " << lk.dibl_exponent
+        << "\n";
+  }
+  for (power::Resource r : power::all_resources()) {
+    out << "alpha_c " << power::to_string(r) << " "
+        << model.initial_alpha_c[power::resource_index(r)] << "\n";
+  }
+}
+
+void save_model_file(const IdentifiedPlatformModel& model,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(model, out);
+}
+
+IdentifiedPlatformModel load_model(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    throw std::runtime_error("load_model: bad magic");
+  }
+  IdentifiedPlatformModel model;
+  std::string token;
+  auto expect = [&](const char* want) {
+    if (!(in >> token) || token != want) {
+      throw std::runtime_error(std::string("load_model: expected ") + want);
+    }
+  };
+  expect("ts");
+  in >> model.thermal.ts_s;
+  expect("ambient_ref");
+  in >> model.thermal.ambient_ref_c;
+  expect("A");
+  std::size_t rows = 0, cols = 0;
+  in >> rows >> cols;
+  model.thermal.a = read_matrix(in, rows, cols);
+  expect("B");
+  in >> rows >> cols;
+  model.thermal.b = read_matrix(in, rows, cols);
+
+  auto resource_from_name = [](const std::string& name) {
+    for (power::Resource r : power::all_resources()) {
+      if (name == power::to_string(r)) return r;
+    }
+    throw std::runtime_error("load_model: unknown resource " + name);
+  };
+  for (std::size_t i = 0; i < power::kResourceCount; ++i) {
+    expect("leakage");
+    std::string name;
+    in >> name;
+    auto& lk = model.leakage[power::resource_index(resource_from_name(name))];
+    in >> lk.c1 >> lk.c2_k >> lk.i_gate_a >> lk.v_ref >> lk.dibl_exponent;
+  }
+  for (std::size_t i = 0; i < power::kResourceCount; ++i) {
+    expect("alpha_c");
+    std::string name;
+    in >> name;
+    in >> model.initial_alpha_c[power::resource_index(resource_from_name(name))];
+  }
+  if (!in) throw std::runtime_error("load_model: truncated file");
+  return model;
+}
+
+IdentifiedPlatformModel load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace dtpm::sysid

@@ -1,0 +1,35 @@
+// Persistent bundle of everything the calibration workflow identifies: the
+// thermal state-space model plus per-resource leakage parameters. The paper
+// states the intent to "make our power and thermal models public"; the text
+// format here is that artifact.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "power/leakage.hpp"
+#include "power/resource.hpp"
+#include "sysid/thermal_model.hpp"
+
+namespace dtpm::sysid {
+
+/// Full identified platform model.
+struct IdentifiedPlatformModel {
+  ThermalStateModel thermal;
+  std::array<power::LeakageParams, power::kResourceCount> leakage{};
+  /// Initial alphaC seeds for the run-time estimators (F).
+  std::array<double, power::kResourceCount> initial_alpha_c{};
+};
+
+/// Serializes to a small line-oriented text format.
+void save_model(const IdentifiedPlatformModel& model, std::ostream& out);
+void save_model_file(const IdentifiedPlatformModel& model,
+                     const std::string& path);
+
+/// Parses the format written by save_model.
+/// @throws std::runtime_error on malformed input.
+IdentifiedPlatformModel load_model(std::istream& in);
+IdentifiedPlatformModel load_model_file(const std::string& path);
+
+}  // namespace dtpm::sysid

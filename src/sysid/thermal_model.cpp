@@ -1,0 +1,68 @@
+#include "sysid/thermal_model.hpp"
+
+#include <stdexcept>
+
+namespace dtpm::sysid {
+namespace {
+
+util::Matrix to_delta_column(const std::vector<double>& temps_c,
+                             double ambient_ref_c) {
+  util::Matrix out(temps_c.size(), 1);
+  for (std::size_t i = 0; i < temps_c.size(); ++i) {
+    out(i, 0) = temps_c[i] - ambient_ref_c;
+  }
+  return out;
+}
+
+std::vector<double> from_delta_column(const util::Matrix& m,
+                                      double ambient_ref_c) {
+  std::vector<double> out(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) out[i] = m(i, 0) + ambient_ref_c;
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> ThermalStateModel::predict_one(
+    const std::vector<double>& temps_c,
+    const std::vector<double>& powers_w) const {
+  return predict_n(temps_c, powers_w, 1);
+}
+
+std::vector<double> ThermalStateModel::predict_n(
+    const std::vector<double>& temps_c, const std::vector<double>& powers_w,
+    unsigned n) const {
+  if (temps_c.size() != state_dim() || powers_w.size() != input_dim()) {
+    throw std::invalid_argument("ThermalStateModel: dimension mismatch");
+  }
+  if (n == 0) return temps_c;
+  const auto [an, bn] = condensed(n);
+  const util::Matrix t = to_delta_column(temps_c, ambient_ref_c);
+  const util::Matrix p = util::Matrix::column(powers_w);
+  return from_delta_column(an * t + bn * p, ambient_ref_c);
+}
+
+std::pair<util::Matrix, util::Matrix> ThermalStateModel::condensed(
+    unsigned n) const {
+  util::Matrix an = util::Matrix::identity(state_dim());
+  util::Matrix bn(state_dim(), input_dim());
+  // Horner-style accumulation: after i iterations, an = A^i and
+  // bn = sum_{j=0}^{i-1} A^j B.
+  for (unsigned i = 0; i < n; ++i) {
+    bn = bn + an * b;
+    an = an * a;
+  }
+  return {an, bn};
+}
+
+std::vector<double> ThermalStateModel::steady_state(
+    const std::vector<double>& powers_w) const {
+  if (powers_w.size() != input_dim()) {
+    throw std::invalid_argument("ThermalStateModel: input dimension mismatch");
+  }
+  const util::Matrix lhs = util::Matrix::identity(state_dim()) - a;
+  const util::Matrix rhs = b * util::Matrix::column(powers_w);
+  return from_delta_column(lhs.solve(rhs), ambient_ref_c);
+}
+
+}  // namespace dtpm::sysid

@@ -1,0 +1,52 @@
+// The identified discrete LTI thermal model of Eq. 4.4:
+//
+//     T[k+1] = A_s T[k] + B_s P[k]
+//
+// with T the four big-core hotspot temperatures and P the four rail powers
+// [big, little, gpu, mem]. Temperatures are handled in Celsius relative to a
+// fixed ambient reference: the physical network satisfies the affine
+// relation T[k+1] = A T[k] + B P[k] + (I - A) T_amb, so identifying on
+// (T - T_amb) makes the model strictly linear, matching the paper's form.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace dtpm::sysid {
+
+/// Identified state-space thermal model.
+struct ThermalStateModel {
+  util::Matrix a;  ///< N x N state matrix
+  util::Matrix b;  ///< N x M input matrix
+  double ts_s = 0.1;        ///< sampling interval (the 100 ms control period)
+  double ambient_ref_c = 25.0;  ///< reference subtracted before applying A/B
+
+  std::size_t state_dim() const { return a.rows(); }
+  std::size_t input_dim() const { return b.cols(); }
+
+  /// One-step prediction (Eq. 4.4).
+  std::vector<double> predict_one(const std::vector<double>& temps_c,
+                                  const std::vector<double>& powers_w) const;
+
+  /// n-step prediction with constant power over the horizon (Eq. 4.5).
+  std::vector<double> predict_n(const std::vector<double>& temps_c,
+                                const std::vector<double>& powers_w,
+                                unsigned n) const;
+
+  /// Condensed n-step matrices: (A^n, sum_{i=0}^{n-1} A^i B). The power
+  /// budget computation of §5.1 inverts these at the prediction horizon.
+  std::pair<util::Matrix, util::Matrix> condensed(unsigned n) const;
+
+  /// Spectral radius of A; a physically meaningful identification yields a
+  /// strictly stable model (radius < 1).
+  double stability_radius() const { return a.spectral_radius(); }
+
+  /// Steady-state temperatures for a constant power vector:
+  /// T_ss = (I - A)^-1 B P + ambient_ref.
+  std::vector<double> steady_state(const std::vector<double>& powers_w) const;
+};
+
+}  // namespace dtpm::sysid

@@ -1,0 +1,47 @@
+#include "thermal/fan.hpp"
+
+namespace dtpm::thermal {
+
+double Fan::conductance_w_per_k(FanSpeed speed) const {
+  switch (speed) {
+    case FanSpeed::kOff:
+      return params_.conductance_off;
+    case FanSpeed::kLow:
+      return params_.conductance_low;
+    case FanSpeed::kHalf:
+      return params_.conductance_half;
+    case FanSpeed::kFull:
+      return params_.conductance_full;
+  }
+  return params_.conductance_off;
+}
+
+double Fan::electrical_power_w(FanSpeed speed) const {
+  switch (speed) {
+    case FanSpeed::kOff:
+      return params_.power_off;
+    case FanSpeed::kLow:
+      return params_.power_low;
+    case FanSpeed::kHalf:
+      return params_.power_half;
+    case FanSpeed::kFull:
+      return params_.power_full;
+  }
+  return params_.power_off;
+}
+
+const char* to_string(FanSpeed speed) {
+  switch (speed) {
+    case FanSpeed::kOff:
+      return "off";
+    case FanSpeed::kLow:
+      return "low";
+    case FanSpeed::kHalf:
+      return "50%";
+    case FanSpeed::kFull:
+      return "100%";
+  }
+  return "off";
+}
+
+}  // namespace dtpm::thermal

@@ -1,0 +1,71 @@
+#include "thermal/floorplan.hpp"
+
+namespace dtpm::thermal {
+
+std::array<std::size_t, 4> Floorplan::big_core_nodes() {
+  return {node_index(FloorplanNode::kBig0), node_index(FloorplanNode::kBig1),
+          node_index(FloorplanNode::kBig2), node_index(FloorplanNode::kBig3)};
+}
+
+Floorplan make_default_floorplan(const FloorplanParams& p) {
+  std::vector<ThermalNode> nodes(kFloorplanNodeCount);
+  auto set = [&](FloorplanNode n, const char* name, double cap,
+                 bool boundary = false) {
+    auto& node = nodes[node_index(n)];
+    node.name = name;
+    node.capacitance_j_per_k = cap;
+    node.initial_temp_c = boundary ? p.ambient_temp_c : p.initial_temp_c;
+    node.is_boundary = boundary;
+  };
+  set(FloorplanNode::kBig0, "big0", p.big_core_capacitance);
+  set(FloorplanNode::kBig1, "big1", p.big_core_capacitance);
+  set(FloorplanNode::kBig2, "big2", p.big_core_capacitance);
+  set(FloorplanNode::kBig3, "big3", p.big_core_capacitance);
+  set(FloorplanNode::kLittleCluster, "little", p.little_cluster_capacitance);
+  set(FloorplanNode::kGpu, "gpu", p.gpu_capacitance);
+  set(FloorplanNode::kMem, "mem", p.mem_capacitance);
+  set(FloorplanNode::kCase, "case", p.case_capacitance);
+  set(FloorplanNode::kBoard, "board", p.board_capacitance);
+  nodes[node_index(FloorplanNode::kBoard)].initial_temp_c =
+      p.board_initial_temp_c;
+  set(FloorplanNode::kAmbient, "ambient", 1.0, /*boundary=*/true);
+
+  std::vector<ThermalEdge> edges;
+  auto link = [&](FloorplanNode a, FloorplanNode b, double g) {
+    edges.push_back({node_index(a), node_index(b), g});
+  };
+  using FN = FloorplanNode;
+  // Big-core 2x2 grid.
+  link(FN::kBig0, FN::kBig1, p.big_to_big_adjacent);
+  link(FN::kBig2, FN::kBig3, p.big_to_big_adjacent);
+  link(FN::kBig0, FN::kBig2, p.big_to_big_adjacent);
+  link(FN::kBig1, FN::kBig3, p.big_to_big_adjacent);
+  link(FN::kBig0, FN::kBig3, p.big_to_big_diagonal);
+  link(FN::kBig1, FN::kBig2, p.big_to_big_diagonal);
+  // Die-to-case spreading.
+  link(FN::kBig0, FN::kCase, p.big_to_case);
+  link(FN::kBig1, FN::kCase, p.big_to_case);
+  link(FN::kBig2, FN::kCase, p.big_to_case);
+  link(FN::kBig3, FN::kCase, p.big_to_case);
+  link(FN::kLittleCluster, FN::kCase, p.little_to_case);
+  link(FN::kGpu, FN::kCase, p.gpu_to_case);
+  link(FN::kMem, FN::kCase, p.mem_to_case);
+  // Lateral die coupling.
+  link(FN::kBig0, FN::kLittleCluster, p.big_to_little);
+  link(FN::kBig1, FN::kLittleCluster, p.big_to_little);
+  link(FN::kBig2, FN::kLittleCluster, p.big_to_little);
+  link(FN::kBig3, FN::kLittleCluster, p.big_to_little);
+  link(FN::kGpu, FN::kBig2, p.gpu_to_big2);
+  link(FN::kGpu, FN::kBig3, p.gpu_to_big3);
+  link(FN::kGpu, FN::kMem, p.gpu_to_mem);
+  link(FN::kLittleCluster, FN::kGpu, p.little_to_gpu);
+  // Case spreads into the board; the fan modulates board-to-ambient
+  // convection.
+  link(FN::kCase, FN::kBoard, p.case_to_board);
+  const std::size_t fan_edge = edges.size();
+  link(FN::kBoard, FN::kAmbient, p.board_to_ambient_fan_off);
+
+  return Floorplan{RcNetwork(std::move(nodes), std::move(edges)), fan_edge, p};
+}
+
+}  // namespace dtpm::thermal

@@ -1,0 +1,90 @@
+// Continuous-time RC thermal network: the ground-truth "physics" that stands
+// in for the Exynos 5410 die + package + board of the Odroid-XU+E.
+//
+// The network solves  C dT/dt = -G T(t) + P(t)  (Eq. 4.3 of the paper) with a
+// classical RK4 integrator. Nodes may be pinned to a fixed temperature
+// (ambient, or the furnace chamber during leakage characterization). The DTPM
+// stack never sees this model directly: it observes the plant only through
+// quantized, noisy sensors, and identifies its own reduced 4x4 model from
+// those observations, exactly as the paper does against real hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtpm::thermal {
+
+/// One lumped thermal node.
+struct ThermalNode {
+  std::string name;
+  double capacitance_j_per_k = 1.0;
+  double initial_temp_c = 25.0;
+  /// Fixed-temperature boundary node (ambient / furnace chamber).
+  bool is_boundary = false;
+};
+
+/// Symmetric conductance between two nodes, in W/K.
+struct ThermalEdge {
+  std::size_t node_a = 0;
+  std::size_t node_b = 0;
+  double conductance_w_per_k = 0.0;
+};
+
+/// Lumped RC network with runtime-adjustable edge conductances (the fan
+/// manipulates the case-to-ambient edge) and pinnable boundary temperatures
+/// (the furnace manipulates ambient).
+class RcNetwork {
+ public:
+  /// @throws std::invalid_argument on malformed topology (edge out of range,
+  ///         non-positive capacitance or conductance, self-loop).
+  RcNetwork(std::vector<ThermalNode> nodes, std::vector<ThermalEdge> edges);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const ThermalNode& node(std::size_t i) const { return nodes_.at(i); }
+
+  /// Index lookup by node name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Current temperature of node i in Celsius.
+  double temperature_c(std::size_t i) const { return temps_.at(i); }
+  const std::vector<double>& temperatures_c() const { return temps_; }
+
+  /// Overrides the temperature state (used by tests and by the furnace to
+  /// equilibrate quickly).
+  void set_temperature_c(std::size_t i, double t);
+  void set_all_temperatures_c(double t);
+
+  /// Re-pins a boundary node to a new fixed temperature.
+  void set_boundary_temperature_c(std::size_t i, double t);
+
+  /// Changes an edge conductance at runtime (fan speed changes).
+  void set_edge_conductance(std::size_t edge_index, double conductance_w_per_k);
+  double edge_conductance(std::size_t edge_index) const;
+
+  /// Advances the network by dt seconds with the given per-node power
+  /// injection (W). Power injected into boundary nodes is ignored. dt is
+  /// internally subdivided so the explicit integrator stays well inside its
+  /// stability region for the stiffest node.
+  void step(double dt_s, const std::vector<double>& power_w);
+
+  /// Steady-state temperatures for a constant power vector, solved directly
+  /// from G T = P with boundary conditions. Used by tests and by the furnace
+  /// harness for fast equilibration.
+  std::vector<double> steady_state(const std::vector<double>& power_w) const;
+
+ private:
+  /// dT/dt for the free (non-boundary) nodes.
+  void derivative(const std::vector<double>& temps,
+                  const std::vector<double>& power_w,
+                  std::vector<double>& dtemps) const;
+
+  std::vector<ThermalNode> nodes_;
+  std::vector<ThermalEdge> edges_;
+  std::vector<double> temps_;
+  // Scratch buffers for RK4 (avoid per-step allocation).
+  mutable std::vector<double> k1_, k2_, k3_, k4_, scratch_;
+};
+
+}  // namespace dtpm::thermal

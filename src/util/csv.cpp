@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace dtpm::util {
+namespace {
+
+void write_header(std::ofstream& out, const std::vector<std::string>& header) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out << header[i] << (i + 1 < header.size() ? "," : "\n");
+  }
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  write_header(out_, header);
+}
+
+void CsvWriter::append(const std::vector<double>& row) {
+  if (row.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out_ << row[i] << (i + 1 < row.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+TraceTable::TraceTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TraceTable: empty header");
+}
+
+void TraceTable::append(const std::vector<double>& row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TraceTable: row width mismatch");
+  }
+  rows_.push_back(row);
+}
+
+std::vector<double> TraceTable::column(const std::string& name) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (header_[c] == name) {
+      std::vector<double> out;
+      out.reserve(rows_.size());
+      for (const auto& row : rows_) out.push_back(row[c]);
+      return out;
+    }
+  }
+  throw std::invalid_argument("TraceTable: no column named " + name);
+}
+
+void TraceTable::write_csv(const std::string& path) const {
+  CsvWriter writer(path, header_);
+  for (const auto& row : rows_) writer.append(row);
+}
+
+}  // namespace dtpm::util

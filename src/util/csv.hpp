@@ -1,0 +1,52 @@
+// Minimal CSV trace writer. Experiment runs log per-interval sensor readings
+// the same way the paper's UNIX logging script produced .CSV tables (§6.1.2).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dtpm::util {
+
+/// Column-oriented CSV writer: declare a header once, then append rows.
+/// Throws std::runtime_error if the file cannot be opened or a row does not
+/// match the header width.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one data row; must match the header length.
+  void append(const std::vector<double>& row);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// In-memory trace table with the same shape; used by benches that format
+/// figures to stdout instead of files, and convertible to CSV on demand.
+class TraceTable {
+ public:
+  explicit TraceTable(std::vector<std::string> header);
+
+  void append(const std::vector<double>& row);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// Extracts a column by name; throws if absent.
+  std::vector<double> column(const std::string& name) const;
+
+  /// Writes the whole table to a CSV file.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace dtpm::util

@@ -1,0 +1,108 @@
+// Small dense matrix of double, sized for the 4x4 state-space thermal models
+// used throughout the library. Row-major storage; all operations are
+// bounds-checked in debug builds via assertions.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace dtpm::util {
+
+/// Dense, heap-backed, row-major matrix of double.
+///
+/// This is intentionally a minimal linear-algebra kernel: the thermal models in
+/// the paper are 4x4 (four big-core hotspots, four power resources), and the
+/// system-identification regressions are at most a few thousand rows by a
+/// dozen columns, so a straightforward implementation with partial-pivoting
+/// Gaussian elimination and Householder least squares is both adequate and
+/// easy to audit.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix initialized to zero.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Column vector from values.
+  static Matrix column(const std::vector<double>& values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+
+  Matrix transpose() const;
+
+  /// Matrix raised to a non-negative integer power (square matrices only).
+  Matrix pow(unsigned exponent) const;
+
+  /// Extracts row r as a 1 x cols matrix.
+  Matrix row(std::size_t r) const;
+
+  /// Extracts column c as a rows x 1 matrix.
+  Matrix col(std::size_t c) const;
+
+  /// Maximum absolute element value (L-infinity on the flattened data).
+  double max_abs() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Solves A x = b by Gaussian elimination with partial pivoting.
+  /// Throws std::runtime_error when the matrix is singular to working
+  /// precision. b may have multiple columns.
+  Matrix solve(const Matrix& b) const;
+
+  /// Inverse via solve() against the identity.
+  Matrix inverse() const;
+
+  /// Least-squares solution to min ||A x - b||_2 via Householder QR.
+  /// Requires rows() >= cols(). Optional Tikhonov (ridge) regularization
+  /// appends sqrt(ridge) * I rows to the system.
+  Matrix least_squares(const Matrix& b, double ridge = 0.0) const;
+
+  /// Largest absolute eigenvalue, estimated by power iteration. Used to check
+  /// the stability of identified thermal models (spectral radius < 1).
+  double spectral_radius(unsigned iterations = 200) const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Element-wise comparison with absolute tolerance.
+  bool approx_equal(const Matrix& other, double tolerance) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace dtpm::util

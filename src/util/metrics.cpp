@@ -1,0 +1,75 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpm::util {
+namespace {
+
+void check_shapes(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("metrics: traces must be non-empty and equal length");
+  }
+}
+
+}  // namespace
+
+double mean_absolute_error(const std::vector<double>& predicted,
+                           const std::vector<double>& measured) {
+  check_shapes(predicted, measured);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    sum += std::fabs(predicted[i] - measured[i]);
+  }
+  return sum / double(predicted.size());
+}
+
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& measured) {
+  check_shapes(predicted, measured);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - measured[i];
+    sum += e * e;
+  }
+  return std::sqrt(sum / double(predicted.size()));
+}
+
+double mape(const std::vector<double>& predicted,
+            const std::vector<double>& measured) {
+  check_shapes(predicted, measured);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (std::fabs(measured[i]) < 1e-9) continue;
+    sum += std::fabs(predicted[i] - measured[i]) / std::fabs(measured[i]);
+    ++n;
+  }
+  if (n == 0) throw std::invalid_argument("mape: all measurements are zero");
+  return 100.0 * sum / double(n);
+}
+
+double max_ape(const std::vector<double>& predicted,
+               const std::vector<double>& measured) {
+  check_shapes(predicted, measured);
+  double best = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (std::fabs(measured[i]) < 1e-9) continue;
+    const double ape =
+        100.0 * std::fabs(predicted[i] - measured[i]) / std::fabs(measured[i]);
+    best = std::max(best, ape);
+  }
+  return best;
+}
+
+double max_absolute_error(const std::vector<double>& predicted,
+                          const std::vector<double>& measured) {
+  check_shapes(predicted, measured);
+  double best = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    best = std::max(best, std::fabs(predicted[i] - measured[i]));
+  }
+  return best;
+}
+
+}  // namespace dtpm::util

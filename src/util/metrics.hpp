@@ -1,0 +1,31 @@
+// Error metrics for comparing predicted and measured traces (temperature and
+// power model validation, Figs. 4.7, 4.9, 4.10, 6.2).
+#pragma once
+
+#include <vector>
+
+namespace dtpm::util {
+
+/// Mean absolute error between two equally sized traces.
+double mean_absolute_error(const std::vector<double>& predicted,
+                           const std::vector<double>& measured);
+
+/// Root mean square error.
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& measured);
+
+/// Mean absolute percentage error: mean(|pred - meas| / |meas|) * 100.
+/// The paper reports temperature prediction error as a percentage of the
+/// measured Celsius reading; this reproduces that convention.
+double mape(const std::vector<double>& predicted,
+            const std::vector<double>& measured);
+
+/// Maximum absolute percentage error over the trace.
+double max_ape(const std::vector<double>& predicted,
+               const std::vector<double>& measured);
+
+/// Maximum absolute error.
+double max_absolute_error(const std::vector<double>& predicted,
+                          const std::vector<double>& measured);
+
+}  // namespace dtpm::util

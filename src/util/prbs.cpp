@@ -1,0 +1,65 @@
+#include "util/prbs.hpp"
+
+#include <stdexcept>
+
+namespace dtpm::util {
+namespace {
+
+// Feedback tap pairs producing maximal-length sequences (x^n + x^k + 1).
+struct Taps {
+  unsigned a;
+  unsigned b;
+};
+
+Taps taps_for(unsigned bits) {
+  switch (bits) {
+    case 7:
+      return {7, 6};
+    case 9:
+      return {9, 5};
+    case 11:
+      return {11, 9};
+    case 15:
+      return {15, 14};
+    default:
+      throw std::invalid_argument("Prbs: unsupported register width");
+  }
+}
+
+}  // namespace
+
+Prbs::Prbs(unsigned register_bits, unsigned hold_intervals, std::uint32_t seed)
+    : register_bits_(register_bits),
+      hold_intervals_(hold_intervals == 0 ? 1 : hold_intervals),
+      state_(seed) {
+  taps_for(register_bits);  // validate width eagerly
+  const std::uint32_t mask = (1u << register_bits_) - 1u;
+  state_ &= mask;
+  if (state_ == 0) state_ = 1;  // all-zero state is a fixed point
+}
+
+bool Prbs::step_lfsr() {
+  const Taps taps = taps_for(register_bits_);
+  const unsigned bit_a = (state_ >> (taps.a - 1)) & 1u;
+  const unsigned bit_b = (state_ >> (taps.b - 1)) & 1u;
+  const unsigned feedback = bit_a ^ bit_b;
+  state_ = ((state_ << 1u) | feedback) & ((1u << register_bits_) - 1u);
+  return feedback != 0;
+}
+
+bool Prbs::next() {
+  if (hold_remaining_ == 0) {
+    current_ = step_lfsr();
+    hold_remaining_ = hold_intervals_;
+  }
+  --hold_remaining_;
+  return current_;
+}
+
+std::vector<bool> Prbs::sequence(std::size_t n) {
+  std::vector<bool> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  return out;
+}
+
+}  // namespace dtpm::util

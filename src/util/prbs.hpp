@@ -1,0 +1,49 @@
+// Pseudo-random binary sequence generation for system identification.
+//
+// The paper excites each power resource with a PRBS that toggles its
+// frequency between the minimum and maximum operating points (Fig. 4.8); the
+// resulting power/temperature traces feed least-squares identification of the
+// thermal state-space model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dtpm::util {
+
+/// Maximal-length LFSR-based PRBS generator.
+///
+/// The default 15-bit register yields a sequence of period 2^15 - 1, long
+/// enough that identification runs (minutes of simulated time at a 100 ms
+/// control interval) never repeat. The "hold" parameter stretches each bit
+/// over several control intervals so the excitation spectrum concentrates
+/// below the plant's thermal bandwidth while remaining much wider than any
+/// real application's.
+class Prbs {
+ public:
+  /// @param register_bits LFSR width; supported values: 7, 9, 11, 15.
+  /// @param hold_intervals number of consecutive samples each bit is held.
+  /// @param seed non-zero initial register state.
+  explicit Prbs(unsigned register_bits = 15, unsigned hold_intervals = 5,
+                std::uint32_t seed = 0x2AAu);
+
+  /// Next binary sample (respects the hold length).
+  bool next();
+
+  /// Generates n samples at once.
+  std::vector<bool> sequence(std::size_t n);
+
+  unsigned register_bits() const { return register_bits_; }
+  unsigned hold_intervals() const { return hold_intervals_; }
+
+ private:
+  bool step_lfsr();
+
+  unsigned register_bits_;
+  unsigned hold_intervals_;
+  std::uint32_t state_;
+  unsigned hold_remaining_ = 0;
+  bool current_ = false;
+};
+
+}  // namespace dtpm::util

@@ -1,0 +1,52 @@
+// Streaming and batch statistics used to summarize experiment traces
+// (average temperature, temperature variance, max-min swing, power, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dtpm::util {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance plus
+/// min/max, suitable for long simulation traces.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (paper reports variance of the temperature trace).
+  double variance() const { return count_ > 0 ? m2_ / double(count_) : 0.0; }
+  /// Sample variance (Bessel-corrected).
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / double(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Max minus min, the thermal-stability metric of Fig. 6.5.
+  double range() const { return count_ > 0 ? max_ - min_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a full vector (kept separate from RunningStats so call
+/// sites that already hold a trace do not need to re-accumulate).
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Percentile via linear interpolation between closest ranks; p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace dtpm::util

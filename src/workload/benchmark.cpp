@@ -1,0 +1,72 @@
+#include "workload/benchmark.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpm::workload {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kSecurity:
+      return "Security";
+    case Category::kNetwork:
+      return "Network";
+    case Category::kComputational:
+      return "Computational";
+    case Category::kTelecomm:
+      return "Telecomm";
+    case Category::kConsumer:
+      return "Consumer";
+    case Category::kGames:
+      return "Games";
+    case Category::kVideo:
+      return "Video";
+  }
+  return "?";
+}
+
+const char* to_string(PowerClass c) {
+  switch (c) {
+    case PowerClass::kLow:
+      return "Low";
+    case PowerClass::kMedium:
+      return "Medium";
+    case PowerClass::kHigh:
+      return "High";
+  }
+  return "?";
+}
+
+void Benchmark::validate() const {
+  if (name.empty()) throw std::invalid_argument("Benchmark: empty name");
+  if (phases.empty()) throw std::invalid_argument("Benchmark: no phases");
+  if (total_work_units <= 0.0 || cpu_cycles_per_unit <= 0.0) {
+    throw std::invalid_argument("Benchmark: non-positive work parameters");
+  }
+  double sum = 0.0;
+  for (const auto& p : phases) {
+    if (p.work_fraction <= 0.0) {
+      throw std::invalid_argument("Benchmark: non-positive phase fraction");
+    }
+    if (p.cpu_activity < 0.0 || p.cpu_activity > 1.0 || p.mem_intensity < 0.0 ||
+        p.mem_intensity > 1.0 || p.gpu_load < 0.0 || p.gpu_load > 1.0 ||
+        p.duty <= 0.0 || p.duty > 1.0 || p.threads < 1) {
+      throw std::invalid_argument("Benchmark: phase parameter out of range");
+    }
+    sum += p.work_fraction;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("Benchmark: phase fractions must sum to 1");
+  }
+}
+
+const Phase& Benchmark::phase_at(double work_fraction_done) const {
+  double cumulative = 0.0;
+  for (const auto& p : phases) {
+    cumulative += p.work_fraction;
+    if (work_fraction_done < cumulative) return p;
+  }
+  return phases.back();
+}
+
+}  // namespace dtpm::workload

@@ -1,0 +1,82 @@
+// Benchmark descriptors reproducing Table 6.4. Since the plant is a
+// simulator, a benchmark is characterized by what it demands from the
+// platform: per-phase CPU switching activity, memory intensity, GPU load,
+// and thread count, plus a total amount of abstract "work units" whose
+// completion time is the performance metric (the paper measures performance
+// as execution time, §6.1.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtpm::workload {
+
+/// Table 6.4 "Types" column.
+enum class Category {
+  kSecurity,
+  kNetwork,
+  kComputational,
+  kTelecomm,
+  kConsumer,
+  kGames,
+  kVideo,
+};
+
+/// Table 6.4 "Category" column (comparative CPU power consumption).
+enum class PowerClass {
+  kLow,
+  kMedium,
+  kHigh,
+};
+
+const char* to_string(Category c);
+const char* to_string(PowerClass c);
+
+/// One execution phase. Phases advance by completed work, so throttling
+/// stretches them in wall-clock time exactly as on real hardware.
+struct Phase {
+  /// Fraction of the benchmark's total work done in this phase; fractions
+  /// must sum to 1 over all phases.
+  double work_fraction = 1.0;
+  /// Switching-activity factor of the CPU threads in [0, 1]; scales the
+  /// per-core alphaC seen by the dynamic power model.
+  double cpu_activity = 0.5;
+  /// Memory intensity in [0, 1]; adds frequency-independent stall time per
+  /// work unit (making performance sublinear in f) and drives memory power.
+  double mem_intensity = 0.2;
+  /// GPU utilization demanded in [0, 1] (games/video).
+  double gpu_load = 0.0;
+  /// Number of worker threads.
+  int threads = 1;
+  /// Fraction of time each thread is runnable (video playback blocks a lot).
+  double duty = 1.0;
+};
+
+/// A complete benchmark description.
+struct Benchmark {
+  std::string name;
+  Category category = Category::kComputational;
+  PowerClass power_class = PowerClass::kMedium;
+  std::vector<Phase> phases;
+  /// Total abstract work units; calibrated so the default configuration
+  /// finishes in roughly the duration shown in the paper's figures.
+  double total_work_units = 100.0;
+  /// Big-core cycles per work unit; little cores take proportionally more
+  /// (see PerfParams in soc/).
+  double cpu_cycles_per_unit = 1.6e9;
+  /// Frequency-independent memory time per work unit at mem_intensity = 1.
+  double mem_seconds_per_unit = 0.0;
+  /// GPU cycles per work unit; > 0 makes the benchmark GPU-gated, so GPU
+  /// throttling also affects its execution time (games).
+  double gpu_cycles_per_unit = 0.0;
+  bool multithreaded = false;
+
+  /// Validates invariants (work fractions sum to 1, ranges). Throws
+  /// std::invalid_argument when malformed.
+  void validate() const;
+
+  /// Phase active at a given completed-work fraction in [0, 1].
+  const Phase& phase_at(double work_fraction_done) const;
+};
+
+}  // namespace dtpm::workload

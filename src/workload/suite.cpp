@@ -1,0 +1,143 @@
+#include "workload/suite.hpp"
+
+#include <stdexcept>
+
+namespace dtpm::workload {
+namespace {
+
+Benchmark make(std::string name, Category cat, PowerClass pc,
+               std::vector<Phase> phases, double work, double cpu_cycles,
+               double mem_seconds, double gpu_cycles = 0.0,
+               bool multithreaded = false) {
+  Benchmark b;
+  b.name = std::move(name);
+  b.category = cat;
+  b.power_class = pc;
+  b.phases = std::move(phases);
+  b.total_work_units = work;
+  b.cpu_cycles_per_unit = cpu_cycles;
+  b.mem_seconds_per_unit = mem_seconds;
+  b.gpu_cycles_per_unit = gpu_cycles;
+  b.multithreaded = multithreaded;
+  b.validate();
+  return b;
+}
+
+std::vector<Benchmark> build_standard_suite() {
+  // Per-phase fields: {work_fraction, cpu_activity, mem_intensity, gpu_load,
+  // threads, duty}. cpu_cycles_per_unit + mem_seconds_per_unit are chosen so
+  // one work unit takes about one second at 1.6 GHz, making total_work_units
+  // approximately the default-configuration duration in seconds (matched to
+  // the paper's trace figures). Memory stalls make performance sublinear in
+  // frequency, which is what keeps the DTPM algorithm's throttling cheap.
+  std::vector<Benchmark> s;
+  // Security.
+  s.push_back(make("blowfish", Category::kSecurity, PowerClass::kLow,
+                   {{0.5, 0.48, 0.50, 0.0, 1, 1.0},
+                    {0.5, 0.52, 0.52, 0.0, 1, 1.0}},
+                   270.0, 0.78e9, 1.0));
+  s.push_back(make("sha", Category::kSecurity, PowerClass::kMedium,
+                   {{0.6, 0.70, 0.45, 0.0, 1, 1.0},
+                    {0.4, 0.74, 0.42, 0.0, 1, 1.0}},
+                   90.0, 0.90e9, 1.0));
+  // Network.
+  s.push_back(make("dijkstra", Category::kNetwork, PowerClass::kLow,
+                   {{0.3, 0.54, 0.55, 0.0, 1, 1.0},
+                    {0.4, 0.56, 0.58, 0.0, 1, 1.0},
+                    {0.3, 0.52, 0.52, 0.0, 1, 1.0}},
+                   64.0, 0.70e9, 1.0));
+  s.push_back(make("patricia", Category::kNetwork, PowerClass::kMedium,
+                   {{0.4, 0.66, 0.50, 0.0, 1, 1.0},
+                    {0.3, 0.70, 0.48, 0.0, 1, 1.0},
+                    {0.3, 0.68, 0.52, 0.0, 1, 1.0}},
+                   300.0, 0.80e9, 1.0));
+  // Computational.
+  s.push_back(make("basicmath", Category::kComputational, PowerClass::kHigh,
+                   {{0.35, 0.86, 0.40, 0.0, 1, 1.0},
+                    {0.35, 0.92, 0.38, 0.0, 1, 1.0},
+                    {0.30, 0.88, 0.42, 0.0, 1, 1.0}},
+                   140.0, 0.96e9, 1.0));
+  s.push_back(make("matmul", Category::kComputational, PowerClass::kHigh,
+                   {{0.5, 0.70, 0.45, 0.0, 4, 1.0},
+                    {0.5, 0.72, 0.48, 0.0, 4, 1.0}},
+                   230.0, 0.88e9, 0.55, 0.0, /*multithreaded=*/true));
+  s.push_back(make("bitcount", Category::kComputational, PowerClass::kMedium,
+                   {{1.0, 0.77, 0.30, 0.0, 1, 1.0}}, 75.0, 1.12e9, 1.0));
+  s.push_back(make("qsort", Category::kComputational, PowerClass::kMedium,
+                   {{0.5, 0.73, 0.45, 0.0, 1, 1.0},
+                    {0.5, 0.69, 0.48, 0.0, 1, 1.0}},
+                   85.0, 0.88e9, 1.0));
+  // Telecomm.
+  s.push_back(make("crc32", Category::kTelecomm, PowerClass::kLow,
+                   {{1.0, 0.53, 0.50, 0.0, 1, 1.0}}, 70.0, 0.80e9, 1.0));
+  s.push_back(make("gsm", Category::kTelecomm, PowerClass::kMedium,
+                   {{0.5, 0.75, 0.35, 0.0, 1, 1.0},
+                    {0.5, 0.71, 0.38, 0.0, 1, 1.0}},
+                   95.0, 1.02e9, 1.0));
+  s.push_back(make("fft", Category::kTelecomm, PowerClass::kHigh,
+                   {{0.5, 0.84, 0.35, 0.0, 1, 1.0},
+                    {0.5, 0.88, 0.38, 0.0, 1, 1.0}},
+                   110.0, 1.02e9, 1.0));
+  // Consumer.
+  s.push_back(make("jpeg", Category::kConsumer, PowerClass::kMedium,
+                   {{0.5, 0.73, 0.40, 0.0, 1, 1.0},
+                    {0.5, 0.77, 0.38, 0.0, 1, 1.0}},
+                   80.0, 0.96e9, 1.0));
+  // Games (CPU threads + GPU-gated progress; run with heavy background).
+  s.push_back(make("angrybirds", Category::kGames, PowerClass::kHigh,
+                   {{0.4, 0.48, 0.35, 0.70, 2, 1.0},
+                    {0.3, 0.52, 0.38, 0.80, 2, 1.0},
+                    {0.3, 0.46, 0.34, 0.72, 2, 1.0}},
+                   120.0, 0.80e9, 1.0, 4.0e8));
+  s.push_back(make("templerun", Category::kGames, PowerClass::kHigh,
+                   {{0.3, 0.52, 0.35, 0.85, 2, 1.0},
+                    {0.4, 0.56, 0.33, 0.88, 2, 1.0},
+                    {0.3, 0.50, 0.37, 0.82, 2, 1.0}},
+                   125.0, 0.80e9, 1.0, 4.2e8));
+  // Video.
+  s.push_back(make("youtube", Category::kVideo, PowerClass::kLow,
+                   {{1.0, 0.32, 0.40, 0.30, 1, 0.35}}, 90.0, 0.90e9, 1.0,
+                   2.0e8));
+  return s;
+}
+
+std::vector<Benchmark> build_multithreaded_suite() {
+  std::vector<Benchmark> s;
+  s.push_back(make("fft_mt", Category::kTelecomm, PowerClass::kHigh,
+                   {{0.5, 0.68, 0.40, 0.0, 4, 1.0},
+                    {0.5, 0.72, 0.42, 0.0, 4, 1.0}},
+                   320.0, 0.96e9, 0.6, 0.0, /*multithreaded=*/true));
+  s.push_back(make("lu_mt", Category::kComputational, PowerClass::kHigh,
+                   {{0.5, 0.70, 0.45, 0.0, 4, 1.0},
+                    {0.5, 0.74, 0.48, 0.0, 4, 1.0}},
+                   300.0, 0.88e9, 0.55, 0.0, /*multithreaded=*/true));
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& standard_suite() {
+  static const std::vector<Benchmark> suite = build_standard_suite();
+  return suite;
+}
+
+const std::vector<Benchmark>& multithreaded_suite() {
+  static const std::vector<Benchmark> suite = build_multithreaded_suite();
+  return suite;
+}
+
+const Benchmark& find_benchmark(const std::string& name) {
+  for (const auto& b : standard_suite()) {
+    if (b.name == name) return b;
+  }
+  for (const auto& b : multithreaded_suite()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("find_benchmark: unknown benchmark " + name);
+}
+
+bool wants_heavy_background(const Benchmark& b) {
+  return b.category == Category::kGames || b.category == Category::kVideo;
+}
+
+}  // namespace dtpm::workload

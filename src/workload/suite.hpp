@@ -1,0 +1,30 @@
+// The benchmark catalog of Table 6.4: eleven MiBench programs, two Android
+// games, YouTube video playback, and the self-written multithreaded matrix
+// multiplication, plus the multithreaded FFT/LU pair evaluated in Fig. 6.10.
+//
+// Activity factors, memory intensities and thread counts are synthetic
+// equivalents chosen so each benchmark lands in its paper power class
+// (low / medium / high) and finishes, under the default configuration, in
+// roughly the duration visible in the paper's trace figures.
+#pragma once
+
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace dtpm::workload {
+
+/// All 15 benchmarks of Table 6.4, in the paper's order.
+const std::vector<Benchmark>& standard_suite();
+
+/// The multithreaded FFT/LU pair of Fig. 6.10.
+const std::vector<Benchmark>& multithreaded_suite();
+
+/// Lookup by name across both suites; throws std::invalid_argument if absent.
+const Benchmark& find_benchmark(const std::string& name);
+
+/// True for the game/video benchmarks that the paper ran with a background
+/// matrix-multiplication load to overload the CPU (§6.1.3).
+bool wants_heavy_background(const Benchmark& b);
+
+}  // namespace dtpm::workload

@@ -1,0 +1,71 @@
+#include "workload/background.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtpm::workload {
+namespace {
+
+TEST(BackgroundLoad, ProducesConfiguredThreadCount) {
+  BackgroundParams params;
+  params.thread_count = 3;
+  BackgroundLoad bg(params, util::Rng(1));
+  EXPECT_EQ(bg.threads().size(), 3u);
+}
+
+TEST(BackgroundLoad, DutiesWithinBounds) {
+  BackgroundParams params;
+  BackgroundLoad bg(params, util::Rng(2));
+  for (int i = 0; i < 500; ++i) {
+    for (const auto& td : bg.threads()) {
+      EXPECT_GT(td.duty, 0.0);
+      EXPECT_LE(td.duty, 1.0);
+      EXPECT_FALSE(td.counts_progress);
+      EXPECT_EQ(td.cpu_cycles_per_unit, 0.0);
+    }
+  }
+}
+
+TEST(BackgroundLoad, HeavyLoadAddsFullDutyThreads) {
+  BackgroundParams params;
+  params.heavy_load = true;
+  params.heavy_threads = 2;
+  BackgroundLoad bg(params, util::Rng(3));
+  const auto threads = bg.threads();
+  ASSERT_EQ(threads.size(), std::size_t(params.thread_count + 2));
+  int full_duty = 0;
+  for (const auto& td : threads) {
+    if (td.duty == 1.0) ++full_duty;
+  }
+  EXPECT_GE(full_duty, 2);
+}
+
+TEST(BackgroundLoad, DeterministicForSameSeed) {
+  BackgroundParams params;
+  BackgroundLoad a(params, util::Rng(42));
+  BackgroundLoad b(params, util::Rng(42));
+  for (int i = 0; i < 100; ++i) {
+    const auto ta = a.threads();
+    const auto tb = b.threads();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t t = 0; t < ta.size(); ++t) {
+      EXPECT_DOUBLE_EQ(ta[t].duty, tb[t].duty);
+    }
+  }
+}
+
+TEST(BackgroundLoad, SpikesOccurOccasionally) {
+  BackgroundParams params;
+  params.spike_probability = 0.05;
+  params.spike_duty = 0.35;
+  BackgroundLoad bg(params, util::Rng(9));
+  int spikes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto threads = bg.threads();
+    if (threads.front().duty == params.spike_duty) ++spikes;
+  }
+  EXPECT_GT(spikes, 50);    // spikes happen and persist a few intervals
+  EXPECT_LT(spikes, 1500);  // but are not the common case
+}
+
+}  // namespace
+}  // namespace dtpm::workload

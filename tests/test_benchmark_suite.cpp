@@ -1,0 +1,125 @@
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace dtpm::workload {
+namespace {
+
+TEST(Suite, FifteenBenchmarksAsInTable6_4) {
+  EXPECT_EQ(standard_suite().size(), 15u);
+  EXPECT_EQ(multithreaded_suite().size(), 2u);  // FFT/LU of Fig. 6.10
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& b : standard_suite()) names.insert(b.name);
+  for (const auto& b : multithreaded_suite()) names.insert(b.name);
+  EXPECT_EQ(names.size(), 17u);
+}
+
+TEST(Suite, AllDescriptorsValidate) {
+  for (const auto& b : standard_suite()) EXPECT_NO_THROW(b.validate());
+  for (const auto& b : multithreaded_suite()) EXPECT_NO_THROW(b.validate());
+}
+
+TEST(Suite, Table6_4Categories) {
+  EXPECT_EQ(find_benchmark("blowfish").category, Category::kSecurity);
+  EXPECT_EQ(find_benchmark("sha").category, Category::kSecurity);
+  EXPECT_EQ(find_benchmark("dijkstra").category, Category::kNetwork);
+  EXPECT_EQ(find_benchmark("patricia").category, Category::kNetwork);
+  EXPECT_EQ(find_benchmark("basicmath").category, Category::kComputational);
+  EXPECT_EQ(find_benchmark("matmul").category, Category::kComputational);
+  EXPECT_EQ(find_benchmark("crc32").category, Category::kTelecomm);
+  EXPECT_EQ(find_benchmark("gsm").category, Category::kTelecomm);
+  EXPECT_EQ(find_benchmark("fft").category, Category::kTelecomm);
+  EXPECT_EQ(find_benchmark("jpeg").category, Category::kConsumer);
+  EXPECT_EQ(find_benchmark("templerun").category, Category::kGames);
+  EXPECT_EQ(find_benchmark("angrybirds").category, Category::kGames);
+  EXPECT_EQ(find_benchmark("youtube").category, Category::kVideo);
+}
+
+TEST(Suite, Table6_4PowerClasses) {
+  EXPECT_EQ(find_benchmark("blowfish").power_class, PowerClass::kLow);
+  EXPECT_EQ(find_benchmark("dijkstra").power_class, PowerClass::kLow);
+  EXPECT_EQ(find_benchmark("crc32").power_class, PowerClass::kLow);
+  EXPECT_EQ(find_benchmark("youtube").power_class, PowerClass::kLow);
+  EXPECT_EQ(find_benchmark("sha").power_class, PowerClass::kMedium);
+  EXPECT_EQ(find_benchmark("patricia").power_class, PowerClass::kMedium);
+  EXPECT_EQ(find_benchmark("basicmath").power_class, PowerClass::kHigh);
+  EXPECT_EQ(find_benchmark("matmul").power_class, PowerClass::kHigh);
+  EXPECT_EQ(find_benchmark("fft").power_class, PowerClass::kHigh);
+  EXPECT_EQ(find_benchmark("templerun").power_class, PowerClass::kHigh);
+}
+
+TEST(Suite, GamesAndVideoAreGpuGated) {
+  EXPECT_GT(find_benchmark("templerun").gpu_cycles_per_unit, 0.0);
+  EXPECT_GT(find_benchmark("angrybirds").gpu_cycles_per_unit, 0.0);
+  EXPECT_GT(find_benchmark("youtube").gpu_cycles_per_unit, 0.0);
+  EXPECT_EQ(find_benchmark("basicmath").gpu_cycles_per_unit, 0.0);
+}
+
+TEST(Suite, HeavyBackgroundForGamesAndVideoOnly) {
+  // §6.1.3: matmul runs in the background of games/video sessions.
+  EXPECT_TRUE(wants_heavy_background(find_benchmark("templerun")));
+  EXPECT_TRUE(wants_heavy_background(find_benchmark("youtube")));
+  EXPECT_FALSE(wants_heavy_background(find_benchmark("basicmath")));
+  EXPECT_FALSE(wants_heavy_background(find_benchmark("dijkstra")));
+}
+
+TEST(Suite, MultithreadedFlags) {
+  EXPECT_TRUE(find_benchmark("matmul").multithreaded);
+  EXPECT_TRUE(find_benchmark("fft_mt").multithreaded);
+  EXPECT_TRUE(find_benchmark("lu_mt").multithreaded);
+  EXPECT_FALSE(find_benchmark("basicmath").multithreaded);
+  EXPECT_EQ(find_benchmark("matmul").phases.front().threads, 4);
+}
+
+TEST(Suite, UnknownBenchmarkThrows) {
+  EXPECT_THROW(find_benchmark("doom"), std::invalid_argument);
+}
+
+TEST(Benchmark, PhaseAtWalksSchedule) {
+  const Benchmark& b = find_benchmark("basicmath");
+  ASSERT_EQ(b.phases.size(), 3u);
+  EXPECT_EQ(&b.phase_at(0.0), &b.phases[0]);
+  EXPECT_EQ(&b.phase_at(0.5), &b.phases[1]);
+  EXPECT_EQ(&b.phase_at(0.9), &b.phases[2]);
+  EXPECT_EQ(&b.phase_at(1.0), &b.phases[2]);
+}
+
+TEST(Benchmark, ValidateRejectsBadDescriptors) {
+  Benchmark b = find_benchmark("sha");
+  b.phases[0].work_fraction = 0.9;  // fractions no longer sum to 1
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+  b = find_benchmark("sha");
+  b.phases[0].cpu_activity = 1.5;
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+  b = find_benchmark("sha");
+  b.total_work_units = 0.0;
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+  b = find_benchmark("sha");
+  b.phases.clear();
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+}
+
+TEST(Benchmark, PowerClassMapsToActivityOrdering) {
+  // Low-class benchmarks must demand less switching activity than high-class
+  // ones: that is what "comparative CPU power consumption" means in
+  // Table 6.4.
+  auto avg_activity = [](const Benchmark& b) {
+    double sum = 0.0;
+    for (const auto& p : b.phases) sum += p.work_fraction * p.cpu_activity;
+    return sum;
+  };
+  const double low = avg_activity(find_benchmark("dijkstra"));
+  const double med = avg_activity(find_benchmark("patricia"));
+  const double high = avg_activity(find_benchmark("basicmath"));
+  EXPECT_LT(low, med);
+  EXPECT_LT(med, high);
+}
+
+}  // namespace
+}  // namespace dtpm::workload

@@ -1,0 +1,139 @@
+#include "core/budget_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtpm::core {
+namespace {
+
+std::vector<BudgetComponent> cpu_gpu() {
+  // Normalized-frequency versions of the big CPU and GPU tables (Fig. 7.1's
+  // two-component distribution problem).
+  BudgetComponent cpu{"cpu",
+                      {0.50, 0.5625, 0.625, 0.6875, 0.75, 0.8125, 0.875,
+                       0.9375, 1.0},
+                      /*perf=*/1.0,
+                      /*power=*/2.0};
+  BudgetComponent gpu{"gpu",
+                      {0.332, 0.499, 0.657, 0.901, 1.0},
+                      /*perf=*/0.6,
+                      /*power=*/1.2};
+  return {cpu, gpu};
+}
+
+TEST(BudgetDistribution, CostAndPowerOfAssignment) {
+  const auto comps = cpu_gpu();
+  const std::vector<std::size_t> max_levels{8, 4};
+  EXPECT_NEAR(distribution_power(comps, max_levels), 2.0 + 1.2, 1e-12);
+  EXPECT_NEAR(distribution_cost(comps, max_levels), 1.0 + 0.6, 1e-12);
+}
+
+TEST(BudgetDistribution, UnconstrainedBudgetKeepsMaxFrequencies) {
+  const auto comps = cpu_gpu();
+  const DistributionResult g = distribute_greedy(comps, 10.0);
+  ASSERT_TRUE(g.feasible);
+  EXPECT_EQ(g.levels[0], 8u);
+  EXPECT_EQ(g.levels[1], 4u);
+}
+
+TEST(BudgetDistribution, GreedyMeetsTheBudget) {
+  const auto comps = cpu_gpu();
+  for (double budget : {2.5, 2.0, 1.5, 1.0, 0.7}) {
+    const DistributionResult g = distribute_greedy(comps, budget);
+    ASSERT_TRUE(g.feasible) << budget;
+    EXPECT_LE(g.power_w, budget + 1e-12);
+  }
+}
+
+TEST(BudgetDistribution, InfeasibleBudgetFlagged) {
+  const auto comps = cpu_gpu();
+  // Even all-minimum power: 2*0.5^3 + 1.2*0.332^3 > 0.2.
+  const DistributionResult g = distribute_greedy(comps, 0.2);
+  EXPECT_FALSE(g.feasible);
+  const DistributionResult bb = distribute_branch_and_bound(comps, 0.2);
+  EXPECT_FALSE(bb.feasible);
+}
+
+TEST(BudgetDistribution, BranchAndBoundNeverWorseThanGreedy) {
+  const auto comps = cpu_gpu();
+  for (double budget : {2.8, 2.2, 1.8, 1.4, 1.0, 0.8}) {
+    const DistributionResult g = distribute_greedy(comps, budget);
+    const DistributionResult bb = distribute_branch_and_bound(comps, budget);
+    ASSERT_TRUE(bb.feasible) << budget;
+    EXPECT_LE(bb.cost, g.cost + 1e-12) << budget;
+    EXPECT_LE(bb.power_w, budget + 1e-12);
+  }
+}
+
+TEST(BudgetDistribution, BranchAndBoundMatchesExhaustiveOptimum) {
+  const auto comps = cpu_gpu();
+  const double budget = 1.6;
+  // Exhaustive scan of the 9x5 grid.
+  double best_cost = 1e18;
+  for (std::size_t i = 0; i < comps[0].frequencies_hz.size(); ++i) {
+    for (std::size_t j = 0; j < comps[1].frequencies_hz.size(); ++j) {
+      const std::vector<std::size_t> levels{i, j};
+      if (distribution_power(comps, levels) <= budget) {
+        best_cost = std::min(best_cost, distribution_cost(comps, levels));
+      }
+    }
+  }
+  const DistributionResult bb = distribute_branch_and_bound(comps, budget);
+  EXPECT_NEAR(bb.cost, best_cost, 1e-12);
+}
+
+TEST(BudgetDistribution, GreedyThrottlesCheapestComponentFirst) {
+  // Give the GPU a tiny perf coefficient: its steps cost almost nothing, so
+  // greedy must throttle it before touching the CPU (Eq. 7.3's selection).
+  auto comps = cpu_gpu();
+  comps[1].perf_coefficient = 0.01;
+  const DistributionResult g = distribute_greedy(comps, 2.6);
+  ASSERT_TRUE(g.feasible);
+  EXPECT_EQ(g.levels[0], 8u);      // CPU untouched
+  EXPECT_LT(g.levels[1], 4u);      // GPU stepped down
+}
+
+TEST(BudgetDistribution, ThreeComponents) {
+  std::vector<BudgetComponent> comps = cpu_gpu();
+  comps.push_back({"little", {0.42, 0.58, 0.75, 1.0}, 0.3, 0.25});
+  const DistributionResult g = distribute_greedy(comps, 2.0);
+  const DistributionResult bb = distribute_branch_and_bound(comps, 2.0);
+  ASSERT_TRUE(g.feasible);
+  ASSERT_TRUE(bb.feasible);
+  EXPECT_LE(bb.cost, g.cost + 1e-12);
+}
+
+TEST(BudgetDistribution, ValidationErrors) {
+  EXPECT_THROW(distribute_greedy({}, 1.0), std::invalid_argument);
+  BudgetComponent empty{"x", {}, 1.0, 1.0};
+  EXPECT_THROW(distribute_greedy({empty}, 1.0), std::invalid_argument);
+  BudgetComponent unsorted{"x", {2.0, 1.0}, 1.0, 1.0};
+  EXPECT_THROW(distribute_greedy({unsorted}, 1.0), std::invalid_argument);
+  BudgetComponent bad_coeff{"x", {1.0}, -1.0, 1.0};
+  EXPECT_THROW(distribute_branch_and_bound({bad_coeff}, 1.0),
+               std::invalid_argument);
+}
+
+// Property sweep: for every budget, greedy is feasible whenever b&b is, and
+// the optimality gap is bounded.
+class DistributionBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistributionBudgetSweep, GreedyGapIsBounded) {
+  const auto comps = cpu_gpu();
+  const double budget = GetParam();
+  const DistributionResult g = distribute_greedy(comps, budget);
+  const DistributionResult bb = distribute_branch_and_bound(comps, budget);
+  EXPECT_EQ(g.feasible, bb.feasible);
+  if (bb.feasible) {
+    EXPECT_LE(bb.cost, g.cost + 1e-12);
+    EXPECT_LT(g.cost, 1.35 * bb.cost);  // greedy stays within ~35 %
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, DistributionBudgetSweep,
+                         ::testing::Values(0.5, 0.8, 1.1, 1.4, 1.7, 2.0, 2.3,
+                                           2.6, 2.9, 3.2));
+
+}  // namespace
+}  // namespace dtpm::core

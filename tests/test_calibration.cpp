@@ -1,0 +1,125 @@
+#include "sim/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/leakage.hpp"
+#include "soc/soc.hpp"
+
+namespace dtpm::sim {
+namespace {
+
+const CalibrationArtifacts& art() { return default_calibration(); }
+
+TEST(Calibration, ProducesFourByFourThermalModel) {
+  const auto& thermal = art().model.thermal;
+  EXPECT_EQ(thermal.state_dim(), 4u);
+  EXPECT_EQ(thermal.input_dim(), 4u);
+  EXPECT_DOUBLE_EQ(thermal.ts_s, 0.1);
+}
+
+TEST(Calibration, IdentifiedModelIsStable) {
+  EXPECT_LT(art().model.thermal.stability_radius(), 1.0);
+}
+
+TEST(Calibration, OneStepResidualIsSmall) {
+  // The one-step fit residual should be on the order of the sensor
+  // quantization (0.5 C), not degrees.
+  EXPECT_LT(art().arx.rms_residual_c, 0.5);
+  EXPECT_GT(art().arx.sample_count, 5000u);
+}
+
+TEST(Calibration, BigRailHasThermalAuthorityOverEveryCore) {
+  // B's big-cluster column must be positive: more big power -> hotter cores.
+  const auto& b = art().model.thermal.b;
+  const std::size_t big = power::resource_index(power::Resource::kBigCluster);
+  for (std::size_t row = 0; row < b.rows(); ++row) {
+    EXPECT_GT(b(row, big), 0.0) << "row " << row;
+  }
+}
+
+TEST(Calibration, FittedLeakageTracksPlantTruth) {
+  // Compare fitted vs true big-cluster leakage *power* over the sweep range
+  // at the characterization voltage (parameters themselves trade off along
+  // a ridge; the power curve is the meaningful quantity).
+  const soc::PlantPowerParams truth_params;
+  const power::LeakageModel truth(truth_params.big_leakage);
+  const power::LeakageModel fitted(
+      art().model.leakage[power::resource_index(power::Resource::kBigCluster)]);
+  const double v_char =
+      art().model.leakage[power::resource_index(power::Resource::kBigCluster)]
+          .v_ref;
+  for (double t = 45.0; t <= 75.0; t += 10.0) {
+    const double expected = truth.power_w(t, v_char);
+    EXPECT_NEAR(fitted.power_w(t, v_char), expected, 0.25 * expected) << t;
+  }
+}
+
+TEST(Calibration, LeakageFitResidualsSmall) {
+  for (power::Resource r : power::all_resources()) {
+    EXPECT_LT(art().leakage_fits[power::resource_index(r)].rms_residual_w,
+              0.02)
+        << power::to_string(r);
+  }
+}
+
+TEST(Calibration, FurnaceSweepCoversPaperRange) {
+  // 40..80 C at two operating points (one for mem), ~50 samples per point.
+  const auto& big_samples =
+      art().furnace_samples[power::resource_index(power::Resource::kBigCluster)];
+  EXPECT_GE(big_samples.size(), 400u);
+  double t_min = 1e9, t_max = -1e9;
+  for (const auto& s : big_samples) {
+    t_min = std::min(t_min, s.temp_c);
+    t_max = std::max(t_max, s.temp_c);
+  }
+  // Die temperatures sit a few degrees above the furnace setpoints because
+  // even the light workload self-heats; the sweep must still span ~40 C.
+  EXPECT_LT(t_min, 52.0);
+  EXPECT_GT(t_max, 82.0);
+  EXPECT_GT(t_max - t_min, 35.0);
+}
+
+TEST(Calibration, AlphaCSeedsInPlausibleRange) {
+  const auto& seeds = art().model.initial_alpha_c;
+  // Big-cluster 4-thread excitation: around 1.4 nF total.
+  EXPECT_GT(seeds[power::resource_index(power::Resource::kBigCluster)], 0.5e-9);
+  EXPECT_LT(seeds[power::resource_index(power::Resource::kBigCluster)], 3e-9);
+  EXPECT_GT(seeds[power::resource_index(power::Resource::kLittleCluster)],
+            0.05e-9);
+  EXPECT_GT(seeds[power::resource_index(power::Resource::kGpu)], 0.5e-9);
+}
+
+TEST(Calibration, ExcitationSegmentsPerResource) {
+  EXPECT_EQ(art().excitation_segments.size(), power::kResourceCount);
+  for (const auto& seg : art().excitation_segments) {
+    EXPECT_GT(seg.temps_c.size(), 1000u);
+    EXPECT_EQ(seg.temps_c.size(), seg.powers_w.size());
+  }
+}
+
+TEST(Calibration, BigExcitationSpansPaperPowerRange) {
+  // Fig. 4.8: the big-cluster PRBS toggles between ~0.5 W and ~3 W.
+  const auto& seg =
+      art().excitation_segments[power::resource_index(power::Resource::kBigCluster)];
+  double p_min = 1e9, p_max = 0.0;
+  const std::size_t big = power::resource_index(power::Resource::kBigCluster);
+  for (const auto& p : seg.powers_w) {
+    p_min = std::min(p_min, p[big]);
+    p_max = std::max(p_max, p[big]);
+  }
+  EXPECT_LT(p_min, 1.3);
+  EXPECT_GT(p_max, 2.3);
+  EXPECT_GT(p_max / p_min, 2.0);
+}
+
+TEST(Calibration, DeterministicForSameOptions) {
+  CalibrationOptions options;
+  options.prbs_duration_s = 30.0;  // keep this test fast
+  const auto a = calibrate_platform(options);
+  const auto b = calibrate_platform(options);
+  EXPECT_TRUE(a.thermal.a.approx_equal(b.thermal.a, 0.0));
+  EXPECT_TRUE(a.thermal.b.approx_equal(b.thermal.b, 0.0));
+}
+
+}  // namespace
+}  // namespace dtpm::sim

@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dtpm::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("w1.csv");
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.append({1.0, 2.0});
+    w.append({3.5, -4.0});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,-4");
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  CsvWriter w(temp_path("w2.csv"), {"a", "b", "c"});
+  EXPECT_THROW(w.append({1.0}), std::invalid_argument);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter(temp_path("w3.csv"), {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(TraceTable, StoresAndExtractsColumns) {
+  TraceTable t({"time", "temp"});
+  t.append({0.0, 45.0});
+  t.append({0.1, 45.5});
+  t.append({0.2, 46.0});
+  EXPECT_EQ(t.size(), 3u);
+  const auto temps = t.column("temp");
+  ASSERT_EQ(temps.size(), 3u);
+  EXPECT_EQ(temps[1], 45.5);
+  EXPECT_EQ(t.column("time")[2], 0.2);
+}
+
+TEST(TraceTable, UnknownColumnThrows) {
+  TraceTable t({"x"});
+  EXPECT_THROW(t.column("y"), std::invalid_argument);
+}
+
+TEST(TraceTable, RowWidthMismatchThrows) {
+  TraceTable t({"x", "y"});
+  EXPECT_THROW(t.append({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(TraceTable, WriteCsvRoundTrip) {
+  TraceTable t({"p", "q"});
+  t.append({1.25, 2.5});
+  const std::string path = temp_path("t1.csv");
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "p,q");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.25,2.5");
+}
+
+}  // namespace
+}  // namespace dtpm::util

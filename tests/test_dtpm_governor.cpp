@@ -1,0 +1,202 @@
+#include "core/dtpm_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/calibration.hpp"
+
+namespace dtpm::core {
+namespace {
+
+const sysid::IdentifiedPlatformModel& model() {
+  return sim::default_calibration().model;
+}
+
+soc::PlatformView view_at(double temp_c, double p_big, double time_s = 100.0,
+                          double gpu_util = 0.02) {
+  soc::PlatformView v;
+  v.time_s = time_s;
+  v.big_temps_c = {temp_c, temp_c - 0.5, temp_c - 1.0, temp_c - 0.5};
+  v.rail_power_w = {p_big, 0.02, 0.15, 0.3};
+  v.cpu_max_util = 1.0;
+  v.gpu_util = gpu_util;
+  v.config.big_freq_hz = 1.6e9;
+  v.config.little_freq_hz = 1.2e9;
+  v.config.gpu_freq_hz = 177e6;
+  return v;
+}
+
+governors::Decision proposal_max() {
+  governors::Decision d;
+  d.soc.big_freq_hz = 1.6e9;
+  d.soc.little_freq_hz = 1.2e9;
+  d.soc.gpu_freq_hz = 177e6;
+  return d;
+}
+
+/// Drives the governor with a fixed view until its state settles.
+governors::Decision settle(DtpmGovernor& gov, const soc::PlatformView& base,
+                           int intervals = 20) {
+  governors::Decision d = proposal_max();
+  for (int i = 0; i < intervals; ++i) {
+    soc::PlatformView v = base;
+    v.time_s = base.time_s + 0.1 * i;
+    v.config = d.soc;
+    d = gov.adjust(v, proposal_max());
+  }
+  return d;
+}
+
+TEST(DtpmGovernor, NonIntrusiveWhenCool) {
+  DtpmGovernor gov(model());
+  const governors::Decision d = gov.adjust(view_at(45.0, 1.5), proposal_max());
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1.6e9);
+  EXPECT_EQ(d.soc.online_big_cores(), 4);
+  EXPECT_EQ(d.soc.active_cluster, soc::ClusterId::kBig);
+  EXPECT_FALSE(gov.diagnostics().intervened);
+}
+
+TEST(DtpmGovernor, FanAlwaysOff) {
+  DtpmGovernor gov(model());
+  governors::Decision hot_proposal = proposal_max();
+  hot_proposal.fan = thermal::FanSpeed::kFull;
+  const governors::Decision d = gov.adjust(view_at(70.0, 2.5), hot_proposal);
+  EXPECT_EQ(d.fan, thermal::FanSpeed::kOff);
+}
+
+TEST(DtpmGovernor, CapsFrequencyOnPredictedViolation) {
+  DtpmGovernor gov(model());
+  // Near the constraint with high power: the 1 s prediction must trip and
+  // the budget must produce a frequency below the proposal.
+  const governors::Decision d = gov.adjust(view_at(62.5, 2.4), proposal_max());
+  EXPECT_TRUE(gov.diagnostics().intervened);
+  EXPECT_LT(d.soc.big_freq_hz, 1.6e9);
+  EXPECT_GE(d.soc.big_freq_hz, 800e6);
+  EXPECT_GT(gov.diagnostics().frequency_cap_events, 0);
+}
+
+TEST(DtpmGovernor, PredictionIsLogged) {
+  DtpmGovernor gov(model());
+  gov.adjust(view_at(55.0, 2.0), proposal_max());
+  EXPECT_GT(gov.diagnostics().predicted_max_c, 40.0);
+  EXPECT_LT(gov.diagnostics().predicted_max_c, 90.0);
+}
+
+TEST(DtpmGovernor, EscalatesToHotplugBeforeClusterMigration) {
+  DtpmParams params;
+  params.min_big_cores = 3;
+  params.restriction_dwell_s = 0.0;
+  DtpmGovernor gov(model(), params);
+  // Extremely hot: even f_min exceeds the budget, so the knob order of §5.2
+  // must apply: frequency floor first, then a core off, and only afterwards
+  // (possibly) the little cluster.
+  governors::Decision d = proposal_max();
+  bool saw_hotplug_while_big = false;
+  for (int i = 0; i < 12; ++i) {
+    soc::PlatformView v = view_at(68.0, 3.0);
+    v.time_s = 100.0 + 0.1 * i;
+    v.config = d.soc;
+    d = gov.adjust(v, proposal_max());
+    if (gov.diagnostics().hotplug_events > 0 &&
+        d.soc.active_cluster == soc::ClusterId::kBig) {
+      saw_hotplug_while_big = true;
+      EXPECT_LT(d.soc.online_big_cores(), 4);
+      EXPECT_GE(d.soc.online_big_cores(), params.min_big_cores);
+      EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 800e6);  // fmin precedes hotplug
+    }
+    if (gov.diagnostics().cluster_migration_events > 0) break;
+  }
+  EXPECT_TRUE(saw_hotplug_while_big);
+  EXPECT_GT(gov.diagnostics().hotplug_events, 0);
+  // Hotplug happened before (or without) cluster migration.
+  EXPECT_GE(gov.diagnostics().hotplug_events,
+            gov.diagnostics().cluster_migration_events);
+}
+
+TEST(DtpmGovernor, HottestCoreIsTheVictim) {
+  DtpmGovernor gov(model());
+  soc::PlatformView v = view_at(66.0, 2.8);
+  v.big_temps_c = {60.0, 66.0, 60.5, 61.0};  // core 1 hotspots (Eq. 5.9)
+  governors::Decision d = proposal_max();
+  for (int i = 0; i < 6; ++i) {
+    v.time_s += 0.1;
+    v.config = d.soc;
+    d = gov.adjust(v, proposal_max());
+    if (gov.diagnostics().hotplug_events > 0) break;
+  }
+  ASSERT_GT(gov.diagnostics().hotplug_events, 0);
+  EXPECT_FALSE(d.soc.big_core_online[1]);
+}
+
+TEST(DtpmGovernor, MigratesToLittleAsLastCpuResort) {
+  DtpmParams params;
+  params.restriction_dwell_s = 0.0;  // allow escalation every interval
+  DtpmGovernor gov(model(), params);
+  const governors::Decision d = settle(gov, view_at(72.0, 3.2), 12);
+  EXPECT_EQ(d.soc.active_cluster, soc::ClusterId::kLittle);
+  EXPECT_GT(gov.diagnostics().cluster_migration_events, 0);
+}
+
+TEST(DtpmGovernor, ThrottlesGpuOnlyWhenActive) {
+  DtpmParams params;
+  params.restriction_dwell_s = 0.0;
+  {
+    DtpmGovernor gov(model(), params);
+    soc::PlatformView hot = view_at(72.0, 3.2, 100.0, /*gpu_util=*/0.9);
+    hot.rail_power_w[power::resource_index(power::Resource::kGpu)] = 1.2;
+    hot.config.gpu_freq_hz = 533e6;
+    governors::Decision proposal = proposal_max();
+    proposal.soc.gpu_freq_hz = 533e6;
+    governors::Decision d = proposal;
+    for (int i = 0; i < 15; ++i) {
+      soc::PlatformView v = hot;
+      v.time_s += 0.1 * i;
+      v.config = d.soc;
+      d = gov.adjust(v, proposal);
+    }
+    EXPECT_GT(gov.diagnostics().gpu_throttle_events, 0);
+    EXPECT_LT(d.soc.gpu_freq_hz, 533e6);
+  }
+  {
+    DtpmGovernor gov(model(), params);
+    settle(gov, view_at(72.0, 3.2, 100.0, /*gpu_util=*/0.02), 15);
+    EXPECT_EQ(gov.diagnostics().gpu_throttle_events, 0);
+  }
+}
+
+TEST(DtpmGovernor, RestrictionsRelaxWhenHeadroomReturns) {
+  DtpmParams params;
+  params.restriction_dwell_s = 0.2;
+  DtpmGovernor gov(model(), params);
+  settle(gov, view_at(66.0, 2.8), 6);  // forces cores offline
+  ASSERT_GT(gov.diagnostics().hotplug_events, 0);
+  // Now cool: cores must come back online one at a time.
+  governors::Decision d;
+  soc::PlatformView cool = view_at(45.0, 1.0, 200.0);
+  for (int i = 0; i < 60; ++i) {
+    soc::PlatformView v = cool;
+    v.time_s += 0.1 * i;
+    d = gov.adjust(v, proposal_max());
+    v.config = d.soc;
+  }
+  EXPECT_EQ(d.soc.online_big_cores(), 4);
+}
+
+TEST(DtpmGovernor, RespectsProposalWhenAlreadyThrottledByDefault) {
+  // If ondemand itself proposes a low frequency, the governor never raises it.
+  DtpmGovernor gov(model());
+  governors::Decision low = proposal_max();
+  low.soc.big_freq_hz = 900e6;
+  const governors::Decision d = gov.adjust(view_at(50.0, 1.0), low);
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 900e6);
+}
+
+TEST(DtpmGovernor, AllHotspotRowPolicyAlsoRegulates) {
+  DtpmParams params;
+  params.row_policy = BudgetRowPolicy::kAllHotspots;
+  DtpmGovernor gov(model(), params);
+  const governors::Decision d = gov.adjust(view_at(62.5, 2.4), proposal_max());
+  EXPECT_LT(d.soc.big_freq_hz, 1.6e9);
+}
+
+}  // namespace
+}  // namespace dtpm::core

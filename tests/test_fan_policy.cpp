@@ -1,0 +1,95 @@
+#include "governors/fan_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtpm::governors {
+namespace {
+
+soc::PlatformView view_at(double temp_c, double time_s) {
+  soc::PlatformView v;
+  v.time_s = time_s;
+  v.big_temps_c = {temp_c, temp_c - 1.0, temp_c - 2.0, temp_c - 1.5};
+  return v;
+}
+
+Decision default_proposal() {
+  Decision d;
+  d.soc.big_freq_hz = 1600e6;
+  return d;
+}
+
+FanPolicyParams immediate() {
+  FanPolicyParams p;
+  p.action_period_s = 0.0;  // react every interval, for threshold tests
+  return p;
+}
+
+TEST(FanPolicy, StaysOffBelowOnThreshold) {
+  FanPolicy policy(immediate());
+  EXPECT_EQ(policy.adjust(view_at(56.5, 0.0), default_proposal()).fan,
+            thermal::FanSpeed::kOff);
+}
+
+TEST(FanPolicy, StepsThroughSpeedsAsTemperatureRises) {
+  FanPolicy policy(immediate());
+  EXPECT_EQ(policy.adjust(view_at(58.0, 0.0), default_proposal()).fan,
+            thermal::FanSpeed::kLow);  // activated past 57 C
+  EXPECT_EQ(policy.adjust(view_at(64.0, 1.0), default_proposal()).fan,
+            thermal::FanSpeed::kHalf);  // 50 % past 63 C
+  EXPECT_EQ(policy.adjust(view_at(69.0, 2.0), default_proposal()).fan,
+            thermal::FanSpeed::kFull);  // 100 % past 68 C
+}
+
+TEST(FanPolicy, OneStepPerEvaluation) {
+  FanPolicy policy(immediate());
+  // Even a huge jump only advances one speed per evaluation.
+  EXPECT_EQ(policy.adjust(view_at(75.0, 0.0), default_proposal()).fan,
+            thermal::FanSpeed::kLow);
+  EXPECT_EQ(policy.adjust(view_at(75.0, 1.0), default_proposal()).fan,
+            thermal::FanSpeed::kHalf);
+  EXPECT_EQ(policy.adjust(view_at(75.0, 2.0), default_proposal()).fan,
+            thermal::FanSpeed::kFull);
+}
+
+TEST(FanPolicy, HysteresisOnTheWayDown) {
+  FanPolicy policy(immediate());
+  policy.adjust(view_at(58.0, 0.0), default_proposal());
+  policy.adjust(view_at(64.0, 1.0), default_proposal());
+  ASSERT_EQ(policy.current_speed(), thermal::FanSpeed::kHalf);
+  // 60 C is below the 63 C step-up threshold but above 63-4: stay at half.
+  EXPECT_EQ(policy.adjust(view_at(60.0, 2.0), default_proposal()).fan,
+            thermal::FanSpeed::kHalf);
+  // Below 59 C: drop to low; below 53 C: off.
+  EXPECT_EQ(policy.adjust(view_at(58.0, 3.0), default_proposal()).fan,
+            thermal::FanSpeed::kLow);
+  EXPECT_EQ(policy.adjust(view_at(52.0, 4.0), default_proposal()).fan,
+            thermal::FanSpeed::kOff);
+}
+
+TEST(FanPolicy, ActionPeriodDelaysSteps) {
+  FanPolicyParams params;
+  params.action_period_s = 2.5;
+  FanPolicy policy(params);
+  EXPECT_EQ(policy.adjust(view_at(58.0, 0.0), default_proposal()).fan,
+            thermal::FanSpeed::kLow);
+  // 1 s later the daemon has not re-evaluated yet.
+  EXPECT_EQ(policy.adjust(view_at(70.0, 1.0), default_proposal()).fan,
+            thermal::FanSpeed::kLow);
+  // After the period it steps again.
+  EXPECT_EQ(policy.adjust(view_at(70.0, 2.6), default_proposal()).fan,
+            thermal::FanSpeed::kHalf);
+}
+
+TEST(FanPolicy, NeverTouchesSocConfig) {
+  FanPolicy policy(immediate());
+  Decision proposal = default_proposal();
+  proposal.soc.big_freq_hz = 1300e6;
+  proposal.soc.gpu_freq_hz = 480e6;
+  const Decision out = policy.adjust(view_at(70.0, 0.0), proposal);
+  EXPECT_DOUBLE_EQ(out.soc.big_freq_hz, 1300e6);
+  EXPECT_DOUBLE_EQ(out.soc.gpu_freq_hz, 480e6);
+  EXPECT_EQ(out.soc.online_big_cores(), 4);
+}
+
+}  // namespace
+}  // namespace dtpm::governors

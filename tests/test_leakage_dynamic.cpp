@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "power/dynamic_power.hpp"
+#include "power/leakage.hpp"
+
+namespace dtpm::power {
+namespace {
+
+LeakageParams big_params() {
+  // The plant's big-cluster truth values (see soc::PlantPowerParams).
+  return {3.9e-3, -2640.0, 0.005, 1.20, 0.0};
+}
+
+TEST(Leakage, GrowsSuperlinearlyWithTemperature) {
+  const LeakageModel model(big_params());
+  const double p40 = model.power_w(40.0, 1.2);
+  const double p60 = model.power_w(60.0, 1.2);
+  const double p80 = model.power_w(80.0, 1.2);
+  EXPECT_LT(p40, p60);
+  EXPECT_LT(p60, p80);
+  // Convexity: the second 20 C add more leakage than the first 20 C.
+  EXPECT_GT(p80 - p60, p60 - p40);
+}
+
+TEST(Leakage, MatchesCalibrationTargets) {
+  // Calibrated anchor points from DESIGN.md: ~0.10 W @40 C, ~0.33 W @80 C at
+  // 1.2 V (Fig. 4.5's leakage curve).
+  const LeakageModel model(big_params());
+  EXPECT_NEAR(model.power_w(40.0, 1.2), 0.105, 0.015);
+  EXPECT_NEAR(model.power_w(80.0, 1.2), 0.335, 0.03);
+}
+
+TEST(Leakage, PowerScalesWithVoltage) {
+  const LeakageModel model(big_params());
+  // Without DIBL the V dependence is the explicit P = V*I factor.
+  EXPECT_NEAR(model.power_w(60.0, 1.2) / model.power_w(60.0, 0.6), 2.0, 1e-9);
+}
+
+TEST(Leakage, DiblExponentAddsVoltageSensitivity) {
+  LeakageParams with_dibl = big_params();
+  with_dibl.dibl_exponent = 1.5;
+  const LeakageModel plain(big_params());
+  const LeakageModel dibl(with_dibl);
+  // At the reference voltage the two agree ...
+  EXPECT_NEAR(plain.current_a(60.0, 1.2), dibl.current_a(60.0, 1.2), 1e-12);
+  // ... below it the DIBL model leaks less.
+  EXPECT_GT(plain.current_a(60.0, 0.9), dibl.current_a(60.0, 0.9));
+}
+
+TEST(Leakage, GateTermIsTemperatureIndependentFloor) {
+  LeakageParams only_gate{0.0, -2640.0, 0.01, 1.2, 0.0};
+  const LeakageModel model(only_gate);
+  EXPECT_DOUBLE_EQ(model.current_a(40.0, 1.2), 0.01);
+  EXPECT_DOUBLE_EQ(model.current_a(80.0, 1.2), 0.01);
+}
+
+TEST(DynamicPower, Formula) {
+  // P = alphaC * V^2 * f.
+  EXPECT_DOUBLE_EQ(dynamic_power_w(1e-9, 1.0, 1e9), 1.0);
+  EXPECT_DOUBLE_EQ(dynamic_power_w(1e-9, 2.0, 1e9), 4.0);
+  EXPECT_DOUBLE_EQ(dynamic_power_w(2e-9, 1.0, 0.5e9), 1.0);
+}
+
+TEST(DynamicPower, InverseRoundTrip) {
+  const double alpha_c = 0.37e-9;
+  const double p = dynamic_power_w(alpha_c, 1.1, 1.3e9);
+  EXPECT_NEAR(alpha_c_from_power(p, 1.1, 1.3e9), alpha_c, 1e-20);
+  EXPECT_THROW(alpha_c_from_power(1.0, 0.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(alpha_c_from_power(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(AlphaCEstimator, ConvergesToStationaryActivity) {
+  AlphaCEstimator::Params params;
+  params.smoothing = 0.35;
+  params.initial_alpha_c = 1e-10;
+  AlphaCEstimator est(params);
+  const double truth = 0.8e-9;
+  for (int i = 0; i < 60; ++i) {
+    est.update(dynamic_power_w(truth, 1.1, 1.2e9), 1.1, 1.2e9);
+  }
+  EXPECT_NEAR(est.value(), truth, 1e-12);
+  EXPECT_NEAR(est.predict_power_w(1.2, 1.6e9),
+              dynamic_power_w(truth, 1.2, 1.6e9), 1e-9);
+}
+
+TEST(AlphaCEstimator, TracksActivityChange) {
+  AlphaCEstimator est;
+  for (int i = 0; i < 50; ++i) est.update(dynamic_power_w(1e-9, 1.0, 1e9), 1.0, 1e9);
+  for (int i = 0; i < 50; ++i) est.update(dynamic_power_w(2e-9, 1.0, 1e9), 1.0, 1e9);
+  EXPECT_NEAR(est.value(), 2e-9, 1e-11);
+}
+
+TEST(AlphaCEstimator, ClampsNegativeAndHugeSamples) {
+  AlphaCEstimator::Params params;
+  params.max_alpha_c = 1e-9;
+  AlphaCEstimator est(params);
+  for (int i = 0; i < 100; ++i) est.update(-5.0, 1.0, 1e9);
+  EXPECT_GE(est.value(), 0.0);
+  for (int i = 0; i < 100; ++i) est.update(1e3, 1.0, 1e9);
+  EXPECT_LE(est.value(), params.max_alpha_c + 1e-18);
+}
+
+TEST(AlphaCEstimator, InvalidSmoothingThrows) {
+  AlphaCEstimator::Params params;
+  params.smoothing = 0.0;
+  EXPECT_THROW(AlphaCEstimator{params}, std::invalid_argument);
+  params.smoothing = 1.5;
+  EXPECT_THROW(AlphaCEstimator{params}, std::invalid_argument);
+}
+
+TEST(AlphaCEstimator, ResetClamps) {
+  AlphaCEstimator::Params params;
+  params.max_alpha_c = 1e-9;
+  AlphaCEstimator est(params);
+  est.reset(5e-9);
+  EXPECT_DOUBLE_EQ(est.value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dtpm::power

@@ -1,0 +1,193 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dtpm::util {
+namespace {
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  Matrix m(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityTimesVectorIsIdentityOp) {
+  const Matrix eye = Matrix::identity(4);
+  const Matrix v = Matrix::column({1.0, -2.0, 3.5, 0.25});
+  EXPECT_TRUE((eye * v).approx_equal(v, 1e-15));
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_TRUE(sum.approx_equal(Matrix{{5, 5}, {5, 5}}, 1e-15));
+  const Matrix diff = sum - b;
+  EXPECT_TRUE(diff.approx_equal(a, 1e-15));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(3, 2);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+  EXPECT_THROW(b * b, std::invalid_argument);
+}
+
+TEST(Matrix, MultiplicationKnownResult) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  const Matrix c = a * b;
+  EXPECT_TRUE(c.approx_equal(Matrix{{58, 64}, {139, 154}}, 1e-12));
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(a.transpose().transpose().approx_equal(a, 0.0));
+  EXPECT_EQ(a.transpose()(2, 1), 6.0);
+}
+
+TEST(Matrix, PowMatchesRepeatedMultiply) {
+  Matrix a{{0.9, 0.1}, {0.05, 0.85}};
+  Matrix expected = Matrix::identity(2);
+  for (int i = 0; i < 7; ++i) expected = expected * a;
+  EXPECT_TRUE(a.pow(7).approx_equal(expected, 1e-12));
+  EXPECT_TRUE(a.pow(0).approx_equal(Matrix::identity(2), 0.0));
+}
+
+TEST(Matrix, PowNonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.pow(2), std::invalid_argument);
+}
+
+TEST(Matrix, RowColExtraction) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(a.row(1).approx_equal(Matrix{{4, 5, 6}}, 0.0));
+  EXPECT_TRUE(a.col(2).approx_equal(Matrix::column({3, 6}), 0.0));
+}
+
+TEST(Matrix, SolveKnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const Matrix b = Matrix::column({5, 10});
+  const Matrix x = a.solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(Matrix, SolveSingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(a.solve(Matrix::column({1, 2})), std::runtime_error);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  Matrix a{{4, 7, 2}, {3, 6, 1}, {2, 5, 3}};
+  EXPECT_TRUE((a * a.inverse()).approx_equal(Matrix::identity(3), 1e-10));
+}
+
+TEST(Matrix, LeastSquaresExactWhenConsistent) {
+  // Overdetermined but consistent: y = 2x + 1.
+  Matrix a(5, 2);
+  Matrix y(5, 1);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = double(i);
+    a(i, 1) = 1.0;
+    y(i, 0) = 2.0 * i + 1.0;
+  }
+  const Matrix theta = a.least_squares(y);
+  EXPECT_NEAR(theta(0, 0), 2.0, 1e-10);
+  EXPECT_NEAR(theta(1, 0), 1.0, 1e-10);
+}
+
+TEST(Matrix, LeastSquaresMinimizesResidual) {
+  // Noisy line fit: the LS solution must beat small perturbations of itself.
+  util::Rng rng(42);
+  Matrix a(50, 2);
+  Matrix y(50, 1);
+  for (int i = 0; i < 50; ++i) {
+    a(i, 0) = double(i) / 10.0;
+    a(i, 1) = 1.0;
+    y(i, 0) = 3.0 * a(i, 0) - 2.0 + rng.gaussian(0.0, 0.1);
+  }
+  const Matrix theta = a.least_squares(y);
+  auto residual = [&](const Matrix& th) {
+    return (a * th - y).frobenius_norm();
+  };
+  const double base = residual(theta);
+  for (double eps : {0.01, -0.01}) {
+    Matrix perturbed = theta;
+    perturbed(0, 0) += eps;
+    EXPECT_LT(base, residual(perturbed));
+  }
+}
+
+TEST(Matrix, LeastSquaresUnderdeterminedThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.least_squares(Matrix(2, 1)), std::invalid_argument);
+}
+
+TEST(Matrix, RidgeShrinksSolution) {
+  Matrix a(4, 1);
+  Matrix y(4, 1);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    y(i, 0) = 2.0;
+  }
+  const double plain = a.least_squares(y)(0, 0);
+  const double ridged = a.least_squares(y, 10.0)(0, 0);
+  EXPECT_NEAR(plain, 2.0, 1e-12);
+  EXPECT_LT(ridged, plain);
+  EXPECT_GT(ridged, 0.0);
+}
+
+TEST(Matrix, SpectralRadiusOfDiagonal) {
+  Matrix a{{0.5, 0.0}, {0.0, -0.9}};
+  EXPECT_NEAR(a.spectral_radius(), 0.9, 1e-6);
+}
+
+TEST(Matrix, MaxAbsAndNorm) {
+  Matrix a{{3, -4}};
+  EXPECT_EQ(a.max_abs(), 4.0);
+  EXPECT_NEAR(a.frobenius_norm(), 5.0, 1e-12);
+}
+
+// Property sweep: random diagonally dominant systems solve and verify Ax == b.
+class MatrixSolveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixSolveSweep, SolveRoundTrip) {
+  const int n = GetParam();
+  util::Rng rng(1234 + n);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += double(n);  // diagonal dominance => nonsingular
+  }
+  Matrix b(n, 1);
+  for (int i = 0; i < n; ++i) b(i, 0) = rng.uniform(-5.0, 5.0);
+  const Matrix x = a.solve(b);
+  EXPECT_TRUE((a * x).approx_equal(b, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixSolveSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace dtpm::util

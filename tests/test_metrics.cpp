@@ -1,0 +1,54 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpm::util {
+namespace {
+
+TEST(Metrics, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(mean_absolute_error({1.0, 2.0, 3.0}, {1.5, 1.5, 3.5}), 0.5);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  // errors: 3, 4 -> rms = sqrt((9+16)/2) = sqrt(12.5)
+  EXPECT_NEAR(rmse({3.0, 0.0}, {0.0, 4.0}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Metrics, MapePercentOfMeasured) {
+  // |50-55|/55 and |60-57|/57, averaged, in percent.
+  const double expected = 100.0 * (5.0 / 55.0 + 3.0 / 57.0) / 2.0;
+  EXPECT_NEAR(mape({50.0, 60.0}, {55.0, 57.0}), expected, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsZeroMeasurements) {
+  EXPECT_NEAR(mape({1.0, 2.0}, {0.0, 4.0}), 50.0, 1e-12);
+}
+
+TEST(Metrics, MapeAllZeroThrows) {
+  EXPECT_THROW(mape({1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(Metrics, MaxApeAndMaxAbs) {
+  EXPECT_NEAR(max_ape({50.0, 60.0}, {55.0, 57.0}), 100.0 * 5.0 / 55.0, 1e-12);
+  EXPECT_DOUBLE_EQ(max_absolute_error({1.0, 9.0}, {2.0, 4.0}), 5.0);
+}
+
+TEST(Metrics, PerfectPredictionIsZeroError) {
+  const std::vector<double> t{55.0, 60.0, 62.5};
+  EXPECT_EQ(mean_absolute_error(t, t), 0.0);
+  EXPECT_EQ(rmse(t, t), 0.0);
+  EXPECT_EQ(mape(t, t), 0.0);
+  EXPECT_EQ(max_ape(t, t), 0.0);
+}
+
+TEST(Metrics, MismatchedLengthsThrow) {
+  EXPECT_THROW(mean_absolute_error({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(rmse({}, {}), std::invalid_argument);
+  EXPECT_THROW(max_absolute_error({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtpm::util

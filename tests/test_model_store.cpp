@@ -1,0 +1,85 @@
+#include "sysid/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dtpm::sysid {
+namespace {
+
+IdentifiedPlatformModel make_model() {
+  IdentifiedPlatformModel m;
+  m.thermal.a = util::Matrix{{0.9, 0.05, 0.02, 0.01},
+                             {0.04, 0.88, 0.03, 0.02},
+                             {0.01, 0.02, 0.91, 0.03},
+                             {0.02, 0.01, 0.04, 0.89}};
+  m.thermal.b = util::Matrix{{0.12, 0.1, 0.08, 0.2},
+                             {0.13, 0.12, 0.08, 0.18},
+                             {0.12, 0.15, 0.12, 0.16},
+                             {0.12, 0.16, 0.11, 0.21}};
+  m.thermal.ts_s = 0.1;
+  m.thermal.ambient_ref_c = 25.0;
+  for (std::size_t i = 0; i < power::kResourceCount; ++i) {
+    m.leakage[i] = {1e-3 * double(i + 1), -2600.0 - 10.0 * double(i),
+                    0.001 * double(i), 0.95 + 0.01 * double(i), 0.0};
+    m.initial_alpha_c[i] = 1e-10 * double(i + 1);
+  }
+  return m;
+}
+
+TEST(ModelStore, StreamRoundTrip) {
+  const IdentifiedPlatformModel original = make_model();
+  std::stringstream ss;
+  save_model(original, ss);
+  const IdentifiedPlatformModel loaded = load_model(ss);
+  EXPECT_TRUE(loaded.thermal.a.approx_equal(original.thermal.a, 1e-15));
+  EXPECT_TRUE(loaded.thermal.b.approx_equal(original.thermal.b, 1e-15));
+  EXPECT_DOUBLE_EQ(loaded.thermal.ts_s, original.thermal.ts_s);
+  EXPECT_DOUBLE_EQ(loaded.thermal.ambient_ref_c, original.thermal.ambient_ref_c);
+  for (std::size_t i = 0; i < power::kResourceCount; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.leakage[i].c1, original.leakage[i].c1);
+    EXPECT_DOUBLE_EQ(loaded.leakage[i].c2_k, original.leakage[i].c2_k);
+    EXPECT_DOUBLE_EQ(loaded.leakage[i].i_gate_a, original.leakage[i].i_gate_a);
+    EXPECT_DOUBLE_EQ(loaded.leakage[i].v_ref, original.leakage[i].v_ref);
+    EXPECT_DOUBLE_EQ(loaded.initial_alpha_c[i], original.initial_alpha_c[i]);
+  }
+}
+
+TEST(ModelStore, FileRoundTrip) {
+  const std::string path = std::string(::testing::TempDir()) + "/model.txt";
+  const IdentifiedPlatformModel original = make_model();
+  save_model_file(original, path);
+  const IdentifiedPlatformModel loaded = load_model_file(path);
+  EXPECT_TRUE(loaded.thermal.a.approx_equal(original.thermal.a, 1e-15));
+}
+
+TEST(ModelStore, FullPrecisionPreserved) {
+  IdentifiedPlatformModel m = make_model();
+  m.thermal.a(0, 0) = 0.123456789012345678;
+  std::stringstream ss;
+  save_model(m, ss);
+  const IdentifiedPlatformModel loaded = load_model(ss);
+  EXPECT_DOUBLE_EQ(loaded.thermal.a(0, 0), m.thermal.a(0, 0));
+}
+
+TEST(ModelStore, BadMagicThrows) {
+  std::stringstream ss("not-a-model 1 2 3");
+  EXPECT_THROW(load_model(ss), std::runtime_error);
+}
+
+TEST(ModelStore, TruncatedInputThrows) {
+  const IdentifiedPlatformModel original = make_model();
+  std::stringstream full;
+  save_model(original, full);
+  const std::string text = full.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+}
+
+TEST(ModelStore, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dtpm::sysid

@@ -1,0 +1,116 @@
+#include "governors/ondemand.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtpm::governors {
+namespace {
+
+soc::PlatformView view_with(double util, double big_mhz = 1000.0,
+                            soc::ClusterId cluster = soc::ClusterId::kBig,
+                            double gpu_util = 0.0) {
+  soc::PlatformView v;
+  v.cpu_max_util = util;
+  v.cpu_avg_util = util;
+  v.gpu_util = gpu_util;
+  v.config.active_cluster = cluster;
+  v.config.big_freq_hz = big_mhz * 1e6;
+  v.config.little_freq_hz = 600e6;
+  v.config.gpu_freq_hz = 266e6;
+  v.big_temps_c = {50, 50, 50, 50};
+  return v;
+}
+
+TEST(Ondemand, HighUtilizationJumpsToMax) {
+  OndemandGovernor gov;
+  const Decision d = gov.decide(view_with(0.95, 1000.0));
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1600e6);
+}
+
+TEST(Ondemand, ModerateUtilizationHoldsFrequency) {
+  OndemandGovernor gov;
+  const Decision d = gov.decide(view_with(0.70, 1200.0));
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1200e6);
+}
+
+TEST(Ondemand, LowUtilizationStepsDownAfterHold) {
+  OndemandParams params;
+  params.down_hold_intervals = 3;
+  OndemandGovernor gov(params);
+  // Two low-util intervals: no change yet.
+  EXPECT_DOUBLE_EQ(gov.decide(view_with(0.2, 1600.0)).soc.big_freq_hz, 1600e6);
+  EXPECT_DOUBLE_EQ(gov.decide(view_with(0.2, 1600.0)).soc.big_freq_hz, 1600e6);
+  // Third consecutive: scale toward 80 % target utilization.
+  const Decision d = gov.decide(view_with(0.2, 1600.0));
+  EXPECT_LT(d.soc.big_freq_hz, 1600e6);
+  EXPECT_GE(d.soc.big_freq_hz, 800e6);
+}
+
+TEST(Ondemand, ActivitySpikeResetsDownCounter) {
+  OndemandParams params;
+  params.down_hold_intervals = 3;
+  OndemandGovernor gov(params);
+  gov.decide(view_with(0.2, 1200.0));
+  gov.decide(view_with(0.2, 1200.0));
+  gov.decide(view_with(0.7, 1200.0));  // resets the counter
+  gov.decide(view_with(0.2, 1200.0));
+  const Decision d = gov.decide(view_with(0.2, 1200.0));
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1200e6);  // still not stepped down
+}
+
+TEST(Ondemand, ProposesAllCoresOnline) {
+  OndemandGovernor gov;
+  soc::PlatformView v = view_with(0.9);
+  v.config.big_core_online = {true, false, false, true};
+  const Decision d = gov.decide(v);
+  for (bool online : d.soc.big_core_online) EXPECT_TRUE(online);
+}
+
+TEST(Ondemand, MigratesUpWhenLittleSaturates) {
+  OndemandParams params;
+  params.cluster_up_hold = 2;
+  OndemandGovernor gov(params);
+  soc::PlatformView v = view_with(0.95, 1000.0, soc::ClusterId::kLittle);
+  v.config.little_freq_hz = 1200e6;  // little at its max
+  gov.decide(v);  // first saturated interval
+  const Decision d = gov.decide(v);
+  EXPECT_EQ(d.soc.active_cluster, soc::ClusterId::kBig);
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1600e6);
+}
+
+TEST(Ondemand, MigratesDownAfterSustainedIdle) {
+  OndemandParams params;
+  params.cluster_down_hold = 3;
+  params.down_hold_intervals = 1;
+  OndemandGovernor gov(params);
+  soc::PlatformView v = view_with(0.1, 800.0);  // big at min, idle
+  Decision d;
+  for (int i = 0; i < 10; ++i) {
+    d = gov.decide(v);
+    v.config = d.soc;
+    v.cpu_max_util = 0.1;
+  }
+  EXPECT_EQ(d.soc.active_cluster, soc::ClusterId::kLittle);
+}
+
+TEST(Ondemand, GpuStepsUpAndDown) {
+  OndemandGovernor gov;
+  EXPECT_DOUBLE_EQ(gov.decide(view_with(0.7, 1000, soc::ClusterId::kBig, 0.95))
+                       .soc.gpu_freq_hz,
+                   350e6);
+  EXPECT_DOUBLE_EQ(gov.decide(view_with(0.7, 1000, soc::ClusterId::kBig, 0.2))
+                       .soc.gpu_freq_hz,
+                   177e6);
+  EXPECT_DOUBLE_EQ(gov.decide(view_with(0.7, 1000, soc::ClusterId::kBig, 0.6))
+                       .soc.gpu_freq_hz,
+                   266e6);
+}
+
+TEST(Ondemand, NeverManagesFan) {
+  OndemandGovernor gov;
+  soc::PlatformView v = view_with(0.9);
+  v.big_temps_c = {80, 80, 80, 80};
+  EXPECT_EQ(gov.decide(v).fan, thermal::FanSpeed::kOff);
+}
+
+}  // namespace
+}  // namespace dtpm::governors

@@ -1,0 +1,85 @@
+#include "power/opp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtpm::power {
+namespace {
+
+TEST(OppTable, BigClusterMatchesTable6_1) {
+  const OppTable t = big_cluster_opp_table();
+  ASSERT_EQ(t.size(), 9u);  // nine discrete levels (Table 6.1)
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, (800.0 + 100.0 * i) * 1e6);
+  }
+  EXPECT_DOUBLE_EQ(t.min().frequency_hz, 800e6);
+  EXPECT_DOUBLE_EQ(t.max().frequency_hz, 1600e6);
+}
+
+TEST(OppTable, LittleClusterMatchesTable6_2) {
+  const OppTable t = little_cluster_opp_table();
+  ASSERT_EQ(t.size(), 8u);  // eight discrete levels (Table 6.2)
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, (500.0 + 100.0 * i) * 1e6);
+  }
+}
+
+TEST(OppTable, GpuMatchesTable6_3) {
+  const OppTable t = gpu_opp_table();
+  ASSERT_EQ(t.size(), 5u);
+  const double expected[] = {177e6, 266e6, 350e6, 480e6, 533e6};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, expected[i]);
+  }
+}
+
+TEST(OppTable, VoltagesAscendWithFrequency) {
+  for (const OppTable& t : {big_cluster_opp_table(), little_cluster_opp_table(),
+                            gpu_opp_table()}) {
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      EXPECT_GT(t.at(i).voltage_v, t.at(i - 1).voltage_v);
+    }
+  }
+}
+
+TEST(OppTable, LevelOfAndContains) {
+  const OppTable t = big_cluster_opp_table();
+  EXPECT_EQ(t.level_of(1200e6), 4u);
+  EXPECT_TRUE(t.contains(800e6));
+  EXPECT_FALSE(t.contains(850e6));
+  EXPECT_THROW(t.level_of(850e6), std::invalid_argument);
+}
+
+TEST(OppTable, HighestNotAbove) {
+  const OppTable t = big_cluster_opp_table();
+  EXPECT_DOUBLE_EQ(t.highest_not_above(1450e6).frequency_hz, 1400e6);
+  EXPECT_DOUBLE_EQ(t.highest_not_above(1600e6).frequency_hz, 1600e6);
+  EXPECT_DOUBLE_EQ(t.highest_not_above(5e9).frequency_hz, 1600e6);
+  // Below the table: clamps to the minimum (caller decides infeasibility).
+  EXPECT_DOUBLE_EQ(t.highest_not_above(100e6).frequency_hz, 800e6);
+}
+
+TEST(OppTable, StepDown) {
+  const OppTable t = gpu_opp_table();
+  EXPECT_DOUBLE_EQ(t.step_down(533e6).frequency_hz, 480e6);
+  EXPECT_DOUBLE_EQ(t.step_down(177e6).frequency_hz, 177e6);
+  // Off-table frequency steps to the highest strictly below it.
+  EXPECT_DOUBLE_EQ(t.step_down(300e6).frequency_hz, 266e6);
+}
+
+TEST(OppTable, VoltageAt) {
+  const OppTable t = big_cluster_opp_table();
+  EXPECT_DOUBLE_EQ(t.voltage_at(1600e6), 1.20);
+  EXPECT_THROW(t.voltage_at(123e6), std::invalid_argument);
+}
+
+TEST(OppTable, ConstructionValidation) {
+  EXPECT_THROW(OppTable({}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{2e9, 1.0}, {1e9, 0.9}}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{1e9, 0.9}, {1e9, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{1e9, -0.5}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtpm::power

@@ -1,0 +1,164 @@
+#include "core/power_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtpm::core {
+namespace {
+
+// A 4-hotspot, 4-rail model with realistic structure: every rail warms every
+// core, the big rail most strongly.
+sysid::ThermalStateModel make_model() {
+  sysid::ThermalStateModel m;
+  m.a = util::Matrix{{0.85, 0.03, 0.03, 0.03},
+                     {0.03, 0.85, 0.03, 0.03},
+                     {0.03, 0.03, 0.85, 0.03},
+                     {0.03, 0.03, 0.03, 0.85}};
+  m.b = util::Matrix{{0.30, 0.10, 0.08, 0.15},
+                     {0.28, 0.11, 0.08, 0.14},
+                     {0.26, 0.12, 0.10, 0.13},
+                     {0.27, 0.11, 0.09, 0.16}};
+  m.ts_s = 0.1;
+  m.ambient_ref_c = 25.0;
+  return m;
+}
+
+constexpr double kTmax = 63.0;
+
+TEST(PowerBudget, EqualityHoldsAtTheBudget) {
+  // Plugging the computed budget back into the predictor must land the
+  // constraining hotspot exactly on T_max (Eq. 5.5 solved as equality).
+  const ThermalPredictor predictor(make_model());
+  const std::vector<double> temps{58.0, 56.0, 55.0, 54.0};
+  power::ResourceVector rails{2.0, 0.1, 0.3, 0.4};
+  const BudgetResult budget = compute_power_budget(
+      predictor, 10, temps, rails, power::Resource::kBigCluster, kTmax, 0.3);
+  ASSERT_TRUE(budget.valid);
+  EXPECT_EQ(budget.constraining_hotspot, 0u);  // hottest core row
+  rails[power::resource_index(power::Resource::kBigCluster)] =
+      budget.total_budget_w;
+  const auto predicted = predictor.predict(temps, {rails.begin(), rails.end()}, 10);
+  EXPECT_NEAR(predicted[budget.constraining_hotspot], kTmax, 1e-9);
+}
+
+TEST(PowerBudget, DynamicBudgetSubtractsLeakage) {
+  const ThermalPredictor predictor(make_model());
+  const std::vector<double> temps{58.0, 56.0, 55.0, 54.0};
+  const power::ResourceVector rails{2.0, 0.1, 0.3, 0.4};
+  const BudgetResult b = compute_power_budget(
+      predictor, 10, temps, rails, power::Resource::kBigCluster, kTmax, 0.45);
+  EXPECT_NEAR(b.dynamic_budget_w, b.total_budget_w - 0.45, 1e-12);
+}
+
+TEST(PowerBudget, HotterStateMeansSmallerBudget) {
+  const ThermalPredictor predictor(make_model());
+  const power::ResourceVector rails{2.0, 0.1, 0.3, 0.4};
+  const BudgetResult cool = compute_power_budget(
+      predictor, 10, {50, 50, 50, 50}, rails, power::Resource::kBigCluster,
+      kTmax, 0.3);
+  const BudgetResult hot = compute_power_budget(
+      predictor, 10, {61, 60, 60, 60}, rails, power::Resource::kBigCluster,
+      kTmax, 0.3);
+  EXPECT_LT(hot.total_budget_w, cool.total_budget_w);
+}
+
+TEST(PowerBudget, OtherRailPowerConsumesHeadroom) {
+  const ThermalPredictor predictor(make_model());
+  const std::vector<double> temps{55, 55, 55, 55};
+  const BudgetResult gpu_idle = compute_power_budget(
+      predictor, 10, temps, {2.0, 0.1, 0.1, 0.4},
+      power::Resource::kBigCluster, kTmax, 0.3);
+  const BudgetResult gpu_busy = compute_power_budget(
+      predictor, 10, temps, {2.0, 0.1, 1.5, 0.4},
+      power::Resource::kBigCluster, kTmax, 0.3);
+  EXPECT_LT(gpu_busy.total_budget_w, gpu_idle.total_budget_w);
+}
+
+TEST(PowerBudget, AllHotspotsIsAtLeastAsConservative) {
+  const ThermalPredictor predictor(make_model());
+  // Make core 2 the binding row by cooling core 0 a lot.
+  const std::vector<double> temps{50.0, 55.0, 61.0, 54.0};
+  const power::ResourceVector rails{2.0, 0.1, 0.3, 0.4};
+  const BudgetResult hottest = compute_power_budget(
+      predictor, 10, temps, rails, power::Resource::kBigCluster, kTmax, 0.3,
+      BudgetRowPolicy::kHottestCore);
+  const BudgetResult all = compute_power_budget(
+      predictor, 10, temps, rails, power::Resource::kBigCluster, kTmax, 0.3,
+      BudgetRowPolicy::kAllHotspots);
+  EXPECT_LE(all.total_budget_w, hottest.total_budget_w + 1e-12);
+  // With the budget from the all-rows policy, no hotspot exceeds T_max.
+  power::ResourceVector at_budget = rails;
+  at_budget[0] = all.total_budget_w;
+  const auto predicted =
+      predictor.predict(temps, {at_budget.begin(), at_budget.end()}, 10);
+  for (double t : predicted) EXPECT_LE(t, kTmax + 1e-9);
+}
+
+TEST(PowerBudget, NegativeBudgetWhenConstraintUnreachable) {
+  const ThermalPredictor predictor(make_model());
+  // Already far above T_max with huge other-rail heat: even zero big power
+  // cannot satisfy the constraint at this horizon.
+  const BudgetResult b = compute_power_budget(
+      predictor, 10, {95, 94, 93, 92}, {2.0, 1.0, 3.0, 2.0},
+      power::Resource::kBigCluster, kTmax, 0.3);
+  ASSERT_TRUE(b.valid);
+  EXPECT_LT(b.total_budget_w, 0.0);
+}
+
+TEST(PowerBudget, TargetsOtherResources) {
+  const ThermalPredictor predictor(make_model());
+  const std::vector<double> temps{58, 57, 56, 55};
+  const power::ResourceVector rails{1.5, 0.1, 1.0, 0.4};
+  const BudgetResult gpu = compute_power_budget(
+      predictor, 10, temps, rails, power::Resource::kGpu, kTmax, 0.1);
+  ASSERT_TRUE(gpu.valid);
+  power::ResourceVector at_budget = rails;
+  at_budget[power::resource_index(power::Resource::kGpu)] = gpu.total_budget_w;
+  const auto predicted =
+      predictor.predict(temps, {at_budget.begin(), at_budget.end()}, 10);
+  EXPECT_NEAR(predicted[gpu.constraining_hotspot], kTmax, 1e-9);
+}
+
+TEST(PowerBudget, InvalidWhenRailHasNoThermalAuthority) {
+  sysid::ThermalStateModel m = make_model();
+  for (std::size_t i = 0; i < 4; ++i) m.b(i, 1) = 0.0;  // little rail decoupled
+  const ThermalPredictor predictor(m);
+  const BudgetResult b = compute_power_budget(
+      predictor, 10, {58, 57, 56, 55}, {2.0, 0.1, 0.3, 0.4},
+      power::Resource::kLittleCluster, kTmax, 0.1);
+  EXPECT_FALSE(b.valid);
+}
+
+TEST(PowerBudget, ArgumentValidation) {
+  const ThermalPredictor predictor(make_model());
+  const power::ResourceVector rails{1, 1, 1, 1};
+  EXPECT_THROW(compute_power_budget(predictor, 0, {55, 55, 55, 55}, rails,
+                                    power::Resource::kBigCluster, kTmax, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(compute_power_budget(predictor, 10, {55, 55}, rails,
+                                    power::Resource::kBigCluster, kTmax, 0.1),
+               std::invalid_argument);
+}
+
+// Horizon sweep: a longer horizon gives the plant more time to heat, so the
+// admissible steady budget shrinks monotonically toward the DC limit.
+class BudgetHorizonSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BudgetHorizonSweep, BudgetShrinksWithHorizon) {
+  const ThermalPredictor predictor(make_model());
+  const std::vector<double> temps{55, 55, 55, 55};
+  const power::ResourceVector rails{2.0, 0.1, 0.3, 0.4};
+  const unsigned h = GetParam();
+  const BudgetResult shorter = compute_power_budget(
+      predictor, h, temps, rails, power::Resource::kBigCluster, kTmax, 0.3);
+  const BudgetResult longer = compute_power_budget(
+      predictor, h + 5, temps, rails, power::Resource::kBigCluster, kTmax, 0.3);
+  EXPECT_GE(shorter.total_budget_w, longer.total_budget_w - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, BudgetHorizonSweep,
+                         ::testing::Values(1u, 5u, 10u, 20u, 40u));
+
+}  // namespace
+}  // namespace dtpm::core

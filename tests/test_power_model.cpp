@@ -1,0 +1,92 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/dynamic_power.hpp"
+
+namespace dtpm::power {
+namespace {
+
+ResourcePowerModel make_model() {
+  LeakageParams leak{3.9e-3, -2640.0, 0.005, 1.20, 0.0};
+  AlphaCEstimator::Params alpha;
+  alpha.initial_alpha_c = 0.5e-9;
+  return ResourcePowerModel(leak, alpha);
+}
+
+TEST(ResourcePowerModel, ObserveDecomposesTotalPower) {
+  ResourcePowerModel model = make_model();
+  const double leak = model.predict_leakage_w(60.0, 1.2);
+  const double measured = leak + 1.5;
+  const PowerBreakdown b = model.observe(measured, 60.0, 1.2, 1.6e9);
+  EXPECT_DOUBLE_EQ(b.total_w, measured);
+  EXPECT_NEAR(b.leakage_w, leak, 1e-12);
+  EXPECT_NEAR(b.dynamic_w, 1.5, 1e-12);
+}
+
+TEST(ResourcePowerModel, DynamicNeverNegative) {
+  ResourcePowerModel model = make_model();
+  // Measured total below the leakage estimate: dynamic clamps to zero.
+  const PowerBreakdown b = model.observe(0.01, 80.0, 1.2, 1.6e9);
+  EXPECT_EQ(b.dynamic_w, 0.0);
+}
+
+TEST(ResourcePowerModel, AlphaCUpdatedFromObservation) {
+  ResourcePowerModel model = make_model();
+  const double truth = 0.9e-9;
+  for (int i = 0; i < 80; ++i) {
+    const double total = model.predict_leakage_w(55.0, 1.2) +
+                         dynamic_power_w(truth, 1.2, 1.6e9);
+    model.observe(total, 55.0, 1.2, 1.6e9);
+  }
+  EXPECT_NEAR(model.alpha_c(), truth, 2e-11);
+}
+
+TEST(ResourcePowerModel, PredictTotalIsLeakPlusDynamic) {
+  ResourcePowerModel model = make_model();
+  const double total = model.predict_total_w(60.0, 1.1, 1.2e9);
+  EXPECT_NEAR(total,
+              model.predict_leakage_w(60.0, 1.1) +
+                  model.predict_dynamic_w(1.1, 1.2e9),
+              1e-12);
+}
+
+TEST(ResourcePowerModel, PredictionAtOtherOperatingPoint) {
+  // The Fig. 4.4 loop: learn alphaC at (V1, f1), predict at (V2, f2).
+  ResourcePowerModel model = make_model();
+  const double truth = 0.7e-9;
+  for (int i = 0; i < 80; ++i) {
+    model.observe(model.predict_leakage_w(50.0, 1.04) +
+                      dynamic_power_w(truth, 1.04, 1.2e9),
+                  50.0, 1.04, 1.2e9);
+  }
+  const double predicted = model.predict_total_w(50.0, 1.20, 1.6e9);
+  const double expected = model.predict_leakage_w(50.0, 1.20) +
+                          dynamic_power_w(truth, 1.20, 1.6e9);
+  EXPECT_NEAR(predicted, expected, 0.01);
+}
+
+TEST(ResourcePowerModel, SkipsAlphaUpdateWhenClockInvalid) {
+  ResourcePowerModel model = make_model();
+  const double before = model.alpha_c();
+  model.observe(3.0, 60.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(model.alpha_c(), before);
+}
+
+TEST(PlatformPowerModel, IndependentPerResourceModels) {
+  PlatformPowerModel platform;
+  platform.model(Resource::kBigCluster) = make_model();
+  platform.model(Resource::kBigCluster).reset_alpha_c(1e-9);
+  EXPECT_NE(platform.model(Resource::kBigCluster).alpha_c(),
+            platform.model(Resource::kGpu).alpha_c());
+}
+
+TEST(ResourceEnum, NamesAndTotal) {
+  EXPECT_EQ(to_string(Resource::kBigCluster), "big");
+  EXPECT_EQ(to_string(Resource::kMem), "mem");
+  EXPECT_EQ(all_resources().size(), kResourceCount);
+  EXPECT_DOUBLE_EQ(total({1.0, 2.0, 3.0, 4.0}), 10.0);
+}
+
+}  // namespace
+}  // namespace dtpm::power

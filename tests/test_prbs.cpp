@@ -1,0 +1,80 @@
+#include "util/prbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace dtpm::util {
+namespace {
+
+TEST(Prbs, UnsupportedWidthThrows) {
+  EXPECT_THROW(Prbs(8), std::invalid_argument);
+  EXPECT_THROW(Prbs(0), std::invalid_argument);
+}
+
+TEST(Prbs, SevenBitSequenceHasMaximalPeriod) {
+  // A maximal-length 7-bit LFSR repeats with period 2^7 - 1 = 127.
+  Prbs gen(7, /*hold_intervals=*/1);
+  const auto first = gen.sequence(127);
+  const auto second = gen.sequence(127);
+  EXPECT_EQ(first, second);
+  // And no shorter shift maps the sequence onto itself.
+  for (std::size_t shift : {1u, 7u, 63u}) {
+    bool all_equal = true;
+    for (std::size_t i = 0; i < 127; ++i) {
+      if (first[i] != first[(i + shift) % 127]) {
+        all_equal = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(all_equal) << "period divides " << shift;
+  }
+}
+
+TEST(Prbs, BalancedOnesAndZeros) {
+  // Maximal-length sequences have 2^(n-1) ones and 2^(n-1)-1 zeros.
+  Prbs gen(15, 1);
+  const auto seq = gen.sequence((1u << 15) - 1);
+  std::size_t ones = 0;
+  for (bool b : seq) ones += b ? 1 : 0;
+  EXPECT_EQ(ones, 1u << 14);
+}
+
+TEST(Prbs, HoldStretchesBits) {
+  Prbs gen(9, /*hold_intervals=*/5);
+  const auto seq = gen.sequence(200);
+  // Every completed run of identical values must be a multiple of 5 long.
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i] == seq[i - 1]) {
+      ++run;
+    } else {
+      EXPECT_EQ(run % 5, 0u) << "run ending at " << i;
+      run = 1;
+    }
+  }
+}
+
+TEST(Prbs, ZeroSeedIsCorrected) {
+  // An all-zero LFSR state is a fixed point; the constructor must avoid it.
+  Prbs gen(7, 1, 0);
+  const auto seq = gen.sequence(127);
+  std::set<bool> values(seq.begin(), seq.end());
+  EXPECT_EQ(values.size(), 2u);  // both 0s and 1s appear
+}
+
+TEST(Prbs, DifferentSeedsGiveDifferentPrefixes) {
+  Prbs a(15, 1, 0x2AA);
+  Prbs b(15, 1, 0x155);
+  EXPECT_NE(a.sequence(64), b.sequence(64));
+}
+
+TEST(Prbs, HoldZeroBehavesAsOne) {
+  Prbs a(7, 0);
+  Prbs b(7, 1);
+  EXPECT_EQ(a.sequence(50), b.sequence(50));
+}
+
+}  // namespace
+}  // namespace dtpm::util

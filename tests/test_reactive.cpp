@@ -1,0 +1,123 @@
+#include "governors/reactive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtpm::governors {
+namespace {
+
+soc::PlatformView view_at(double temp_c, double time_s) {
+  soc::PlatformView v;
+  v.time_s = time_s;
+  v.big_temps_c = {temp_c, temp_c, temp_c, temp_c};
+  v.config.big_freq_hz = 1600e6;
+  return v;
+}
+
+Decision proposal_max() {
+  Decision d;
+  d.soc.big_freq_hz = 1600e6;
+  return d;
+}
+
+TEST(Reactive, NoThrottleBelowThreshold) {
+  ReactiveThrottlePolicy policy;
+  const Decision d = policy.adjust(view_at(60.0, 0.0), proposal_max());
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1600e6);
+  EXPECT_DOUBLE_EQ(policy.cap_fraction(), 1.0);
+}
+
+TEST(Reactive, Level1ThrottleRemoves18Percent) {
+  ReactiveThrottlePolicy policy;
+  const Decision d = policy.adjust(view_at(64.0, 10.0), proposal_max());
+  // cap = 1600 * 0.82 = 1312 -> highest OPP not above = 1300 MHz.
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1300e6);
+}
+
+TEST(Reactive, Level2ThrottleRemoves25Percent) {
+  ReactiveThrottlePolicy policy;
+  const Decision d = policy.adjust(view_at(69.0, 10.0), proposal_max());
+  // cap = 1600 * 0.75 = 1200 MHz.
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1200e6);
+}
+
+TEST(Reactive, CompoundsWhileViolationPersists) {
+  ReactiveThrottleParams params;
+  params.action_period_s = 0.5;
+  ReactiveThrottlePolicy policy(params);
+  double f1 = policy.adjust(view_at(64.0, 0.0), proposal_max()).soc.big_freq_hz;
+  double f2 = policy.adjust(view_at(64.0, 0.6), proposal_max()).soc.big_freq_hz;
+  double f3 = policy.adjust(view_at(64.0, 1.2), proposal_max()).soc.big_freq_hz;
+  EXPECT_LT(f2, f1);
+  EXPECT_LT(f3, f2);
+}
+
+TEST(Reactive, ActionPeriodRateLimitsSteps) {
+  ReactiveThrottleParams params;
+  params.action_period_s = 1.0;
+  ReactiveThrottlePolicy policy(params);
+  const double f1 =
+      policy.adjust(view_at(64.0, 0.0), proposal_max()).soc.big_freq_hz;
+  // 0.3 s later: too soon for another step.
+  const double f2 =
+      policy.adjust(view_at(64.0, 0.3), proposal_max()).soc.big_freq_hz;
+  EXPECT_DOUBLE_EQ(f1, f2);
+}
+
+TEST(Reactive, CapNeverBelowTableMinimum) {
+  ReactiveThrottleParams params;
+  params.action_period_s = 0.0;
+  ReactiveThrottlePolicy policy(params);
+  for (int i = 0; i < 50; ++i) {
+    policy.adjust(view_at(70.0, double(i)), proposal_max());
+  }
+  const Decision d = policy.adjust(view_at(70.0, 100.0), proposal_max());
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 800e6);
+  EXPECT_GE(policy.cap_fraction(), 800.0 / 1600.0);
+}
+
+TEST(Reactive, RecoversOneStepAtATimeBelowHysteresis) {
+  ReactiveThrottleParams params;
+  params.action_period_s = 0.0;
+  params.hysteresis_c = 6.0;
+  ReactiveThrottlePolicy policy(params);
+  policy.adjust(view_at(64.0, 0.0), proposal_max());
+  policy.adjust(view_at(64.0, 1.0), proposal_max());
+  const double throttled = policy.cap_fraction();
+  // 58 C is not below 63 - 6 = 57: no recovery yet.
+  policy.adjust(view_at(58.0, 2.0), proposal_max());
+  EXPECT_DOUBLE_EQ(policy.cap_fraction(), throttled);
+  // 55 C: recovery, one multiplicative step back.
+  policy.adjust(view_at(55.0, 3.0), proposal_max());
+  EXPECT_GT(policy.cap_fraction(), throttled);
+  EXPECT_LT(policy.cap_fraction(), 1.0);
+}
+
+TEST(Reactive, DoesNotRaiseProposalFrequency) {
+  ReactiveThrottlePolicy policy;
+  Decision low = proposal_max();
+  low.soc.big_freq_hz = 1000e6;  // ondemand proposed a low frequency
+  const Decision d = policy.adjust(view_at(64.0, 5.0), low);
+  EXPECT_DOUBLE_EQ(d.soc.big_freq_hz, 1000e6);
+}
+
+TEST(Reactive, FanAlwaysOff) {
+  ReactiveThrottlePolicy policy;
+  Decision proposal = proposal_max();
+  proposal.fan = thermal::FanSpeed::kFull;
+  EXPECT_EQ(policy.adjust(view_at(70.0, 0.0), proposal).fan,
+            thermal::FanSpeed::kOff);
+}
+
+TEST(Reactive, ThrottlesLittleClusterWhenActive) {
+  ReactiveThrottlePolicy policy;
+  Decision proposal;
+  proposal.soc.active_cluster = soc::ClusterId::kLittle;
+  proposal.soc.little_freq_hz = 1200e6;
+  soc::PlatformView v = view_at(64.0, 5.0);
+  v.config.active_cluster = soc::ClusterId::kLittle;
+  const Decision d = policy.adjust(v, proposal);
+  EXPECT_LT(d.soc.little_freq_hz, 1200e6);
+}
+
+}  // namespace
+}  // namespace dtpm::governors

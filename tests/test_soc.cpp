@@ -1,0 +1,227 @@
+#include "soc/soc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtpm::soc {
+namespace {
+
+constexpr std::array<double, kBigCoreCount> kWarmCores{55.0, 55.0, 55.0, 55.0};
+
+workload::Demand cpu_demand(int threads, double activity, double mem_intensity,
+                            double cycles = 0.96e9, double mem_seconds = 1.0) {
+  workload::Demand d;
+  for (int i = 0; i < threads; ++i) {
+    workload::ThreadDemand td;
+    td.duty = 1.0;
+    td.cpu_activity = activity;
+    td.mem_intensity = mem_intensity;
+    td.counts_progress = true;
+    td.cpu_cycles_per_unit = cycles;
+    td.mem_seconds_per_unit = mem_seconds * mem_intensity;
+    d.threads.push_back(td);
+  }
+  return d;
+}
+
+SocConfig config_at(double big_mhz, int online_cores = 4) {
+  SocConfig c;
+  c.big_freq_hz = big_mhz * 1e6;
+  for (int i = 0; i < kBigCoreCount; ++i) c.big_core_online[i] = i < online_cores;
+  return c;
+}
+
+double big_rail(const SocStepResult& r) {
+  return r.rail_power_w[power::resource_index(power::Resource::kBigCluster)];
+}
+
+SocStepResult run(Soc& soc, const workload::Demand& d, double dt = 0.1) {
+  return soc.step(d, {}, kWarmCores, 50.0, 50.0, 50.0, dt);
+}
+
+TEST(Soc, ApplyValidatesFrequencies) {
+  Soc soc;
+  SocConfig c = config_at(1600);
+  c.big_freq_hz = 1.55e9;  // not a Table 6.1 entry
+  EXPECT_THROW(soc.apply(c), std::invalid_argument);
+  c = config_at(1600);
+  c.gpu_freq_hz = 300e6;
+  EXPECT_THROW(soc.apply(c), std::invalid_argument);
+  c = config_at(1600, 0);  // all big cores offline while big active
+  EXPECT_THROW(soc.apply(c), std::invalid_argument);
+}
+
+TEST(Soc, PowerIncreasesWithFrequency) {
+  Soc soc;
+  const workload::Demand d = cpu_demand(1, 0.8, 0.2);
+  double prev = 0.0;
+  for (double mhz : {800, 1000, 1200, 1400, 1600}) {
+    soc.apply(config_at(mhz));
+    const double p = big_rail(run(soc, d));
+    EXPECT_GT(p, prev) << mhz;
+    prev = p;
+  }
+}
+
+TEST(Soc, ProgressMonotoneInFrequency) {
+  // The bandwidth-saturation model must never reward throttling (this was a
+  // real bug: naive proportional contention made lower f faster).
+  for (double mem : {0.1, 0.3, 0.45, 0.6}) {
+    Soc soc;
+    const workload::Demand d = cpu_demand(4, 0.7, mem, 0.88e9, 1.0);
+    double prev = 0.0;
+    for (double mhz : {800, 1000, 1200, 1400, 1600}) {
+      soc.apply(config_at(mhz));
+      const double rate = run(soc, d).progress_units;
+      EXPECT_GE(rate, prev - 1e-9) << "mem=" << mem << " f=" << mhz;
+      prev = rate;
+    }
+  }
+}
+
+TEST(Soc, BandwidthBoundThrottlingIsNearlyFree) {
+  // 4 memory-heavy threads saturate the DDR: dropping 1600 -> 1400 MHz must
+  // cost almost no progress (the paper's matmul, Fig. 6.8/6.9).
+  Soc soc;
+  const workload::Demand d = cpu_demand(4, 0.7, 0.45, 0.88e9, 0.55);
+  soc.apply(config_at(1600));
+  const double fast = run(soc, d).progress_units;
+  soc.apply(config_at(1400));
+  const double slow = run(soc, d).progress_units;
+  EXPECT_GT(slow, 0.97 * fast);
+}
+
+TEST(Soc, CpuBoundThrottlingCostsProportionally) {
+  Soc soc;
+  const workload::Demand d = cpu_demand(1, 0.8, 0.05, 1.5e9, 0.2);
+  soc.apply(config_at(1600));
+  const double fast = run(soc, d).progress_units;
+  soc.apply(config_at(800));
+  const double slow = run(soc, d).progress_units;
+  EXPECT_LT(slow, 0.60 * fast);  // nearly frequency-proportional
+}
+
+TEST(Soc, MultithreadPowerSublinear) {
+  // Shared uncore + DDR contention: 4 threads draw well under 4x one thread.
+  Soc soc;
+  soc.apply(config_at(1600));
+  const double p1 = big_rail(run(soc, cpu_demand(1, 0.7, 0.4)));
+  const double p4 = big_rail(run(soc, cpu_demand(4, 0.7, 0.4)));
+  EXPECT_GT(p4, p1);
+  EXPECT_LT(p4, 2.5 * p1);
+}
+
+TEST(Soc, OfflineCoreReducesPower) {
+  Soc soc;
+  const workload::Demand d = cpu_demand(4, 0.8, 0.2);
+  soc.apply(config_at(1600, 4));
+  const double all_on = big_rail(run(soc, d));
+  soc.apply(config_at(1600, 3));
+  const SocStepResult r = run(soc, d);
+  EXPECT_LT(big_rail(r), all_on);
+  // The offline core (index 3) contributes only gated residual leakage.
+  EXPECT_LT(r.big_core_power_w[3], 0.02);
+}
+
+TEST(Soc, LittleClusterFarCheaperAndSlower) {
+  Soc soc;
+  const workload::Demand d = cpu_demand(4, 0.8, 0.2);
+  soc.apply(config_at(1600));
+  const SocStepResult big = run(soc, d);
+  SocConfig little_config = config_at(1600);
+  little_config.active_cluster = ClusterId::kLittle;
+  little_config.little_freq_hz = 1.2e9;
+  soc.apply(little_config);
+  run(soc, d);  // consume the migration stall
+  const SocStepResult little = run(soc, d);
+  const double p_little = little.rail_power_w[power::resource_index(
+      power::Resource::kLittleCluster)];
+  EXPECT_LT(p_little, 0.3 * big_rail(big));
+  EXPECT_LT(little.progress_units, 0.6 * big.progress_units);
+  // Big cores power-collapsed.
+  EXPECT_LT(big_rail(little), 0.03);
+}
+
+TEST(Soc, ClusterMigrationStallsProgress) {
+  Soc soc;
+  const workload::Demand d = cpu_demand(1, 0.5, 0.1);
+  soc.apply(config_at(1600));
+  const double base = run(soc, d, 0.1).progress_units;
+  SocConfig to_little = soc.config();
+  to_little.active_cluster = ClusterId::kLittle;
+  soc.apply(to_little);
+  SocConfig back = soc.config();
+  back.active_cluster = ClusterId::kBig;
+  soc.apply(back);  // two migrations queued: 2 * 50 ms of stall
+  const double stalled = run(soc, d, 0.1).progress_units;
+  EXPECT_EQ(stalled, 0.0);  // the whole 100 ms interval is stalled
+  EXPECT_GT(run(soc, d, 0.1).progress_units, 0.9 * base);
+}
+
+TEST(Soc, GpuGatedProgress) {
+  Soc soc;
+  workload::Demand d = cpu_demand(2, 0.5, 0.2, 0.8e9);
+  d.gpu_load = 0.85;
+  d.gpu_cycles_per_unit = 4.2e8;
+  soc.apply(config_at(1600));
+  const double gated = run(soc, d).progress_units;
+  // GPU rate bound: load * f_gpu_max / cycles = 0.85*533e6/4.2e8 per second.
+  EXPECT_NEAR(gated, 0.85 * 533e6 / 4.2e8 * 0.1, 1e-3);
+  // Dropping the GPU one OPP (533 -> 480) keeps the demand satisfiable:
+  // near-zero fps cost, the "free" first throttling step of §5.2.
+  SocConfig c = soc.config();
+  c.gpu_freq_hz = 480e6;
+  soc.apply(c);
+  EXPECT_NEAR(run(soc, d).progress_units, gated, 1e-3);
+  // Two more steps down (266 MHz) starve it.
+  c.gpu_freq_hz = 266e6;
+  soc.apply(c);
+  EXPECT_LT(run(soc, d).progress_units, 0.7 * gated);
+}
+
+TEST(Soc, GpuPowerScalesWithLoadAndFrequency) {
+  Soc soc;
+  soc.apply(config_at(800));
+  workload::Demand idle = cpu_demand(1, 0.3, 0.1);
+  workload::Demand busy = idle;
+  busy.gpu_load = 0.9;
+  const auto gpu_idx = power::resource_index(power::Resource::kGpu);
+  SocConfig c = soc.config();
+  c.gpu_freq_hz = 533e6;
+  soc.apply(c);
+  const double p_busy = run(soc, busy).rail_power_w[gpu_idx];
+  const double p_idle = run(soc, idle).rail_power_w[gpu_idx];
+  EXPECT_GT(p_busy, 3.0 * p_idle);
+  c.gpu_freq_hz = 177e6;
+  soc.apply(c);
+  EXPECT_LT(run(soc, busy).rail_power_w[gpu_idx], p_busy);
+}
+
+TEST(Soc, LeakageRisesWithDieTemperature) {
+  Soc soc;
+  soc.apply(config_at(1600));
+  const workload::Demand d = cpu_demand(1, 0.5, 0.2);
+  const double cool =
+      big_rail(soc.step(d, {}, {45, 45, 45, 45}, 45, 45, 45, 0.1));
+  const double hot =
+      big_rail(soc.step(d, {}, {80, 80, 80, 80}, 80, 80, 80, 0.1));
+  EXPECT_GT(hot, cool + 0.1);
+}
+
+TEST(Soc, MemoryPowerTracksTraffic) {
+  Soc soc;
+  soc.apply(config_at(1600));
+  const auto mem_idx = power::resource_index(power::Resource::kMem);
+  const double light = run(soc, cpu_demand(1, 0.5, 0.05)).rail_power_w[mem_idx];
+  const double heavy = run(soc, cpu_demand(4, 0.5, 0.6)).rail_power_w[mem_idx];
+  EXPECT_GT(heavy, light + 0.2);
+}
+
+TEST(Soc, StepRejectsNonPositiveDt) {
+  Soc soc;
+  EXPECT_THROW(run(soc, {}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtpm::soc

@@ -1,0 +1,104 @@
+#include "sysid/thermal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtpm::sysid {
+namespace {
+
+ThermalStateModel make_model() {
+  ThermalStateModel m;
+  m.a = util::Matrix{{0.90, 0.05}, {0.04, 0.88}};
+  m.b = util::Matrix{{0.4, 0.1}, {0.1, 0.5}};
+  m.ts_s = 0.1;
+  m.ambient_ref_c = 25.0;
+  return m;
+}
+
+TEST(ThermalStateModel, Dimensions) {
+  const ThermalStateModel m = make_model();
+  EXPECT_EQ(m.state_dim(), 2u);
+  EXPECT_EQ(m.input_dim(), 2u);
+}
+
+TEST(ThermalStateModel, OneStepMatchesHandComputation) {
+  const ThermalStateModel m = make_model();
+  // delta = T - 25 = [10, 20]; next_delta = A*delta + B*P.
+  const auto out = m.predict_one({35.0, 45.0}, {1.0, 2.0});
+  EXPECT_NEAR(out[0], 25.0 + (0.90 * 10 + 0.05 * 20) + (0.4 * 1 + 0.1 * 2), 1e-12);
+  EXPECT_NEAR(out[1], 25.0 + (0.04 * 10 + 0.88 * 20) + (0.1 * 1 + 0.5 * 2), 1e-12);
+}
+
+TEST(ThermalStateModel, NStepMatchesIteratedOneStep) {
+  const ThermalStateModel m = make_model();
+  std::vector<double> temps{40.0, 42.0};
+  const std::vector<double> powers{1.5, 0.7};
+  for (int i = 0; i < 10; ++i) temps = m.predict_one(temps, powers);
+  const auto direct = m.predict_n({40.0, 42.0}, powers, 10);
+  EXPECT_NEAR(direct[0], temps[0], 1e-10);
+  EXPECT_NEAR(direct[1], temps[1], 1e-10);
+}
+
+TEST(ThermalStateModel, ZeroHorizonIsIdentity) {
+  const ThermalStateModel m = make_model();
+  const auto out = m.predict_n({50.0, 51.0}, {1.0, 1.0}, 0);
+  EXPECT_EQ(out[0], 50.0);
+  EXPECT_EQ(out[1], 51.0);
+}
+
+TEST(ThermalStateModel, CondensedMatricesIdentityAtOne) {
+  const ThermalStateModel m = make_model();
+  const auto [a1, b1] = m.condensed(1);
+  EXPECT_TRUE(a1.approx_equal(m.a, 1e-15));
+  EXPECT_TRUE(b1.approx_equal(m.b, 1e-15));
+}
+
+TEST(ThermalStateModel, CondensedMatchesSeries) {
+  const ThermalStateModel m = make_model();
+  const auto [a3, b3] = m.condensed(3);
+  EXPECT_TRUE(a3.approx_equal(m.a.pow(3), 1e-12));
+  const util::Matrix expected_b =
+      m.b + m.a * m.b + m.a.pow(2) * m.b;  // sum_{i=0}^{2} A^i B
+  EXPECT_TRUE(b3.approx_equal(expected_b, 1e-12));
+}
+
+TEST(ThermalStateModel, SteadyStateFixedPoint) {
+  const ThermalStateModel m = make_model();
+  const std::vector<double> powers{2.0, 1.0};
+  const auto ss = m.steady_state(powers);
+  const auto next = m.predict_one(ss, powers);
+  EXPECT_NEAR(next[0], ss[0], 1e-9);
+  EXPECT_NEAR(next[1], ss[1], 1e-9);
+}
+
+TEST(ThermalStateModel, LongHorizonApproachesSteadyState) {
+  const ThermalStateModel m = make_model();
+  const std::vector<double> powers{2.0, 1.0};
+  const auto far = m.predict_n({30.0, 30.0}, powers, 500);
+  const auto ss = m.steady_state(powers);
+  EXPECT_NEAR(far[0], ss[0], 1e-6);
+  EXPECT_NEAR(far[1], ss[1], 1e-6);
+}
+
+TEST(ThermalStateModel, AmbientReferenceShiftsAffinePoint) {
+  ThermalStateModel m = make_model();
+  // With zero power and T == ambient everywhere, the state is a fixed point.
+  const auto out = m.predict_n({25.0, 25.0}, {0.0, 0.0}, 50);
+  EXPECT_NEAR(out[0], 25.0, 1e-12);
+  EXPECT_NEAR(out[1], 25.0, 1e-12);
+}
+
+TEST(ThermalStateModel, StabilityRadius) {
+  EXPECT_LT(make_model().stability_radius(), 1.0);
+}
+
+TEST(ThermalStateModel, DimensionMismatchThrows) {
+  const ThermalStateModel m = make_model();
+  EXPECT_THROW(m.predict_n({1.0}, {1.0, 2.0}, 1), std::invalid_argument);
+  EXPECT_THROW(m.predict_n({1.0, 2.0}, {1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(m.steady_state({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtpm::sysid

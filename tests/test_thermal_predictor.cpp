@@ -1,0 +1,82 @@
+#include "core/thermal_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dtpm::core {
+namespace {
+
+sysid::ThermalStateModel make_model() {
+  sysid::ThermalStateModel m;
+  m.a = util::Matrix{{0.90, 0.05}, {0.04, 0.88}};
+  m.b = util::Matrix{{0.4, 0.1}, {0.1, 0.5}};
+  m.ts_s = 0.1;
+  m.ambient_ref_c = 25.0;
+  return m;
+}
+
+TEST(ThermalPredictor, MatchesModelRollout) {
+  const sysid::ThermalStateModel m = make_model();
+  const ThermalPredictor predictor(m);
+  const std::vector<double> temps{48.0, 52.0};
+  const std::vector<double> powers{1.8, 0.6};
+  for (unsigned h : {1u, 5u, 10u, 50u}) {
+    const auto direct = m.predict_n(temps, powers, h);
+    const auto cached = predictor.predict(temps, powers, h);
+    ASSERT_EQ(direct.size(), cached.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_NEAR(cached[i], direct[i], 1e-12) << "h=" << h;
+    }
+  }
+}
+
+TEST(ThermalPredictor, ZeroHorizonReturnsInput) {
+  const ThermalPredictor predictor(make_model());
+  const auto out = predictor.predict({50.0, 60.0}, {1.0, 1.0}, 0);
+  EXPECT_EQ(out[0], 50.0);
+  EXPECT_EQ(out[1], 60.0);
+}
+
+TEST(ThermalPredictor, PredictMaxSelectsHottest) {
+  const ThermalPredictor predictor(make_model());
+  const double max_pred = predictor.predict_max({48.0, 52.0}, {1.8, 0.6}, 10);
+  const auto all = predictor.predict({48.0, 52.0}, {1.8, 0.6}, 10);
+  EXPECT_DOUBLE_EQ(max_pred, std::max(all[0], all[1]));
+}
+
+TEST(ThermalPredictor, CondensedCacheIsConsistent) {
+  const sysid::ThermalStateModel m = make_model();
+  const ThermalPredictor predictor(m);
+  const auto& first = predictor.condensed(10);
+  const auto& again = predictor.condensed(10);
+  EXPECT_EQ(&first, &again);  // same cached object
+  const auto fresh = m.condensed(10);
+  EXPECT_TRUE(first.first.approx_equal(fresh.first, 1e-15));
+  EXPECT_TRUE(first.second.approx_equal(fresh.second, 1e-15));
+}
+
+TEST(ThermalPredictor, HigherPowerPredictsHigherTemperature) {
+  const ThermalPredictor predictor(make_model());
+  const double low = predictor.predict_max({50.0, 50.0}, {0.5, 0.5}, 10);
+  const double high = predictor.predict_max({50.0, 50.0}, {3.0, 3.0}, 10);
+  EXPECT_GT(high, low);
+}
+
+TEST(ThermalPredictor, MalformedModelThrows) {
+  sysid::ThermalStateModel bad = make_model();
+  bad.b = util::Matrix(3, 2);  // row mismatch with A
+  EXPECT_THROW(ThermalPredictor{bad}, std::invalid_argument);
+  bad = make_model();
+  bad.a = util::Matrix(2, 3);  // not square
+  EXPECT_THROW(ThermalPredictor{bad}, std::invalid_argument);
+}
+
+TEST(ThermalPredictor, DimensionMismatchThrows) {
+  const ThermalPredictor predictor(make_model());
+  EXPECT_THROW(predictor.predict({1.0}, {1.0, 2.0}, 5), std::invalid_argument);
+  EXPECT_THROW(predictor.predict({1.0, 2.0}, {1.0}, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtpm::core
