@@ -12,8 +12,11 @@
 //
 // Each variant runs the hot single-threaded benchmark (basicmath), reporting
 // regulation quality (max temp, time above the constraint) against cost
-// (execution time, platform power).
+// (execution time, platform power). The whole DtpmParams grid executes as
+// one parallel BatchRunner sweep.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -21,24 +24,10 @@ namespace {
 
 using namespace dtpm;
 
-struct Row {
-  double max_c, above_s, exec_s, power_w;
-};
-
-Row run_variant(const core::DtpmParams& params) {
-  sim::ExperimentConfig config;
-  config.benchmark = "basicmath";
-  config.policy = sim::Policy::kProposedDtpm;
-  config.record_trace = false;
-  config.dtpm = params;
-  const sim::RunResult r = sim::run_experiment(config, &bench::shared_model());
-  return {r.max_temp_stats.max(), r.violation_time_s, r.execution_time_s,
-          r.avg_platform_power_w};
-}
-
-void print_row(const char* label, const Row& row) {
-  std::printf("  %-26s %9.1f %10.1f %10.1f %10.2f\n", label, row.max_c,
-              row.above_s, row.exec_s, row.power_w);
+void print_row(const std::string& label, const sim::RunResult& r) {
+  std::printf("  %-26s %9.1f %10.1f %10.1f %10.2f\n", label.c_str(),
+              r.max_temp_stats.max(), r.violation_time_s, r.execution_time_s,
+              r.avg_platform_power_w);
 }
 
 }  // namespace
@@ -47,43 +36,70 @@ int main() {
   bench::print_header("Ablation",
                       "DTPM design choices on basicmath (constraint 63 C "
                       "unless stated)");
-  std::printf("  %-26s %9s %10s %10s %10s\n", "variant", "maxT [C]",
-              "above [s]", "exec [s]", "P [W]");
 
-  std::printf("\n  -- prediction horizon (paper: 10 intervals = 1 s) --\n");
+  // Assemble the whole variant grid up front, then run it as one sweep.
+  struct Section {
+    std::string title;
+    std::vector<std::string> labels;
+  };
+  std::vector<Section> sections;
+  sim::SweepGrid grid;
+  grid.base = bench::policy_config("basicmath", sim::Policy::kProposedDtpm,
+                                   /*record_trace=*/false);
+  auto add = [&](const std::string& label, const core::DtpmParams& params) {
+    grid.dtpm_params.push_back(params);
+    sections.back().labels.push_back(label);
+  };
+
+  sections.push_back({"-- prediction horizon (paper: 10 intervals = 1 s) --",
+                      {}});
   for (unsigned h : {2u, 5u, 10u, 20u, 40u}) {
     core::DtpmParams p;
     p.horizon_steps = h;
     char label[64];
     std::snprintf(label, sizeof label, "horizon %.1f s", 0.1 * h);
-    print_row(label, run_variant(p));
+    add(label, p);
   }
 
-  std::printf("\n  -- budget rows (paper: hottest core, Eq. 5.5) --\n");
+  sections.push_back({"-- budget rows (paper: hottest core, Eq. 5.5) --", {}});
   {
     core::DtpmParams p;
     p.row_policy = core::BudgetRowPolicy::kHottestCore;
-    print_row("hottest-core row", run_variant(p));
+    add("hottest-core row", p);
     p.row_policy = core::BudgetRowPolicy::kAllHotspots;
-    print_row("all-hotspot rows", run_variant(p));
+    add("all-hotspot rows", p);
   }
 
-  std::printf("\n  -- guard band below T_max --\n");
+  sections.push_back({"-- guard band below T_max --", {}});
   for (double g : {0.0, 0.5, 0.75, 1.5, 3.0}) {
     core::DtpmParams p;
     p.guard_band_c = g;
     char label[64];
     std::snprintf(label, sizeof label, "guard band %.2f C", g);
-    print_row(label, run_variant(p));
+    add(label, p);
   }
 
-  std::printf("\n  -- temperature constraint (time above is vs each T_max) --\n");
+  sections.push_back(
+      {"-- temperature constraint (time above is vs each T_max) --", {}});
   for (double t_max : {58.0, 60.0, 63.0, 66.0, 70.0}) {
     core::DtpmParams p;
     p.t_max_c = t_max;
     char label[64];
     std::snprintf(label, sizeof label, "T_max %.0f C", t_max);
-    print_row(label, run_variant(p));
+    add(label, p);
+  }
+
+  const std::vector<sim::RunResult> results =
+      bench::run_batch(sim::sweep(grid));
+
+  std::printf("  %-26s %9s %10s %10s %10s\n", "variant", "maxT [C]",
+              "above [s]", "exec [s]", "P [W]");
+  std::size_t i = 0;
+  for (const Section& section : sections) {
+    std::printf("\n  %s\n", section.title.c_str());
+    for (const std::string& label : section.labels) {
+      print_row(label, results[i++]);
+    }
   }
 
   std::printf(

@@ -10,16 +10,30 @@ const sysid::IdentifiedPlatformModel& shared_model() {
   return sim::default_calibration().model;
 }
 
-sim::RunResult run_policy(const std::string& benchmark, sim::Policy policy,
-                          bool record_trace, bool observe_predictions,
-                          unsigned horizon_steps) {
+sim::ExperimentConfig policy_config(const std::string& benchmark,
+                                    sim::Policy policy, bool record_trace,
+                                    bool observe_predictions,
+                                    unsigned horizon_steps) {
   sim::ExperimentConfig config;
   config.benchmark = benchmark;
   config.policy = policy;
   config.record_trace = record_trace;
   config.observe_predictions = observe_predictions;
   config.observe_horizon_steps = horizon_steps;
-  return sim::run_experiment(config, &shared_model());
+  return config;
+}
+
+sim::RunResult run_policy(const std::string& benchmark, sim::Policy policy,
+                          bool record_trace, bool observe_predictions,
+                          unsigned horizon_steps) {
+  return sim::run_experiment(policy_config(benchmark, policy, record_trace,
+                                           observe_predictions, horizon_steps),
+                             &shared_model());
+}
+
+std::vector<sim::RunResult> run_batch(
+    const std::vector<sim::ExperimentConfig>& configs) {
+  return sim::BatchRunner().run(configs, &shared_model());
 }
 
 void print_header(const std::string& id, const std::string& caption) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/batch.hpp"
 #include "sim/calibration.hpp"
 #include "sim/engine.hpp"
 
@@ -14,11 +15,23 @@ namespace dtpm::bench {
 /// Calibrated platform model shared by all benches (cached process-wide).
 const sysid::IdentifiedPlatformModel& shared_model();
 
+/// Default-settings config for one benchmark under one policy.
+sim::ExperimentConfig policy_config(const std::string& benchmark,
+                                    sim::Policy policy,
+                                    bool record_trace = true,
+                                    bool observe_predictions = false,
+                                    unsigned horizon_steps = 10);
+
 /// Runs one benchmark under one policy with default settings.
 sim::RunResult run_policy(const std::string& benchmark, sim::Policy policy,
                           bool record_trace = true,
                           bool observe_predictions = false,
                           unsigned horizon_steps = 10);
+
+/// Runs many configs against the shared model on the BatchRunner worker
+/// pool; results come back in input order, bit-identical to serial runs.
+std::vector<sim::RunResult> run_batch(
+    const std::vector<sim::ExperimentConfig>& configs);
 
 /// One named series for plotting/tabulation.
 struct Series {

@@ -1,7 +1,9 @@
 // Reproduces Fig. 6.2: temperature prediction error for every benchmark of
 // Table 6.4 at the 1 s (10 control interval) horizon. The paper reports an
 // average below 3 % (~1 C) that never exceeds 4 % (~1.4 C).
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "workload/suite.hpp"
@@ -17,11 +19,19 @@ int main() {
   double worst_mean = 0.0;
   double sum_mean = 0.0;
   std::size_t count = 0;
+
+  // All per-benchmark observer runs execute as one parallel batch.
+  std::vector<sim::ExperimentConfig> configs;
   for (const auto& b : workload::standard_suite()) {
-    const sim::RunResult r =
-        bench::run_policy(b.name, sim::Policy::kDefaultWithFan,
-                          /*record_trace=*/false, /*observe_predictions=*/true,
-                          /*horizon_steps=*/10);
+    configs.push_back(bench::policy_config(
+        b.name, sim::Policy::kDefaultWithFan, /*record_trace=*/false,
+        /*observe_predictions=*/true, /*horizon_steps=*/10));
+  }
+  const std::vector<sim::RunResult> results = bench::run_batch(configs);
+
+  std::size_t i = 0;
+  for (const auto& b : workload::standard_suite()) {
+    const sim::RunResult& r = results[i++];
     std::printf("  %-12s %-12.2f %-12.3f %-12.2f %10zu\n", b.name.c_str(),
                 r.prediction_mape, r.prediction_mae_c, r.prediction_max_ape,
                 r.prediction_samples);

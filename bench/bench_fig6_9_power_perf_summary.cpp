@@ -5,6 +5,7 @@
 // savings around 3 % / 8 % / 14 % for low / medium / high activity).
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "workload/suite.hpp"
@@ -25,13 +26,26 @@ int main() {
   std::map<workload::PowerClass, ClassAccum> by_class;
   double total_save = 0.0, total_loss = 0.0, total_react = 0.0;
   int n = 0;
+
+  // One parallel batch over the whole benchmark x policy grid; sweep() is
+  // row-major (benchmark outermost), so each benchmark's three policy runs
+  // are adjacent in the result vector.
+  sim::SweepGrid grid;
+  grid.base = bench::policy_config("", sim::Policy::kDefaultWithFan,
+                                   /*record_trace=*/false);
   for (const auto& b : workload::standard_suite()) {
-    const sim::RunResult def =
-        bench::run_policy(b.name, sim::Policy::kDefaultWithFan, false);
-    const sim::RunResult dtpm =
-        bench::run_policy(b.name, sim::Policy::kProposedDtpm, false);
-    const sim::RunResult react =
-        bench::run_policy(b.name, sim::Policy::kReactive, false);
+    grid.benchmarks.push_back(b.name);
+  }
+  grid.policies = {sim::Policy::kDefaultWithFan, sim::Policy::kProposedDtpm,
+                   sim::Policy::kReactive};
+  const std::vector<sim::RunResult> results =
+      bench::run_batch(sim::sweep(grid));
+
+  std::size_t i = 0;
+  for (const auto& b : workload::standard_suite()) {
+    const sim::RunResult& def = results[i++];
+    const sim::RunResult& dtpm = results[i++];
+    const sim::RunResult& react = results[i++];
     const double save = 100.0 *
                         (def.avg_platform_power_w - dtpm.avg_platform_power_w) /
                         def.avg_platform_power_w;

@@ -2,11 +2,13 @@
 //
 // The governors::ThermalPolicy interface is the extension point the paper's
 // framework diagram (Fig. 3.1) leaves open: anything that transforms the
-// default governor's proposal can be dropped into the simulation engine.
-// Here we implement a naive "hard trip" policy (cut straight to the minimum
-// frequency above a trip temperature, recover below it) and compare it
+// default governor's proposal can be dropped into the simulation. Here we
+// implement a naive "hard trip" policy (cut straight to the minimum
+// frequency above a trip temperature, recover below it), run it CLOSED-LOOP
+// through sim::Simulation's policy-override constructor, and compare it
 // against the shipped DTPM governor on the same benchmark.
 #include <cstdio>
+#include <memory>
 
 #include "governors/governor.hpp"
 #include "power/opp.hpp"
@@ -38,6 +40,8 @@ class HardTripPolicy final : public governors::ThermalPolicy {
 
   std::string_view name() const override { return "hard-trip"; }
 
+  bool tripped() const { return tripped_; }
+
  private:
   double trip_c_;
   power::OppTable big_opps_;
@@ -52,44 +56,47 @@ int main() {
 
   std::printf("== Custom policy comparison on '%s' ==\n\n", benchmark);
 
-  // Baseline: the shipped DTPM governor via the engine.
+  // Baseline: the shipped DTPM governor via the one-shot wrapper.
   sim::ExperimentConfig config;
   config.benchmark = benchmark;
   config.policy = sim::Policy::kProposedDtpm;
+  config.record_trace = false;
   const sim::RunResult dtpm = sim::run_experiment(config, &model);
 
-  // The custom policy runs through the same engine by reusing the reactive
-  // slot? No -- the engine owns policy construction, so for a custom policy
-  // we demonstrate the interface directly against recorded views: replay the
-  // DTPM run's sensor trace through HardTripPolicy and count how often it
-  // would have tripped to f_min.
-  HardTripPolicy custom;
-  governors::Decision proposal;
-  proposal.soc.big_freq_hz = 1.6e9;
+  // The custom policy runs closed-loop through the same engine: pass any
+  // governors::ThermalPolicy to Simulation and it replaces the built-in
+  // selection. Stepping manually (instead of run_experiment) also shows the
+  // incremental API -- view() exposes the live platform state between
+  // control intervals; here it counts the benchmark-window intervals the
+  // policy spent tripped.
+  auto policy = std::make_unique<HardTripPolicy>();
+  const HardTripPolicy* trip = policy.get();
+  sim::Simulation simulation(config, &model, std::move(policy));
   long trip_intervals = 0;
-  const auto times = dtpm.trace->column("time_s");
-  const auto temps = dtpm.trace->column("t_max_c");
-  for (std::size_t k = 0; k < times.size(); ++k) {
-    soc::PlatformView view;
-    view.time_s = times[k];
-    view.big_temps_c = {temps[k], temps[k], temps[k], temps[k]};
-    const governors::Decision d = custom.adjust(view, proposal);
-    if (d.soc.big_freq_hz < 1.6e9) ++trip_intervals;
+  std::size_t total_intervals = 0;
+  while (simulation.step()) {
+    if (simulation.view().warmed_up) {
+      ++total_intervals;
+      if (trip->tripped()) ++trip_intervals;
+    }
   }
+  const sim::RunResult custom = simulation.finish();
 
-  std::printf("DTPM:      exec %.1f s, max temp %.1f C, %ld gentle frequency "
-              "caps\n",
+  std::printf("DTPM:      exec %.1f s, max temp %.1f C, avg %.2f W, %ld "
+              "gentle frequency caps\n",
               dtpm.execution_time_s, dtpm.max_temp_stats.max(),
-              dtpm.dtpm.frequency_cap_events);
-  std::printf("hard-trip: would have spent %ld of %zu intervals (%.0f %%) "
-              "slammed to f_min --\n"
-              "           the performance cliff the predictive budget "
-              "avoids.\n",
-              trip_intervals, times.size(),
-              100.0 * double(trip_intervals) / double(times.size()));
+              dtpm.avg_platform_power_w, dtpm.dtpm.frequency_cap_events);
+  std::printf("hard-trip: exec %.1f s, max temp %.1f C, avg %.2f W -- spent "
+              "%ld of %zu\n"
+              "           intervals (%.0f %%) slammed to f_min, the "
+              "performance cliff the\n"
+              "           predictive budget avoids.\n",
+              custom.execution_time_s, custom.max_temp_stats.max(),
+              custom.avg_platform_power_w, trip_intervals, total_intervals,
+              100.0 * double(trip_intervals) / double(total_intervals));
   std::printf(
-      "\nTo run a custom policy closed-loop, implement\n"
-      "governors::ThermalPolicy and wire it where sim/engine.cpp builds the\n"
-      "policy stack (see make_policy()).\n");
+      "\nTo run your own policy closed-loop, implement\n"
+      "governors::ThermalPolicy and hand it to sim::Simulation's\n"
+      "policy-override constructor argument.\n");
   return 0;
 }

@@ -1,0 +1,105 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "sim/engine.hpp"
+
+namespace dtpm::sim {
+
+BatchRunner::BatchRunner(unsigned worker_count) : worker_count_(worker_count) {
+  if (worker_count_ == 0) {
+    worker_count_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<RunResult> BatchRunner::run(
+    const std::vector<BatchJob>& jobs) const {
+  std::vector<RunResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  const unsigned workers =
+      std::min<unsigned>(worker_count_, unsigned(jobs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_experiment(jobs[i].config, jobs[i].model);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic index: each worker pops the next unclaimed job,
+  // so stragglers never serialize the whole batch. Every run only touches
+  // its own Simulation (seeded from its config) and its own results slot,
+  // which is what makes parallel output bit-identical to serial.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(jobs.size());
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        results[i] = run_experiment(jobs[i].config, jobs[i].model);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+std::vector<RunResult> BatchRunner::run(
+    const std::vector<ExperimentConfig>& configs,
+    const sysid::IdentifiedPlatformModel* model) const {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(configs.size());
+  for (const ExperimentConfig& c : configs) jobs.push_back({c, model});
+  return run(jobs);
+}
+
+std::vector<ExperimentConfig> sweep(const SweepGrid& grid) {
+  const std::vector<std::string> benchmarks =
+      grid.benchmarks.empty() ? std::vector<std::string>{grid.base.benchmark}
+                              : grid.benchmarks;
+  const std::vector<Policy> policies =
+      grid.policies.empty() ? std::vector<Policy>{grid.base.policy}
+                            : grid.policies;
+  const std::vector<std::uint64_t> seeds =
+      grid.seeds.empty() ? std::vector<std::uint64_t>{grid.base.seed}
+                         : grid.seeds;
+  const std::vector<core::DtpmParams> dtpm_params =
+      grid.dtpm_params.empty()
+          ? std::vector<core::DtpmParams>{grid.base.dtpm}
+          : grid.dtpm_params;
+
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(benchmarks.size() * policies.size() * dtpm_params.size() *
+                  seeds.size());
+  for (const std::string& benchmark : benchmarks) {
+    for (Policy policy : policies) {
+      for (const core::DtpmParams& dtpm : dtpm_params) {
+        for (std::uint64_t seed : seeds) {
+          ExperimentConfig config = grid.base;
+          config.benchmark = benchmark;
+          config.policy = policy;
+          config.dtpm = dtpm;
+          config.seed = seed;
+          configs.push_back(std::move(config));
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace dtpm::sim

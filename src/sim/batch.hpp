@@ -1,0 +1,66 @@
+// Parallel scenario execution: runs a vector of ExperimentConfigs on a
+// std::thread worker pool and returns the RunResults in input order. Every
+// run is an isolated Simulation seeded from its own config, so a parallel
+// batch is bit-identical to running the same configs serially -- the
+// property the figure/table benches and the large policy/constraint/horizon
+// grids of the related DTPM literature rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/run_result.hpp"
+#include "sysid/model_store.hpp"
+
+namespace dtpm::sim {
+
+/// One batch entry: a config plus the (shared, read-only) identified model
+/// it needs. `model` may be null for policies that do not require one.
+struct BatchJob {
+  ExperimentConfig config;
+  const sysid::IdentifiedPlatformModel* model = nullptr;
+};
+
+/// Executes batches of experiments on a worker pool.
+class BatchRunner {
+ public:
+  /// `worker_count` = 0 picks std::thread::hardware_concurrency() (at least
+  /// one worker). Workers are spawned per run() call, never outliving it.
+  explicit BatchRunner(unsigned worker_count = 0);
+
+  /// Runs every job; results come back in input order. The first exception
+  /// thrown by any run (e.g. an unknown benchmark name) is rethrown after
+  /// all workers have drained.
+  std::vector<RunResult> run(const std::vector<BatchJob>& jobs) const;
+
+  /// Convenience overload: the same model pointer for every config.
+  std::vector<RunResult> run(
+      const std::vector<ExperimentConfig>& configs,
+      const sysid::IdentifiedPlatformModel* model = nullptr) const;
+
+  unsigned worker_count() const { return worker_count_; }
+
+ private:
+  unsigned worker_count_;
+};
+
+/// Cartesian sweep grid over the experiment dimensions the DTPM evaluations
+/// iterate on. Empty dimensions fall back to the corresponding field of
+/// `base`, so a grid only names the axes it actually sweeps.
+struct SweepGrid {
+  ExperimentConfig base;  ///< template for every generated config
+
+  std::vector<std::string> benchmarks;
+  std::vector<Policy> policies;
+  std::vector<std::uint64_t> seeds;
+  std::vector<core::DtpmParams> dtpm_params;
+};
+
+/// Expands the grid in row-major order (benchmark outermost, then policy,
+/// then DtpmParams, then seed), giving every config a deterministic seed
+/// from the grid -- the same grid always produces the same configs.
+std::vector<ExperimentConfig> sweep(const SweepGrid& grid);
+
+}  // namespace dtpm::sim

@@ -1,0 +1,43 @@
+// The software side of Fig. 3.1: the default ondemand governor proposes a
+// configuration every control interval and the configured thermal policy
+// adjusts it. Owns policy construction from an ExperimentConfig, including
+// the extension point for user-supplied ThermalPolicy implementations.
+#pragma once
+
+#include <memory>
+
+#include "core/dtpm_governor.hpp"
+#include "governors/governor.hpp"
+#include "governors/ondemand.hpp"
+#include "sim/config.hpp"
+#include "sysid/model_store.hpp"
+
+namespace dtpm::sim {
+
+/// Ondemand governor + thermal policy, evaluated in that order.
+class ControlStack {
+ public:
+  /// Builds the policy selected by `config.policy`, or adopts
+  /// `policy_override` (any user-defined governors::ThermalPolicy) when one
+  /// is supplied. kProposedDtpm requires `model`.
+  ControlStack(const ExperimentConfig& config,
+               const sysid::IdentifiedPlatformModel* model,
+               std::unique_ptr<governors::ThermalPolicy> policy_override);
+
+  /// One control decision: default proposal, then the policy's adjustment.
+  governors::Decision decide(const soc::PlatformView& view);
+
+  /// Non-null when the active policy is the DTPM governor (for diagnostics
+  /// and the predicted-temperature trace column).
+  core::DtpmGovernor* dtpm() { return dtpm_; }
+  const core::DtpmGovernor* dtpm() const { return dtpm_; }
+
+  const governors::ThermalPolicy& policy() const { return *policy_; }
+
+ private:
+  governors::OndemandGovernor governor_;
+  std::unique_ptr<governors::ThermalPolicy> policy_;
+  core::DtpmGovernor* dtpm_ = nullptr;
+};
+
+}  // namespace dtpm::sim

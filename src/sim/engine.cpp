@@ -1,19 +1,5 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <stdexcept>
-
-#include "core/thermal_predictor.hpp"
-#include "governors/fan_policy.hpp"
-#include "governors/ondemand.hpp"
-#include "governors/reactive.hpp"
-#include "soc/soc.hpp"
-#include "util/rng.hpp"
-#include "workload/background.hpp"
-#include "workload/suite.hpp"
-
 namespace dtpm::sim {
 
 const char* to_string(Policy p) {
@@ -30,328 +16,12 @@ const char* to_string(Policy p) {
   return "?";
 }
 
-namespace {
-
-constexpr double kRunawayAbortTempC = 115.0;
-
-int fan_level(thermal::FanSpeed s) {
-  switch (s) {
-    case thermal::FanSpeed::kOff:
-      return 0;
-    case thermal::FanSpeed::kLow:
-      return 1;
-    case thermal::FanSpeed::kHalf:
-      return 2;
-    case thermal::FanSpeed::kFull:
-      return 3;
-  }
-  return 0;
-}
-
-struct PendingPrediction {
-  std::size_t due_step = 0;
-  std::vector<double> temps_c;
-};
-
-std::unique_ptr<governors::ThermalPolicy> make_policy(
-    const ExperimentConfig& config,
-    const sysid::IdentifiedPlatformModel* model) {
-  switch (config.policy) {
-    case Policy::kDefaultWithFan:
-      return std::make_unique<governors::FanPolicy>();
-    case Policy::kWithoutFan:
-      return std::make_unique<governors::NullPolicy>();
-    case Policy::kReactive:
-      return std::make_unique<governors::ReactiveThrottlePolicy>();
-    case Policy::kProposedDtpm:
-      if (model == nullptr) {
-        throw std::invalid_argument(
-            "run_experiment: DTPM policy requires an identified model");
-      }
-      return std::make_unique<core::DtpmGovernor>(*model, config.dtpm);
-  }
-  throw std::invalid_argument("run_experiment: unknown policy");
-}
-
-}  // namespace
-
 RunResult run_experiment(const ExperimentConfig& config,
                          const sysid::IdentifiedPlatformModel* model) {
-  if (config.observe_predictions && model == nullptr) {
-    throw std::invalid_argument(
-        "run_experiment: observe_predictions requires an identified model");
+  Simulation simulation(config, model);
+  while (simulation.step()) {
   }
-  const PlatformPreset& preset = config.preset;
-
-  // --- Plant assembly --------------------------------------------------------
-  thermal::Floorplan floorplan = thermal::make_default_floorplan(preset.floorplan);
-  thermal::RcNetwork& rc = floorplan.network;
-  const thermal::Fan fan(preset.fan);
-  soc::Soc soc(preset.plant, preset.perf);
-
-  util::Rng root(config.seed);
-  const auto big_nodes = thermal::Floorplan::big_core_nodes();
-  thermal::TempSensorBank temp_bank(
-      {big_nodes.begin(), big_nodes.end()}, preset.temp_sensor, root.fork());
-  power::PowerSensorBank power_bank(preset.power_sensor, root.fork());
-  power::ExternalPowerMeter meter(preset.platform_load, root.fork());
-
-  // --- Workload --------------------------------------------------------------
-  const workload::Benchmark& bench = workload::find_benchmark(config.benchmark);
-  workload::BackgroundParams bg_params;
-  bg_params.heavy_load = workload::wants_heavy_background(bench);
-  workload::BackgroundLoad background(bg_params, root.fork());
-  workload::WorkloadInstance instance(bench);
-
-  // --- Control stack ---------------------------------------------------------
-  governors::OndemandGovernor governor;
-  std::unique_ptr<governors::ThermalPolicy> policy = make_policy(config, model);
-  auto* dtpm = dynamic_cast<core::DtpmGovernor*>(policy.get());
-  std::optional<core::ThermalPredictor> observer;
-  if (config.observe_predictions) observer.emplace(model->thermal);
-
-  // Initial configuration: warm-start at the low end; ondemand ramps up.
-  soc::SocConfig initial;
-  initial.active_cluster = soc::ClusterId::kBig;
-  initial.big_freq_hz = soc.big_opps().min().frequency_hz;
-  initial.little_freq_hz = soc.little_opps().min().frequency_hz;
-  initial.gpu_freq_hz = soc.gpu_opps().min().frequency_hz;
-  soc.apply(initial);
-  thermal::FanSpeed fan_speed = thermal::FanSpeed::kOff;
-
-  // --- Result accumulators ---------------------------------------------------
-  RunResult result;
-  if (config.record_trace) {
-    result.trace.emplace(std::vector<std::string>{
-        "time_s", "t_big0_c", "t_big1_c", "t_big2_c", "t_big3_c", "t_max_c",
-        "p_big_w", "p_little_w", "p_gpu_w", "p_mem_w", "p_platform_w",
-        "f_big_mhz", "f_little_mhz", "f_gpu_mhz", "cluster", "online_cores",
-        "fan_level", "cpu_util", "gpu_util", "progress", "pred_max_ahead_c",
-        "pred_tmax_for_now_c", "pred_t0_for_now_c"});
-  }
-  util::RunningStats pred_abs_err;
-  double pred_ape_sum = 0.0;
-  double pred_max_ape = 0.0;
-  std::size_t pred_count = 0;
-
-  // --- Main loop --------------------------------------------------------------
-  const double dt = config.control_interval_s;
-  const int substeps =
-      std::max(1, int(std::lround(dt / config.plant_substep_s)));
-  const double sub_dt = dt / substeps;
-
-  power::ResourceVector last_rails_avg{};
-  double last_fan_power = 0.0;
-  double last_cpu_max_util = 0.0, last_cpu_avg_util = 0.0, last_gpu_util = 0.0;
-  std::deque<PendingPrediction> pending;
-
-  double t = 0.0;
-  std::size_t k = 0;
-  bool started = false;
-  double start_time = 0.0;
-  double end_time = 0.0;
-  double fan_energy_j = 0.0;
-  bool runaway = false;
-
-  while (true) {
-    // 1. Sensor sampling.
-    const std::vector<double> sensor_temps = temp_bank.read(rc.temperatures_c());
-    const power::ResourceVector sensor_rails = power_bank.read(last_rails_avg);
-    const double platform_power = meter.read(last_rails_avg, last_fan_power);
-
-    soc::PlatformView view;
-    view.time_s = t;
-    for (int c = 0; c < soc::kBigCoreCount; ++c) view.big_temps_c[c] = sensor_temps[c];
-    view.rail_power_w = sensor_rails;
-    view.platform_power_w = platform_power;
-    view.cpu_max_util = last_cpu_max_util;
-    view.cpu_avg_util = last_cpu_avg_util;
-    view.gpu_util = last_gpu_util;
-    view.config = soc.config();
-
-    // 2. Control stack (Fig. 3.1): default proposal, then the thermal policy.
-    const governors::Decision proposal = governor.decide(view);
-    const governors::Decision decision = policy->adjust(view, proposal);
-    soc.apply(decision.soc);
-    fan_speed = decision.fan;
-    rc.set_edge_conductance(floorplan.fan_edge,
-                            fan.conductance_w_per_k(fan_speed));
-
-    // 3. Observe-only prediction bookkeeping.
-    double pred_tmax_for_now = std::nan("");
-    double pred_t0_for_now = std::nan("");
-    if (observer) {
-      while (!pending.empty() && pending.front().due_step <= k) {
-        const PendingPrediction& p = pending.front();
-        if (p.due_step == k && started && !instance.done()) {
-          pred_t0_for_now = p.temps_c[0];
-          pred_tmax_for_now =
-              *std::max_element(p.temps_c.begin(), p.temps_c.end());
-          for (std::size_t i = 0; i < p.temps_c.size(); ++i) {
-            const double err = std::fabs(p.temps_c[i] - sensor_temps[i]);
-            pred_abs_err.add(err);
-            if (std::fabs(sensor_temps[i]) > 1e-9) {
-              const double ape = 100.0 * err / std::fabs(sensor_temps[i]);
-              pred_ape_sum += ape;
-              pred_max_ape = std::max(pred_max_ape, ape);
-              ++pred_count;
-            }
-          }
-        }
-        pending.pop_front();
-      }
-      if (started && !instance.done()) {
-        PendingPrediction p;
-        p.due_step = k + config.observe_horizon_steps;
-        p.temps_c = observer->predict(
-            sensor_temps, {sensor_rails.begin(), sensor_rails.end()},
-            config.observe_horizon_steps);
-        pending.push_back(std::move(p));
-      }
-    }
-
-    // 4. Plant advance with leakage-temperature feedback per substep.
-    workload::Demand demand;
-    if (started && !instance.done()) {
-      demand = instance.demand();
-    } else if (!started) {
-      // Moderate warm-up load so recording starts from a warm platform.
-      workload::ThreadDemand warm;
-      warm.duty = 1.0;
-      warm.cpu_activity = config.warmup_activity;
-      warm.mem_intensity = 0.3;
-      warm.counts_progress = false;
-      demand.threads.push_back(warm);
-    }
-    const std::vector<workload::ThreadDemand> bg_threads = background.threads();
-    power::ResourceVector rails_accum{};
-    soc::SocStepResult out;
-    double consumed = 0.0;
-    bool finished_this_interval = false;
-    for (int s = 0; s < substeps; ++s) {
-      const auto& temps = rc.temperatures_c();
-      const std::array<double, soc::kBigCoreCount> big_true{
-          temps[thermal::node_index(thermal::FloorplanNode::kBig0)],
-          temps[thermal::node_index(thermal::FloorplanNode::kBig1)],
-          temps[thermal::node_index(thermal::FloorplanNode::kBig2)],
-          temps[thermal::node_index(thermal::FloorplanNode::kBig3)]};
-      out = soc.step(
-          demand, bg_threads, big_true,
-          temps[thermal::node_index(thermal::FloorplanNode::kLittleCluster)],
-          temps[thermal::node_index(thermal::FloorplanNode::kGpu)],
-          temps[thermal::node_index(thermal::FloorplanNode::kMem)], sub_dt);
-
-      std::vector<double> node_power(thermal::kFloorplanNodeCount, 0.0);
-      for (int c = 0; c < soc::kBigCoreCount; ++c) {
-        node_power[thermal::node_index(thermal::FloorplanNode::kBig0) + c] =
-            out.big_core_power_w[c];
-      }
-      node_power[thermal::node_index(thermal::FloorplanNode::kLittleCluster)] =
-          out.rail_power_w[power::resource_index(power::Resource::kLittleCluster)];
-      node_power[thermal::node_index(thermal::FloorplanNode::kGpu)] =
-          out.rail_power_w[power::resource_index(power::Resource::kGpu)];
-      node_power[thermal::node_index(thermal::FloorplanNode::kMem)] =
-          out.rail_power_w[power::resource_index(power::Resource::kMem)];
-      rc.step(sub_dt, node_power);
-
-      for (std::size_t r = 0; r < power::kResourceCount; ++r) {
-        rails_accum[r] += out.rail_power_w[r] * sub_dt;
-      }
-      consumed += sub_dt;
-      if (started && !instance.done()) {
-        instance.advance(out.progress_units);
-        if (instance.done()) {
-          finished_this_interval = true;
-          break;
-        }
-      }
-    }
-    for (std::size_t r = 0; r < power::kResourceCount; ++r) {
-      last_rails_avg[r] = rails_accum[r] / consumed;
-    }
-    last_fan_power = fan.electrical_power_w(fan_speed);
-    last_cpu_max_util = out.cpu_max_util;
-    last_cpu_avg_util = out.cpu_avg_util;
-    last_gpu_util = out.gpu_util;
-
-    // 5. Recording (benchmark window only).
-    if (started) {
-      const double t_max_reading =
-          *std::max_element(sensor_temps.begin(), sensor_temps.end());
-      result.max_temp_stats.add(t_max_reading);
-      const double soc_power = power::total(last_rails_avg);
-      const double platform_true = soc_power + last_fan_power +
-                                   preset.platform_load.board_base_w +
-                                   preset.platform_load.display_w;
-      result.platform_energy_j += platform_true * consumed;
-      fan_energy_j += last_fan_power * consumed;
-      if (t_max_reading > config.dtpm.t_max_c) result.violation_time_s += consumed;
-      if (result.trace) {
-        const double pred_ahead =
-            dtpm != nullptr ? dtpm->diagnostics().predicted_max_c
-                            : (pending.empty() ? std::nan("")
-                                               : *std::max_element(
-                                                     pending.back().temps_c.begin(),
-                                                     pending.back().temps_c.end()));
-        result.trace->append(
-            {t - start_time, sensor_temps[0], sensor_temps[1], sensor_temps[2],
-             sensor_temps[3], t_max_reading,
-             last_rails_avg[0], last_rails_avg[1], last_rails_avg[2],
-             last_rails_avg[3], platform_true,
-             soc.config().big_freq_hz / 1e6, soc.config().little_freq_hz / 1e6,
-             soc.config().gpu_freq_hz / 1e6,
-             soc.config().active_cluster == soc::ClusterId::kBig ? 0.0 : 1.0,
-             double(soc.config().online_big_cores()), double(fan_level(fan_speed)),
-             out.cpu_max_util, out.gpu_util, instance.progress_fraction(),
-             pred_ahead, pred_tmax_for_now, pred_t0_for_now});
-      }
-    }
-
-    // 6. Advance time, termination checks.
-    t += consumed;
-    ++k;
-    if (!started && t >= config.warmup_s) {
-      started = true;
-      start_time = t;
-    }
-    if (started && (instance.done() || finished_this_interval)) {
-      result.completed = true;
-      end_time = t;
-      break;
-    }
-    const auto& temps_now = rc.temperatures_c();
-    if (*std::max_element(temps_now.begin(), temps_now.end()) >
-        kRunawayAbortTempC) {
-      runaway = true;
-      end_time = t;
-      break;
-    }
-    if (t >= config.max_sim_time_s) {
-      end_time = t;
-      break;
-    }
-  }
-
-  result.execution_time_s = end_time - start_time;
-  if (result.execution_time_s > 0.0) {
-    result.avg_platform_power_w =
-        result.platform_energy_j / result.execution_time_s;
-  }
-  // SoC-only average from the energy identity: platform = soc + fan + fixed.
-  if (result.execution_time_s > 0.0) {
-    result.avg_soc_power_w =
-        (result.platform_energy_j - fan_energy_j) / result.execution_time_s -
-        preset.platform_load.board_base_w - preset.platform_load.display_w;
-  }
-  if (pred_abs_err.count() > 0) {
-    result.prediction_mae_c = pred_abs_err.mean();
-    result.prediction_mape = pred_ape_sum / double(pred_count);
-    result.prediction_max_ape = pred_max_ape;
-    result.prediction_samples = pred_count;
-  }
-  if (dtpm != nullptr) result.dtpm = dtpm->diagnostics();
-  if (runaway) result.completed = false;
-  return result;
+  return simulation.finish();
 }
 
 }  // namespace dtpm::sim

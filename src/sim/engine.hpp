@@ -1,50 +1,17 @@
-// The closed-loop simulation engine: every 100 ms control interval it reads
-// the sensor models, runs the default governor and the configured thermal
-// policy, applies the decision to the SoC, and advances the RC thermal plant
-// in fine-grained substeps with leakage-temperature feedback. This is the
-// software stack of Fig. 3.1 running against the simulated board.
+// Convenience entry point for one-shot experiment runs. The closed-loop
+// engine itself lives in sim/simulation.hpp as the steppable Simulation
+// class (Plant + ControlStack + PredictionObserver + TraceRecorder);
+// run_experiment is a thin wrapper that constructs a Simulation, drives
+// step() to completion, and returns finish(). For many configurations at
+// once, see the parallel BatchRunner in sim/batch.hpp.
 #pragma once
 
-#include <memory>
-#include <optional>
-
 #include "sim/config.hpp"
+#include "sim/run_result.hpp"
+#include "sim/simulation.hpp"
 #include "sysid/model_store.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 namespace dtpm::sim {
-
-/// Aggregate results of one benchmark run.
-struct RunResult {
-  bool completed = false;           ///< benchmark finished before the time cap
-  double execution_time_s = 0.0;    ///< the paper's performance metric
-  double avg_platform_power_w = 0.0;  ///< external meter average (incl. fan)
-  double avg_soc_power_w = 0.0;     ///< SoC rails only
-  double platform_energy_j = 0.0;
-
-  /// Statistics of the max-core-temperature trace (Figs. 6.3-6.5).
-  util::RunningStats max_temp_stats;
-  /// Wall-clock time spent above the 63 C constraint.
-  double violation_time_s = 0.0;
-
-  /// Observe-only prediction validation (when enabled): errors between
-  /// T[k+h] predictions and the later sensor measurements, across all four
-  /// hotspots (§6.3.1's convention: percentage of the measured reading).
-  double prediction_mae_c = 0.0;
-  double prediction_mape = 0.0;
-  double prediction_max_ape = 0.0;
-  std::size_t prediction_samples = 0;
-
-  /// DTPM actuation counters (zero for other policies).
-  core::DtpmDiagnostics dtpm;
-
-  /// Per-interval trace (empty when record_trace is false). Columns:
-  /// time_s, t_big0..3, t_max, p_big, p_little, p_gpu, p_mem, p_platform,
-  /// f_big_mhz, f_little_mhz, f_gpu_mhz, cluster, online_cores, fan_level,
-  /// cpu_util, progress, predicted_max_c, predicted_t0_c.
-  std::optional<util::TraceTable> trace;
-};
 
 /// Runs one experiment. `model` is required for kProposedDtpm and for
 /// observe_predictions; it is the artifact of sim::calibrate_platform.

@@ -1,0 +1,91 @@
+#include "sim/plant.hpp"
+
+#include <algorithm>
+
+namespace dtpm::sim {
+
+Plant::Plant(const PlatformPreset& preset, util::Rng& root)
+    : floorplan_(thermal::make_default_floorplan(preset.floorplan)),
+      fan_(preset.fan),
+      soc_(preset.plant, preset.perf),
+      temp_bank_([] {
+        const auto nodes = thermal::Floorplan::big_core_nodes();
+        return std::vector<std::size_t>{nodes.begin(), nodes.end()};
+      }(), preset.temp_sensor, root.fork()),
+      power_bank_(preset.power_sensor, root.fork()),
+      meter_(preset.platform_load, root.fork()) {
+  // Warm-start at the low end; ondemand ramps up from here.
+  soc::SocConfig initial;
+  initial.active_cluster = soc::ClusterId::kBig;
+  initial.big_freq_hz = soc_.big_opps().min().frequency_hz;
+  initial.little_freq_hz = soc_.little_opps().min().frequency_hz;
+  initial.gpu_freq_hz = soc_.gpu_opps().min().frequency_hz;
+  soc_.apply(initial);
+}
+
+std::vector<double> Plant::read_temps() {
+  return temp_bank_.read(floorplan_.network.temperatures_c());
+}
+
+power::ResourceVector Plant::read_rails(
+    const power::ResourceVector& true_avg_w) {
+  return power_bank_.read(true_avg_w);
+}
+
+double Plant::read_platform_power(const power::ResourceVector& true_avg_w,
+                                  double fan_power_w) {
+  return meter_.read(true_avg_w, fan_power_w);
+}
+
+void Plant::set_fan(thermal::FanSpeed speed) {
+  floorplan_.network.set_edge_conductance(floorplan_.fan_edge,
+                                          fan_.conductance_w_per_k(speed));
+}
+
+double Plant::max_true_temp_c() const {
+  const auto& temps = floorplan_.network.temperatures_c();
+  return *std::max_element(temps.begin(), temps.end());
+}
+
+PlantIntervalResult Plant::advance(
+    const workload::Demand& demand,
+    const std::vector<workload::ThreadDemand>& background_threads,
+    workload::WorkloadInstance* instance, int substeps, double sub_dt) {
+  PlantIntervalResult result;
+  power::ResourceVector rails_accum{};
+  for (int s = 0; s < substeps; ++s) {
+    const auto& temps = floorplan_.network.temperatures_c();
+    const std::array<double, soc::kBigCoreCount> big_true{
+        temps[thermal::node_index(thermal::FloorplanNode::kBig0)],
+        temps[thermal::node_index(thermal::FloorplanNode::kBig1)],
+        temps[thermal::node_index(thermal::FloorplanNode::kBig2)],
+        temps[thermal::node_index(thermal::FloorplanNode::kBig3)]};
+    result.last_substep = soc_.step(
+        demand, background_threads, big_true,
+        temps[thermal::node_index(thermal::FloorplanNode::kLittleCluster)],
+        temps[thermal::node_index(thermal::FloorplanNode::kGpu)],
+        temps[thermal::node_index(thermal::FloorplanNode::kMem)], sub_dt);
+
+    floorplan_.network.step(
+        sub_dt, thermal::assemble_node_power(result.last_substep.big_core_power_w,
+                                             result.last_substep.rail_power_w));
+
+    for (std::size_t r = 0; r < power::kResourceCount; ++r) {
+      rails_accum[r] += result.last_substep.rail_power_w[r] * sub_dt;
+    }
+    result.consumed_s += sub_dt;
+    if (instance != nullptr) {
+      instance->advance(result.last_substep.progress_units);
+      if (instance->done()) {
+        result.benchmark_finished = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < power::kResourceCount; ++r) {
+    result.rails_avg_w[r] = rails_accum[r] / result.consumed_s;
+  }
+  return result;
+}
+
+}  // namespace dtpm::sim

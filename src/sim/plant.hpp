@@ -1,0 +1,76 @@
+// The simulated board as one bundle: floorplan + RC thermal network, SoC
+// behavioural model, fan, and the sensor models through which the control
+// stack observes it. Owns the hardware side of Fig. 3.1; the Simulation
+// class drives it one control interval at a time.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "power/sensors.hpp"
+#include "sim/preset.hpp"
+#include "soc/soc.hpp"
+#include "thermal/fan.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/sensor.hpp"
+#include "util/rng.hpp"
+#include "workload/runtime.hpp"
+
+namespace dtpm::sim {
+
+/// True plant outputs aggregated over one control interval.
+struct PlantIntervalResult {
+  power::ResourceVector rails_avg_w{};  ///< substep-time-averaged rail powers
+  soc::SocStepResult last_substep;      ///< outputs of the last substep taken
+  double consumed_s = 0.0;              ///< simulated time actually advanced
+  bool benchmark_finished = false;      ///< the foreground workload completed
+};
+
+/// Physical platform bundle: thermal plant, SoC, fan, and sensors.
+///
+/// Forks three RNG streams from `root` in a fixed order (temperature bank,
+/// power bank, external meter) so experiments replay bit-identically.
+class Plant {
+ public:
+  Plant(const PlatformPreset& preset, util::Rng& root);
+
+  /// Sensor sampling (start of a control interval).
+  std::vector<double> read_temps();
+  power::ResourceVector read_rails(const power::ResourceVector& true_avg_w);
+  double read_platform_power(const power::ResourceVector& true_avg_w,
+                             double fan_power_w);
+
+  /// Actuation.
+  void apply(const soc::SocConfig& config) { soc_.apply(config); }
+  void set_fan(thermal::FanSpeed speed);
+  double fan_power_w(thermal::FanSpeed speed) const {
+    return fan_.electrical_power_w(speed);
+  }
+
+  /// Advances the plant by `substeps` substeps of `sub_dt` seconds each,
+  /// re-evaluating leakage-temperature feedback per substep. When `instance`
+  /// is non-null the foreground progress advances it, and the interval ends
+  /// early if it completes.
+  PlantIntervalResult advance(
+      const workload::Demand& demand,
+      const std::vector<workload::ThreadDemand>& background_threads,
+      workload::WorkloadInstance* instance, int substeps, double sub_dt);
+
+  const soc::Soc& soc() const { return soc_; }
+  soc::Soc& soc() { return soc_; }
+  /// Current true node temperatures (not sensor readings).
+  const std::vector<double>& true_temps_c() const {
+    return floorplan_.network.temperatures_c();
+  }
+  double max_true_temp_c() const;
+
+ private:
+  thermal::Floorplan floorplan_;
+  thermal::Fan fan_;
+  soc::Soc soc_;
+  thermal::TempSensorBank temp_bank_;
+  power::PowerSensorBank power_bank_;
+  power::ExternalPowerMeter meter_;
+};
+
+}  // namespace dtpm::sim

@@ -1,0 +1,59 @@
+#include "sim/prediction_observer.hpp"
+
+#include <algorithm>
+
+namespace dtpm::sim {
+
+PredictionObserver::PredictionObserver(
+    const sysid::IdentifiedPlatformModel& model, unsigned horizon_steps)
+    : observer_(model.thermal), horizon_steps_(horizon_steps) {}
+
+PredictionObserver::DueSample PredictionObserver::observe(
+    std::size_t step, bool active, const std::vector<double>& sensor_temps_c,
+    const power::ResourceVector& sensor_rails_w) {
+  DueSample due;
+  if (!observer_) return due;
+  while (!pending_.empty() && pending_.front().due_step <= step) {
+    const Pending& p = pending_.front();
+    if (p.due_step == step && active) {
+      due.t0_c = p.temps_c[0];
+      due.tmax_c = *std::max_element(p.temps_c.begin(), p.temps_c.end());
+      for (std::size_t i = 0; i < p.temps_c.size(); ++i) {
+        const double err = std::fabs(p.temps_c[i] - sensor_temps_c[i]);
+        abs_err_.add(err);
+        if (std::fabs(sensor_temps_c[i]) > 1e-9) {
+          const double ape = 100.0 * err / std::fabs(sensor_temps_c[i]);
+          ape_sum_ += ape;
+          max_ape_ = std::max(max_ape_, ape);
+          ++ape_count_;
+        }
+      }
+    }
+    pending_.pop_front();
+  }
+  if (active) {
+    Pending p;
+    p.due_step = step + horizon_steps_;
+    p.temps_c = observer_->predict(
+        sensor_temps_c, {sensor_rails_w.begin(), sensor_rails_w.end()},
+        horizon_steps_);
+    pending_.push_back(std::move(p));
+  }
+  return due;
+}
+
+double PredictionObserver::latest_scheduled_max_c() const {
+  if (pending_.empty()) return std::nan("");
+  return *std::max_element(pending_.back().temps_c.begin(),
+                           pending_.back().temps_c.end());
+}
+
+void PredictionObserver::finalize(RunResult& result) const {
+  if (abs_err_.count() == 0) return;
+  result.prediction_mae_c = abs_err_.mean();
+  result.prediction_mape = ape_sum_ / double(ape_count_);
+  result.prediction_max_ape = max_ape_;
+  result.prediction_samples = ape_count_;
+}
+
+}  // namespace dtpm::sim

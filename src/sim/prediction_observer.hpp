@@ -1,0 +1,67 @@
+// Observe-only prediction bookkeeping (§6.3.1): every control interval the
+// observer predicts the hotspot temperatures one horizon ahead from the
+// current sensor readings, then reconciles predictions that have come due
+// against the actual later measurements, accumulating the error statistics
+// the paper reports in Figs. 6.2 / 4.10.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/thermal_predictor.hpp"
+#include "power/resource.hpp"
+#include "sim/run_result.hpp"
+#include "sysid/model_store.hpp"
+#include "util/stats.hpp"
+
+namespace dtpm::sim {
+
+/// Tracks T[k+h] predictions until step k+h, then scores them.
+class PredictionObserver {
+ public:
+  /// Inactive observer (observe_predictions disabled).
+  PredictionObserver() = default;
+  PredictionObserver(const sysid::IdentifiedPlatformModel& model,
+                     unsigned horizon_steps);
+
+  bool enabled() const { return observer_.has_value(); }
+
+  /// Predictions made `horizon` steps ago that are due at this step.
+  struct DueSample {
+    double tmax_c = std::nan("");  ///< hottest-core prediction for "now"
+    double t0_c = std::nan("");    ///< core-0 prediction for "now"
+  };
+
+  /// Reconciles due predictions against the current sensor readings and,
+  /// when `active` (benchmark window), schedules a new prediction from the
+  /// current readings. No-op when disabled.
+  DueSample observe(std::size_t step, bool active,
+                    const std::vector<double>& sensor_temps_c,
+                    const power::ResourceVector& sensor_rails_w);
+
+  /// Max element of the most recently scheduled prediction (NaN if none):
+  /// the trace's pred_max_ahead_c fallback for non-DTPM policies.
+  double latest_scheduled_max_c() const;
+
+  /// Writes the accumulated error statistics into the result.
+  void finalize(RunResult& result) const;
+
+ private:
+  struct Pending {
+    std::size_t due_step = 0;
+    std::vector<double> temps_c;
+  };
+
+  std::optional<core::ThermalPredictor> observer_;
+  unsigned horizon_steps_ = 0;
+  std::deque<Pending> pending_;
+  util::RunningStats abs_err_;
+  double ape_sum_ = 0.0;
+  double max_ape_ = 0.0;
+  std::size_t ape_count_ = 0;
+};
+
+}  // namespace dtpm::sim

@@ -1,0 +1,44 @@
+// Aggregate results of one benchmark run, shared by the steppable
+// Simulation, the run_experiment convenience wrapper, and the BatchRunner.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/dtpm_governor.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace dtpm::sim {
+
+/// Aggregate results of one benchmark run.
+struct RunResult {
+  bool completed = false;           ///< benchmark finished before the time cap
+  double execution_time_s = 0.0;    ///< the paper's performance metric
+  double avg_platform_power_w = 0.0;  ///< external meter average (incl. fan)
+  double avg_soc_power_w = 0.0;     ///< SoC rails only
+  double platform_energy_j = 0.0;
+
+  /// Statistics of the max-core-temperature trace (Figs. 6.3-6.5).
+  util::RunningStats max_temp_stats;
+  /// Wall-clock time spent above the 63 C constraint.
+  double violation_time_s = 0.0;
+
+  /// Observe-only prediction validation (when enabled): errors between
+  /// T[k+h] predictions and the later sensor measurements, across all four
+  /// hotspots (§6.3.1's convention: percentage of the measured reading).
+  double prediction_mae_c = 0.0;
+  double prediction_mape = 0.0;
+  double prediction_max_ape = 0.0;
+  std::size_t prediction_samples = 0;
+
+  /// DTPM actuation counters (zero for other policies).
+  core::DtpmDiagnostics dtpm;
+
+  /// Per-interval trace (absent when record_trace is false). The column
+  /// schema is owned by TraceRecorder::column_names() -- see
+  /// sim/trace_recorder.hpp for the authoritative list and documentation.
+  std::optional<util::TraceTable> trace;
+};
+
+}  // namespace dtpm::sim

@@ -1,0 +1,210 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/suite.hpp"
+
+namespace dtpm::sim {
+
+namespace {
+
+constexpr double kRunawayAbortTempC = 115.0;
+
+const ExperimentConfig& validated(const ExperimentConfig& config,
+                                  const sysid::IdentifiedPlatformModel* model) {
+  if (config.observe_predictions && model == nullptr) {
+    throw std::invalid_argument(
+        "Simulation: observe_predictions requires an identified model");
+  }
+  return config;
+}
+
+workload::BackgroundParams background_params(const workload::Benchmark& bench) {
+  workload::BackgroundParams params;
+  params.heavy_load = workload::wants_heavy_background(bench);
+  return params;
+}
+
+}  // namespace
+
+Simulation::Simulation(const ExperimentConfig& config,
+                       const sysid::IdentifiedPlatformModel* model,
+                       std::unique_ptr<governors::ThermalPolicy> policy_override)
+    : config_(validated(config, model)),
+      dt_s_(config_.control_interval_s),
+      substeps_(std::max(1, int(std::lround(dt_s_ / config_.plant_substep_s)))),
+      sub_dt_s_(dt_s_ / substeps_),
+      root_(config_.seed),
+      plant_(config_.preset, root_),
+      bench_(workload::find_benchmark(config_.benchmark)),
+      background_(background_params(bench_), root_.fork()),
+      instance_(bench_),
+      control_(config_, model, std::move(policy_override)),
+      observer_(config_.observe_predictions
+                    ? PredictionObserver(*model, config_.observe_horizon_steps)
+                    : PredictionObserver()),
+      recorder_(config_.record_trace) {
+  view_.soc_config = plant_.soc().config();
+}
+
+bool Simulation::step() {
+  if (done_) return false;
+
+  // 1. Sensor sampling.
+  const std::vector<double> sensor_temps = plant_.read_temps();
+  const power::ResourceVector sensor_rails = plant_.read_rails(last_rails_avg_);
+  const double platform_power =
+      plant_.read_platform_power(last_rails_avg_, last_fan_power_);
+
+  soc::PlatformView pv;
+  pv.time_s = t_;
+  for (int c = 0; c < soc::kBigCoreCount; ++c) {
+    pv.big_temps_c[c] = sensor_temps[c];
+  }
+  pv.rail_power_w = sensor_rails;
+  pv.platform_power_w = platform_power;
+  pv.cpu_max_util = last_cpu_max_util_;
+  pv.cpu_avg_util = last_cpu_avg_util_;
+  pv.gpu_util = last_gpu_util_;
+  pv.config = plant_.soc().config();
+
+  // 2. Control stack (Fig. 3.1): default proposal, then the thermal policy.
+  const governors::Decision decision = control_.decide(pv);
+  plant_.apply(decision.soc);
+  fan_speed_ = decision.fan;
+  plant_.set_fan(fan_speed_);
+
+  // 3. Observe-only prediction bookkeeping.
+  const bool active = started_ && !instance_.done();
+  const PredictionObserver::DueSample due =
+      observer_.observe(k_, active, sensor_temps, sensor_rails);
+
+  // 4. Plant advance with leakage-temperature feedback per substep.
+  workload::Demand demand;
+  if (active) {
+    demand = instance_.demand();
+  } else if (!started_) {
+    // Moderate warm-up load so recording starts from a warm platform.
+    workload::ThreadDemand warm;
+    warm.duty = 1.0;
+    warm.cpu_activity = config_.warmup_activity;
+    warm.mem_intensity = 0.3;
+    warm.counts_progress = false;
+    demand.threads.push_back(warm);
+  }
+  const std::vector<workload::ThreadDemand> bg_threads = background_.threads();
+  const PlantIntervalResult interval = plant_.advance(
+      demand, bg_threads, active ? &instance_ : nullptr, substeps_, sub_dt_s_);
+  last_rails_avg_ = interval.rails_avg_w;
+  last_fan_power_ = plant_.fan_power_w(fan_speed_);
+  last_cpu_max_util_ = interval.last_substep.cpu_max_util;
+  last_cpu_avg_util_ = interval.last_substep.cpu_avg_util;
+  last_gpu_util_ = interval.last_substep.gpu_util;
+
+  // 5. Recording (benchmark window only).
+  if (started_) {
+    const double t_max_reading =
+        *std::max_element(sensor_temps.begin(), sensor_temps.end());
+    result_.max_temp_stats.add(t_max_reading);
+    const double soc_power = power::total(last_rails_avg_);
+    const double platform_true = soc_power + last_fan_power_ +
+                                 config_.preset.platform_load.board_base_w +
+                                 config_.preset.platform_load.display_w;
+    result_.platform_energy_j += platform_true * interval.consumed_s;
+    fan_energy_j_ += last_fan_power_ * interval.consumed_s;
+    if (t_max_reading > config_.dtpm.t_max_c) {
+      result_.violation_time_s += interval.consumed_s;
+    }
+    if (recorder_.enabled()) {
+      TraceSample sample;
+      sample.time_s = t_ - start_time_;
+      for (int c = 0; c < soc::kBigCoreCount; ++c) {
+        sample.big_temps_c[c] = sensor_temps[c];
+      }
+      sample.t_max_c = t_max_reading;
+      sample.rail_power_w = last_rails_avg_;
+      sample.platform_power_w = platform_true;
+      sample.soc_config = plant_.soc().config();
+      sample.fan = fan_speed_;
+      sample.cpu_max_util = interval.last_substep.cpu_max_util;
+      sample.gpu_util = interval.last_substep.gpu_util;
+      sample.progress = instance_.progress_fraction();
+      sample.pred_max_ahead_c =
+          control_.dtpm() != nullptr
+              ? control_.dtpm()->diagnostics().predicted_max_c
+              : observer_.latest_scheduled_max_c();
+      sample.pred_tmax_for_now_c = due.tmax_c;
+      sample.pred_t0_for_now_c = due.t0_c;
+      recorder_.record(sample);
+    }
+  }
+
+  // 6. Advance time, termination checks.
+  t_ += interval.consumed_s;
+  ++k_;
+  if (!started_ && t_ >= config_.warmup_s) {
+    started_ = true;
+    start_time_ = t_;
+  }
+  if (started_ && (instance_.done() || interval.benchmark_finished)) {
+    result_.completed = true;
+    end_time_ = t_;
+    done_ = true;
+  } else if (plant_.max_true_temp_c() > kRunawayAbortTempC) {
+    runaway_ = true;
+    end_time_ = t_;
+    done_ = true;
+  } else if (t_ >= config_.max_sim_time_s) {
+    end_time_ = t_;
+    done_ = true;
+  }
+
+  refresh_view(sensor_temps, platform_power);
+  return !done_;
+}
+
+void Simulation::refresh_view(const std::vector<double>& sensor_temps,
+                              double platform_power_w) {
+  view_.time_s = t_;
+  view_.steps = k_;
+  view_.warmed_up = started_;
+  view_.benchmark_completed = result_.completed;
+  view_.runaway = runaway_;
+  view_.max_temp_c =
+      *std::max_element(sensor_temps.begin(), sensor_temps.end());
+  view_.progress = instance_.progress_fraction();
+  view_.platform_power_w = platform_power_w;
+  view_.soc_config = plant_.soc().config();
+  view_.fan = fan_speed_;
+}
+
+RunResult Simulation::finish() {
+  if (finished_) {
+    throw std::logic_error("Simulation::finish() called twice");
+  }
+  finished_ = true;
+
+  RunResult result = std::move(result_);
+  const double end_time = done_ ? end_time_ : t_;
+  result.execution_time_s = end_time - start_time_;
+  if (result.execution_time_s > 0.0) {
+    result.avg_platform_power_w =
+        result.platform_energy_j / result.execution_time_s;
+  }
+  // SoC-only average from the energy identity: platform = soc + fan + fixed.
+  if (result.execution_time_s > 0.0) {
+    result.avg_soc_power_w =
+        (result.platform_energy_j - fan_energy_j_) / result.execution_time_s -
+        config_.preset.platform_load.board_base_w -
+        config_.preset.platform_load.display_w;
+  }
+  observer_.finalize(result);
+  if (control_.dtpm() != nullptr) result.dtpm = control_.dtpm()->diagnostics();
+  if (runaway_) result.completed = false;
+  result.trace = recorder_.take();
+  return result;
+}
+
+}  // namespace dtpm::sim

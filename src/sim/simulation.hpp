@@ -1,0 +1,112 @@
+// The steppable closed-loop simulation: every 100 ms control interval it
+// reads the sensor models, runs the default governor and the configured
+// thermal policy, applies the decision to the SoC, and advances the RC
+// thermal plant in fine-grained substeps with leakage-temperature feedback.
+// This is the software stack of Fig. 3.1 running against the simulated
+// board, decomposed into a Plant bundle, a ControlStack, a
+// PredictionObserver, and a TraceRecorder.
+//
+// Incremental API:
+//   Simulation sim(config, &model);
+//   while (sim.step()) { /* inspect sim.view() between intervals */ }
+//   RunResult result = sim.finish();
+//
+// run_experiment (sim/engine.hpp) is a thin wrapper over exactly this loop.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/control_stack.hpp"
+#include "sim/plant.hpp"
+#include "sim/prediction_observer.hpp"
+#include "sim/run_result.hpp"
+#include "sim/trace_recorder.hpp"
+#include "util/rng.hpp"
+#include "workload/background.hpp"
+
+namespace dtpm::sim {
+
+/// Read-only snapshot of the simulation state between control intervals.
+struct SimulationView {
+  double time_s = 0.0;       ///< simulated time, including the warm-up window
+  std::size_t steps = 0;     ///< control intervals executed so far
+  bool warmed_up = false;    ///< past the warm-up window, recording active
+  bool benchmark_completed = false;
+  bool runaway = false;      ///< aborted on thermal runaway (> 115 C)
+  double max_temp_c = 0.0;   ///< latest hottest big-core sensor reading
+  double progress = 0.0;     ///< benchmark progress fraction [0, 1]
+  double platform_power_w = 0.0;  ///< latest external-meter reading
+  soc::SocConfig soc_config;      ///< currently applied actuation state
+  thermal::FanSpeed fan = thermal::FanSpeed::kOff;
+};
+
+/// One experiment as an incrementally steppable object.
+class Simulation {
+ public:
+  /// `model` is required for Policy::kProposedDtpm and for
+  /// observe_predictions (throws std::invalid_argument otherwise). A
+  /// non-null `policy_override` replaces the policy selected by
+  /// `config.policy` with a user-supplied implementation -- the extension
+  /// point for custom thermal policies running closed-loop.
+  explicit Simulation(
+      const ExperimentConfig& config,
+      const sysid::IdentifiedPlatformModel* model = nullptr,
+      std::unique_ptr<governors::ThermalPolicy> policy_override = nullptr);
+
+  /// Advances one control interval. Returns true while the run continues;
+  /// false once a termination condition (benchmark completion, thermal
+  /// runaway, or the simulated-time cap) has been reached.
+  bool step();
+
+  /// True once a termination condition has been reached.
+  bool done() const { return done_; }
+
+  const SimulationView& view() const { return view_; }
+
+  /// Finalizes the derived metrics and returns the accumulated result.
+  /// May be called mid-run (treats the current time as the end). Call at
+  /// most once; throws std::logic_error on a second call.
+  RunResult finish();
+
+ private:
+  void refresh_view(const std::vector<double>& sensor_temps,
+                    double platform_power_w);
+
+  ExperimentConfig config_;
+  double dt_s_;
+  int substeps_;
+  double sub_dt_s_;
+
+  util::Rng root_;
+  Plant plant_;
+  const workload::Benchmark& bench_;
+  workload::BackgroundLoad background_;
+  workload::WorkloadInstance instance_;
+  ControlStack control_;
+  PredictionObserver observer_;
+  TraceRecorder recorder_;
+
+  thermal::FanSpeed fan_speed_ = thermal::FanSpeed::kOff;
+  power::ResourceVector last_rails_avg_{};
+  double last_fan_power_ = 0.0;
+  double last_cpu_max_util_ = 0.0;
+  double last_cpu_avg_util_ = 0.0;
+  double last_gpu_util_ = 0.0;
+
+  double t_ = 0.0;
+  std::size_t k_ = 0;
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double end_time_ = 0.0;
+  double fan_energy_j_ = 0.0;
+  bool runaway_ = false;
+  bool done_ = false;
+  bool finished_ = false;
+
+  RunResult result_;
+  SimulationView view_;
+};
+
+}  // namespace dtpm::sim

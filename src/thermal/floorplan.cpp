@@ -7,6 +7,22 @@ std::array<std::size_t, 4> Floorplan::big_core_nodes() {
           node_index(FloorplanNode::kBig2), node_index(FloorplanNode::kBig3)};
 }
 
+std::vector<double> assemble_node_power(
+    const std::array<double, 4>& big_core_power_w,
+    const power::ResourceVector& rail_power_w) {
+  std::vector<double> node_power(kFloorplanNodeCount, 0.0);
+  for (std::size_t c = 0; c < big_core_power_w.size(); ++c) {
+    node_power[node_index(FloorplanNode::kBig0) + c] = big_core_power_w[c];
+  }
+  node_power[node_index(FloorplanNode::kLittleCluster)] =
+      rail_power_w[power::resource_index(power::Resource::kLittleCluster)];
+  node_power[node_index(FloorplanNode::kGpu)] =
+      rail_power_w[power::resource_index(power::Resource::kGpu)];
+  node_power[node_index(FloorplanNode::kMem)] =
+      rail_power_w[power::resource_index(power::Resource::kMem)];
+  return node_power;
+}
+
 Floorplan make_default_floorplan(const FloorplanParams& p) {
   std::vector<ThermalNode> nodes(kFloorplanNodeCount);
   auto set = [&](FloorplanNode n, const char* name, double cap,

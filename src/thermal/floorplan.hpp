@@ -5,7 +5,9 @@
 
 #include <array>
 #include <cstddef>
+#include <vector>
 
+#include "power/resource.hpp"
 #include "thermal/rc_network.hpp"
 
 namespace dtpm::thermal {
@@ -91,5 +93,14 @@ struct Floorplan {
 
 /// Builds the default Exynos-5410-like floorplan.
 Floorplan make_default_floorplan(const FloorplanParams& params = {});
+
+/// Maps the SoC's power draws onto the floorplan's heat-injection nodes:
+/// each big core heats its own node, and the little-cluster / GPU / memory
+/// rails heat their cluster nodes. Case, board and ambient receive no direct
+/// power (they only conduct). Shared by the simulation plant and by tests so
+/// the node <-> rail correspondence lives in exactly one place.
+std::vector<double> assemble_node_power(
+    const std::array<double, 4>& big_core_power_w,
+    const power::ResourceVector& rail_power_w);
 
 }  // namespace dtpm::thermal

@@ -1,0 +1,156 @@
+#include "sim/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/calibration.hpp"
+#include "sim/engine.hpp"
+
+namespace dtpm::sim {
+namespace {
+
+const sysid::IdentifiedPlatformModel& model() {
+  return default_calibration().model;
+}
+
+ExperimentConfig quick_config(const char* benchmark, Policy policy,
+                              std::uint64_t seed = 1) {
+  ExperimentConfig c;
+  c.benchmark = benchmark;
+  c.policy = policy;
+  c.record_trace = false;
+  c.seed = seed;
+  return c;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.execution_time_s, b.execution_time_s);
+  EXPECT_EQ(a.avg_platform_power_w, b.avg_platform_power_w);
+  EXPECT_EQ(a.avg_soc_power_w, b.avg_soc_power_w);
+  EXPECT_EQ(a.platform_energy_j, b.platform_energy_j);
+  EXPECT_EQ(a.violation_time_s, b.violation_time_s);
+  EXPECT_EQ(a.max_temp_stats.count(), b.max_temp_stats.count());
+  EXPECT_EQ(a.max_temp_stats.mean(), b.max_temp_stats.mean());
+  EXPECT_EQ(a.max_temp_stats.max(), b.max_temp_stats.max());
+}
+
+TEST(BatchRunner, ParallelMatchesSerialBitForBit) {
+  // A mixed grid: policies, seeds, and benchmarks of different lengths so
+  // the atomic work queue actually interleaves runs across workers.
+  std::vector<ExperimentConfig> configs{
+      quick_config("crc32", Policy::kWithoutFan, 1),
+      quick_config("dijkstra", Policy::kDefaultWithFan, 2),
+      quick_config("sha", Policy::kProposedDtpm, 3),
+      quick_config("crc32", Policy::kReactive, 4),
+      quick_config("qsort", Policy::kWithoutFan, 5),
+      quick_config("sha", Policy::kProposedDtpm, 3),  // duplicate of [2]
+  };
+
+  std::vector<RunResult> serial;
+  for (const ExperimentConfig& c : configs) {
+    serial.push_back(run_experiment(c, &model()));
+  }
+
+  const std::vector<RunResult> parallel =
+      BatchRunner(4).run(configs, &model());
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+  // Identical configs (same seed) land identical results regardless of
+  // which worker picked them up.
+  expect_identical(parallel[2], parallel[5]);
+}
+
+TEST(BatchRunner, ResultsComeBackInInputOrder) {
+  // patricia (long) first, crc32 (short) last: if results were keyed by
+  // completion order the short run would come back first.
+  std::vector<ExperimentConfig> configs{
+      quick_config("patricia", Policy::kWithoutFan),
+      quick_config("crc32", Policy::kWithoutFan),
+  };
+  configs[0].max_sim_time_s = 60.0;  // keep the long run bounded
+
+  const std::vector<RunResult> results = BatchRunner(2).run(configs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].completed);  // patricia hit the 60 s cap
+  EXPECT_TRUE(results[1].completed);
+  expect_identical(results[1], run_experiment(configs[1]));
+}
+
+TEST(BatchRunner, EmptyBatchAndDefaults) {
+  EXPECT_TRUE(BatchRunner().run(std::vector<ExperimentConfig>{}).empty());
+  EXPECT_GE(BatchRunner().worker_count(), 1u);
+  EXPECT_EQ(BatchRunner(3).worker_count(), 3u);
+}
+
+TEST(BatchRunner, PerJobModelPointers) {
+  std::vector<BatchJob> jobs{
+      {quick_config("crc32", Policy::kWithoutFan), nullptr},
+      {quick_config("sha", Policy::kProposedDtpm), &model()},
+  };
+  const std::vector<RunResult> results = BatchRunner(2).run(jobs);
+  EXPECT_TRUE(results[0].completed);
+  EXPECT_TRUE(results[1].completed);
+}
+
+TEST(BatchRunner, WorkerExceptionsPropagate) {
+  std::vector<ExperimentConfig> configs{
+      quick_config("crc32", Policy::kWithoutFan),
+      quick_config("no-such-benchmark", Policy::kWithoutFan),
+  };
+  EXPECT_THROW(BatchRunner(2).run(configs), std::invalid_argument);
+}
+
+TEST(Sweep, ExpandsCartesianGridRowMajor) {
+  SweepGrid grid;
+  grid.base = quick_config("crc32", Policy::kWithoutFan);
+  grid.benchmarks = {"crc32", "sha"};
+  grid.policies = {Policy::kWithoutFan, Policy::kDefaultWithFan};
+  grid.seeds = {1, 2, 3};
+
+  const std::vector<ExperimentConfig> configs = sweep(grid);
+  ASSERT_EQ(configs.size(), 2u * 2u * 3u);
+  // Row-major: benchmark outermost, then policy, then seed.
+  EXPECT_EQ(configs[0].benchmark, "crc32");
+  EXPECT_EQ(configs[0].policy, Policy::kWithoutFan);
+  EXPECT_EQ(configs[0].seed, 1u);
+  EXPECT_EQ(configs[2].seed, 3u);
+  EXPECT_EQ(configs[3].policy, Policy::kDefaultWithFan);
+  EXPECT_EQ(configs[6].benchmark, "sha");
+  // Base fields carry through.
+  for (const ExperimentConfig& c : configs) {
+    EXPECT_FALSE(c.record_trace);
+  }
+}
+
+TEST(Sweep, EmptyDimensionsFallBackToBase) {
+  SweepGrid grid;
+  grid.base = quick_config("qsort", Policy::kReactive, 42);
+  const std::vector<ExperimentConfig> configs = sweep(grid);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].benchmark, "qsort");
+  EXPECT_EQ(configs[0].policy, Policy::kReactive);
+  EXPECT_EQ(configs[0].seed, 42u);
+}
+
+TEST(Sweep, DtpmParamsAxis) {
+  SweepGrid grid;
+  grid.base = quick_config("basicmath", Policy::kProposedDtpm);
+  core::DtpmParams tight;
+  tight.t_max_c = 58.0;
+  core::DtpmParams loose;
+  loose.t_max_c = 70.0;
+  grid.dtpm_params = {tight, loose};
+  const std::vector<ExperimentConfig> configs = sweep(grid);
+  ASSERT_EQ(configs.size(), 2u);
+  EXPECT_EQ(configs[0].dtpm.t_max_c, 58.0);
+  EXPECT_EQ(configs[1].dtpm.t_max_c, 70.0);
+}
+
+}  // namespace
+}  // namespace dtpm::sim

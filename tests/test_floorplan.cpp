@@ -90,5 +90,30 @@ TEST(Floorplan, TotalResistanceMatchesSeriesStages) {
               1e-9);
 }
 
+TEST(Floorplan, AssembleNodePowerMapsRailsToNodes) {
+  const std::array<double, 4> big{1.0, 2.0, 3.0, 4.0};
+  power::ResourceVector rails{};
+  rails[power::resource_index(power::Resource::kBigCluster)] = 10.0;  // unused
+  rails[power::resource_index(power::Resource::kLittleCluster)] = 0.5;
+  rails[power::resource_index(power::Resource::kGpu)] = 1.5;
+  rails[power::resource_index(power::Resource::kMem)] = 0.25;
+
+  const std::vector<double> node_power = assemble_node_power(big, rails);
+  ASSERT_EQ(node_power.size(), kFloorplanNodeCount);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kBig0)], 1.0);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kBig1)], 2.0);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kBig2)], 3.0);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kBig3)], 4.0);
+  // Per-core powers already decompose the big rail; the rail total itself
+  // must not be double-charged to any node.
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kLittleCluster)], 0.5);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kGpu)], 1.5);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kMem)], 0.25);
+  // Passive nodes receive no direct heat injection.
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kCase)], 0.0);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kBoard)], 0.0);
+  EXPECT_EQ(node_power[node_index(FloorplanNode::kAmbient)], 0.0);
+}
+
 }  // namespace
 }  // namespace dtpm::thermal
