@@ -17,33 +17,52 @@ BatchRunner::BatchRunner(unsigned worker_count) : worker_count_(worker_count) {
 
 std::vector<RunResult> BatchRunner::run(
     const std::vector<BatchJob>& jobs) const {
-  std::vector<RunResult> results(jobs.size());
-  if (jobs.empty()) return results;
+  BatchOutcome outcome = run_collecting(jobs);
+  for (const std::exception_ptr& e : outcome.errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return std::move(outcome.results);
+}
+
+BatchOutcome BatchRunner::run_collecting(
+    const std::vector<BatchJob>& jobs) const {
+  BatchOutcome outcome;
+  outcome.results.resize(jobs.size());
+  outcome.errors.resize(jobs.size());
+  if (jobs.empty()) return outcome;
+
+  auto run_one = [&](std::size_t i) {
+    try {
+      outcome.results[i] = run_experiment(jobs[i].config, jobs[i].model);
+    } catch (...) {
+      outcome.errors[i] = std::current_exception();
+    }
+  };
+  auto count_failures = [&outcome] {
+    for (const std::exception_ptr& e : outcome.errors) {
+      if (e) ++outcome.failure_count;
+    }
+  };
 
   const unsigned workers =
       std::min<unsigned>(worker_count_, unsigned(jobs.size()));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_experiment(jobs[i].config, jobs[i].model);
-    }
-    return results;
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    count_failures();
+    return outcome;
   }
 
   // Work-stealing by atomic index: each worker pops the next unclaimed job,
   // so stragglers never serialize the whole batch. Every run only touches
-  // its own Simulation (seeded from its config) and its own results slot,
-  // which is what makes parallel output bit-identical to serial.
+  // its own Simulation (seeded from its config) and its own results/errors
+  // slot, which is what makes parallel output bit-identical to serial --
+  // including batches where some runs throw.
   std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(jobs.size());
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      try {
-        results[i] = run_experiment(jobs[i].config, jobs[i].model);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
+      run_one(i);
     }
   };
 
@@ -52,10 +71,8 @@ std::vector<RunResult> BatchRunner::run(
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
-  return results;
+  count_failures();
+  return outcome;
 }
 
 std::vector<RunResult> BatchRunner::run(
@@ -91,6 +108,10 @@ std::vector<ExperimentConfig> sweep(const SweepGrid& grid) {
         for (std::uint64_t seed : seeds) {
           ExperimentConfig config = grid.base;
           config.benchmark = benchmark;
+          // A named benchmarks dimension must actually take effect: an
+          // inline scenario inherited from `base` would otherwise shadow
+          // every name (Simulation prefers config.scenario).
+          if (!grid.benchmarks.empty()) config.scenario.reset();
           config.policy = policy;
           config.dtpm = dtpm;
           config.seed = seed;

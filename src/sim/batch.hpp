@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,18 @@ struct BatchJob {
   const sysid::IdentifiedPlatformModel* model = nullptr;
 };
 
+/// Outcome of a batch where individual runs are allowed to fail: results
+/// and errors align with the input jobs slot for slot, so one malformed
+/// scenario never poisons its neighbours or their ordering.
+struct BatchOutcome {
+  std::vector<RunResult> results;  ///< default-constructed at failed slots
+  /// Per-job exception (null where the run succeeded).
+  std::vector<std::exception_ptr> errors;
+  std::size_t failure_count = 0;
+
+  bool all_succeeded() const { return failure_count == 0; }
+};
+
 /// Executes batches of experiments on a worker pool.
 class BatchRunner {
  public:
@@ -32,8 +45,17 @@ class BatchRunner {
 
   /// Runs every job; results come back in input order. The first exception
   /// thrown by any run (e.g. an unknown benchmark name) is rethrown after
-  /// all workers have drained.
+  /// every job has executed -- even with a single worker there is no
+  /// fast-fail, so a batch always costs the same wall-clock whether or not
+  /// something throws. Use run_collecting() to inspect partial results.
   std::vector<RunResult> run(const std::vector<BatchJob>& jobs) const;
+
+  /// Like run(), but a throwing job (malformed scenario, unknown benchmark)
+  /// is captured in its own slot instead of aborting the batch: the pool
+  /// always drains, and every other slot holds the same result it would in
+  /// a failure-free batch. This is the entry point for fuzzing sweeps that
+  /// must survive pathological catalog entries.
+  BatchOutcome run_collecting(const std::vector<BatchJob>& jobs) const;
 
   /// Convenience overload: the same model pointer for every config.
   std::vector<RunResult> run(

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/dtpm_governor.hpp"
 #include "sim/preset.hpp"
+#include "workload/benchmark.hpp"
 
 namespace dtpm::sim {
 
@@ -22,6 +24,12 @@ const char* to_string(Policy p);
 
 struct ExperimentConfig {
   std::string benchmark = "basicmath";
+  /// Inline workload: when set, the simulation runs this benchmark (validated
+  /// at Simulation construction) instead of looking `benchmark` up in the
+  /// Table-6.4 suite, and `benchmark` only labels the run. Shared-const so
+  /// configs stay cheap to copy across BatchRunner workers; this is how the
+  /// ScenarioCatalog feeds generated scenarios into batches.
+  std::shared_ptr<const workload::Benchmark> scenario;
   Policy policy = Policy::kDefaultWithFan;
   PlatformPreset preset = default_preset();
   core::DtpmParams dtpm{};  ///< used when policy == kProposedDtpm

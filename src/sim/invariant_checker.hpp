@@ -1,0 +1,72 @@
+// Physics-invariant checking over recorded traces. Every simulator run,
+// whatever the scenario, must satisfy the plant's conservation laws and the
+// actuators' contracts: temperatures inside the sensor range and not below
+// ambient, powers non-negative and consistent with the platform rail
+// decomposition, frequencies always drawn from the active OPP tables, and
+// the DTPM governor reacting to every predicted constraint violation within
+// a bounded number of control intervals. Running the checker over a swept
+// ScenarioCatalog turns the catalog into a property-based fuzzing rig: any
+// scenario that drives the simulator into an unphysical state fails loudly
+// with the row and invariant that broke.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/run_result.hpp"
+
+namespace dtpm::sim {
+
+/// One broken invariant, pinned to the trace row that exposed it.
+struct InvariantViolation {
+  /// Marker for violations of aggregate (whole-run) invariants.
+  static constexpr std::size_t kAggregate = std::size_t(-1);
+
+  std::string invariant;  ///< short id, e.g. "temp-range", "power-identity"
+  std::size_t row = kAggregate;
+  std::string message;
+};
+
+/// Tolerances. The defaults absorb sensor quantization/noise and floating
+/// point accumulation, nothing more -- a genuinely unphysical trace fails.
+struct InvariantCheckerOptions {
+  /// Allowance below ambient for quantized, noisy temperature sensors.
+  double temp_margin_c = 2.0;
+  /// TMU-class sensors saturate around 125 C; nothing valid reads above it.
+  double temp_ceiling_c = 125.0;
+  /// Slack on non-negativity of substep-averaged powers.
+  double power_epsilon_w = 1e-9;
+  /// Tolerance of the platform = rails + fan + fixed-loads identity.
+  double power_identity_tol_w = 1e-6;
+  /// Matching tolerance between traced frequencies and OPP table entries.
+  double freq_tol_hz = 1e3;
+  /// Consecutive intervals the DTPM governor may leave the platform at the
+  /// unrestricted maximum while predicting a constraint violation. One
+  /// interval of reaction latency is inherent; the second absorbs the case
+  /// where the computed budget still admits the current operating point.
+  std::size_t dtpm_grace_intervals = 2;
+};
+
+/// Checks one run against the physics invariants.
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const InvariantCheckerOptions& options = {});
+
+  /// Returns every violation found (empty = run is physically consistent).
+  /// `config` must be the config that produced `result`; runs without a
+  /// recorded trace are checked on aggregates only.
+  std::vector<InvariantViolation> check(const ExperimentConfig& config,
+                                        const RunResult& result) const;
+
+  const InvariantCheckerOptions& options() const { return options_; }
+
+  /// Human-readable one-line-per-violation report (empty string when clean).
+  static std::string describe(const std::vector<InvariantViolation>& found);
+
+ private:
+  InvariantCheckerOptions options_;
+};
+
+}  // namespace dtpm::sim

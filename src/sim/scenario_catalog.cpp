@@ -1,0 +1,97 @@
+#include "sim/scenario_catalog.hpp"
+
+#include <stdexcept>
+
+namespace dtpm::sim {
+
+ScenarioCatalog ScenarioCatalog::standard(
+    const workload::ScenarioParams& params) {
+  ScenarioCatalog catalog;
+  for (workload::ScenarioFamily family : workload::all_scenario_families()) {
+    catalog.register_family(
+        workload::to_string(family), [family, params](std::uint64_t seed) {
+          return workload::make_scenario(family, seed, params);
+        });
+  }
+  return catalog;
+}
+
+void ScenarioCatalog::register_family(const std::string& name,
+                                      ScenarioFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("ScenarioCatalog: empty family name");
+  }
+  if (name.find('#') != std::string::npos) {
+    // '#' separates family from seed in expand()'s run labels; allowing it
+    // in names would make family attribution ambiguous downstream.
+    throw std::invalid_argument("ScenarioCatalog: '#' not allowed in " + name);
+  }
+  if (!factory) {
+    throw std::invalid_argument("ScenarioCatalog: null factory for " + name);
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("ScenarioCatalog: duplicate family " + name);
+  }
+  families_.emplace_back(name, std::move(factory));
+}
+
+bool ScenarioCatalog::contains(const std::string& name) const {
+  for (const auto& [registered, factory] : families_) {
+    if (registered == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ScenarioCatalog::family_names() const {
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [name, factory] : families_) names.push_back(name);
+  return names;
+}
+
+const ScenarioFactory& ScenarioCatalog::factory_for(
+    const std::string& name) const {
+  for (const auto& [registered, factory] : families_) {
+    if (registered == name) return factory;
+  }
+  throw std::invalid_argument("ScenarioCatalog: unknown family " + name);
+}
+
+workload::Benchmark ScenarioCatalog::make(const std::string& family,
+                                          std::uint64_t seed) const {
+  return factory_for(family)(seed);
+}
+
+std::vector<ExperimentConfig> ScenarioCatalog::expand(
+    const Sweep& sweep) const {
+  const std::vector<std::string> families =
+      sweep.families.empty() ? family_names() : sweep.families;
+  const std::vector<Policy> policies =
+      sweep.policies.empty() ? std::vector<Policy>{sweep.base.policy}
+                             : sweep.policies;
+  const std::vector<std::uint64_t> seeds =
+      sweep.seeds.empty() ? std::vector<std::uint64_t>{sweep.base.seed}
+                          : sweep.seeds;
+
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(families.size() * policies.size() * seeds.size());
+  for (const std::string& family : families) {
+    const ScenarioFactory& factory = factory_for(family);
+    for (std::uint64_t seed : seeds) {
+      // One benchmark per (family, seed), shared read-only by every policy.
+      auto scenario = std::make_shared<const workload::Benchmark>(
+          factory(seed));
+      for (Policy policy : policies) {
+        ExperimentConfig config = sweep.base;
+        config.benchmark = family + "#s" + std::to_string(seed);
+        config.scenario = scenario;
+        config.policy = policy;
+        config.seed = seed;
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace dtpm::sim

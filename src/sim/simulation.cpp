@@ -27,6 +27,17 @@ workload::BackgroundParams background_params(const workload::Benchmark& bench) {
   return params;
 }
 
+/// Inline scenarios are validated here, at the point of use: a malformed
+/// generated benchmark fails the run that carries it (and only that run,
+/// even inside a BatchRunner pool) instead of producing nonsense traces.
+const workload::Benchmark& resolve_benchmark(const ExperimentConfig& config) {
+  if (config.scenario != nullptr) {
+    config.scenario->validate();
+    return *config.scenario;
+  }
+  return workload::find_benchmark(config.benchmark);
+}
+
 }  // namespace
 
 Simulation::Simulation(const ExperimentConfig& config,
@@ -38,7 +49,7 @@ Simulation::Simulation(const ExperimentConfig& config,
       sub_dt_s_(dt_s_ / substeps_),
       root_(config_.seed),
       plant_(config_.preset, root_),
-      bench_(workload::find_benchmark(config_.benchmark)),
+      bench_(resolve_benchmark(config_)),
       background_(background_params(bench_), root_.fork()),
       instance_(bench_),
       control_(config_, model, std::move(policy_override)),

@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace dtpm::util {
@@ -11,12 +12,25 @@ void write_header(std::ofstream& out, const std::vector<std::string>& header) {
   }
 }
 
+std::vector<std::string> split_line(std::string line) {
+  // Tolerate CRLF files (e.g. an autocrlf checkout of the golden traces).
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
 }  // namespace
 
-CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header,
+                     int precision)
     : out_(path), columns_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   if (columns_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  out_.precision(precision);
   write_header(out_, header);
 }
 
@@ -54,9 +68,41 @@ std::vector<double> TraceTable::column(const std::string& name) const {
   throw std::invalid_argument("TraceTable: no column named " + name);
 }
 
-void TraceTable::write_csv(const std::string& path) const {
-  CsvWriter writer(path, header_);
+void TraceTable::write_csv(const std::string& path, int precision) const {
+  CsvWriter writer(path, header_, precision);
   for (const auto& row : rows_) writer.append(row);
+}
+
+TraceTable read_csv_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_table: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("read_csv_table: empty file " + path);
+  }
+  TraceTable table(split_line(line));
+
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    row.clear();
+    for (const std::string& cell : split_line(line)) {
+      // stod throws bare invalid_argument/out_of_range without context;
+      // normalize both to the documented invalid_argument with cell + file.
+      try {
+        std::size_t consumed = 0;
+        const double value = std::stod(cell, &consumed);
+        if (consumed != cell.size()) throw std::invalid_argument("trailer");
+        row.push_back(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("read_csv_table: malformed cell '" +
+                                    cell + "' in " + path);
+      }
+    }
+    table.append(row);  // throws on ragged rows
+  }
+  return table;
 }
 
 }  // namespace dtpm::util

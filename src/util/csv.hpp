@@ -13,7 +13,10 @@ namespace dtpm::util {
 /// match the header width.
 class CsvWriter {
  public:
-  CsvWriter(const std::string& path, std::vector<std::string> header);
+  /// `precision` is the stream's significant-digit count; pass
+  /// kRoundTripPrecision for files that must reload bit-identically.
+  CsvWriter(const std::string& path, std::vector<std::string> header,
+            int precision = 6);
 
   /// Appends one data row; must match the header length.
   void append(const std::vector<double>& row);
@@ -25,6 +28,10 @@ class CsvWriter {
   std::size_t columns_;
   std::size_t rows_ = 0;
 };
+
+/// Significant digits (max_digits10) at which a double survives the
+/// write-then-parse round trip exactly; golden trace files use this.
+inline constexpr int kRoundTripPrecision = 17;
 
 /// In-memory trace table with the same shape; used by benches that format
 /// figures to stdout instead of files, and convertible to CSV on demand.
@@ -42,11 +49,16 @@ class TraceTable {
   std::vector<double> column(const std::string& name) const;
 
   /// Writes the whole table to a CSV file.
-  void write_csv(const std::string& path) const;
+  void write_csv(const std::string& path, int precision = 6) const;
 
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<double>> rows_;
 };
+
+/// Parses a numeric CSV written by CsvWriter/TraceTable back into a table.
+/// Throws std::runtime_error if the file cannot be opened and
+/// std::invalid_argument on a malformed cell or a ragged row.
+TraceTable read_csv_table(const std::string& path);
 
 }  // namespace dtpm::util

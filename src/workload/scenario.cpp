@@ -1,0 +1,355 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dtpm::workload {
+namespace {
+
+/// SplitMix64 finalizer.
+std::uint64_t finalize(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Decorrelates the per-family streams from the user seed so nearby seeds
+/// (1, 2, 3 ...) still produce unrelated scenarios. The inputs pass through
+/// the finalizer separately: a simple linear combination would make
+/// (seed, family) and (seed - 2, family + 1) share a stream.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return finalize(finalize(a) ^ (b * 0x9e3779b97f4a7c15ULL));
+}
+
+double clamp_activity(double x) { return std::clamp(x, 0.05, 1.0); }
+double clamp_duty(double x) { return std::clamp(x, 0.01, 1.0); }
+
+int clamp_threads(int t) { return std::clamp(t, 1, 8); }
+
+Phase burst_phase(util::Rng& rng, double intensity) {
+  Phase p;
+  p.cpu_activity = clamp_activity(rng.uniform(0.70, 0.95) * intensity);
+  p.mem_intensity = rng.uniform(0.05, 0.35);
+  p.threads = clamp_threads(int(rng.uniform_int(2, 4) * intensity));
+  p.duty = 1.0;
+  return p;
+}
+
+Phase idle_gap_phase(util::Rng& rng) {
+  Phase p;
+  p.cpu_activity = clamp_activity(rng.uniform(0.10, 0.30));
+  p.mem_intensity = rng.uniform(0.05, 0.20);
+  p.threads = 1;
+  p.duty = clamp_duty(rng.uniform(0.05, 0.15));
+  return p;
+}
+
+}  // namespace
+
+void normalize_work_fractions(std::vector<Phase>& phases) {
+  if (phases.empty()) return;
+  double sum = 0.0;
+  for (const Phase& p : phases) sum += p.work_fraction;
+  if (!(sum > 0.0)) {
+    // Dividing by a zero/negative/NaN sum would smuggle NaN fractions past
+    // Benchmark::validate()'s range checks.
+    throw std::invalid_argument(
+        "normalize_work_fractions: phase fractions must sum to > 0");
+  }
+  for (Phase& p : phases) p.work_fraction /= sum;
+  // Absorb the residual rounding into the last phase so validate()'s 1e-9
+  // tolerance holds regardless of phase count.
+  double head = 0.0;
+  for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+    head += phases[i].work_fraction;
+  }
+  phases.back().work_fraction = 1.0 - head;
+}
+
+const char* to_string(ScenarioFamily f) {
+  switch (f) {
+    case ScenarioFamily::kBursty:
+      return "bursty";
+    case ScenarioFamily::kPeriodicSquare:
+      return "periodic-square";
+    case ScenarioFamily::kSawtoothRamp:
+      return "sawtooth-ramp";
+    case ScenarioFamily::kThermalSoak:
+      return "thermal-soak";
+    case ScenarioFamily::kPhaseMix:
+      return "phase-mix";
+    case ScenarioFamily::kGpuCoStress:
+      return "gpu-co-stress";
+    case ScenarioFamily::kDutyCycleResonance:
+      return "duty-cycle-resonance";
+  }
+  return "?";
+}
+
+const std::vector<ScenarioFamily>& all_scenario_families() {
+  static const std::vector<ScenarioFamily> kFamilies{
+      ScenarioFamily::kBursty,          ScenarioFamily::kPeriodicSquare,
+      ScenarioFamily::kSawtoothRamp,    ScenarioFamily::kThermalSoak,
+      ScenarioFamily::kPhaseMix,        ScenarioFamily::kGpuCoStress,
+      ScenarioFamily::kDutyCycleResonance,
+  };
+  return kFamilies;
+}
+
+ScenarioGenerator::ScenarioGenerator(std::uint64_t seed,
+                                     const ScenarioParams& params)
+    : seed_(seed), params_(params) {}
+
+Benchmark ScenarioGenerator::generate(ScenarioFamily family) const {
+  util::Rng rng(mix(seed_, std::uint64_t(family) + 1));
+  const double intensity = params_.intensity;
+
+  Benchmark b;
+  b.name = std::string("scn-") + to_string(family) + "-s" +
+           std::to_string(seed_);
+  // At the default 1.6e9 cycles/unit a full-duty thread at f_max retires
+  // roughly one unit per second, so work units track the duration hint.
+  b.total_work_units = params_.nominal_duration_s;
+  b.cpu_cycles_per_unit = 1.6e9;
+
+  switch (family) {
+    case ScenarioFamily::kBursty: {
+      // Interactive-app shape: short all-out bursts with near-idle gaps of
+      // random length in between, so the package never settles.
+      b.category = Category::kConsumer;
+      b.power_class = PowerClass::kMedium;
+      const int bursts = int(rng.uniform_int(5, 9));
+      for (int i = 0; i < bursts; ++i) {
+        Phase burst = burst_phase(rng, intensity);
+        burst.work_fraction = rng.uniform(0.8, 1.2);
+        b.phases.push_back(burst);
+        Phase gap = idle_gap_phase(rng);
+        // Little work at low duty: the gap stretches to a long wall-clock
+        // quiet period where the cores cool back down.
+        gap.work_fraction = rng.uniform(0.02, 0.08);
+        b.phases.push_back(gap);
+      }
+      break;
+    }
+    case ScenarioFamily::kPeriodicSquare: {
+      // Fixed hot/cool square wave; the regular period makes throttling
+      // limit cycles easy to spot in the traces.
+      b.category = Category::kComputational;
+      b.power_class = PowerClass::kHigh;
+      const int cycles = int(rng.uniform_int(4, 7));
+      const double hot_activity = clamp_activity(rng.uniform(0.85, 0.95) *
+                                                 intensity);
+      const double cool_duty = clamp_duty(rng.uniform(0.2, 0.4));
+      for (int i = 0; i < cycles; ++i) {
+        Phase hot;
+        hot.work_fraction = 1.0;
+        hot.cpu_activity = hot_activity;
+        hot.mem_intensity = 0.15;
+        hot.threads = clamp_threads(int(std::lround(4 * intensity)));
+        hot.duty = 1.0;
+        b.phases.push_back(hot);
+        Phase cool;
+        cool.work_fraction = 0.12;
+        cool.cpu_activity = 0.25;
+        cool.mem_intensity = 0.2;
+        cool.threads = 1;
+        cool.duty = cool_duty;
+        b.phases.push_back(cool);
+      }
+      break;
+    }
+    case ScenarioFamily::kSawtoothRamp: {
+      // Staircase activity ramps with an abrupt reset: the rising edge walks
+      // the governor up the OPP ladder, the reset tests its release path.
+      b.category = Category::kComputational;
+      b.power_class = PowerClass::kMedium;
+      const int ramps = int(rng.uniform_int(3, 5));
+      const int steps = int(rng.uniform_int(4, 6));
+      const double lo = rng.uniform(0.15, 0.30);
+      const double hi = rng.uniform(0.80, 0.95);
+      for (int r = 0; r < ramps; ++r) {
+        for (int s = 0; s < steps; ++s) {
+          Phase p;
+          p.work_fraction = 1.0;
+          p.cpu_activity = clamp_activity(
+              (lo + (hi - lo) * s / double(steps - 1)) * intensity);
+          p.mem_intensity = 0.2;
+          p.threads = clamp_threads(int(rng.uniform_int(2, 3) * intensity));
+          p.duty = 1.0;
+          b.phases.push_back(p);
+        }
+      }
+      break;
+    }
+    case ScenarioFamily::kThermalSoak: {
+      // Slow ramp into a long all-core plateau: the board's ~70 s pole keeps
+      // integrating heat, so this is the family that finds runaway margins.
+      b.category = Category::kComputational;
+      b.power_class = PowerClass::kHigh;
+      b.total_work_units = params_.nominal_duration_s * 3.0;
+      const int ramp_steps = int(rng.uniform_int(3, 5));
+      for (int s = 0; s < ramp_steps; ++s) {
+        Phase p;
+        p.work_fraction = 0.4 / ramp_steps;
+        p.cpu_activity =
+            clamp_activity((0.35 + 0.5 * s / double(ramp_steps)) * intensity);
+        p.mem_intensity = rng.uniform(0.25, 0.45);
+        p.threads = 2;
+        p.duty = 1.0;
+        b.phases.push_back(p);
+      }
+      Phase plateau;
+      plateau.work_fraction = 0.55;
+      plateau.cpu_activity = clamp_activity(rng.uniform(0.85, 0.95) *
+                                            intensity);
+      plateau.mem_intensity = 0.3;
+      plateau.threads = clamp_threads(int(std::lround(4 * intensity)));
+      plateau.duty = 1.0;
+      b.phases.push_back(plateau);
+      Phase tail;
+      tail.work_fraction = 0.05;
+      tail.cpu_activity = 0.2;
+      tail.mem_intensity = 0.2;
+      tail.threads = 1;
+      tail.duty = clamp_duty(0.3);
+      b.phases.push_back(tail);
+      break;
+    }
+    case ScenarioFamily::kPhaseMix: {
+      // A shuffled multi-app session assembled from workload archetypes.
+      b.category = Category::kConsumer;
+      b.power_class = PowerClass::kMedium;
+      b.mem_seconds_per_unit = 0.25;
+      const int segments = int(rng.uniform_int(4, 7));
+      for (int s = 0; s < segments; ++s) {
+        Phase p;
+        p.work_fraction = rng.uniform(0.5, 1.5);
+        switch (rng.uniform_int(0, 4)) {
+          case 0:  // compute-bound
+            p.cpu_activity = clamp_activity(0.9 * intensity);
+            p.mem_intensity = 0.1;
+            p.threads = clamp_threads(int(2 * intensity));
+            p.duty = 1.0;
+            break;
+          case 1:  // memory-bound
+            p.cpu_activity = 0.45;
+            p.mem_intensity = clamp_activity(0.9 * intensity);
+            p.threads = 2;
+            p.duty = 1.0;
+            break;
+          case 2:  // interactive
+            p.cpu_activity = 0.5;
+            p.mem_intensity = 0.25;
+            p.threads = 1;
+            p.duty = clamp_duty(rng.uniform(0.25, 0.45));
+            break;
+          case 3:  // video-like
+            p.cpu_activity = 0.35;
+            p.mem_intensity = 0.4;
+            p.gpu_load = std::clamp(0.5 * intensity, 0.0, 1.0);
+            p.threads = 2;
+            p.duty = clamp_duty(0.6);
+            break;
+          default:  // background lull
+            p.cpu_activity = 0.2;
+            p.mem_intensity = 0.15;
+            p.threads = 1;
+            p.duty = clamp_duty(0.1);
+            p.work_fraction *= 0.1;
+            break;
+        }
+        b.phases.push_back(p);
+      }
+      break;
+    }
+    case ScenarioFamily::kGpuCoStress: {
+      // GPU-gated work under concurrent CPU pressure: exercises the budget
+      // escalation all the way to GPU throttling (§5.2's last resort).
+      b.category = Category::kGames;
+      b.power_class = PowerClass::kHigh;
+      b.gpu_cycles_per_unit = 5.0e8;
+      const int segments = int(rng.uniform_int(3, 5));
+      for (int s = 0; s < segments; ++s) {
+        Phase render;
+        render.work_fraction = 1.0;
+        render.cpu_activity = clamp_activity(rng.uniform(0.5, 0.8) *
+                                             intensity);
+        render.mem_intensity = rng.uniform(0.25, 0.45);
+        render.gpu_load = std::clamp(rng.uniform(0.75, 1.0) * intensity,
+                                     0.0, 1.0);
+        render.threads = clamp_threads(int(rng.uniform_int(2, 4) * intensity));
+        render.duty = 1.0;
+        b.phases.push_back(render);
+        Phase load_screen;
+        load_screen.work_fraction = 0.15;
+        load_screen.cpu_activity = clamp_activity(0.7 * intensity);
+        load_screen.mem_intensity = 0.5;
+        load_screen.gpu_load = 0.1;
+        load_screen.threads = 2;
+        load_screen.duty = 1.0;
+        b.phases.push_back(load_screen);
+      }
+      break;
+    }
+    case ScenarioFamily::kDutyCycleResonance: {
+      // On/off square wave whose on-time sits near the die-to-case thermal
+      // time constant -- the worst case for any fixed-horizon predictor,
+      // since the plant never reaches either equilibrium.
+      b.category = Category::kComputational;
+      b.power_class = PowerClass::kHigh;
+      const double on_s =
+          params_.thermal_time_constant_s * rng.uniform(0.7, 1.3);
+      const int cycles = std::max(
+          3, int(std::lround(params_.nominal_duration_s / (2.0 * on_s))));
+      const double off_duty = clamp_duty(rng.uniform(0.15, 0.30));
+      const int on_threads = clamp_threads(int(std::lround(4 * intensity)));
+      // Work is budgeted in absolute units (one unit ~ one big-core-second
+      // at f_max): the on slice keeps on_threads cores saturated for ~on_s,
+      // and the off slice is sized so its crawl -- the default governor
+      // parks light load on the little cluster at its lowest OPP, retiring
+      // ~(500 MHz / 1.6 GHz) * 0.45 IPC ~ 0.14 units per duty-second --
+      // also lasts about one time constant.
+      const double on_units = on_s * on_threads;
+      const double off_units = on_s * off_duty * 0.14;
+      b.total_work_units = cycles * (on_units + off_units);
+      for (int i = 0; i < cycles; ++i) {
+        Phase on;
+        on.work_fraction = on_units;  // normalized below
+        on.cpu_activity = clamp_activity(0.95 * intensity);
+        on.mem_intensity = 0.1;
+        on.threads = on_threads;
+        on.duty = 1.0;
+        b.phases.push_back(on);
+        Phase off;
+        off.work_fraction = off_units;
+        off.cpu_activity = 0.15;
+        off.mem_intensity = 0.1;
+        off.threads = 1;
+        off.duty = off_duty;
+        b.phases.push_back(off);
+      }
+      break;
+    }
+  }
+
+  normalize_work_fractions(b.phases);
+  b.multithreaded = std::any_of(b.phases.begin(), b.phases.end(),
+                                [](const Phase& p) { return p.threads > 1; });
+  b.validate();
+  return b;
+}
+
+Benchmark make_scenario(ScenarioFamily family, std::uint64_t seed,
+                        const ScenarioParams& params) {
+  return ScenarioGenerator(seed, params).generate(family);
+}
+
+}  // namespace dtpm::workload

@@ -1,0 +1,83 @@
+// Procedural scenario synthesis. The Table-6.4 suite (workload/suite.hpp)
+// reproduces the paper's fixed benchmark set; this generator goes beyond it,
+// synthesizing seeded, deterministic stress scenarios as Benchmark phase
+// graphs -- bursty interactive use, periodic square/sawtooth load, slow
+// thermal-soak ramps, multi-app phase mixes, GPU+CPU co-stress, and
+// pathological on/off duty cycles near the package thermal time constant.
+// These are the workloads where predictive DTPM failure modes (thermal
+// runaway, limit-cycle throttling) actually show up, and together with
+// sim::InvariantChecker they turn the BatchRunner into a property-based
+// fuzzing rig for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace dtpm::workload {
+
+/// The built-in generator families.
+enum class ScenarioFamily {
+  kBursty,             ///< random short bursts separated by near-idle gaps
+  kPeriodicSquare,     ///< hot/cool square wave with a fixed phase count
+  kSawtoothRamp,       ///< staircase activity ramps that reset abruptly
+  kThermalSoak,        ///< slow ramp into a long sustained all-core plateau
+  kPhaseMix,           ///< shuffled multi-app mix of workload archetypes
+  kGpuCoStress,        ///< GPU-gated work with concurrent CPU pressure
+  kDutyCycleResonance, ///< on/off duty cycle near the thermal time constant
+};
+
+const char* to_string(ScenarioFamily f);
+
+/// All built-in families, in declaration order.
+const std::vector<ScenarioFamily>& all_scenario_families();
+
+/// Knobs shared by every family.
+struct ScenarioParams {
+  /// Rough completion time of the generated benchmark when the platform runs
+  /// unthrottled; families scale their total work units from it (the soak
+  /// family triples it).
+  double nominal_duration_s = 60.0;
+  /// Scales activity factors and thread counts; 1.0 is the calibrated
+  /// default, > 1 pushes phases toward their physical limits.
+  double intensity = 1.0;
+  /// Fast package pole the duty-cycle family resonates against (the default
+  /// floorplan's die-to-case stage rises in ~13 s).
+  double thermal_time_constant_s = 13.0;
+};
+
+/// Deterministic scenario synthesizer. Generation is a pure function of
+/// (seed, params, family): the same triple always yields an identical
+/// Benchmark, and each family draws from its own derived RNG stream, so
+/// generating families in any order or subset never changes the result.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t seed,
+                             const ScenarioParams& params = {});
+
+  /// Synthesizes one scenario; the result always passes
+  /// Benchmark::validate(). The name embeds family and seed
+  /// ("scn-bursty-s42") so batch results stay attributable.
+  Benchmark generate(ScenarioFamily family) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const ScenarioParams& params() const { return params_; }
+
+ private:
+  std::uint64_t seed_;
+  ScenarioParams params_;
+};
+
+/// One-shot convenience wrapper.
+Benchmark make_scenario(ScenarioFamily family, std::uint64_t seed,
+                        const ScenarioParams& params = {});
+
+/// Rescales phase work fractions sketched in relative units so they sum to
+/// exactly 1 within Benchmark::validate()'s tolerance (the rounding residual
+/// is absorbed into the last phase). Used by every built-in family; custom
+/// scenario factories should call it before validate(). No-op on empty
+/// phase lists (validate() rejects those anyway).
+void normalize_work_fractions(std::vector<Phase>& phases);
+
+}  // namespace dtpm::workload

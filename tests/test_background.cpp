@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace dtpm::workload {
 namespace {
 
@@ -65,6 +67,40 @@ TEST(BackgroundLoad, SpikesOccurOccasionally) {
   }
   EXPECT_GT(spikes, 50);    // spikes happen and persist a few intervals
   EXPECT_LT(spikes, 1500);  // but are not the common case
+}
+
+TEST(BackgroundLoad, DifferentSeedsDiverge) {
+  BackgroundParams params;
+  BackgroundLoad a(params, util::Rng(1));
+  BackgroundLoad b(params, util::Rng(2));
+  int diverged = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto ta = a.threads();
+    const auto tb = b.threads();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t t = 0; t < ta.size(); ++t) {
+      if (ta[t].duty != tb[t].duty) ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0) << "seeds 1 and 2 produced identical duty streams";
+}
+
+TEST(BackgroundLoad, DutyStaysWithinSpikeBand) {
+  // Per-thread duty is base +/- jitter, except the spike thread which is
+  // pinned to spike_duty: everything lands in [base - jitter, spike_duty]
+  // (clamped at the 0.01 runnable floor).
+  BackgroundParams params;
+  params.spike_probability = 0.1;  // spike often so the test sees both modes
+  const double lo = std::max(0.01, params.base_duty - params.duty_jitter);
+  const double hi = std::max(params.spike_duty,
+                             params.base_duty + params.duty_jitter);
+  BackgroundLoad bg(params, util::Rng(4));
+  for (int i = 0; i < 2000; ++i) {
+    for (const auto& td : bg.threads()) {
+      ASSERT_GE(td.duty, lo);
+      ASSERT_LE(td.duty, hi);
+    }
+  }
 }
 
 }  // namespace

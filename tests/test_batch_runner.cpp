@@ -6,6 +6,7 @@
 
 #include "sim/calibration.hpp"
 #include "sim/engine.hpp"
+#include "workload/scenario.hpp"
 
 namespace dtpm::sim {
 namespace {
@@ -106,6 +107,67 @@ TEST(BatchRunner, WorkerExceptionsPropagate) {
   EXPECT_THROW(BatchRunner(2).run(configs), std::invalid_argument);
 }
 
+// A scenario that throws inside a worker (malformed inline benchmark) must
+// neither deadlock the pool nor disturb the input-order slots of the runs
+// around it.
+TEST(BatchRunner, ThrowingScenarioDoesNotCorruptNeighbours) {
+  auto broken_scenario = [] {
+    auto bench = std::make_shared<workload::Benchmark>();
+    bench->name = "broken";
+    bench->phases.push_back({});             // one phase...
+    bench->phases.back().work_fraction = 0.5;  // ...not summing to 1
+    return bench;
+  };
+  ExperimentConfig bad = quick_config("ignored-label", Policy::kWithoutFan);
+  bad.scenario = broken_scenario();
+
+  std::vector<ExperimentConfig> configs{
+      quick_config("crc32", Policy::kWithoutFan, 1),
+      bad,
+      quick_config("sha", Policy::kWithoutFan, 2),
+      bad,
+      quick_config("qsort", Policy::kWithoutFan, 3),
+  };
+
+  // run(): first error surfaces only after the pool has drained.
+  EXPECT_THROW(BatchRunner(2).run(configs), std::invalid_argument);
+
+  // run_collecting(): errors land in their own slots, every other slot is
+  // bit-identical to a serial run of that config alone.
+  const BatchOutcome outcome = BatchRunner(2).run_collecting([&] {
+    std::vector<BatchJob> jobs;
+    for (const ExperimentConfig& c : configs) jobs.push_back({c, nullptr});
+    return jobs;
+  }());
+  ASSERT_EQ(outcome.results.size(), configs.size());
+  ASSERT_EQ(outcome.errors.size(), configs.size());
+  EXPECT_EQ(outcome.failure_count, 2u);
+  EXPECT_FALSE(outcome.all_succeeded());
+  for (std::size_t i : {std::size_t(1), std::size_t(3)}) {
+    ASSERT_NE(outcome.errors[i], nullptr);
+    EXPECT_THROW(std::rethrow_exception(outcome.errors[i]),
+                 std::invalid_argument);
+    EXPECT_FALSE(outcome.results[i].completed);  // slot left defaulted
+  }
+  for (std::size_t i : {std::size_t(0), std::size_t(2), std::size_t(4)}) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(outcome.errors[i], nullptr);
+    expect_identical(outcome.results[i], run_experiment(configs[i]));
+  }
+}
+
+TEST(BatchRunner, AllJobsFailingStillDrains) {
+  ExperimentConfig bad = quick_config("no-such-benchmark", Policy::kWithoutFan);
+  const std::vector<ExperimentConfig> configs(4, bad);
+  const BatchOutcome outcome = BatchRunner(2).run_collecting([&] {
+    std::vector<BatchJob> jobs;
+    for (const ExperimentConfig& c : configs) jobs.push_back({c, nullptr});
+    return jobs;
+  }());
+  EXPECT_EQ(outcome.failure_count, 4u);
+  for (const std::exception_ptr& e : outcome.errors) EXPECT_NE(e, nullptr);
+}
+
 TEST(Sweep, ExpandsCartesianGridRowMajor) {
   SweepGrid grid;
   grid.base = quick_config("crc32", Policy::kWithoutFan);
@@ -136,6 +198,24 @@ TEST(Sweep, EmptyDimensionsFallBackToBase) {
   EXPECT_EQ(configs[0].benchmark, "qsort");
   EXPECT_EQ(configs[0].policy, Policy::kReactive);
   EXPECT_EQ(configs[0].seed, 42u);
+}
+
+TEST(Sweep, NamedBenchmarksDimensionOverridesInlineScenario) {
+  SweepGrid grid;
+  grid.base = quick_config("crc32", Policy::kWithoutFan);
+  grid.base.scenario = std::make_shared<const workload::Benchmark>(
+      workload::make_scenario(workload::ScenarioFamily::kBursty, 1));
+
+  // No benchmarks dimension: the base config (and its inline scenario)
+  // passes through untouched.
+  ASSERT_NE(sweep(grid)[0].scenario, nullptr);
+
+  // A named benchmarks dimension must actually select those benchmarks, so
+  // the inherited inline scenario is dropped.
+  grid.benchmarks = {"crc32", "sha"};
+  for (const ExperimentConfig& c : sweep(grid)) {
+    EXPECT_EQ(c.scenario, nullptr);
+  }
 }
 
 TEST(Sweep, DtpmParamsAxis) {

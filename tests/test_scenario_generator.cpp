@@ -1,0 +1,157 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dtpm::workload {
+namespace {
+
+bool phases_identical(const Benchmark& a, const Benchmark& b) {
+  if (a.phases.size() != b.phases.size()) return false;
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const Phase& pa = a.phases[i];
+    const Phase& pb = b.phases[i];
+    if (pa.work_fraction != pb.work_fraction ||
+        pa.cpu_activity != pb.cpu_activity ||
+        pa.mem_intensity != pb.mem_intensity || pa.gpu_load != pb.gpu_load ||
+        pa.threads != pb.threads || pa.duty != pb.duty) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string phase_signature(const Benchmark& b) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const Phase& p : b.phases) {
+    os << p.work_fraction << "," << p.cpu_activity << "," << p.mem_intensity
+       << "," << p.gpu_load << "," << p.threads << "," << p.duty << ";";
+  }
+  return os.str();
+}
+
+TEST(ScenarioGenerator, CoversAtLeastSixFamilies) {
+  EXPECT_GE(all_scenario_families().size(), 6u);
+  std::set<std::string> names;
+  for (ScenarioFamily f : all_scenario_families()) names.insert(to_string(f));
+  EXPECT_EQ(names.size(), all_scenario_families().size())
+      << "family names must be distinct";
+}
+
+TEST(ScenarioGenerator, EveryFamilyValidatesAcrossSeeds) {
+  for (ScenarioFamily family : all_scenario_families()) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull, 12345ull}) {
+      const Benchmark b = make_scenario(family, seed);
+      SCOPED_TRACE(b.name);
+      EXPECT_NO_THROW(b.validate());
+      EXPECT_GE(b.phases.size(), 2u);
+      EXPECT_GT(b.total_work_units, 0.0);
+    }
+  }
+}
+
+TEST(ScenarioGenerator, SameSeedSamePhaseSequence) {
+  for (ScenarioFamily family : all_scenario_families()) {
+    const Benchmark a = make_scenario(family, 42);
+    const Benchmark b = make_scenario(family, 42);
+    SCOPED_TRACE(to_string(family));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_TRUE(phases_identical(a, b));
+    EXPECT_EQ(a.total_work_units, b.total_work_units);
+  }
+}
+
+TEST(ScenarioGenerator, DifferentSeedsDiverge) {
+  for (ScenarioFamily family : all_scenario_families()) {
+    const Benchmark a = make_scenario(family, 1);
+    const Benchmark b = make_scenario(family, 2);
+    SCOPED_TRACE(to_string(family));
+    EXPECT_FALSE(phases_identical(a, b))
+        << "seeds 1 and 2 generated identical phase graphs";
+  }
+}
+
+TEST(ScenarioGenerator, FamiliesDrawIndependentStreams) {
+  // Generating one family must not depend on which others were generated
+  // before it: each family derives its own stream from (seed, family).
+  const ScenarioGenerator gen(7);
+  const Benchmark alone = gen.generate(ScenarioFamily::kBursty);
+  for (ScenarioFamily family : all_scenario_families()) {
+    (void)gen.generate(family);
+  }
+  const Benchmark after_all = gen.generate(ScenarioFamily::kBursty);
+  EXPECT_TRUE(phases_identical(alone, after_all));
+  // And distinct families with the same seed are not clones of each other.
+  std::set<std::string> signatures;
+  for (ScenarioFamily family : all_scenario_families()) {
+    signatures.insert(phase_signature(gen.generate(family)));
+  }
+  EXPECT_EQ(signatures.size(), all_scenario_families().size());
+}
+
+TEST(ScenarioGenerator, NameEmbedsFamilyAndSeed) {
+  const Benchmark b = make_scenario(ScenarioFamily::kThermalSoak, 17);
+  EXPECT_NE(b.name.find("thermal-soak"), std::string::npos);
+  EXPECT_NE(b.name.find("s17"), std::string::npos);
+}
+
+TEST(ScenarioGenerator, GpuCoStressIsGpuGated) {
+  const Benchmark b = make_scenario(ScenarioFamily::kGpuCoStress, 3);
+  EXPECT_GT(b.gpu_cycles_per_unit, 0.0);
+  bool saw_gpu_phase = false;
+  for (const Phase& p : b.phases) saw_gpu_phase |= p.gpu_load > 0.5;
+  EXPECT_TRUE(saw_gpu_phase);
+}
+
+TEST(ScenarioGenerator, DutyCycleAlternatesOnOff) {
+  const Benchmark b = make_scenario(ScenarioFamily::kDutyCycleResonance, 5);
+  ASSERT_GE(b.phases.size(), 6u);  // at least three on/off cycles
+  for (std::size_t i = 0; i < b.phases.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(b.phases[i].duty, 1.0) << "on-phase " << i;
+    } else {
+      EXPECT_LE(b.phases[i].duty, 0.35) << "off-phase " << i;
+    }
+  }
+}
+
+TEST(ScenarioGenerator, SoakScalesWorkWithDurationHint) {
+  ScenarioParams short_params;
+  short_params.nominal_duration_s = 10.0;
+  ScenarioParams long_params;
+  long_params.nominal_duration_s = 100.0;
+  const Benchmark short_soak =
+      make_scenario(ScenarioFamily::kThermalSoak, 1, short_params);
+  const Benchmark long_soak =
+      make_scenario(ScenarioFamily::kThermalSoak, 1, long_params);
+  EXPECT_GT(long_soak.total_work_units, short_soak.total_work_units);
+}
+
+TEST(ScenarioGenerator, NormalizeRejectsZeroSumFractions) {
+  std::vector<Phase> phases(3);
+  for (Phase& p : phases) p.work_fraction = 0.0;
+  EXPECT_THROW(normalize_work_fractions(phases), std::invalid_argument);
+  std::vector<Phase> empty;
+  EXPECT_NO_THROW(normalize_work_fractions(empty));
+}
+
+TEST(ScenarioGenerator, IntensityStaysWithinValidRanges) {
+  // Extreme intensities must still produce validating benchmarks (the
+  // generator clamps, never rejects).
+  for (double intensity : {0.25, 1.0, 2.5}) {
+    ScenarioParams params;
+    params.intensity = intensity;
+    for (ScenarioFamily family : all_scenario_families()) {
+      SCOPED_TRACE(to_string(family));
+      EXPECT_NO_THROW(make_scenario(family, 11, params).validate());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtpm::workload
