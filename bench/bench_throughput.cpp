@@ -1,0 +1,161 @@
+// Simulation throughput benchmark: the perf baseline every future PR is
+// measured against. Expands the scenario catalog over {family x policy x
+// seed}, runs the grid through the BatchRunner (trace recording off, so the
+// hot path is what is measured), and reports aggregate steps/sec, runs/sec,
+// and per-step latency percentiles from the per-run RunResult cost counters.
+// Results are written to BENCH_throughput.json so CI can archive the perf
+// trajectory per PR (see README "Performance").
+//
+// Calibration (the identified model the DTPM policy needs) runs before the
+// clock starts; the measurement covers simulation stepping only.
+//
+// Usage: bench_throughput [--smoke] [seed_count] [json_path]
+//   --smoke     CI mode: 1 seed per family, 30 s sim-time cap
+//   seed_count  seeds per family/policy (default 2)
+//   json_path   output JSON (default BENCH_throughput.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/scenario_catalog.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double> sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const double rank = p * double(sorted_values.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = rank - double(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtpm;
+  bool smoke = false;
+  int seed_count = 2;
+  std::string json_path = "BENCH_throughput.json";
+  std::vector<std::string> positional;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      positional.emplace_back(argv[a]);
+    }
+  }
+  // A numeric positional is the seed count; anything else is the JSON path
+  // (so `bench_throughput --smoke out.json` does what it looks like).
+  for (const std::string& arg : positional) {
+    const int parsed = std::atoi(arg.c_str());
+    if (parsed > 0) {
+      seed_count = parsed;
+    } else {
+      json_path = arg;
+    }
+  }
+  if (smoke) seed_count = 1;
+
+  bench::print_header("Throughput",
+                      "Scenario-catalog sweep: steps/sec, runs/sec, latency");
+
+  // Calibrate outside the measurement window.
+  const sysid::IdentifiedPlatformModel& model = bench::shared_model();
+
+  const sim::ScenarioCatalog catalog = sim::ScenarioCatalog::standard();
+  sim::ScenarioCatalog::Sweep sweep;
+  sweep.base.max_sim_time_s = smoke ? 30.0 : 120.0;
+  sweep.base.record_trace = false;
+  sweep.policies = {sim::Policy::kDefaultWithFan, sim::Policy::kProposedDtpm};
+  sweep.seeds.clear();
+  for (int s = 1; s <= seed_count; ++s) sweep.seeds.push_back(s);
+
+  const std::vector<sim::ExperimentConfig> configs = catalog.expand(sweep);
+  std::vector<sim::BatchJob> jobs;
+  jobs.reserve(configs.size());
+  for (const sim::ExperimentConfig& c : configs) jobs.push_back({c, &model});
+
+  const unsigned workers = sim::BatchRunner().worker_count();
+  std::printf("  %zu families x %zu seeds x %zu policies = %zu runs on %u "
+              "workers (%s)\n\n",
+              catalog.size(), sweep.seeds.size(), sweep.policies.size(),
+              configs.size(), workers, smoke ? "smoke" : "full");
+
+  const auto t0 = Clock::now();
+  const sim::BatchOutcome outcome = sim::BatchRunner().run_collecting(jobs);
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::size_t control_steps = 0;
+  std::size_t plant_substeps = 0;
+  std::size_t failed = 0;
+  std::vector<double> step_latency_us;
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (outcome.errors[i] != nullptr) {
+      ++failed;
+      continue;
+    }
+    const sim::RunResult& r = outcome.results[i];
+    control_steps += r.control_steps;
+    plant_substeps += r.plant_substeps;
+    if (r.control_steps > 0) {
+      step_latency_us.push_back(1e6 * r.wall_time_s / double(r.control_steps));
+    }
+  }
+  std::sort(step_latency_us.begin(), step_latency_us.end());
+  const double p50 = percentile(step_latency_us, 0.50);
+  const double p90 = percentile(step_latency_us, 0.90);
+  const double p99 = percentile(step_latency_us, 0.99);
+  const double steps_per_sec = double(control_steps) / wall_s;
+  const double runs_per_sec = double(configs.size() - failed) / wall_s;
+
+  std::printf("  wall time          %10.3f s\n", wall_s);
+  std::printf("  runs               %10zu (%zu failed)\n",
+              configs.size(), failed);
+  std::printf("  runs/sec           %10.2f\n", runs_per_sec);
+  std::printf("  control steps      %10zu\n", control_steps);
+  std::printf("  steps/sec          %10.0f\n", steps_per_sec);
+  std::printf("  plant substeps     %10zu\n", plant_substeps);
+  std::printf("  substeps/sec       %10.0f\n",
+              double(plant_substeps) / wall_s);
+  std::printf("  step latency p50   %10.2f us\n", p50);
+  std::printf("  step latency p90   %10.2f us\n", p90);
+  std::printf("  step latency p99   %10.2f us\n", p99);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 2;
+  }
+  json << "{\n"
+       << "  \"bench\": \"throughput\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"families\": " << catalog.size() << ",\n"
+       << "  \"seeds\": " << sweep.seeds.size() << ",\n"
+       << "  \"policies\": [";
+  for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+    json << (p == 0 ? "" : ", ") << '"' << to_string(sweep.policies[p]) << '"';
+  }
+  json << "],\n"
+       << "  \"runs\": " << configs.size() << ",\n"
+       << "  \"failed_runs\": " << failed << ",\n"
+       << "  \"wall_s\": " << wall_s << ",\n"
+       << "  \"runs_per_sec\": " << runs_per_sec << ",\n"
+       << "  \"control_steps\": " << control_steps << ",\n"
+       << "  \"steps_per_sec\": " << steps_per_sec << ",\n"
+       << "  \"plant_substeps\": " << plant_substeps << ",\n"
+       << "  \"substeps_per_sec\": " << double(plant_substeps) / wall_s << ",\n"
+       << "  \"step_latency_us\": {\"p50\": " << p50 << ", \"p90\": " << p90
+       << ", \"p99\": " << p99 << "}\n"
+       << "}\n";
+  std::printf("\n  wrote %s\n", json_path.c_str());
+  return failed == 0 ? 0 : 1;
+}

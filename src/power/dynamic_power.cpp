@@ -5,10 +5,6 @@
 
 namespace dtpm::power {
 
-double dynamic_power_w(double alpha_c_f, double vdd_v, double frequency_hz) {
-  return alpha_c_f * vdd_v * vdd_v * frequency_hz;
-}
-
 double alpha_c_from_power(double dynamic_power_w, double vdd_v,
                           double frequency_hz) {
   if (vdd_v <= 0.0 || frequency_hz <= 0.0) {

@@ -9,8 +9,11 @@
 namespace dtpm::power {
 
 /// Switching power in W for an activity-capacitance product (F), supply (V)
-/// and clock (Hz).
-double dynamic_power_w(double alpha_c_f, double vdd_v, double frequency_hz);
+/// and clock (Hz). Inline: this runs several times per plant substep.
+inline double dynamic_power_w(double alpha_c_f, double vdd_v,
+                              double frequency_hz) {
+  return alpha_c_f * vdd_v * vdd_v * frequency_hz;
+}
 
 /// Inverse: alphaC from an observed dynamic power at known (V, f).
 double alpha_c_from_power(double dynamic_power_w, double vdd_v,

@@ -1,20 +1,3 @@
+// LeakageModel is header-only (the evaluation inlines into the per-substep
+// power loops); this TU intentionally has no out-of-line definitions.
 #include "power/leakage.hpp"
-
-#include <cmath>
-
-namespace dtpm::power {
-
-double LeakageModel::current_a(double temp_c, double vdd_v) const {
-  const double t_k = celsius_to_kelvin(temp_c);
-  double subthreshold = params_.c1 * t_k * t_k * std::exp(params_.c2_k / t_k);
-  if (params_.dibl_exponent != 0.0 && params_.v_ref > 0.0) {
-    subthreshold *= std::pow(vdd_v / params_.v_ref, params_.dibl_exponent);
-  }
-  return subthreshold + params_.i_gate_a;
-}
-
-double LeakageModel::power_w(double temp_c, double vdd_v) const {
-  return vdd_v * current_a(temp_c, vdd_v);
-}
-
-}  // namespace dtpm::power

@@ -10,6 +10,8 @@
 // recover from furnace measurements at a single fixed voltage.
 #pragma once
 
+#include <cmath>
+
 namespace dtpm::power {
 
 /// Celsius/Kelvin helpers used across the power stack.
@@ -29,20 +31,44 @@ struct LeakageParams {
 };
 
 /// Evaluates leakage current and power from the parameters.
+///
+/// The DIBL factor pow(Vdd/v_ref, e) depends only on the supply voltage,
+/// which changes at DVFS decisions (at most once per control interval) while
+/// current_a runs every plant substep for every rail -- so the factor is
+/// memoized per voltage. The cache returns the exact pow() result, so
+/// evaluation stays bit-identical to the uncached model.
 class LeakageModel {
  public:
   explicit LeakageModel(const LeakageParams& params = {}) : params_(params) {}
 
   /// Leakage current in A at the given temperature (Celsius) and supply.
-  double current_a(double temp_c, double vdd_v) const;
+  /// Inline: this runs for every rail on every plant substep.
+  double current_a(double temp_c, double vdd_v) const {
+    const double t_k = celsius_to_kelvin(temp_c);
+    double subthreshold = params_.c1 * t_k * t_k * std::exp(params_.c2_k / t_k);
+    if (params_.dibl_exponent != 0.0 && params_.v_ref > 0.0) {
+      if (vdd_v != cached_vdd_v_) {
+        cached_vdd_v_ = vdd_v;
+        cached_dibl_factor_ =
+            std::pow(vdd_v / params_.v_ref, params_.dibl_exponent);
+      }
+      subthreshold *= cached_dibl_factor_;
+    }
+    return subthreshold + params_.i_gate_a;
+  }
 
   /// Leakage power in W: Vdd * I_leak.
-  double power_w(double temp_c, double vdd_v) const;
+  double power_w(double temp_c, double vdd_v) const {
+    return vdd_v * current_a(temp_c, vdd_v);
+  }
 
   const LeakageParams& params() const { return params_; }
 
  private:
   LeakageParams params_;
+  /// Memoized pow(vdd/v_ref, dibl_exponent) for the last-seen vdd.
+  mutable double cached_vdd_v_ = -1.0;
+  mutable double cached_dibl_factor_ = 1.0;
 };
 
 }  // namespace dtpm::power

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sim/engine.hpp"
+#include "sim/run_plan.hpp"
 
 namespace dtpm::sim {
 
@@ -31,9 +32,15 @@ BatchOutcome BatchRunner::run_collecting(
   outcome.errors.resize(jobs.size());
   if (jobs.empty()) return outcome;
 
+  // Hoist the per-run invariants (floorplan template, benchmark resolution)
+  // once, single-threaded, before the pool spawns; workers share the plan
+  // read-only. Configs the plan does not cover fall back transparently.
+  RunPlan plan(jobs.front().config.preset.floorplan);
+  for (const BatchJob& job : jobs) plan.cache_benchmark_for(job.config);
+
   auto run_one = [&](std::size_t i) {
     try {
-      outcome.results[i] = run_experiment(jobs[i].config, jobs[i].model);
+      outcome.results[i] = run_experiment(jobs[i].config, jobs[i].model, &plan);
     } catch (...) {
       outcome.errors[i] = std::current_exception();
     }

@@ -17,8 +17,9 @@ const char* to_string(Policy p) {
 }
 
 RunResult run_experiment(const ExperimentConfig& config,
-                         const sysid::IdentifiedPlatformModel* model) {
-  Simulation simulation(config, model);
+                         const sysid::IdentifiedPlatformModel* model,
+                         const RunPlan* plan) {
+  Simulation simulation(config, model, nullptr, plan);
   while (simulation.step()) {
   }
   return simulation.finish();

@@ -14,8 +14,11 @@
 namespace dtpm::sim {
 
 /// Runs one experiment. `model` is required for kProposedDtpm and for
-/// observe_predictions; it is the artifact of sim::calibrate_platform.
+/// observe_predictions; it is the artifact of sim::calibrate_platform. An
+/// optional RunPlan supplies shared batch invariants (floorplan template,
+/// resolved benchmarks); results are identical with or without one.
 RunResult run_experiment(const ExperimentConfig& config,
-                         const sysid::IdentifiedPlatformModel* model = nullptr);
+                         const sysid::IdentifiedPlatformModel* model = nullptr,
+                         const RunPlan* plan = nullptr);
 
 }  // namespace dtpm::sim

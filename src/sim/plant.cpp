@@ -4,14 +4,15 @@
 
 namespace dtpm::sim {
 
-Plant::Plant(const PlatformPreset& preset, util::Rng& root)
-    : floorplan_(thermal::make_default_floorplan(preset.floorplan)),
+Plant::Plant(const PlatformPreset& preset, util::Rng& root,
+             const thermal::Floorplan* floorplan_template)
+    : floorplan_(floorplan_template != nullptr
+                     ? *floorplan_template
+                     : thermal::make_default_floorplan(preset.floorplan)),
       fan_(preset.fan),
       soc_(preset.plant, preset.perf),
-      temp_bank_([] {
-        const auto nodes = thermal::Floorplan::big_core_nodes();
-        return std::vector<std::size_t>{nodes.begin(), nodes.end()};
-      }(), preset.temp_sensor, root.fork()),
+      temp_bank_(thermal::Floorplan::big_core_node_indices(),
+                 preset.temp_sensor, root.fork()),
       power_bank_(preset.power_sensor, root.fork()),
       meter_(preset.platform_load, root.fork()) {
   // Warm-start at the low end; ondemand ramps up from here.
@@ -25,6 +26,10 @@ Plant::Plant(const PlatformPreset& preset, util::Rng& root)
 
 std::vector<double> Plant::read_temps() {
   return temp_bank_.read(floorplan_.network.temperatures_c());
+}
+
+void Plant::read_temps_into(std::vector<double>& readings_out) {
+  temp_bank_.read_into(floorplan_.network.temperatures_c(), readings_out);
 }
 
 power::ResourceVector Plant::read_rails(
@@ -60,20 +65,26 @@ PlantIntervalResult Plant::advance(
         temps[thermal::node_index(thermal::FloorplanNode::kBig1)],
         temps[thermal::node_index(thermal::FloorplanNode::kBig2)],
         temps[thermal::node_index(thermal::FloorplanNode::kBig3)]};
+    // The workload schedule (placement, contention, activity) is a pure
+    // function of the demand and the applied config, both held fixed across
+    // this interval's substeps -- only the first substep recomputes it.
     result.last_substep = soc_.step(
         demand, background_threads, big_true,
         temps[thermal::node_index(thermal::FloorplanNode::kLittleCluster)],
         temps[thermal::node_index(thermal::FloorplanNode::kGpu)],
-        temps[thermal::node_index(thermal::FloorplanNode::kMem)], sub_dt);
+        temps[thermal::node_index(thermal::FloorplanNode::kMem)], sub_dt,
+        /*reuse_schedule=*/s > 0);
 
-    floorplan_.network.step(
-        sub_dt, thermal::assemble_node_power(result.last_substep.big_core_power_w,
-                                             result.last_substep.rail_power_w));
+    thermal::assemble_node_power_into(result.last_substep.big_core_power_w,
+                                      result.last_substep.rail_power_w,
+                                      node_power_scratch_);
+    floorplan_.network.step(sub_dt, node_power_scratch_);
 
     for (std::size_t r = 0; r < power::kResourceCount; ++r) {
       rails_accum[r] += result.last_substep.rail_power_w[r] * sub_dt;
     }
     result.consumed_s += sub_dt;
+    ++result.substeps_taken;
     if (instance != nullptr) {
       instance->advance(result.last_substep.progress_units);
       if (instance->done()) {

@@ -23,6 +23,7 @@ struct PlantIntervalResult {
   power::ResourceVector rails_avg_w{};  ///< substep-time-averaged rail powers
   soc::SocStepResult last_substep;      ///< outputs of the last substep taken
   double consumed_s = 0.0;              ///< simulated time actually advanced
+  int substeps_taken = 0;               ///< plant substeps actually executed
   bool benchmark_finished = false;      ///< the foreground workload completed
 };
 
@@ -30,12 +31,20 @@ struct PlantIntervalResult {
 ///
 /// Forks three RNG streams from `root` in a fixed order (temperature bank,
 /// power bank, external meter) so experiments replay bit-identically.
+///
+/// When `floorplan_template` is non-null it is copied instead of rebuilding
+/// (validating + compiling) the network from the preset parameters -- the
+/// RunPlan hoist for batches that share one platform across many runs. The
+/// template must have been built from `preset.floorplan`.
 class Plant {
  public:
-  Plant(const PlatformPreset& preset, util::Rng& root);
+  Plant(const PlatformPreset& preset, util::Rng& root,
+        const thermal::Floorplan* floorplan_template = nullptr);
 
   /// Sensor sampling (start of a control interval).
   std::vector<double> read_temps();
+  /// Allocation-free variant: clears and refills `readings_out`.
+  void read_temps_into(std::vector<double>& readings_out);
   power::ResourceVector read_rails(const power::ResourceVector& true_avg_w);
   double read_platform_power(const power::ResourceVector& true_avg_w,
                              double fan_power_w);
@@ -71,6 +80,8 @@ class Plant {
   thermal::TempSensorBank temp_bank_;
   power::PowerSensorBank power_bank_;
   power::ExternalPowerMeter meter_;
+  /// Reused node-power injection buffer (advance() allocates nothing).
+  std::vector<double> node_power_scratch_;
 };
 
 }  // namespace dtpm::sim

@@ -1,0 +1,56 @@
+#include "sim/run_plan.hpp"
+
+#include "workload/suite.hpp"
+
+namespace dtpm::sim {
+
+namespace {
+
+thermal::FloorplanParams params_of(
+    const std::vector<ExperimentConfig>& configs) {
+  return configs.empty() ? thermal::FloorplanParams{}
+                         : configs.front().preset.floorplan;
+}
+
+}  // namespace
+
+RunPlan::RunPlan(const thermal::FloorplanParams& params)
+    : floorplan_params_(params),
+      floorplan_(thermal::make_default_floorplan(params)) {}
+
+RunPlan::RunPlan(const std::vector<ExperimentConfig>& configs)
+    : RunPlan(params_of(configs)) {
+  for (const ExperimentConfig& config : configs) cache_benchmark_for(config);
+}
+
+RunPlan::RunPlan(const ExperimentConfig& config)
+    : RunPlan(config.preset.floorplan) {
+  cache_benchmark_for(config);
+}
+
+void RunPlan::cache_benchmark_for(const ExperimentConfig& config) {
+  if (config.scenario == nullptr) cache_benchmark(config.benchmark);
+}
+
+void RunPlan::cache_benchmark(const std::string& name) {
+  if (benchmarks_.count(name) != 0) return;
+  try {
+    benchmarks_.emplace(name, &workload::find_benchmark(name));
+  } catch (const std::exception&) {
+    // Unknown name: leave uncached so the owning run still throws in its own
+    // slot (run_collecting attributes failures per job).
+  }
+}
+
+const thermal::Floorplan* RunPlan::floorplan_for(
+    const thermal::FloorplanParams& params) const {
+  return params == floorplan_params_ ? &floorplan_ : nullptr;
+}
+
+const workload::Benchmark* RunPlan::benchmark_for(
+    const std::string& name) const {
+  const auto it = benchmarks_.find(name);
+  return it == benchmarks_.end() ? nullptr : it->second;
+}
+
+}  // namespace dtpm::sim

@@ -1,0 +1,64 @@
+// Shared immutable per-batch invariants. A BatchRunner batch typically runs
+// hundreds of configs that differ only in benchmark/policy/seed while
+// sharing one platform preset and one identified model; RunPlan hoists the
+// work that is identical across those runs out of the per-run constructor:
+//
+//   * the floorplan template: built (validated + compiled) once, copied into
+//     each Plant instead of re-running make_default_floorplan per run,
+//   * benchmark resolution: suite names resolved to Benchmark pointers once
+//     per distinct name instead of once per run.
+//
+// A RunPlan is built once (single-threaded) before the worker pool spawns
+// and is then read-only, so workers share it without synchronization. A
+// config whose preset diverges from the plan's simply falls back to the
+// build-it-yourself path -- reuse is an optimization, never a behavior
+// change, and batches stay bit-identical to serial runs.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace dtpm::sim {
+
+class RunPlan {
+ public:
+  /// Builds the floorplan template for `params`; benchmarks are cached
+  /// separately via cache_benchmark_for().
+  explicit RunPlan(const thermal::FloorplanParams& params);
+
+  /// Builds the invariants for a batch of `configs`: the floorplan template
+  /// from the first config's preset and a name -> Benchmark cache for every
+  /// distinct suite benchmark. Unknown benchmark names are left uncached so
+  /// the per-run resolution still throws inside the owning job's slot.
+  explicit RunPlan(const std::vector<ExperimentConfig>& configs);
+
+  /// Convenience: plan for a single config.
+  explicit RunPlan(const ExperimentConfig& config);
+
+  /// Resolves and caches `config`'s suite benchmark (no-op for inline
+  /// scenarios and unknown names). Not thread-safe: populate the cache
+  /// before sharing the plan across workers.
+  void cache_benchmark_for(const ExperimentConfig& config);
+
+  /// The floorplan template when it matches `params`, else null (caller
+  /// rebuilds from its own preset).
+  const thermal::Floorplan* floorplan_for(
+      const thermal::FloorplanParams& params) const;
+
+  /// The pre-resolved suite benchmark for `name`, else null (caller resolves
+  /// -- and reports errors -- itself). Inline scenarios never consult this.
+  const workload::Benchmark* benchmark_for(const std::string& name) const;
+
+ private:
+  void cache_benchmark(const std::string& name);
+
+  thermal::FloorplanParams floorplan_params_;
+  thermal::Floorplan floorplan_;
+  std::unordered_map<std::string, const workload::Benchmark*> benchmarks_;
+};
+
+}  // namespace dtpm::sim

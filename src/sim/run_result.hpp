@@ -35,6 +35,12 @@ struct RunResult {
   /// DTPM actuation counters (zero for other policies).
   core::DtpmDiagnostics dtpm;
 
+  /// Per-run cost counters (filled by Simulation::finish); the raw material
+  /// of bench_throughput's steps/sec and latency-percentile report.
+  std::size_t control_steps = 0;   ///< Simulation::step() calls executed
+  std::size_t plant_substeps = 0;  ///< plant substeps actually taken
+  double wall_time_s = 0.0;        ///< wall-clock from construction to finish
+
   /// Per-interval trace (absent when record_trace is false). The column
   /// schema is owned by TraceRecorder::column_names() -- see
   /// sim/trace_recorder.hpp for the authoritative list and documentation.

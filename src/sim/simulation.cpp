@@ -30,10 +30,16 @@ workload::BackgroundParams background_params(const workload::Benchmark& bench) {
 /// Inline scenarios are validated here, at the point of use: a malformed
 /// generated benchmark fails the run that carries it (and only that run,
 /// even inside a BatchRunner pool) instead of producing nonsense traces.
-const workload::Benchmark& resolve_benchmark(const ExperimentConfig& config) {
+/// Suite names hit the RunPlan's resolution cache first when one is shared.
+const workload::Benchmark& resolve_benchmark(const ExperimentConfig& config,
+                                             const RunPlan* plan) {
   if (config.scenario != nullptr) {
     config.scenario->validate();
     return *config.scenario;
+  }
+  if (plan != nullptr) {
+    const workload::Benchmark* cached = plan->benchmark_for(config.benchmark);
+    if (cached != nullptr) return *cached;
   }
   return workload::find_benchmark(config.benchmark);
 }
@@ -42,29 +48,34 @@ const workload::Benchmark& resolve_benchmark(const ExperimentConfig& config) {
 
 Simulation::Simulation(const ExperimentConfig& config,
                        const sysid::IdentifiedPlatformModel* model,
-                       std::unique_ptr<governors::ThermalPolicy> policy_override)
+                       std::unique_ptr<governors::ThermalPolicy> policy_override,
+                       const RunPlan* plan)
     : config_(validated(config, model)),
       dt_s_(config_.control_interval_s),
       substeps_(std::max(1, int(std::lround(dt_s_ / config_.plant_substep_s)))),
       sub_dt_s_(dt_s_ / substeps_),
       root_(config_.seed),
-      plant_(config_.preset, root_),
-      bench_(resolve_benchmark(config_)),
+      plant_(config_.preset, root_,
+             plan != nullptr ? plan->floorplan_for(config_.preset.floorplan)
+                             : nullptr),
+      bench_(resolve_benchmark(config_, plan)),
       background_(background_params(bench_), root_.fork()),
       instance_(bench_),
       control_(config_, model, std::move(policy_override)),
       observer_(config_.observe_predictions
                     ? PredictionObserver(*model, config_.observe_horizon_steps)
                     : PredictionObserver()),
-      recorder_(config_.record_trace) {
+      recorder_(config_.record_trace),
+      wall_start_(std::chrono::steady_clock::now()) {
   view_.soc_config = plant_.soc().config();
 }
 
 bool Simulation::step() {
   if (done_) return false;
 
-  // 1. Sensor sampling.
-  const std::vector<double> sensor_temps = plant_.read_temps();
+  // 1. Sensor sampling (into the reused step buffers).
+  plant_.read_temps_into(buffers_.sensor_temps);
+  const std::vector<double>& sensor_temps = buffers_.sensor_temps;
   const power::ResourceVector sensor_rails = plant_.read_rails(last_rails_avg_);
   const double platform_power =
       plant_.read_platform_power(last_rails_avg_, last_fan_power_);
@@ -93,9 +104,12 @@ bool Simulation::step() {
       observer_.observe(k_, active, sensor_temps, sensor_rails);
 
   // 4. Plant advance with leakage-temperature feedback per substep.
-  workload::Demand demand;
+  workload::Demand& demand = buffers_.demand;
+  demand.threads.clear();
+  demand.gpu_load = 0.0;
+  demand.gpu_cycles_per_unit = 0.0;
   if (active) {
-    demand = instance_.demand();
+    instance_.demand_into(demand);
   } else if (!started_) {
     // Moderate warm-up load so recording starts from a warm platform.
     workload::ThreadDemand warm;
@@ -105,9 +119,11 @@ bool Simulation::step() {
     warm.counts_progress = false;
     demand.threads.push_back(warm);
   }
-  const std::vector<workload::ThreadDemand> bg_threads = background_.threads();
-  const PlantIntervalResult interval = plant_.advance(
-      demand, bg_threads, active ? &instance_ : nullptr, substeps_, sub_dt_s_);
+  background_.threads_into(buffers_.background_threads);
+  const PlantIntervalResult interval =
+      plant_.advance(demand, buffers_.background_threads,
+                     active ? &instance_ : nullptr, substeps_, sub_dt_s_);
+  plant_substeps_ += static_cast<std::size_t>(interval.substeps_taken);
   last_rails_avg_ = interval.rails_avg_w;
   last_fan_power_ = plant_.fan_power_w(fan_speed_);
   last_cpu_max_util_ = interval.last_substep.cpu_max_util;
@@ -148,7 +164,7 @@ bool Simulation::step() {
               : observer_.latest_scheduled_max_c();
       sample.pred_tmax_for_now_c = due.tmax_c;
       sample.pred_t0_for_now_c = due.t0_c;
-      recorder_.record(sample);
+      recorder_.record(sample, buffers_.trace_row);
     }
   }
 
@@ -215,6 +231,11 @@ RunResult Simulation::finish() {
   if (control_.dtpm() != nullptr) result.dtpm = control_.dtpm()->diagnostics();
   if (runaway_) result.completed = false;
   result.trace = recorder_.take();
+  result.control_steps = k_;
+  result.plant_substeps = plant_substeps_;
+  result.wall_time_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start_)
+                           .count();
   return result;
 }
 

@@ -14,6 +14,7 @@
 // run_experiment (sim/engine.hpp) is a thin wrapper over exactly this loop.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -21,7 +22,9 @@
 #include "sim/control_stack.hpp"
 #include "sim/plant.hpp"
 #include "sim/prediction_observer.hpp"
+#include "sim/run_plan.hpp"
 #include "sim/run_result.hpp"
+#include "sim/step_buffers.hpp"
 #include "sim/trace_recorder.hpp"
 #include "util/rng.hpp"
 #include "workload/background.hpp"
@@ -49,11 +52,15 @@ class Simulation {
   /// observe_predictions (throws std::invalid_argument otherwise). A
   /// non-null `policy_override` replaces the policy selected by
   /// `config.policy` with a user-supplied implementation -- the extension
-  /// point for custom thermal policies running closed-loop.
+  /// point for custom thermal policies running closed-loop. A non-null
+  /// `plan` (sim/run_plan.hpp) supplies pre-built batch invariants -- the
+  /// floorplan template and resolved benchmarks -- that construction reuses
+  /// when they match the config; behavior is identical with or without one.
   explicit Simulation(
       const ExperimentConfig& config,
       const sysid::IdentifiedPlatformModel* model = nullptr,
-      std::unique_ptr<governors::ThermalPolicy> policy_override = nullptr);
+      std::unique_ptr<governors::ThermalPolicy> policy_override = nullptr,
+      const RunPlan* plan = nullptr);
 
   /// Advances one control interval. Returns true while the run continues;
   /// false once a termination condition (benchmark completion, thermal
@@ -104,6 +111,12 @@ class Simulation {
   bool runaway_ = false;
   bool done_ = false;
   bool finished_ = false;
+
+  /// Reused per-step scratch: the steady-state step() path (trace recording
+  /// and prediction observation off) performs zero heap allocations.
+  StepBuffers buffers_;
+  std::size_t plant_substeps_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
 
   RunResult result_;
   SimulationView view_;

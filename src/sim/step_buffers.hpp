@@ -1,0 +1,29 @@
+// Reusable per-step scratch for the Simulation hot loop. One StepBuffers
+// lives in each Simulation; every control interval writes into these buffers
+// instead of allocating fresh vectors, so a steady-state Simulation::step()
+// (trace recording and prediction observation off) performs zero heap
+// allocations -- the property the tests/test_zero_alloc.cpp guard pins.
+//
+// Capacities grow to the run's high-water mark during the first intervals
+// and are then reused verbatim. The buffers carry no cross-interval state:
+// each consumer clears before filling.
+#pragma once
+
+#include <vector>
+
+#include "workload/runtime.hpp"
+
+namespace dtpm::sim {
+
+struct StepBuffers {
+  /// Big-core sensor readings (Plant::read_temps_into).
+  std::vector<double> sensor_temps;
+  /// Background thread demands (BackgroundLoad::threads_into).
+  std::vector<workload::ThreadDemand> background_threads;
+  /// Foreground demand (WorkloadInstance::demand_into / warm-up load).
+  workload::Demand demand;
+  /// Serialized trace row (TraceRecorder::record scratch).
+  std::vector<double> trace_row;
+};
+
+}  // namespace dtpm::sim

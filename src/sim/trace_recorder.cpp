@@ -31,8 +31,14 @@ TraceRecorder::TraceRecorder(bool enabled) {
 }
 
 void TraceRecorder::record(const TraceSample& s) {
+  std::vector<double> row;
+  record(s, row);
+}
+
+void TraceRecorder::record(const TraceSample& s,
+                           std::vector<double>& row_scratch) {
   if (!table_) return;
-  table_->append(
+  row_scratch.assign(
       {s.time_s, s.big_temps_c[0], s.big_temps_c[1], s.big_temps_c[2],
        s.big_temps_c[3], s.t_max_c,
        s.rail_power_w[0], s.rail_power_w[1], s.rail_power_w[2],
@@ -43,6 +49,7 @@ void TraceRecorder::record(const TraceSample& s) {
        double(s.soc_config.online_big_cores()), double(fan_level(s.fan)),
        s.cpu_max_util, s.gpu_util, s.progress, s.pred_max_ahead_c,
        s.pred_tmax_for_now_c, s.pred_t0_for_now_c});
+  table_->append(row_scratch);
 }
 
 }  // namespace dtpm::sim

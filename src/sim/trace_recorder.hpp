@@ -56,6 +56,10 @@ class TraceRecorder {
   /// Serializes one sample into a row; no-op when recording is disabled.
   void record(const TraceSample& sample);
 
+  /// Variant serializing through a caller-owned row buffer (StepBuffers
+  /// scratch), halving the per-row allocations on the hot path.
+  void record(const TraceSample& sample, std::vector<double>& row_scratch);
+
   /// Hands the accumulated table to the RunResult (empty when disabled).
   std::optional<util::TraceTable> take() { return std::move(table_); }
 

@@ -41,4 +41,11 @@ struct Placement {
 Placement place_threads(const std::vector<workload::ThreadDemand>& threads,
                         const SocConfig& config);
 
+/// Allocation-free variant for the per-substep hot path: resets and refills
+/// `out` (its thread vector's capacity is reused) and uses `order_scratch`
+/// as sort scratch. Results are identical to place_threads().
+void place_threads_into(const std::vector<workload::ThreadDemand>& threads,
+                        const SocConfig& config, Placement& out,
+                        std::vector<std::size_t>& order_scratch);
+
 }  // namespace dtpm::soc

@@ -21,6 +21,9 @@ Soc::Soc(const PlantPowerParams& power_params, const PerfParams& perf_params)
   config_.big_freq_hz = big_opps_.max().frequency_hz;
   config_.little_freq_hz = little_opps_.max().frequency_hz;
   config_.gpu_freq_hz = gpu_opps_.max().frequency_hz;
+  v_big_ = big_opps_.max().voltage_v;
+  v_little_ = little_opps_.max().voltage_v;
+  v_gpu_ = gpu_opps_.max().voltage_v;
 }
 
 void Soc::apply(const SocConfig& config) {
@@ -41,27 +44,22 @@ void Soc::apply(const SocConfig& config) {
     migration_stall_remaining_s_ += perf_params_.cluster_switch_stall_s;
   }
   config_ = config;
+  v_big_ = big_opps_.voltage_at(config_.big_freq_hz);
+  v_little_ = little_opps_.voltage_at(config_.little_freq_hz);
+  v_gpu_ = gpu_opps_.voltage_at(config_.gpu_freq_hz);
 }
 
 SocStepResult Soc::step(const workload::Demand& foreground,
                         const std::vector<workload::ThreadDemand>& background,
                         const std::array<double, kBigCoreCount>& big_temps_c,
                         double little_temp_c, double gpu_temp_c,
-                        double mem_temp_c, double dt_s) {
+                        double mem_temp_c, double dt_s, bool reuse_schedule) {
   if (dt_s <= 0.0) throw std::invalid_argument("Soc::step: dt must be > 0");
   SocStepResult out;
 
-  // --- Thread placement on the active cluster ------------------------------
-  std::vector<workload::ThreadDemand> all_threads = foreground.threads;
-  all_threads.insert(all_threads.end(), background.begin(), background.end());
-  const Placement placement = place_threads(all_threads, config_);
-  out.cpu_max_util = placement.max_util;
-  out.cpu_avg_util = placement.avg_util;
-
   const bool big_active = config_.active_cluster == ClusterId::kBig;
   const double f_cpu = big_active ? config_.big_freq_hz : config_.little_freq_hz;
-  const double v_cpu = big_active ? big_opps_.voltage_at(config_.big_freq_hz)
-                                  : little_opps_.voltage_at(config_.little_freq_hz);
+  const double v_cpu = big_active ? v_big_ : v_little_;
   const double ipc = big_active ? perf_params_.big_ipc_scale
                                 : perf_params_.little_ipc_scale;
   const double core_alpha_c_max = big_active
@@ -70,93 +68,120 @@ SocStepResult Soc::step(const workload::Demand& foreground,
   const double idle_activity = big_active ? power_params_.big_idle_activity
                                           : power_params_.little_idle_activity;
 
-  // --- GPU demand (needed before the memory contention computation) --------
-  const double gpu_v = gpu_opps_.voltage_at(config_.gpu_freq_hz);
-  const double gpu_demand_hz =
-      foreground.gpu_load * gpu_opps_.max().frequency_hz;
-  const double gpu_achieved_hz = std::min(gpu_demand_hz, config_.gpu_freq_hz);
-  const double gpu_busy =
-      std::min(gpu_achieved_hz / config_.gpu_freq_hz +
-                   power_params_.gpu_idle_util,
-               1.0);
-  out.gpu_util = gpu_busy;
+  if (!reuse_schedule) {
+    // --- Thread placement on the active cluster ----------------------------
+    all_threads_scratch_.clear();
+    all_threads_scratch_.insert(all_threads_scratch_.end(),
+                                foreground.threads.begin(),
+                                foreground.threads.end());
+    all_threads_scratch_.insert(all_threads_scratch_.end(), background.begin(),
+                                background.end());
+    place_threads_into(all_threads_scratch_, config_, placement_scratch_,
+                       order_scratch_);
+    const Placement& placement = placement_scratch_;
+    schedule_.cpu_max_util = placement.max_util;
+    schedule_.cpu_avg_util = placement.avg_util;
 
-  // --- Memory bandwidth saturation -------------------------------------------
-  // Each foreground work unit occupies the DDR for mem_seconds_per_unit at
-  // full bandwidth, so the feasibility constraint is
-  //     sum_t rate_t * m_t + bg_traffic <= cpu_cap,
-  // with rate_t = share_t / (c_t/(ipc*f) + m_t * x) and x >= 1 a common
-  // queueing-slowdown factor. We find the smallest feasible x by fixed-point
-  // iteration. rate_t stays monotone non-decreasing in f (saturating at the
-  // bandwidth bound), which is what makes DVFS throttling nearly free for
-  // bandwidth-bound multithreaded workloads -- the paper's matmul behaviour.
-  const double gpu_bw = gpu_busy * power_params_.mem_gpu_traffic_weight;
-  const double cpu_cap =
-      std::max(0.15, power_params_.mem_bandwidth_cap - gpu_bw);
-  constexpr double kBackgroundBwCoeff = 0.3;
-  double bg_bw = 0.0;
-  for (const auto& placed : placement.threads) {
-    if (placed.demand.cpu_cycles_per_unit <= 0.0) {
-      bg_bw += placed.share * placed.demand.mem_intensity * kBackgroundBwCoeff;
+    // --- GPU demand (needed before the memory contention computation) ------
+    const double gpu_demand_hz =
+        foreground.gpu_load * gpu_opps_.max().frequency_hz;
+    const double gpu_achieved_hz = std::min(gpu_demand_hz, config_.gpu_freq_hz);
+    const double gpu_busy =
+        std::min(gpu_achieved_hz / config_.gpu_freq_hz +
+                     power_params_.gpu_idle_util,
+                 1.0);
+    schedule_.gpu_busy = gpu_busy;
+
+    // --- Memory bandwidth saturation ---------------------------------------
+    // Each foreground work unit occupies the DDR for mem_seconds_per_unit at
+    // full bandwidth, so the feasibility constraint is
+    //     sum_t rate_t * m_t + bg_traffic <= cpu_cap,
+    // with rate_t = share_t / (c_t/(ipc*f) + m_t * x) and x >= 1 a common
+    // queueing-slowdown factor. We find the smallest feasible x by fixed-point
+    // iteration. rate_t stays monotone non-decreasing in f (saturating at the
+    // bandwidth bound), which is what makes DVFS throttling nearly free for
+    // bandwidth-bound multithreaded workloads -- the paper's matmul behaviour.
+    const double gpu_bw = gpu_busy * power_params_.mem_gpu_traffic_weight;
+    const double cpu_cap =
+        std::max(0.15, power_params_.mem_bandwidth_cap - gpu_bw);
+    constexpr double kBackgroundBwCoeff = 0.3;
+    double bg_bw = 0.0;
+    for (const auto& placed : placement.threads) {
+      if (placed.demand.cpu_cycles_per_unit <= 0.0) {
+        bg_bw += placed.share * placed.demand.mem_intensity * kBackgroundBwCoeff;
+      }
     }
-  }
-  auto fg_bw_demand = [&](double x) {
-    double d = 0.0;
+    auto fg_bw_demand = [&](double x) {
+      double d = 0.0;
+      for (const auto& placed : placement.threads) {
+        const auto& td = placed.demand;
+        if (td.cpu_cycles_per_unit <= 0.0 || td.mem_seconds_per_unit <= 0.0) {
+          continue;
+        }
+        const double t_unit =
+            td.cpu_cycles_per_unit / (ipc * f_cpu) + td.mem_seconds_per_unit * x;
+        d += placed.share / t_unit * td.mem_seconds_per_unit;
+      }
+      return d;
+    };
+    // Demand is strictly decreasing in the slowdown x, so bisection gives the
+    // exact equilibrium; the precision matters because any residual would make
+    // progress non-monotone in frequency.
+    const double fg_bw_unit = fg_bw_demand(1.0);
+    double slowdown = 1.0;
+    double fg_bw_final = fg_bw_unit;
+    if (fg_bw_unit + bg_bw > cpu_cap) {
+      double lo = 1.0, hi = 2.0;
+      while (fg_bw_demand(hi) + bg_bw > cpu_cap && hi < 1e6) hi *= 2.0;
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        (fg_bw_demand(mid) + bg_bw > cpu_cap ? lo : hi) = mid;
+      }
+      slowdown = 0.5 * (lo + hi);
+      fg_bw_final = fg_bw_demand(slowdown);
+    }
+
+    // Per-physical-core effective switching activity and progress. Stalled
+    // cycles do not switch, so contention also scales the activity factor.
+    schedule_.core_activity.fill(0.0);
+    double cpu_progress_rate = 0.0;  // units/s from foreground threads
     for (const auto& placed : placement.threads) {
       const auto& td = placed.demand;
-      if (td.cpu_cycles_per_unit <= 0.0 || td.mem_seconds_per_unit <= 0.0) {
-        continue;
+      double stall_scale = 1.0;
+      if (td.cpu_cycles_per_unit > 0.0 && td.mem_seconds_per_unit > 0.0 &&
+          slowdown > 1.0) {
+        const double cpu_time = td.cpu_cycles_per_unit / (ipc * f_cpu);
+        stall_scale = (cpu_time + td.mem_seconds_per_unit) /
+                      (cpu_time + td.mem_seconds_per_unit * slowdown);
       }
-      const double t_unit =
-          td.cpu_cycles_per_unit / (ipc * f_cpu) + td.mem_seconds_per_unit * x;
-      d += placed.share / t_unit * td.mem_seconds_per_unit;
+      schedule_.core_activity[placed.core] +=
+          placed.share * stall_scale * td.cpu_activity;
+      if (td.counts_progress && td.cpu_cycles_per_unit > 0.0) {
+        const double seconds_per_unit =
+            td.cpu_cycles_per_unit / (ipc * f_cpu) +
+            td.mem_seconds_per_unit * slowdown;
+        cpu_progress_rate += placed.share / seconds_per_unit;
+      }
     }
-    return d;
-  };
-  // Demand is strictly decreasing in the slowdown x, so bisection gives the
-  // exact equilibrium; the precision matters because any residual would make
-  // progress non-monotone in frequency.
-  double slowdown = 1.0;
-  if (fg_bw_demand(1.0) + bg_bw > cpu_cap) {
-    double lo = 1.0, hi = 2.0;
-    while (fg_bw_demand(hi) + bg_bw > cpu_cap && hi < 1e6) hi *= 2.0;
-    for (int iter = 0; iter < 60; ++iter) {
-      const double mid = 0.5 * (lo + hi);
-      (fg_bw_demand(mid) + bg_bw > cpu_cap ? lo : hi) = mid;
+    schedule_.mem_traffic = std::min(fg_bw_final + bg_bw + gpu_bw,
+                                     power_params_.mem_bandwidth_cap);
+
+    schedule_.progress_rate = cpu_progress_rate;
+    if (foreground.gpu_cycles_per_unit > 0.0) {
+      const double gpu_rate = gpu_achieved_hz / foreground.gpu_cycles_per_unit;
+      schedule_.progress_rate = std::min(cpu_progress_rate, gpu_rate);
     }
-    slowdown = 0.5 * (lo + hi);
   }
 
-  // Per-physical-core effective switching activity and progress. Stalled
-  // cycles do not switch, so contention also scales the activity factor.
-  std::array<double, kBigCoreCount> core_activity{};
-  double cpu_progress_rate = 0.0;  // units/s from foreground threads
-  for (const auto& placed : placement.threads) {
-    const auto& td = placed.demand;
-    double stall_scale = 1.0;
-    if (td.cpu_cycles_per_unit > 0.0 && td.mem_seconds_per_unit > 0.0 &&
-        slowdown > 1.0) {
-      const double cpu_time = td.cpu_cycles_per_unit / (ipc * f_cpu);
-      stall_scale = (cpu_time + td.mem_seconds_per_unit) /
-                    (cpu_time + td.mem_seconds_per_unit * slowdown);
-    }
-    core_activity[placed.core] += placed.share * stall_scale * td.cpu_activity;
-    if (td.counts_progress && td.cpu_cycles_per_unit > 0.0) {
-      const double seconds_per_unit =
-          td.cpu_cycles_per_unit / (ipc * f_cpu) +
-          td.mem_seconds_per_unit * slowdown;
-      cpu_progress_rate += placed.share / seconds_per_unit;
-    }
-  }
-  const double mem_traffic =
-      std::min(fg_bw_demand(slowdown) + bg_bw + gpu_bw,
-               power_params_.mem_bandwidth_cap);
-
-  double progress_rate = cpu_progress_rate;
-  if (foreground.gpu_cycles_per_unit > 0.0) {
-    const double gpu_rate = gpu_achieved_hz / foreground.gpu_cycles_per_unit;
-    progress_rate = std::min(cpu_progress_rate, gpu_rate);
-  }
+  out.cpu_max_util = schedule_.cpu_max_util;
+  out.cpu_avg_util = schedule_.cpu_avg_util;
+  out.gpu_util = schedule_.gpu_busy;
+  const double gpu_v = v_gpu_;
+  const double gpu_busy = schedule_.gpu_busy;
+  const double mem_traffic = schedule_.mem_traffic;
+  const double progress_rate = schedule_.progress_rate;
+  const std::array<double, kBigCoreCount>& core_activity =
+      schedule_.core_activity;
 
   // --- CPU cluster power ------------------------------------------------
   auto& rails = out.rail_power_w;

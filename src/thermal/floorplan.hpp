@@ -80,6 +80,13 @@ struct FloorplanParams {
   double board_initial_temp_c = 38.0;
 };
 
+/// Memberwise equality; lets a batch decide whether two presets can share
+/// one compiled floorplan template (sim::RunPlan).
+bool operator==(const FloorplanParams& a, const FloorplanParams& b);
+inline bool operator!=(const FloorplanParams& a, const FloorplanParams& b) {
+  return !(a == b);
+}
+
 /// A constructed floorplan: the network plus the index of the edge the fan
 /// modulates (board-to-ambient convection).
 struct Floorplan {
@@ -89,6 +96,10 @@ struct Floorplan {
 
   /// Indices of the four big-core nodes, in order.
   static std::array<std::size_t, 4> big_core_nodes();
+
+  /// The same indices as a shared immutable vector (what sensor banks
+  /// consume), built once per process instead of once per Plant.
+  static const std::vector<std::size_t>& big_core_node_indices();
 };
 
 /// Builds the default Exynos-5410-like floorplan.
@@ -102,5 +113,11 @@ Floorplan make_default_floorplan(const FloorplanParams& params = {});
 std::vector<double> assemble_node_power(
     const std::array<double, 4>& big_core_power_w,
     const power::ResourceVector& rail_power_w);
+
+/// Allocation-free variant: writes into `node_power_out`, resizing it to
+/// kFloorplanNodeCount (a no-op after the first call on a reused buffer).
+void assemble_node_power_into(const std::array<double, 4>& big_core_power_w,
+                              const power::ResourceVector& rail_power_w,
+                              std::vector<double>& node_power_out);
 
 }  // namespace dtpm::thermal

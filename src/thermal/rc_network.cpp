@@ -1,47 +1,17 @@
 #include "thermal/rc_network.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
-
-#include "util/matrix.hpp"
 
 namespace dtpm::thermal {
 
 RcNetwork::RcNetwork(std::vector<ThermalNode> nodes,
                      std::vector<ThermalEdge> edges)
-    : nodes_(std::move(nodes)), edges_(std::move(edges)) {
-  if (nodes_.empty()) throw std::invalid_argument("RcNetwork: no nodes");
-  for (const auto& n : nodes_) {
-    if (!n.is_boundary && n.capacitance_j_per_k <= 0.0) {
-      throw std::invalid_argument("RcNetwork: non-positive capacitance at " + n.name);
-    }
-  }
-  for (const auto& e : edges_) {
-    if (e.node_a >= nodes_.size() || e.node_b >= nodes_.size()) {
-      throw std::invalid_argument("RcNetwork: edge index out of range");
-    }
-    if (e.node_a == e.node_b) {
-      throw std::invalid_argument("RcNetwork: self-loop edge");
-    }
-    if (e.conductance_w_per_k <= 0.0) {
-      throw std::invalid_argument("RcNetwork: non-positive conductance");
-    }
-  }
+    : nodes_(std::move(nodes)),
+      edges_(std::move(edges)),
+      compiled_(nodes_, edges_) {
   temps_.resize(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) temps_[i] = nodes_[i].initial_temp_c;
-  k1_.resize(nodes_.size());
-  k2_.resize(nodes_.size());
-  k3_.resize(nodes_.size());
-  k4_.resize(nodes_.size());
-  scratch_.resize(nodes_.size());
-}
-
-std::size_t RcNetwork::index_of(const std::string& name) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) return i;
-  }
-  throw std::invalid_argument("RcNetwork: no node named " + name);
 }
 
 void RcNetwork::set_temperature_c(std::size_t i, double t) { temps_.at(i) = t; }
@@ -59,72 +29,19 @@ void RcNetwork::set_boundary_temperature_c(std::size_t i, double t) {
 
 void RcNetwork::set_edge_conductance(std::size_t edge_index,
                                      double conductance_w_per_k) {
-  if (conductance_w_per_k <= 0.0) {
-    throw std::invalid_argument("RcNetwork: non-positive conductance");
-  }
+  compiled_.set_edge_conductance(edge_index, conductance_w_per_k);
   edges_.at(edge_index).conductance_w_per_k = conductance_w_per_k;
 }
 
 double RcNetwork::edge_conductance(std::size_t edge_index) const {
-  return edges_.at(edge_index).conductance_w_per_k;
-}
-
-void RcNetwork::derivative(const std::vector<double>& temps,
-                           const std::vector<double>& power_w,
-                           std::vector<double>& dtemps) const {
-  std::fill(dtemps.begin(), dtemps.end(), 0.0);
-  for (const auto& e : edges_) {
-    const double flow = e.conductance_w_per_k * (temps[e.node_b] - temps[e.node_a]);
-    dtemps[e.node_a] += flow;
-    dtemps[e.node_b] -= flow;
-  }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].is_boundary) {
-      dtemps[i] = 0.0;
-    } else {
-      dtemps[i] = (dtemps[i] + power_w[i]) / nodes_[i].capacitance_j_per_k;
-    }
-  }
+  return compiled_.edge_conductance(edge_index);
 }
 
 void RcNetwork::step(double dt_s, const std::vector<double>& power_w) {
   if (power_w.size() != nodes_.size()) {
     throw std::invalid_argument("RcNetwork::step: power vector size mismatch");
   }
-  if (dt_s <= 0.0) throw std::invalid_argument("RcNetwork::step: dt must be > 0");
-
-  // Bound the internal step by the fastest node time constant so explicit
-  // RK4 stays stable: tau_min = min C_i / sum_j g_ij.
-  double tau_min = 1e30;
-  std::vector<double> gsum(nodes_.size(), 0.0);
-  for (const auto& e : edges_) {
-    gsum[e.node_a] += e.conductance_w_per_k;
-    gsum[e.node_b] += e.conductance_w_per_k;
-  }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].is_boundary || gsum[i] <= 0.0) continue;
-    tau_min = std::min(tau_min, nodes_[i].capacitance_j_per_k / gsum[i]);
-  }
-  const double max_sub = std::max(1e-6, 0.25 * tau_min);
-  const unsigned substeps =
-      static_cast<unsigned>(std::ceil(dt_s / max_sub));
-  const double h = dt_s / double(substeps);
-
-  for (unsigned s = 0; s < substeps; ++s) {
-    derivative(temps_, power_w, k1_);
-    for (std::size_t i = 0; i < temps_.size(); ++i)
-      scratch_[i] = temps_[i] + 0.5 * h * k1_[i];
-    derivative(scratch_, power_w, k2_);
-    for (std::size_t i = 0; i < temps_.size(); ++i)
-      scratch_[i] = temps_[i] + 0.5 * h * k2_[i];
-    derivative(scratch_, power_w, k3_);
-    for (std::size_t i = 0; i < temps_.size(); ++i)
-      scratch_[i] = temps_[i] + h * k3_[i];
-    derivative(scratch_, power_w, k4_);
-    for (std::size_t i = 0; i < temps_.size(); ++i) {
-      temps_[i] += h / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
-    }
-  }
+  compiled_.step(dt_s, power_w.data(), temps_.data());
 }
 
 std::vector<double> RcNetwork::steady_state(
@@ -132,37 +49,8 @@ std::vector<double> RcNetwork::steady_state(
   if (power_w.size() != nodes_.size()) {
     throw std::invalid_argument("RcNetwork::steady_state: power size mismatch");
   }
-  // Unknowns: temperatures of free nodes. Boundary temps enter the RHS.
-  std::vector<std::size_t> free_index(nodes_.size(), SIZE_MAX);
-  std::vector<std::size_t> free_nodes;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i].is_boundary) {
-      free_index[i] = free_nodes.size();
-      free_nodes.push_back(i);
-    }
-  }
-  const std::size_t n = free_nodes.size();
-  if (n == 0) return temps_;
-  util::Matrix g(n, n);
-  util::Matrix rhs(n, 1);
-  for (std::size_t fi = 0; fi < n; ++fi) rhs(fi, 0) = power_w[free_nodes[fi]];
-  for (const auto& e : edges_) {
-    const bool a_free = free_index[e.node_a] != SIZE_MAX;
-    const bool b_free = free_index[e.node_b] != SIZE_MAX;
-    if (a_free) g(free_index[e.node_a], free_index[e.node_a]) += e.conductance_w_per_k;
-    if (b_free) g(free_index[e.node_b], free_index[e.node_b]) += e.conductance_w_per_k;
-    if (a_free && b_free) {
-      g(free_index[e.node_a], free_index[e.node_b]) -= e.conductance_w_per_k;
-      g(free_index[e.node_b], free_index[e.node_a]) -= e.conductance_w_per_k;
-    } else if (a_free) {
-      rhs(free_index[e.node_a], 0) += e.conductance_w_per_k * temps_[e.node_b];
-    } else if (b_free) {
-      rhs(free_index[e.node_b], 0) += e.conductance_w_per_k * temps_[e.node_a];
-    }
-  }
-  const util::Matrix sol = g.solve(rhs);
   std::vector<double> out = temps_;
-  for (std::size_t fi = 0; fi < n; ++fi) out[free_nodes[fi]] = sol(fi, 0);
+  compiled_.steady_state(power_w.data(), out.data());
   return out;
 }
 

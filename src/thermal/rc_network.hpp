@@ -7,11 +7,19 @@
 // stack never sees this model directly: it observes the plant only through
 // quantized, noisy sensors, and identifies its own reduced 4x4 model from
 // those observations, exactly as the paper does against real hardware.
+//
+// Model construction is split from model stepping: the constructor compiles
+// the topology into a thermal::CompiledRcModel (flat index arrays, cached
+// stability bound, name -> index map) and every step/derivative/steady-state
+// call routes through it, so the integrator hot loop performs no lookups and
+// no heap allocation.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "thermal/compiled_rc_model.hpp"
 
 namespace dtpm::thermal {
 
@@ -43,9 +51,13 @@ class RcNetwork {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t edge_count() const { return edges_.size(); }
   const ThermalNode& node(std::size_t i) const { return nodes_.at(i); }
+  const ThermalEdge& edge(std::size_t i) const { return edges_.at(i); }
 
-  /// Index lookup by node name; throws if absent.
-  std::size_t index_of(const std::string& name) const;
+  /// Index lookup by node name against the map built at construction;
+  /// throws if absent.
+  std::size_t index_of(const std::string& name) const {
+    return compiled_.index_of(name);
+  }
 
   /// Current temperature of node i in Celsius.
   double temperature_c(std::size_t i) const { return temps_.at(i); }
@@ -59,7 +71,8 @@ class RcNetwork {
   /// Re-pins a boundary node to a new fixed temperature.
   void set_boundary_temperature_c(std::size_t i, double t);
 
-  /// Changes an edge conductance at runtime (fan speed changes).
+  /// Changes an edge conductance at runtime (fan speed changes). Writing an
+  /// unchanged value is a no-op.
   void set_edge_conductance(std::size_t edge_index, double conductance_w_per_k);
   double edge_conductance(std::size_t edge_index) const;
 
@@ -67,6 +80,8 @@ class RcNetwork {
   /// injection (W). Power injected into boundary nodes is ignored. dt is
   /// internally subdivided so the explicit integrator stays well inside its
   /// stability region for the stiffest node.
+  /// @throws std::invalid_argument on a power vector size mismatch or
+  ///         non-positive dt.
   void step(double dt_s, const std::vector<double>& power_w);
 
   /// Steady-state temperatures for a constant power vector, solved directly
@@ -74,17 +89,14 @@ class RcNetwork {
   /// harness for fast equilibration.
   std::vector<double> steady_state(const std::vector<double>& power_w) const;
 
- private:
-  /// dT/dt for the free (non-boundary) nodes.
-  void derivative(const std::vector<double>& temps,
-                  const std::vector<double>& power_w,
-                  std::vector<double>& dtemps) const;
+  /// The compiled form the step path runs on (read-only).
+  const CompiledRcModel& compiled() const { return compiled_; }
 
+ private:
   std::vector<ThermalNode> nodes_;
   std::vector<ThermalEdge> edges_;
+  CompiledRcModel compiled_;
   std::vector<double> temps_;
-  // Scratch buffers for RK4 (avoid per-step allocation).
-  mutable std::vector<double> k1_, k2_, k3_, k4_, scratch_;
 };
 
 }  // namespace dtpm::thermal

@@ -19,7 +19,14 @@ TempSensorBank::TempSensorBank(std::vector<std::size_t> observed_nodes,
 std::vector<double> TempSensorBank::read(
     const std::vector<double>& true_temps_c) {
   std::vector<double> out;
-  out.reserve(observed_nodes_.size());
+  read_into(true_temps_c, out);
+  return out;
+}
+
+void TempSensorBank::read_into(const std::vector<double>& true_temps_c,
+                               std::vector<double>& readings_out) {
+  readings_out.clear();
+  readings_out.reserve(observed_nodes_.size());
   for (std::size_t node : observed_nodes_) {
     if (node >= true_temps_c.size()) {
       throw std::invalid_argument("TempSensorBank: node index out of range");
@@ -28,9 +35,8 @@ std::vector<double> TempSensorBank::read(
     if (params_.quantization_c > 0.0) {
       reading = std::round(reading / params_.quantization_c) * params_.quantization_c;
     }
-    out.push_back(reading);
+    readings_out.push_back(reading);
   }
-  return out;
 }
 
 }  // namespace dtpm::thermal

@@ -25,6 +25,11 @@ class TempSensorBank {
   /// One reading per observed node, in observation order.
   std::vector<double> read(const std::vector<double>& true_temps_c);
 
+  /// Allocation-free variant: clears and refills `readings_out` (capacity is
+  /// reused across calls). Draws the same RNG stream as read().
+  void read_into(const std::vector<double>& true_temps_c,
+                 std::vector<double>& readings_out);
+
   const std::vector<std::size_t>& observed_nodes() const {
     return observed_nodes_;
   }

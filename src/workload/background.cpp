@@ -9,6 +9,12 @@ BackgroundLoad::BackgroundLoad(const BackgroundParams& params, util::Rng rng)
 
 std::vector<ThreadDemand> BackgroundLoad::threads() {
   std::vector<ThreadDemand> out;
+  threads_into(out);
+  return out;
+}
+
+void BackgroundLoad::threads_into(std::vector<ThreadDemand>& out) {
+  out.clear();
   if (spike_intervals_left_ > 0) {
     --spike_intervals_left_;
   } else if (rng_.bernoulli(params_.spike_probability)) {
@@ -35,7 +41,6 @@ std::vector<ThreadDemand> BackgroundLoad::threads() {
       out.push_back(td);
     }
   }
-  return out;
 }
 
 }  // namespace dtpm::workload

@@ -36,6 +36,10 @@ class BackgroundLoad {
   /// Background thread demands for this interval.
   std::vector<ThreadDemand> threads();
 
+  /// Allocation-free variant: clears and refills `threads_out` (capacity is
+  /// reused across calls). Draws the same RNG stream as threads().
+  void threads_into(std::vector<ThreadDemand>& threads_out);
+
   const BackgroundParams& params() const { return params_; }
 
  private:

@@ -10,9 +10,15 @@ WorkloadInstance::WorkloadInstance(const Benchmark& benchmark)
 }
 
 Demand WorkloadInstance::demand() const {
-  const Phase& phase = benchmark_->phase_at(progress_fraction());
   Demand d;
-  d.threads.reserve(static_cast<std::size_t>(phase.threads));
+  demand_into(d);
+  return d;
+}
+
+void WorkloadInstance::demand_into(Demand& out) const {
+  const Phase& phase = benchmark_->phase_at(progress_fraction());
+  out.threads.clear();
+  out.threads.reserve(static_cast<std::size_t>(phase.threads));
   for (int t = 0; t < phase.threads; ++t) {
     ThreadDemand td;
     td.duty = phase.duty;
@@ -22,11 +28,10 @@ Demand WorkloadInstance::demand() const {
     td.cpu_cycles_per_unit = benchmark_->cpu_cycles_per_unit;
     td.mem_seconds_per_unit =
         benchmark_->mem_seconds_per_unit * phase.mem_intensity;
-    d.threads.push_back(td);
+    out.threads.push_back(td);
   }
-  d.gpu_load = phase.gpu_load;
-  d.gpu_cycles_per_unit = benchmark_->gpu_cycles_per_unit;
-  return d;
+  out.gpu_load = phase.gpu_load;
+  out.gpu_cycles_per_unit = benchmark_->gpu_cycles_per_unit;
 }
 
 void WorkloadInstance::advance(double work_units) {

@@ -37,6 +37,10 @@ class WorkloadInstance {
   /// Demand from the current phase.
   Demand demand() const;
 
+  /// Allocation-free variant: clears and refills `demand_out` (thread
+  /// capacity is reused across calls), including the GPU fields.
+  void demand_into(Demand& demand_out) const;
+
   /// Advances completed work by the given units (computed by the platform's
   /// performance model for the elapsed interval).
   void advance(double work_units);

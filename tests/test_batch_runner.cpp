@@ -6,6 +6,7 @@
 
 #include "sim/calibration.hpp"
 #include "sim/engine.hpp"
+#include "sim/run_plan.hpp"
 #include "workload/scenario.hpp"
 
 namespace dtpm::sim {
@@ -65,6 +66,55 @@ TEST(BatchRunner, ParallelMatchesSerialBitForBit) {
   // Identical configs (same seed) land identical results regardless of
   // which worker picked them up.
   expect_identical(parallel[2], parallel[5]);
+}
+
+TEST(RunPlan, SharedPlanIsBitIdenticalToPlanlessRuns) {
+  // The batch layer's hoisted invariants (floorplan template, resolved
+  // benchmark) must be an optimization only: a run through a RunPlan lands
+  // the same result as one that builds everything itself.
+  const ExperimentConfig config = quick_config("crc32", Policy::kDefaultWithFan);
+  const RunPlan plan(config);
+  expect_identical(run_experiment(config, &model()),
+                   run_experiment(config, &model(), &plan));
+}
+
+TEST(RunPlan, ResolvesCachedBenchmarksAndFloorplans) {
+  const ExperimentConfig config = quick_config("crc32", Policy::kWithoutFan);
+  RunPlan plan(config);
+  EXPECT_NE(plan.benchmark_for("crc32"), nullptr);
+  EXPECT_EQ(plan.benchmark_for("no-such-benchmark"), nullptr);
+  EXPECT_NE(plan.floorplan_for(config.preset.floorplan), nullptr);
+
+  // A diverged preset must fall back (null), never hand out a mismatched
+  // template.
+  thermal::FloorplanParams other = config.preset.floorplan;
+  other.board_capacitance *= 2.0;
+  EXPECT_EQ(plan.floorplan_for(other), nullptr);
+}
+
+TEST(RunPlan, UnknownBenchmarkStillFailsInItsOwnSlot) {
+  // RunPlan pre-resolution must not turn an unknown name into a batch-level
+  // throw: the owning slot carries the error, neighbours run normally.
+  std::vector<BatchJob> jobs;
+  jobs.push_back({quick_config("crc32", Policy::kWithoutFan), nullptr});
+  jobs.push_back({quick_config("definitely-not-a-benchmark",
+                               Policy::kWithoutFan),
+                  nullptr});
+  const BatchOutcome outcome = BatchRunner(2).run_collecting(jobs);
+  EXPECT_EQ(outcome.failure_count, 1u);
+  EXPECT_EQ(outcome.errors[0], nullptr);
+  EXPECT_NE(outcome.errors[1], nullptr);
+  EXPECT_TRUE(outcome.results[0].control_steps > 0);
+}
+
+TEST(RunResult, CostCountersFilled) {
+  const RunResult result =
+      run_experiment(quick_config("crc32", Policy::kWithoutFan), &model());
+  EXPECT_GT(result.control_steps, 0u);
+  // 100 ms interval over 10 ms substeps: up to 10 substeps per interval.
+  EXPECT_GT(result.plant_substeps, result.control_steps);
+  EXPECT_LE(result.plant_substeps, result.control_steps * 10);
+  EXPECT_GT(result.wall_time_s, 0.0);
 }
 
 TEST(BatchRunner, ResultsComeBackInInputOrder) {
