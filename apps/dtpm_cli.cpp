@@ -1,0 +1,376 @@
+#include "dtpm_cli.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "governors/policy_registry.hpp"
+#include "sim/batch.hpp"
+#include "sim/calibration.hpp"
+#include "sim/config_io.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario_catalog.hpp"
+#include "util/csv.hpp"
+#include "util/names.hpp"
+#include "workload/suite.hpp"
+
+namespace dtpm::cli {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kFailure = 1;
+constexpr int kUsage = 2;
+
+const char kUsageText[] =
+    "dtpm -- declarative experiment driver for the DTPM reproduction\n"
+    "\n"
+    "usage:\n"
+    "  dtpm run <config.json>  [--out DIR] [--with-model] [--smoke] "
+    "[--quiet]\n"
+    "      Run one experiment config; writes <out>/summary.csv and, when the\n"
+    "      config records a trace, <out>/<label>_trace.csv.\n"
+    "  dtpm sweep <grid.json>  [-j N] [--out DIR] [--with-model] [--smoke] "
+    "[--quiet]\n"
+    "      Expand a sweep grid (flat benchmark axes or a scenario-catalog\n"
+    "      selection) and run it on the parallel BatchRunner. --smoke caps\n"
+    "      warm-up/simulated time and disables traces for CI-sized runs.\n"
+    "  dtpm list <policies|governors|scenarios|presets|benchmarks> [--long]\n"
+    "      List registered names, one per line (--long adds descriptions).\n"
+    "\n"
+    "The identified platform model is calibrated on demand when a config\n"
+    "needs it (the 'dtpm' policy or observe_predictions); --with-model\n"
+    "forces it for custom policies that read PolicyContext::model.\n";
+
+struct Options {
+  std::string file;
+  std::string out_dir = "dtpm-out";
+  bool with_model = false;
+  bool quiet = false;
+  bool smoke = false;
+  unsigned workers = 0;  // 0 = hardware concurrency
+};
+
+/// Parses flags shared by run/sweep; returns false (after reporting) on a
+/// malformed invocation. `allow_workers` gates -j, which only the sweep's
+/// BatchRunner consumes -- accepting it on `run` would silently ignore it.
+bool parse_options(const std::vector<std::string>& args, std::size_t start,
+                   Options& options, bool allow_workers, std::ostream& err) {
+  std::vector<std::string> positional;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "-j" && !allow_workers) {
+      err << "dtpm: -j is only valid for `dtpm sweep`\n";
+      return false;
+    }
+    if (arg == "--out" || arg == "-j") {
+      if (i + 1 >= args.size()) {
+        err << "dtpm: " << arg << " requires an argument\n";
+        return false;
+      }
+      const std::string& value = args[++i];
+      if (arg == "--out") {
+        options.out_dir = value;
+      } else {
+        try {
+          const int n = std::stoi(value);
+          if (n < 0) throw std::invalid_argument("negative");
+          options.workers = unsigned(n);
+        } catch (const std::exception&) {
+          err << "dtpm: -j expects a non-negative worker count, got '" << value
+              << "'\n";
+          return false;
+        }
+      }
+    } else if (arg == "--with-model") {
+      options.with_model = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "dtpm: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    err << "dtpm: expected exactly one config file, got "
+        << positional.size() << "\n";
+    return false;
+  }
+  options.file = positional.front();
+  return true;
+}
+
+/// Whether running `config` requires the identified platform model.
+bool needs_model(const sim::ExperimentConfig& config) {
+  return sim::resolved_policy_name(config) == "dtpm" ||
+         config.observe_predictions;
+}
+
+std::string sanitize_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// The summary row schema shared by `run` and `sweep`.
+const char kSummaryHeader[] =
+    "benchmark,policy,seed,completed,execution_time_s,avg_platform_power_w,"
+    "avg_soc_power_w,max_temp_c,avg_temp_c,violation_time_s,control_steps,"
+    "error";
+
+void append_summary_row(std::ostream& out, const sim::ExperimentConfig& config,
+                        const sim::RunResult& result,
+                        const std::string& error) {
+  out << std::setprecision(10) << config.benchmark << ','
+      << sim::resolved_policy_name(config) << ',' << config.seed << ','
+      << (result.completed ? 1 : 0) << ',' << result.execution_time_s << ','
+      << result.avg_platform_power_w << ',' << result.avg_soc_power_w << ','
+      << result.max_temp_stats.max() << ',' << result.max_temp_stats.mean()
+      << ',' << result.violation_time_s << ',' << result.control_steps << ','
+      << error << '\n';
+}
+
+void print_result_line(std::ostream& out, const sim::ExperimentConfig& config,
+                       const sim::RunResult& result) {
+  std::ostringstream line;
+  line << std::fixed << std::setprecision(2) << config.benchmark << " ["
+       << sim::resolved_policy_name(config) << ", seed " << config.seed
+       << "]: exec " << result.execution_time_s << " s, max T "
+       << result.max_temp_stats.max() << " C, avg "
+       << result.avg_platform_power_w << " W"
+       << (result.completed ? "" : "  (did not complete)");
+  out << line.str() << '\n';
+}
+
+/// Caps simulated durations for CI smoke runs; traces stay off so artifact
+/// sizes stay bounded.
+void apply_smoke(sim::ExperimentConfig& config) {
+  config.warmup_s = std::min(config.warmup_s, 2.0);
+  config.max_sim_time_s = std::min(config.max_sim_time_s, 15.0);
+  config.record_trace = false;
+  config.observe_predictions = false;
+}
+
+std::ofstream open_or_throw(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string() + " for writing");
+  }
+  return out;
+}
+
+int run_command(const Options& options, std::ostream& out, std::ostream& err) {
+  sim::ExperimentConfig config =
+      sim::load_experiment_config(options.file);
+  if (options.smoke) apply_smoke(config);
+
+  const sysid::IdentifiedPlatformModel* model = nullptr;
+  if (options.with_model || needs_model(config)) {
+    if (!options.quiet) out << "calibrating platform model...\n";
+    model = &sim::default_calibration().model;
+  }
+
+  const sim::RunResult result = sim::run_experiment(config, model);
+
+  std::filesystem::create_directories(options.out_dir);
+  const std::string label = sanitize_label(config.benchmark) + "_" +
+                            sanitize_label(sim::resolved_policy_name(config));
+  if (result.trace.has_value()) {
+    const std::filesystem::path trace_path =
+        std::filesystem::path(options.out_dir) / (label + "_trace.csv");
+    result.trace->write_csv(trace_path.string(), util::kRoundTripPrecision);
+    if (!options.quiet) out << "trace:   " << trace_path.string() << '\n';
+  }
+  const std::filesystem::path summary_path =
+      std::filesystem::path(options.out_dir) / "summary.csv";
+  {
+    std::ofstream summary = open_or_throw(summary_path);
+    summary << kSummaryHeader << '\n';
+    append_summary_row(summary, config, result, "");
+  }
+  if (!options.quiet) {
+    out << "summary: " << summary_path.string() << '\n';
+    print_result_line(out, config, result);
+  }
+  return kOk;
+}
+
+int sweep_command(const Options& options, std::ostream& out,
+                  std::ostream& err) {
+  const sim::SweepSpec spec = sim::load_sweep_spec(options.file);
+  std::vector<sim::ExperimentConfig> configs = spec.expand();
+  if (options.smoke) {
+    for (sim::ExperimentConfig& config : configs) apply_smoke(config);
+  }
+  if (configs.empty()) {
+    err << "dtpm: the sweep expanded to zero configs\n";
+    return kFailure;
+  }
+
+  const bool any_model =
+      options.with_model ||
+      std::any_of(configs.begin(), configs.end(),
+                  [](const sim::ExperimentConfig& c) { return needs_model(c); });
+  const sysid::IdentifiedPlatformModel* model = nullptr;
+  if (any_model) {
+    if (!options.quiet) out << "calibrating platform model...\n";
+    model = &sim::default_calibration().model;
+  }
+
+  const sim::BatchRunner runner(options.workers);
+  if (!options.quiet) {
+    out << "running " << configs.size() << " configs on "
+        << runner.worker_count() << " workers"
+        << (options.smoke ? " (smoke mode)" : "") << "...\n";
+  }
+  std::vector<sim::BatchJob> jobs;
+  jobs.reserve(configs.size());
+  for (const sim::ExperimentConfig& config : configs) {
+    jobs.push_back({config, model});
+  }
+  const sim::BatchOutcome outcome = runner.run_collecting(jobs);
+
+  std::filesystem::create_directories(options.out_dir);
+  const std::filesystem::path summary_path =
+      std::filesystem::path(options.out_dir) / "summary.csv";
+  std::ofstream summary = open_or_throw(summary_path);
+  summary << kSummaryHeader << '\n';
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    std::string error;
+    if (outcome.errors[i]) {
+      try {
+        std::rethrow_exception(outcome.errors[i]);
+      } catch (const std::exception& e) {
+        error = e.what();
+        // Commas would shift the CSV row; the message stays readable.
+        std::replace(error.begin(), error.end(), ',', ';');
+      }
+      err << "dtpm: run " << i << " (" << configs[i].benchmark << ", "
+          << sim::resolved_policy_name(configs[i]) << ") failed: " << error
+          << '\n';
+    } else if (!options.quiet) {
+      print_result_line(out, configs[i], outcome.results[i]);
+    }
+    append_summary_row(summary, configs[i], outcome.results[i], error);
+
+    if (!outcome.errors[i] && outcome.results[i].trace.has_value()) {
+      std::ostringstream name;
+      name << "trace_" << std::setw(3) << std::setfill('0') << i << '_'
+           << sanitize_label(configs[i].benchmark) << '_'
+           << sanitize_label(sim::resolved_policy_name(configs[i])) << ".csv";
+      outcome.results[i].trace->write_csv(
+          (std::filesystem::path(options.out_dir) / name.str()).string(),
+          util::kRoundTripPrecision);
+    }
+  }
+  if (!options.quiet) {
+    out << "summary: " << summary_path.string() << " (" << configs.size()
+        << " rows, " << outcome.failure_count << " failed)\n";
+  }
+  return outcome.all_succeeded() ? kOk : kFailure;
+}
+
+int list_command(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  std::string category;
+  bool long_format = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--long") {
+      long_format = true;
+    } else if (category.empty()) {
+      category = args[i];
+    } else {
+      err << "dtpm: list takes one category\n";
+      return kUsage;
+    }
+  }
+  if (category.empty()) {
+    err << "dtpm: list requires a category: policies, governors, scenarios, "
+           "presets, benchmarks\n";
+    return kUsage;
+  }
+
+  auto print_plain = [&](const std::vector<std::string>& names) {
+    for (const std::string& name : names) out << name << '\n';
+    return kOk;
+  };
+
+  if (category == "policies") {
+    const governors::PolicyRegistry& registry =
+        governors::PolicyRegistry::instance();
+    for (const std::string& name : registry.names()) {
+      out << name;
+      if (long_format) out << "  -  " << registry.description(name);
+      out << '\n';
+    }
+    return kOk;
+  }
+  if (category == "governors") {
+    const governors::GovernorRegistry& registry =
+        governors::GovernorRegistry::instance();
+    for (const std::string& name : registry.names()) {
+      out << name;
+      if (long_format) out << "  -  " << registry.description(name);
+      out << '\n';
+    }
+    return kOk;
+  }
+  if (category == "scenarios") {
+    return print_plain(sim::ScenarioCatalog::standard().family_names());
+  }
+  if (category == "presets") {
+    return print_plain(sim::preset_names());
+  }
+  if (category == "benchmarks") {
+    return print_plain(workload::all_benchmark_names());
+  }
+  err << "dtpm: "
+      << util::unknown_name_message(
+             "list category", category,
+             {"policies", "governors", "scenarios", "presets", "benchmarks"})
+      << '\n';
+  return kUsage;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    (args.empty() ? err : out) << kUsageText;
+    return args.empty() ? kUsage : kOk;
+  }
+  const std::string& command = args[0];
+  try {
+    if (command == "run" || command == "sweep") {
+      Options options;
+      if (!parse_options(args, 1, options, command == "sweep", err)) {
+        return kUsage;
+      }
+      return command == "run" ? run_command(options, out, err)
+                              : sweep_command(options, out, err);
+    }
+    if (command == "list") {
+      return list_command(args, out, err);
+    }
+  } catch (const std::exception& e) {
+    err << "dtpm: " << e.what() << '\n';
+    return kFailure;
+  }
+  err << "dtpm: unknown command '" << command << "' (try `dtpm help`)\n";
+  return kUsage;
+}
+
+}  // namespace dtpm::cli

@@ -1,0 +1,12 @@
+// Entry point of the `dtpm` binary; all behaviour lives in dtpm_cli.cpp so
+// tests and custom-policy binaries can drive the same code path in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dtpm_cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return dtpm::cli::run(args, std::cout, std::cerr);
+}

@@ -44,7 +44,7 @@ int main() {
   };
   std::vector<Section> sections;
   sim::SweepGrid grid;
-  grid.base = bench::policy_config("basicmath", sim::Policy::kProposedDtpm,
+  grid.base = bench::policy_config("basicmath", "dtpm",
                                    /*record_trace=*/false);
   auto add = [&](const std::string& label, const core::DtpmParams& params) {
     grid.dtpm_params.push_back(params);

@@ -11,21 +11,22 @@ const sysid::IdentifiedPlatformModel& shared_model() {
 }
 
 sim::ExperimentConfig policy_config(const std::string& benchmark,
-                                    sim::Policy policy, bool record_trace,
+                                    const std::string& policy,
+                                    bool record_trace,
                                     bool observe_predictions,
                                     unsigned horizon_steps) {
   sim::ExperimentConfig config;
   config.benchmark = benchmark;
-  config.policy = policy;
+  sim::set_policy(config, policy);
   config.record_trace = record_trace;
   config.observe_predictions = observe_predictions;
   config.observe_horizon_steps = horizon_steps;
   return config;
 }
 
-sim::RunResult run_policy(const std::string& benchmark, sim::Policy policy,
-                          bool record_trace, bool observe_predictions,
-                          unsigned horizon_steps) {
+sim::RunResult run_policy(const std::string& benchmark,
+                          const std::string& policy, bool record_trace,
+                          bool observe_predictions, unsigned horizon_steps) {
   return sim::run_experiment(policy_config(benchmark, policy, record_trace,
                                            observe_predictions, horizon_steps),
                              &shared_model());

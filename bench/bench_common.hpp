@@ -15,15 +15,18 @@ namespace dtpm::bench {
 /// Calibrated platform model shared by all benches (cached process-wide).
 const sysid::IdentifiedPlatformModel& shared_model();
 
-/// Default-settings config for one benchmark under one policy.
+/// Default-settings config for one benchmark under one policy, selected by
+/// registry name ("default+fan", "no-fan", "reactive", "dtpm", or anything
+/// registered through governors::PolicyRegistration).
 sim::ExperimentConfig policy_config(const std::string& benchmark,
-                                    sim::Policy policy,
+                                    const std::string& policy,
                                     bool record_trace = true,
                                     bool observe_predictions = false,
                                     unsigned horizon_steps = 10);
 
 /// Runs one benchmark under one policy with default settings.
-sim::RunResult run_policy(const std::string& benchmark, sim::Policy policy,
+sim::RunResult run_policy(const std::string& benchmark,
+                          const std::string& policy,
                           bool record_trace = true,
                           bool observe_predictions = false,
                           unsigned horizon_steps = 10);

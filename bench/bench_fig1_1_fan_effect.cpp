@@ -12,9 +12,9 @@ int main() {
                       "(heavy gaming load: templerun + background matmul)");
 
   const sim::RunResult with_fan =
-      bench::run_policy("templerun", sim::Policy::kDefaultWithFan);
+      bench::run_policy("templerun", "default+fan");
   const sim::RunResult without_fan =
-      bench::run_policy("templerun", sim::Policy::kWithoutFan);
+      bench::run_policy("templerun", "no-fan");
 
   std::vector<bench::Series> series;
   series.push_back(bench::sampled_series(

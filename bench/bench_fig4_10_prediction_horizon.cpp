@@ -18,7 +18,7 @@ int main() {
               "MAE [C]", "max err [%]");
   for (unsigned steps : {5u, 10u, 20u, 30u, 40u, 50u}) {
     const sim::RunResult r =
-        bench::run_policy("templerun", sim::Policy::kDefaultWithFan,
+        bench::run_policy("templerun", "default+fan",
                           /*record_trace=*/false, /*observe_predictions=*/true,
                           steps);
     const double horizon_s = 0.1 * steps;

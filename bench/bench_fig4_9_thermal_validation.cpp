@@ -14,7 +14,7 @@ int main() {
                       "interval");
 
   const sim::RunResult r =
-      bench::run_policy("blowfish", sim::Policy::kDefaultWithFan,
+      bench::run_policy("blowfish", "default+fan",
                         /*record_trace=*/true, /*observe_predictions=*/true,
                         /*horizon_steps=*/10);
 

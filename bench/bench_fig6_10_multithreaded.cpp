@@ -15,9 +15,9 @@ int main() {
               "loss [%]", "t_def [s]", "t_dtpm [s]", "Tmax [C]");
   for (const auto& b : workload::multithreaded_suite()) {
     const sim::RunResult def =
-        bench::run_policy(b.name, sim::Policy::kDefaultWithFan, false);
+        bench::run_policy(b.name, "default+fan", false);
     const sim::RunResult dtpm =
-        bench::run_policy(b.name, sim::Policy::kProposedDtpm, false);
+        bench::run_policy(b.name, "dtpm", false);
     const double save = 100.0 *
                         (def.avg_platform_power_w - dtpm.avg_platform_power_w) /
                         def.avg_platform_power_w;

@@ -24,7 +24,7 @@ int main() {
   std::vector<sim::ExperimentConfig> configs;
   for (const auto& b : workload::standard_suite()) {
     configs.push_back(bench::policy_config(
-        b.name, sim::Policy::kDefaultWithFan, /*record_trace=*/false,
+        b.name, "default+fan", /*record_trace=*/false,
         /*observe_predictions=*/true, /*horizon_steps=*/10));
   }
   const std::vector<sim::RunResult> results = bench::run_batch(configs);

@@ -13,11 +13,11 @@ void run_figure(const char* figure, const char* benchmark) {
                                   benchmark + " (constraint 63 C)");
 
   const sim::RunResult without_fan =
-      bench::run_policy(benchmark, sim::Policy::kWithoutFan);
+      bench::run_policy(benchmark, "no-fan");
   const sim::RunResult with_fan =
-      bench::run_policy(benchmark, sim::Policy::kDefaultWithFan);
+      bench::run_policy(benchmark, "default+fan");
   const sim::RunResult dtpm =
-      bench::run_policy(benchmark, sim::Policy::kProposedDtpm);
+      bench::run_policy(benchmark, "dtpm");
 
   std::vector<bench::Series> series;
   series.push_back(bench::sampled_series(

@@ -18,7 +18,7 @@ struct StabilityRow {
   double var_steady = 0.0;
 };
 
-StabilityRow measure(const char* benchmark, dtpm::sim::Policy policy) {
+StabilityRow measure(const char* benchmark, const char* policy) {
   using namespace dtpm;
   const sim::RunResult r = bench::run_policy(benchmark, policy);
   StabilityRow row;
@@ -44,9 +44,9 @@ int main() {
                       "Basicmath");
 
   const char* benchmarks[] = {"templerun", "basicmath"};
-  const sim::Policy policies[] = {sim::Policy::kWithoutFan,
-                                  sim::Policy::kDefaultWithFan,
-                                  sim::Policy::kProposedDtpm};
+  const char* policies[] = {"no-fan",
+                                  "default+fan",
+                                  "dtpm"};
   const char* labels[] = {"without-fan", "with-fan", "proposed-dtpm"};
 
   for (const char* benchmark : benchmarks) {

@@ -17,9 +17,9 @@ void run_figure(const char* figure, const char* benchmark,
                   " (" + activity + " activity): default+fan vs DTPM");
 
   const sim::RunResult def =
-      bench::run_policy(benchmark, sim::Policy::kDefaultWithFan);
+      bench::run_policy(benchmark, "default+fan");
   const sim::RunResult dtpm =
-      bench::run_policy(benchmark, sim::Policy::kProposedDtpm);
+      bench::run_policy(benchmark, "dtpm");
 
   std::printf("\n  big-cluster frequency [GHz]\n");
   auto to_ghz = [](std::vector<double> mhz) {

@@ -31,13 +31,13 @@ int main() {
   // row-major (benchmark outermost), so each benchmark's three policy runs
   // are adjacent in the result vector.
   sim::SweepGrid grid;
-  grid.base = bench::policy_config("", sim::Policy::kDefaultWithFan,
+  grid.base = bench::policy_config("", "default+fan",
                                    /*record_trace=*/false);
   for (const auto& b : workload::standard_suite()) {
     grid.benchmarks.push_back(b.name);
   }
-  grid.policies = {sim::Policy::kDefaultWithFan, sim::Policy::kProposedDtpm,
-                   sim::Policy::kReactive};
+  grid.policy_names = {"default+fan", "dtpm",
+                   "reactive"};
   const std::vector<sim::RunResult> results =
       bench::run_batch(sim::sweep(grid));
 

@@ -22,7 +22,7 @@ int main() {
   std::vector<sim::ExperimentConfig> configs;
   for (const workload::Benchmark* b : catalog) {
     configs.push_back(bench::policy_config(b->name,
-                                           sim::Policy::kDefaultWithFan,
+                                           "default+fan",
                                            /*record_trace=*/false));
   }
   const std::vector<sim::RunResult> measured = bench::run_batch(configs);

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   sim::ScenarioCatalog::Sweep sweep;
   sweep.base.max_sim_time_s = smoke ? 30.0 : 120.0;
   sweep.base.record_trace = false;
-  sweep.policies = {sim::Policy::kDefaultWithFan, sim::Policy::kProposedDtpm};
+  sweep.policy_names = {"default+fan", "dtpm"};
   sweep.seeds.clear();
   for (int s = 1; s <= seed_count; ++s) sweep.seeds.push_back(s);
 
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   const unsigned workers = sim::BatchRunner().worker_count();
   std::printf("  %zu families x %zu seeds x %zu policies = %zu runs on %u "
               "workers (%s)\n\n",
-              catalog.size(), sweep.seeds.size(), sweep.policies.size(),
+              catalog.size(), sweep.seeds.size(), sweep.policy_names.size(),
               configs.size(), workers, smoke ? "smoke" : "full");
 
   const auto t0 = Clock::now();
@@ -141,8 +141,8 @@ int main(int argc, char** argv) {
        << "  \"families\": " << catalog.size() << ",\n"
        << "  \"seeds\": " << sweep.seeds.size() << ",\n"
        << "  \"policies\": [";
-  for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
-    json << (p == 0 ? "" : ", ") << '"' << to_string(sweep.policies[p]) << '"';
+  for (std::size_t p = 0; p < sweep.policy_names.size(); ++p) {
+    json << (p == 0 ? "" : ", ") << '"' << sweep.policy_names[p] << '"';
   }
   json << "],\n"
        << "  \"runs\": " << configs.size() << ",\n"

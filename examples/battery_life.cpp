@@ -31,9 +31,9 @@ int main() {
     sim::ExperimentConfig config;
     config.benchmark = name;
     config.record_trace = false;
-    config.policy = sim::Policy::kDefaultWithFan;
+    config.policy_name = "default+fan";
     const sim::RunResult def = sim::run_experiment(config, &model);
-    config.policy = sim::Policy::kProposedDtpm;
+    config.policy_name = "dtpm";
     const sim::RunResult dtpm = sim::run_experiment(config, &model);
     std::printf("%-12s %8.0f%% %14.2f %14.2f %9.1f\n", name, share * 100.0,
                 def.avg_platform_power_w, dtpm.avg_platform_power_w,

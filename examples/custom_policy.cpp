@@ -1,16 +1,18 @@
 // Example: extending the framework with a user-defined thermal policy.
 //
-// The governors::ThermalPolicy interface is the extension point the paper's
-// framework diagram (Fig. 3.1) leaves open: anything that transforms the
-// default governor's proposal can be dropped into the simulation. Here we
-// implement a naive "hard trip" policy (cut straight to the minimum
-// frequency above a trip temperature, recover below it), run it CLOSED-LOOP
-// through sim::Simulation's policy-override constructor, and compare it
-// against the shipped DTPM governor on the same benchmark.
+// The governors::PolicyRegistry is the extension point the paper's framework
+// diagram (Fig. 3.1) leaves open: register any ThermalPolicy factory under a
+// name at startup and it becomes selectable exactly like the built-ins --
+// from ExperimentConfig::policy_name, from a JSON config file through
+// `dtpm run`, and from sweep grids. Here we implement a naive "hard trip"
+// policy (cut straight to the minimum frequency above a trip temperature,
+// recover below it), register it as "hard-trip", run it CLOSED-LOOP by name,
+// and compare it against the shipped DTPM governor on the same benchmark.
+#include <atomic>
 #include <cstdio>
 #include <memory>
 
-#include "governors/governor.hpp"
+#include "governors/policy_registry.hpp"
 #include "power/opp.hpp"
 #include "sim/calibration.hpp"
 #include "sim/engine.hpp"
@@ -19,10 +21,14 @@ namespace {
 
 using namespace dtpm;
 
+// The registry owns construction and the Simulation owns the instance, so
+// the example observes its policy through a counter instead of a pointer.
+std::atomic<long> g_trip_intervals{0};
+
 /// Bang-bang trip policy: everything or nothing.
 class HardTripPolicy final : public governors::ThermalPolicy {
  public:
-  explicit HardTripPolicy(double trip_c = 63.0)
+  explicit HardTripPolicy(double trip_c)
       : trip_c_(trip_c), big_opps_(power::big_cluster_opp_table()) {}
 
   governors::Decision adjust(const soc::PlatformView& view,
@@ -34,19 +40,30 @@ class HardTripPolicy final : public governors::ThermalPolicy {
     }
     governors::Decision out = proposal;
     out.fan = thermal::FanSpeed::kOff;
-    if (tripped_) out.soc.big_freq_hz = big_opps_.min().frequency_hz;
+    if (tripped_) {
+      out.soc.big_freq_hz = big_opps_.min().frequency_hz;
+      ++g_trip_intervals;
+    }
     return out;
   }
 
   std::string_view name() const override { return "hard-trip"; }
-
-  bool tripped() const { return tripped_; }
 
  private:
   double trip_c_;
   power::OppTable big_opps_;
   bool tripped_ = false;
 };
+
+/// Startup self-registration: after this, "hard-trip" is a first-class
+/// policy name -- `{"policy": "hard-trip", "policy_params": {"trip_c": 63}}`
+/// in a config file runs it through `dtpm run` with zero library changes.
+const governors::PolicyRegistration kHardTrip{
+    "hard-trip",
+    [](const governors::PolicyContext& context) {
+      return std::make_unique<HardTripPolicy>(context.param("trip_c", 63.0));
+    },
+    "bang-bang frequency trip (example policy)"};
 
 }  // namespace
 
@@ -56,31 +73,30 @@ int main() {
 
   std::printf("== Custom policy comparison on '%s' ==\n\n", benchmark);
 
-  // Baseline: the shipped DTPM governor via the one-shot wrapper.
+  // Baseline: the shipped DTPM governor, selected by registry name.
   sim::ExperimentConfig config;
   config.benchmark = benchmark;
-  config.policy = sim::Policy::kProposedDtpm;
+  config.policy_name = "dtpm";
   config.record_trace = false;
   const sim::RunResult dtpm = sim::run_experiment(config, &model);
 
-  // The custom policy runs closed-loop through the same engine: pass any
-  // governors::ThermalPolicy to Simulation and it replaces the built-in
-  // selection. Stepping manually (instead of run_experiment) also shows the
-  // incremental API -- view() exposes the live platform state between
-  // control intervals; here it counts the benchmark-window intervals the
-  // policy spent tripped.
-  auto policy = std::make_unique<HardTripPolicy>();
-  const HardTripPolicy* trip = policy.get();
-  sim::Simulation simulation(config, &model, std::move(policy));
-  long trip_intervals = 0;
+  // The custom policy runs closed-loop through the same engine, selected by
+  // the name registered above; policy_params feeds its factory. Stepping
+  // manually (instead of run_experiment) also shows the incremental API --
+  // view() exposes the live platform state between control intervals.
+  config.policy_name = "hard-trip";
+  config.policy_params = {{"trip_c", 63.0}};
+  sim::Simulation simulation(config, &model);
   std::size_t total_intervals = 0;
   while (simulation.step()) {
     if (simulation.view().warmed_up) {
       ++total_intervals;
-      if (trip->tripped()) ++trip_intervals;
+    } else {
+      g_trip_intervals = 0;  // only count trips in the benchmark window
     }
   }
   const sim::RunResult custom = simulation.finish();
+  const long trip_intervals = g_trip_intervals.load();
 
   std::printf("DTPM:      exec %.1f s, max temp %.1f C, avg %.2f W, %ld "
               "gentle frequency caps\n",
@@ -95,8 +111,9 @@ int main() {
               custom.avg_platform_power_w, trip_intervals, total_intervals,
               100.0 * double(trip_intervals) / double(total_intervals));
   std::printf(
-      "\nTo run your own policy closed-loop, implement\n"
-      "governors::ThermalPolicy and hand it to sim::Simulation's\n"
-      "policy-override constructor argument.\n");
+      "\nTo ship your own policy: implement governors::ThermalPolicy,\n"
+      "register it with a governors::PolicyRegistration at namespace scope,\n"
+      "and select it by name -- config.policy_name in C++, or\n"
+      "\"policy\": \"<name>\" in a JSON config run through `dtpm run`.\n");
   return 0;
 }

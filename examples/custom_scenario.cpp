@@ -72,7 +72,7 @@ int main() {
   sim::ScenarioCatalog::Sweep sweep;
   sweep.families = {"doomscroll"};
   sweep.seeds = {1, 2, 3, 4};
-  sweep.base.policy = sim::Policy::kDefaultWithFan;
+  sweep.base.policy_name = "default+fan";
   sweep.base.max_sim_time_s = 300.0;
   const std::vector<sim::ExperimentConfig> configs = catalog.expand(sweep);
 

@@ -17,10 +17,10 @@ int main() {
   sim::ExperimentConfig config;
   config.benchmark = "templerun";
 
-  config.policy = sim::Policy::kDefaultWithFan;
+  config.policy_name = "default+fan";
   const sim::RunResult def = sim::run_experiment(config, &model);
 
-  config.policy = sim::Policy::kProposedDtpm;
+  config.policy_name = "dtpm";
   const sim::RunResult dtpm = sim::run_experiment(config, &model);
 
   std::printf("%-22s %14s %14s\n", "", "default+fan", "proposed DTPM");

@@ -3,6 +3,8 @@
 // behaviour, platform power, and execution time.
 #include <cstdio>
 
+#include <string>
+
 #include "sim/calibration.hpp"
 #include "sim/engine.hpp"
 
@@ -19,17 +21,16 @@ int main() {
   std::printf("%-14s %10s %10s %10s %10s %10s\n", "policy", "time[s]",
               "avgT[C]", "maxT[C]", "varT[C^2]", "Pplat[W]");
 
-  const sim::Policy policies[] = {
-      sim::Policy::kDefaultWithFan, sim::Policy::kWithoutFan,
-      sim::Policy::kReactive, sim::Policy::kProposedDtpm};
-  for (sim::Policy policy : policies) {
+  // Policies are selected by registry name (sim::paper_policy_names() here;
+  // `dtpm list policies` shows everything registered, including your own).
+  for (const std::string& policy : sim::paper_policy_names()) {
     sim::ExperimentConfig config;
     config.benchmark = benchmark;
-    config.policy = policy;
+    config.policy_name = policy;
     config.record_trace = false;
     const sim::RunResult r = sim::run_experiment(config, &model);
     std::printf("%-14s %10.1f %10.2f %10.2f %10.2f %10.2f%s\n",
-                sim::to_string(policy), r.execution_time_s,
+                policy.c_str(), r.execution_time_s,
                 r.max_temp_stats.mean(), r.max_temp_stats.max(),
                 r.max_temp_stats.variance(), r.avg_platform_power_w,
                 r.completed ? "" : "  (did not complete)");

@@ -62,7 +62,7 @@ int main() {
   std::printf("\n[3/4] validation: Blowfish, 1 s prediction horizon\n");
   sim::ExperimentConfig config;
   config.benchmark = "blowfish";
-  config.policy = sim::Policy::kDefaultWithFan;
+  config.policy_name = "default+fan";
   config.observe_predictions = true;
   config.observe_horizon_steps = 10;
   config.record_trace = false;

@@ -1,0 +1,207 @@
+#include "governors/policy_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/dtpm_governor.hpp"
+#include "governors/fan_policy.hpp"
+#include "governors/ondemand.hpp"
+#include "governors/reactive.hpp"
+#include "util/names.hpp"
+
+namespace dtpm::governors {
+
+double PolicyContext::param(const std::string& key, double fallback) const {
+  if (params == nullptr) return fallback;
+  const auto it = params->find(key);
+  return it != params->end() ? it->second : fallback;
+}
+
+namespace {
+
+void register_builtin_policies(PolicyRegistry& registry) {
+  registry.add(
+      "default+fan",
+      [](const PolicyContext&) { return std::make_unique<FanPolicy>(); },
+      "stock ondemand + hysteresis fan controller (the paper's default)");
+  registry.add(
+      "no-fan",
+      [](const PolicyContext&) { return std::make_unique<NullPolicy>(); },
+      "fan disabled, no thermal management");
+  registry.add(
+      "reactive",
+      [](const PolicyContext&) {
+        return std::make_unique<ReactiveThrottlePolicy>();
+      },
+      "heuristic mimicking the fan policy with frequency throttling");
+  registry.add(
+      "dtpm",
+      [](const PolicyContext& context) -> std::unique_ptr<ThermalPolicy> {
+        if (context.model == nullptr) {
+          throw std::invalid_argument(
+              "policy 'dtpm' requires an identified platform model");
+        }
+        return std::make_unique<core::DtpmGovernor>(
+            *context.model,
+            context.dtpm != nullptr ? *context.dtpm : core::DtpmParams{});
+      },
+      "the paper's predictive dynamic thermal and power management");
+}
+
+void register_builtin_governors(GovernorRegistry& registry) {
+  registry.add(
+      "ondemand",
+      [](const PolicyContext&) { return std::make_unique<OndemandGovernor>(); },
+      "classic ondemand with 5410-style cluster migration + GPU DVFS");
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::instance() {
+  // Leaked singleton: registries must outlive every static
+  // PolicyRegistration in other TUs, whatever the destruction order.
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry;
+    register_builtin_policies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PolicyRegistry::add(const std::string& name, Factory factory,
+                         std::string description) {
+  if (name.empty()) {
+    throw std::invalid_argument("PolicyRegistry: empty policy name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("PolicyRegistry: null factory for '" + name +
+                                "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(name) != 0) {
+    throw std::invalid_argument("PolicyRegistry: duplicate policy '" + name +
+                                "'");
+  }
+  entries_.emplace(name, Entry{std::move(factory), std::move(description)});
+}
+
+bool PolicyRegistry::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(name) != 0;
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::string PolicyRegistry::description(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? it->second.description : std::string();
+}
+
+std::unique_ptr<ThermalPolicy> PolicyRegistry::make(
+    const std::string& name, const PolicyContext& context) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) factory = it->second.factory;
+  }
+  if (!factory) {
+    throw std::invalid_argument(
+        util::unknown_name_message("policy", name, names()));
+  }
+  // Invoked outside the lock: factories may be slow (DTPM builds predictor
+  // matrices) and BatchRunner workers construct policies concurrently.
+  return factory(context);
+}
+
+GovernorRegistry& GovernorRegistry::instance() {
+  static GovernorRegistry* registry = [] {
+    auto* r = new GovernorRegistry;
+    register_builtin_governors(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void GovernorRegistry::add(const std::string& name, Factory factory,
+                           std::string description) {
+  if (name.empty()) {
+    throw std::invalid_argument("GovernorRegistry: empty governor name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("GovernorRegistry: null factory for '" + name +
+                                "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(name) != 0) {
+    throw std::invalid_argument("GovernorRegistry: duplicate governor '" +
+                                name + "'");
+  }
+  entries_.emplace(name, Entry{std::move(factory), std::move(description)});
+}
+
+bool GovernorRegistry::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(name) != 0;
+}
+
+bool GovernorRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> GovernorRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string GovernorRegistry::description(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? it->second.description : std::string();
+}
+
+std::unique_ptr<Governor> GovernorRegistry::make(
+    const std::string& name, const PolicyContext& context) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) factory = it->second.factory;
+  }
+  if (!factory) {
+    throw std::invalid_argument(
+        util::unknown_name_message("governor", name, names()));
+  }
+  return factory(context);
+}
+
+PolicyRegistration::PolicyRegistration(const std::string& name,
+                                       PolicyRegistry::Factory factory,
+                                       std::string description) {
+  PolicyRegistry::instance().add(name, std::move(factory),
+                                 std::move(description));
+}
+
+GovernorRegistration::GovernorRegistration(const std::string& name,
+                                           GovernorRegistry::Factory factory,
+                                           std::string description) {
+  GovernorRegistry::instance().add(name, std::move(factory),
+                                   std::move(description));
+}
+
+}  // namespace dtpm::governors

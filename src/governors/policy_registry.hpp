@@ -1,0 +1,136 @@
+// Open, string-keyed registries for the two pluggable layers of the Fig. 3.1
+// software stack: thermal policies (PolicyRegistry) and default governors
+// (GovernorRegistry). The registries -- not the sim::Policy enum, which
+// survives only as a thin compatibility shim mapped onto registry names --
+// are the source of truth for what can run in a ControlStack. Anything
+// registered here is selectable by name from an ExperimentConfig, a JSON
+// config file, or the `dtpm` CLI without touching library code:
+//
+//   namespace {
+//   const dtpm::governors::PolicyRegistration kMine{
+//       "my-policy",
+//       [](const dtpm::governors::PolicyContext& ctx) {
+//         return std::make_unique<MyPolicy>(ctx.param("trip_c", 63.0));
+//       },
+//       "my hand-rolled trip policy"};
+//   }  // namespace
+//
+// The four paper policies (default+fan, no-fan, reactive, dtpm) and the
+// ondemand governor are pre-registered. Registration normally happens during
+// static initialization (single-threaded); lookups are mutex-guarded because
+// BatchRunner workers construct policies concurrently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace dtpm::core {
+struct DtpmParams;
+}
+namespace dtpm::sysid {
+struct IdentifiedPlatformModel;
+}
+
+namespace dtpm::governors {
+
+/// Everything a factory may consume at construction time. All pointers are
+/// borrowed for the duration of the factory call only.
+struct PolicyContext {
+  /// Identified platform model; null when the experiment did not load one.
+  /// Factories that require it must throw std::invalid_argument.
+  const sysid::IdentifiedPlatformModel* model = nullptr;
+  /// The config's typed DTPM parameter block (consumed by "dtpm").
+  const core::DtpmParams* dtpm = nullptr;
+  /// Free-form per-policy parameter bag (ExperimentConfig::policy_params,
+  /// filled from the config file's "policy_params" object).
+  const std::map<std::string, double>* params = nullptr;
+
+  /// Bag lookup with a default; the idiom for custom-policy knobs.
+  double param(const std::string& key, double fallback) const;
+};
+
+/// String-keyed thermal-policy registry.
+class PolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ThermalPolicy>(const PolicyContext&)>;
+
+  /// The process-wide registry, with the four paper policies pre-registered.
+  static PolicyRegistry& instance();
+
+  /// Registers a policy; throws std::invalid_argument on an empty name, a
+  /// null factory, or a duplicate.
+  void add(const std::string& name, Factory factory,
+           std::string description = "");
+
+  /// Removes a registered policy (returns false when absent). Intended for
+  /// tests that register throwaway policies.
+  bool remove(const std::string& name);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;  ///< sorted
+  std::string description(const std::string& name) const;
+
+  /// Constructs the named policy; throws std::invalid_argument with the
+  /// sorted valid names and a nearest-match suggestion on an unknown name.
+  std::unique_ptr<ThermalPolicy> make(const std::string& name,
+                                      const PolicyContext& context) const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    std::string description;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Matching registry for default governors (the bottom layer of Fig. 3.1).
+class GovernorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Governor>(const PolicyContext&)>;
+
+  /// The process-wide registry, with "ondemand" pre-registered.
+  static GovernorRegistry& instance();
+
+  void add(const std::string& name, Factory factory,
+           std::string description = "");
+  bool remove(const std::string& name);
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;  ///< sorted
+  std::string description(const std::string& name) const;
+  std::unique_ptr<Governor> make(const std::string& name,
+                                 const PolicyContext& context) const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    std::string description;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Self-registration handle: construct one at namespace scope in any TU to
+/// make a policy selectable by name before main() runs.
+struct PolicyRegistration {
+  PolicyRegistration(const std::string& name, PolicyRegistry::Factory factory,
+                     std::string description = "");
+};
+
+/// Same for default governors.
+struct GovernorRegistration {
+  GovernorRegistration(const std::string& name,
+                       GovernorRegistry::Factory factory,
+                       std::string description = "");
+};
+
+}  // namespace dtpm::governors

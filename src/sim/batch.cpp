@@ -95,9 +95,8 @@ std::vector<ExperimentConfig> sweep(const SweepGrid& grid) {
   const std::vector<std::string> benchmarks =
       grid.benchmarks.empty() ? std::vector<std::string>{grid.base.benchmark}
                               : grid.benchmarks;
-  const std::vector<Policy> policies =
-      grid.policies.empty() ? std::vector<Policy>{grid.base.policy}
-                            : grid.policies;
+  const std::vector<std::string> policies =
+      merged_policy_axis(grid.policies, grid.policy_names, grid.base);
   const std::vector<std::uint64_t> seeds =
       grid.seeds.empty() ? std::vector<std::uint64_t>{grid.base.seed}
                          : grid.seeds;
@@ -110,7 +109,7 @@ std::vector<ExperimentConfig> sweep(const SweepGrid& grid) {
   configs.reserve(benchmarks.size() * policies.size() * dtpm_params.size() *
                   seeds.size());
   for (const std::string& benchmark : benchmarks) {
-    for (Policy policy : policies) {
+    for (const std::string& policy : policies) {
       for (const core::DtpmParams& dtpm : dtpm_params) {
         for (std::uint64_t seed : seeds) {
           ExperimentConfig config = grid.base;
@@ -119,7 +118,7 @@ std::vector<ExperimentConfig> sweep(const SweepGrid& grid) {
           // inline scenario inherited from `base` would otherwise shadow
           // every name (Simulation prefers config.scenario).
           if (!grid.benchmarks.empty()) config.scenario.reset();
-          config.policy = policy;
+          set_policy(config, policy);
           config.dtpm = dtpm;
           config.seed = seed;
           configs.push_back(std::move(config));

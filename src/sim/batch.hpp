@@ -76,13 +76,20 @@ struct SweepGrid {
 
   std::vector<std::string> benchmarks;
   std::vector<Policy> policies;
+  /// Registry-name policy axis; appended after `policies` (mapped onto their
+  /// registry names), so enum-based and name-based selections mix freely and
+  /// user-registered policies sweep exactly like the built-ins. Both axes
+  /// empty falls back to base's resolved policy.
+  std::vector<std::string> policy_names;
   std::vector<std::uint64_t> seeds;
   std::vector<core::DtpmParams> dtpm_params;
 };
 
 /// Expands the grid in row-major order (benchmark outermost, then policy,
 /// then DtpmParams, then seed), giving every config a deterministic seed
-/// from the grid -- the same grid always produces the same configs.
+/// from the grid -- the same grid always produces the same configs. Every
+/// generated config carries its policy by registry name (policy_name), with
+/// the enum shim kept in sync for the four paper policies.
 std::vector<ExperimentConfig> sweep(const SweepGrid& grid);
 
 }  // namespace dtpm::sim

@@ -1,0 +1,79 @@
+// The Policy-enum compatibility shim: the enum is nothing but four registry
+// names, and this is the single place that knows the mapping (previously a
+// switch copy-pasted between engine.cpp and control_stack.cpp).
+#include "sim/config.hpp"
+
+#include <stdexcept>
+
+#include "util/names.hpp"
+
+namespace dtpm::sim {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kDefaultWithFan:
+      return "default+fan";
+    case Policy::kWithoutFan:
+      return "no-fan";
+    case Policy::kReactive:
+      return "reactive";
+    case Policy::kProposedDtpm:
+      return "dtpm";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& paper_policy_names() {
+  static const std::vector<std::string> names = {
+      to_string(Policy::kDefaultWithFan), to_string(Policy::kWithoutFan),
+      to_string(Policy::kReactive), to_string(Policy::kProposedDtpm)};
+  return names;
+}
+
+std::optional<Policy> try_parse_policy(const std::string& name) {
+  for (Policy p : {Policy::kDefaultWithFan, Policy::kWithoutFan,
+                   Policy::kReactive, Policy::kProposedDtpm}) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+Policy parse_policy(const std::string& name) {
+  const std::optional<Policy> parsed = try_parse_policy(name);
+  if (!parsed.has_value()) {
+    throw std::invalid_argument("parse_policy: " + util::unknown_name_message(
+                                                      "policy", name,
+                                                      paper_policy_names()));
+  }
+  return *parsed;
+}
+
+std::string resolved_policy_name(const ExperimentConfig& config) {
+  return config.policy_name.empty() ? to_string(config.policy)
+                                    : config.policy_name;
+}
+
+std::string resolved_governor_name(const ExperimentConfig& config) {
+  return config.governor_name.empty() ? "ondemand" : config.governor_name;
+}
+
+void set_policy(ExperimentConfig& config, const std::string& name) {
+  config.policy_name = name;
+  if (const std::optional<Policy> p = try_parse_policy(name)) {
+    config.policy = *p;
+  }
+}
+
+std::vector<std::string> merged_policy_axis(
+    const std::vector<Policy>& policies,
+    const std::vector<std::string>& policy_names,
+    const ExperimentConfig& base) {
+  std::vector<std::string> merged;
+  merged.reserve(policies.size() + policy_names.size());
+  for (Policy p : policies) merged.emplace_back(to_string(p));
+  merged.insert(merged.end(), policy_names.begin(), policy_names.end());
+  if (merged.empty()) merged.push_back(resolved_policy_name(base));
+  return merged;
+}
+
+}  // namespace dtpm::sim

@@ -1,10 +1,14 @@
 // Experiment configuration: which benchmark, under which thermal policy,
-// reproducing the four configurations of §6.2.
+// reproducing the four configurations of §6.2 -- and, through the
+// string-keyed governors::PolicyRegistry, any policy registered at startup.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/dtpm_governor.hpp"
 #include "sim/preset.hpp"
@@ -12,7 +16,11 @@
 
 namespace dtpm::sim {
 
-/// The experimental configurations of §6.2.
+/// The experimental configurations of §6.2. Compatibility shim only: the
+/// source of truth for selectable policies is governors::PolicyRegistry, and
+/// each enumerator is just a registry name ("default+fan", "no-fan",
+/// "reactive", "dtpm") -- see to_string/parse_policy. New code should select
+/// policies via ExperimentConfig::policy_name.
 enum class Policy {
   kDefaultWithFan,  ///< stock ondemand + fan controller
   kWithoutFan,      ///< fan disabled, no thermal management
@@ -20,7 +28,19 @@ enum class Policy {
   kProposedDtpm,    ///< the paper's contribution
 };
 
+/// Registry name of the enumerator ("default+fan", "no-fan", ...).
 const char* to_string(Policy p);
+
+/// Inverse of to_string; throws std::invalid_argument (with the valid names
+/// and a nearest-match suggestion) when the name is not one of the four
+/// paper policies. Registry-only policies have no enumerator by design.
+Policy parse_policy(const std::string& name);
+
+/// Like parse_policy, but returns nullopt instead of throwing.
+std::optional<Policy> try_parse_policy(const std::string& name);
+
+/// The four enum-backed registry names, in enumerator order.
+const std::vector<std::string>& paper_policy_names();
 
 struct ExperimentConfig {
   std::string benchmark = "basicmath";
@@ -31,8 +51,18 @@ struct ExperimentConfig {
   /// ScenarioCatalog feeds generated scenarios into batches.
   std::shared_ptr<const workload::Benchmark> scenario;
   Policy policy = Policy::kDefaultWithFan;
+  /// Registry name of the thermal policy to run. When non-empty it takes
+  /// precedence over `policy` (which then only matters to legacy readers);
+  /// when empty the enum is mapped onto its registry name. This is how
+  /// user-registered policies -- which have no enumerator -- are selected.
+  std::string policy_name;
+  /// Free-form numeric knobs handed to the policy factory
+  /// (governors::PolicyContext::params); built-in policies ignore it.
+  std::map<std::string, double> policy_params;
+  /// Registry name of the default governor; empty means "ondemand".
+  std::string governor_name;
   PlatformPreset preset = default_preset();
-  core::DtpmParams dtpm{};  ///< used when policy == kProposedDtpm
+  core::DtpmParams dtpm{};  ///< used when the resolved policy is "dtpm"
 
   double control_interval_s = 0.1;  ///< 100 ms driver period (§6.2)
   double plant_substep_s = 0.01;
@@ -50,5 +80,25 @@ struct ExperimentConfig {
   bool observe_predictions = false;
   unsigned observe_horizon_steps = 10;
 };
+
+/// The registry name the config selects: `policy_name` when set, otherwise
+/// the enum's name. Every dispatch site (ControlStack, InvariantChecker,
+/// summary/labeling code) resolves through this, never through the enum.
+std::string resolved_policy_name(const ExperimentConfig& config);
+
+/// The default-governor registry name ("ondemand" when unset).
+std::string resolved_governor_name(const ExperimentConfig& config);
+
+/// Selects a policy by registry name, keeping the enum shim in sync for the
+/// four paper policies (registry-only names rely on policy_name alone).
+void set_policy(ExperimentConfig& config, const std::string& name);
+
+/// Merges an enum axis and a registry-name axis into one name axis (enum
+/// entries first, mapped onto their registry names), falling back to base's
+/// resolved policy when both are empty. The one policy-axis expansion rule,
+/// shared by sim::sweep and ScenarioCatalog::expand.
+std::vector<std::string> merged_policy_axis(
+    const std::vector<Policy>& policies,
+    const std::vector<std::string>& policy_names, const ExperimentConfig& base);
 
 }  // namespace dtpm::sim

@@ -1,0 +1,717 @@
+#include "sim/config_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "governors/policy_registry.hpp"
+#include "sim/scenario_catalog.hpp"
+#include "util/names.hpp"
+#include "workload/suite.hpp"
+
+namespace dtpm::sim {
+
+namespace {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+std::string type_of(const JsonValue& v) {
+  return JsonValue::type_name(v.type());
+}
+
+/// Reads one JSON object: typed, range-checked member access plus an
+/// unknown-member sweep (with a did-you-mean suggestion against the members
+/// this reader consulted) that every *_from_json runs before returning.
+class ObjectReader {
+ public:
+  ObjectReader(const JsonValue& json, std::string path)
+      : json_(json), path_(std::move(path)) {
+    if (!json_.is_object()) {
+      throw ConfigError(path_, "expected an object, got " + type_of(json_));
+    }
+  }
+
+  std::string member_path(const std::string& key) const {
+    return path_ + "." + key;
+  }
+
+  /// Looks a member up and marks the key as known; nullptr when absent.
+  const JsonValue* get(const std::string& key) {
+    known_.push_back(key);
+    return json_.find(key);
+  }
+
+  void number(const std::string& key, double& out,
+              double lo = std::numeric_limits<double>::lowest(),
+              double hi = std::numeric_limits<double>::max()) {
+    const JsonValue* v = get(key);
+    if (v == nullptr) return;
+    if (!v->is_number()) {
+      throw ConfigError(member_path(key),
+                        "expected a number, got " + type_of(*v));
+    }
+    const double n = v->as_number();
+    if (n < lo || n > hi) {
+      throw ConfigError(member_path(key),
+                        "value " + util::json_write(*v, 0) + " outside [" +
+                            util::json_write(JsonValue(lo), 0) + ", " +
+                            util::json_write(JsonValue(hi), 0) + "]");
+    }
+    out = n;
+  }
+
+  void boolean(const std::string& key, bool& out) {
+    const JsonValue* v = get(key);
+    if (v == nullptr) return;
+    if (!v->is_bool()) {
+      throw ConfigError(member_path(key),
+                        "expected true or false, got " + type_of(*v));
+    }
+    out = v->as_bool();
+  }
+
+  template <typename Int>
+  void integer(const std::string& key, Int& out, std::int64_t lo,
+               std::int64_t hi) {
+    const JsonValue* v = get(key);
+    if (v == nullptr) return;
+    if (!v->is_number()) {
+      throw ConfigError(member_path(key),
+                        "expected an integer, got " + type_of(*v));
+    }
+    try {
+      out = static_cast<Int>(v->as_integer(lo, hi));
+    } catch (const std::exception& e) {
+      throw ConfigError(member_path(key), e.what());
+    }
+  }
+
+  void string(const std::string& key, std::string& out) {
+    const JsonValue* v = get(key);
+    if (v == nullptr) return;
+    if (!v->is_string()) {
+      throw ConfigError(member_path(key),
+                        "expected a string, got " + type_of(*v));
+    }
+    out = v->as_string();
+  }
+
+  /// Rejects members no getter consulted; catches config typos like
+  /// "plant_substeps_s" with a suggestion from the consulted keys.
+  void finish() const {
+    for (const auto& [key, value] : json_.as_object()) {
+      if (std::find(known_.begin(), known_.end(), key) == known_.end()) {
+        std::string message = "unknown field '" + key + "'";
+        const std::string suggestion = util::closest_match(key, known_);
+        if (!suggestion.empty()) {
+          message += ", did you mean '" + suggestion + "'?";
+        }
+        throw ConfigError(path_ + "." + key, message);
+      }
+    }
+  }
+
+ private:
+  const JsonValue& json_;
+  std::string path_;
+  std::vector<std::string> known_;
+};
+
+/// Validated name-list member: either absent, or an array of strings each
+/// checked by `validate(name, element_path)`.
+std::vector<std::string> string_list(ObjectReader& reader,
+                                     const std::string& key) {
+  std::vector<std::string> out;
+  const JsonValue* v = reader.get(key);
+  if (v == nullptr) return out;
+  if (!v->is_array()) {
+    throw ConfigError(reader.member_path(key),
+                      "expected an array of strings, got " + type_of(*v));
+  }
+  const JsonArray& array = v->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    if (!array[i].is_string()) {
+      throw ConfigError(
+          reader.member_path(key) + "[" + std::to_string(i) + "]",
+          "expected a string, got " + type_of(array[i]));
+    }
+    out.push_back(array[i].as_string());
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> seed_list(ObjectReader& reader,
+                                     const std::string& key) {
+  std::vector<std::uint64_t> out;
+  const JsonValue* v = reader.get(key);
+  if (v == nullptr) return out;
+  if (!v->is_array()) {
+    throw ConfigError(reader.member_path(key),
+                      "expected an array of seeds, got " + type_of(*v));
+  }
+  const JsonArray& array = v->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const std::string path =
+        reader.member_path(key) + "[" + std::to_string(i) + "]";
+    if (!array[i].is_number()) {
+      throw ConfigError(path, "expected a seed, got " + type_of(array[i]));
+    }
+    try {
+      out.push_back(std::uint64_t(array[i].as_integer(0)));
+    } catch (const std::exception& e) {
+      throw ConfigError(path, e.what());
+    }
+  }
+  return out;
+}
+
+void validate_policy_name(const std::string& name, const std::string& path) {
+  const governors::PolicyRegistry& registry =
+      governors::PolicyRegistry::instance();
+  if (!registry.contains(name)) {
+    throw ConfigError(
+        path, util::unknown_name_message("policy", name, registry.names()));
+  }
+}
+
+void validate_benchmark_name(const std::string& name, const std::string& path) {
+  const std::vector<std::string> names = workload::all_benchmark_names();
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    throw ConfigError(path,
+                      util::unknown_name_message("benchmark", name, names));
+  }
+}
+
+// --- enum <-> string tables --------------------------------------------------
+
+const char* to_string(core::BudgetRowPolicy p) {
+  return p == core::BudgetRowPolicy::kHottestCore ? "hottest-core"
+                                                  : "all-hotspots";
+}
+
+core::BudgetRowPolicy row_policy_from_string(const std::string& name,
+                                             const std::string& path) {
+  if (name == "hottest-core") return core::BudgetRowPolicy::kHottestCore;
+  if (name == "all-hotspots") return core::BudgetRowPolicy::kAllHotspots;
+  throw ConfigError(path,
+                    util::unknown_name_message("row policy", name,
+                                               {"hottest-core", "all-hotspots"}));
+}
+
+const std::vector<std::pair<workload::Category, std::string>>& categories() {
+  static const std::vector<std::pair<workload::Category, std::string>> table =
+      [] {
+        std::vector<std::pair<workload::Category, std::string>> t;
+        for (workload::Category c :
+             {workload::Category::kSecurity, workload::Category::kNetwork,
+              workload::Category::kComputational,
+              workload::Category::kTelecomm, workload::Category::kConsumer,
+              workload::Category::kGames, workload::Category::kVideo}) {
+          t.emplace_back(c, workload::to_string(c));
+        }
+        return t;
+      }();
+  return table;
+}
+
+const std::vector<std::pair<workload::PowerClass, std::string>>&
+power_classes() {
+  static const std::vector<std::pair<workload::PowerClass, std::string>>
+      table = [] {
+        std::vector<std::pair<workload::PowerClass, std::string>> t;
+        for (workload::PowerClass c :
+             {workload::PowerClass::kLow, workload::PowerClass::kMedium,
+              workload::PowerClass::kHigh}) {
+          t.emplace_back(c, workload::to_string(c));
+        }
+        return t;
+      }();
+  return table;
+}
+
+template <typename Enum>
+Enum enum_from_string(
+    const std::vector<std::pair<Enum, std::string>>& table,
+    const std::string& kind, const std::string& name, const std::string& path) {
+  std::vector<std::string> valid;
+  for (const auto& [value, string] : table) {
+    if (string == name) return value;
+    valid.push_back(string);
+  }
+  throw ConfigError(path, util::unknown_name_message(kind, name, valid));
+}
+
+}  // namespace
+
+// --- DtpmParams --------------------------------------------------------------
+
+JsonValue to_json(const core::DtpmParams& params) {
+  JsonValue json((JsonObject()));
+  json.set("t_max_c", params.t_max_c);
+  json.set("horizon_steps", params.horizon_steps);
+  json.set("guard_band_c", params.guard_band_c);
+  json.set("delta_hotspot_c", params.delta_hotspot_c);
+  json.set("min_big_cores", params.min_big_cores);
+  json.set("recovery_margin_c", params.recovery_margin_c);
+  json.set("restriction_dwell_s", params.restriction_dwell_s);
+  json.set("row_policy", to_string(params.row_policy));
+  return json;
+}
+
+core::DtpmParams dtpm_params_from_json(const JsonValue& json,
+                                       const std::string& path) {
+  core::DtpmParams params;
+  ObjectReader reader(json, path);
+  reader.number("t_max_c", params.t_max_c, 0.0, 150.0);
+  reader.integer("horizon_steps", params.horizon_steps, 1, 1000);
+  reader.number("guard_band_c", params.guard_band_c, 0.0, 50.0);
+  reader.number("delta_hotspot_c", params.delta_hotspot_c, 0.0, 50.0);
+  reader.integer("min_big_cores", params.min_big_cores, 1,
+                 soc::kBigCoreCount);
+  reader.number("recovery_margin_c", params.recovery_margin_c, 0.0, 50.0);
+  reader.number("restriction_dwell_s", params.restriction_dwell_s, 0.0,
+                3600.0);
+  std::string row_policy;
+  reader.string("row_policy", row_policy);
+  if (!row_policy.empty()) {
+    params.row_policy =
+        row_policy_from_string(row_policy, path + ".row_policy");
+  }
+  reader.finish();
+  return params;
+}
+
+// --- workload::Benchmark -----------------------------------------------------
+
+JsonValue to_json(const workload::Benchmark& benchmark) {
+  JsonValue json((JsonObject()));
+  json.set("name", benchmark.name);
+  json.set("category", workload::to_string(benchmark.category));
+  json.set("power_class", workload::to_string(benchmark.power_class));
+  JsonArray phases;
+  for (const workload::Phase& phase : benchmark.phases) {
+    JsonValue p((JsonObject()));
+    p.set("work_fraction", phase.work_fraction);
+    p.set("cpu_activity", phase.cpu_activity);
+    p.set("mem_intensity", phase.mem_intensity);
+    p.set("gpu_load", phase.gpu_load);
+    p.set("threads", phase.threads);
+    p.set("duty", phase.duty);
+    phases.push_back(std::move(p));
+  }
+  json.set("phases", JsonValue(std::move(phases)));
+  json.set("total_work_units", benchmark.total_work_units);
+  json.set("cpu_cycles_per_unit", benchmark.cpu_cycles_per_unit);
+  json.set("mem_seconds_per_unit", benchmark.mem_seconds_per_unit);
+  json.set("gpu_cycles_per_unit", benchmark.gpu_cycles_per_unit);
+  json.set("multithreaded", benchmark.multithreaded);
+  return json;
+}
+
+workload::Benchmark benchmark_from_json(const JsonValue& json,
+                                        const std::string& path) {
+  workload::Benchmark benchmark;
+  ObjectReader reader(json, path);
+  reader.string("name", benchmark.name);
+  std::string category, power_class;
+  reader.string("category", category);
+  if (!category.empty()) {
+    benchmark.category = enum_from_string(categories(), "category", category,
+                                          path + ".category");
+  }
+  reader.string("power_class", power_class);
+  if (!power_class.empty()) {
+    benchmark.power_class = enum_from_string(
+        power_classes(), "power class", power_class, path + ".power_class");
+  }
+  if (const JsonValue* phases = reader.get("phases")) {
+    if (!phases->is_array()) {
+      throw ConfigError(path + ".phases",
+                        "expected an array of phase objects, got " +
+                            type_of(*phases));
+    }
+    benchmark.phases.clear();
+    const JsonArray& array = phases->as_array();
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      const std::string phase_path =
+          path + ".phases[" + std::to_string(i) + "]";
+      workload::Phase phase;
+      ObjectReader phase_reader(array[i], phase_path);
+      phase_reader.number("work_fraction", phase.work_fraction, 0.0, 1.0);
+      phase_reader.number("cpu_activity", phase.cpu_activity, 0.0, 1.0);
+      phase_reader.number("mem_intensity", phase.mem_intensity, 0.0, 1.0);
+      phase_reader.number("gpu_load", phase.gpu_load, 0.0, 1.0);
+      phase_reader.integer("threads", phase.threads, 1, 64);
+      phase_reader.number("duty", phase.duty, 0.0, 1.0);
+      phase_reader.finish();
+      benchmark.phases.push_back(phase);
+    }
+  }
+  reader.number("total_work_units", benchmark.total_work_units, 0.0,
+                std::numeric_limits<double>::max());
+  reader.number("cpu_cycles_per_unit", benchmark.cpu_cycles_per_unit, 0.0,
+                std::numeric_limits<double>::max());
+  reader.number("mem_seconds_per_unit", benchmark.mem_seconds_per_unit, 0.0,
+                std::numeric_limits<double>::max());
+  reader.number("gpu_cycles_per_unit", benchmark.gpu_cycles_per_unit, 0.0,
+                std::numeric_limits<double>::max());
+  reader.boolean("multithreaded", benchmark.multithreaded);
+  reader.finish();
+  try {
+    benchmark.validate();
+  } catch (const std::exception& e) {
+    throw ConfigError(path, std::string("invalid benchmark: ") + e.what());
+  }
+  return benchmark;
+}
+
+// --- workload::ScenarioParams ------------------------------------------------
+
+JsonValue to_json(const workload::ScenarioParams& params) {
+  JsonValue json((JsonObject()));
+  json.set("nominal_duration_s", params.nominal_duration_s);
+  json.set("intensity", params.intensity);
+  json.set("thermal_time_constant_s", params.thermal_time_constant_s);
+  return json;
+}
+
+workload::ScenarioParams scenario_params_from_json(const JsonValue& json,
+                                                   const std::string& path) {
+  workload::ScenarioParams params;
+  ObjectReader reader(json, path);
+  reader.number("nominal_duration_s", params.nominal_duration_s, 1.0, 1e6);
+  reader.number("intensity", params.intensity, 0.0, 10.0);
+  reader.number("thermal_time_constant_s", params.thermal_time_constant_s,
+                0.1, 1e4);
+  reader.finish();
+  return params;
+}
+
+// --- ExperimentConfig --------------------------------------------------------
+
+JsonValue to_json(const ExperimentConfig& config) {
+  JsonValue json((JsonObject()));
+  json.set("benchmark", config.benchmark);
+  if (config.scenario != nullptr) {
+    JsonValue scenario((JsonObject()));
+    scenario.set("benchmark", to_json(*config.scenario));
+    json.set("scenario", std::move(scenario));
+  }
+  json.set("policy", resolved_policy_name(config));
+  if (!config.policy_params.empty()) {
+    JsonValue params((JsonObject()));
+    for (const auto& [key, value] : config.policy_params) {
+      params.set(key, value);
+    }
+    json.set("policy_params", std::move(params));
+  }
+  json.set("governor", resolved_governor_name(config));
+  json.set("preset", "default");
+  json.set("dtpm", to_json(config.dtpm));
+  json.set("control_interval_s", config.control_interval_s);
+  json.set("plant_substep_s", config.plant_substep_s);
+  json.set("warmup_s", config.warmup_s);
+  json.set("warmup_activity", config.warmup_activity);
+  json.set("max_sim_time_s", config.max_sim_time_s);
+  json.set("seed", config.seed);
+  json.set("record_trace", config.record_trace);
+  json.set("observe_predictions", config.observe_predictions);
+  json.set("observe_horizon_steps", config.observe_horizon_steps);
+  return json;
+}
+
+ExperimentConfig experiment_from_json(const JsonValue& json,
+                                      const std::string& path) {
+  ExperimentConfig config;
+  ObjectReader reader(json, path);
+
+  bool benchmark_named = false;
+  {
+    const JsonValue* v = reader.get("benchmark");
+    if (v != nullptr) {
+      if (!v->is_string()) {
+        throw ConfigError(path + ".benchmark",
+                          "expected a string, got " + type_of(*v));
+      }
+      config.benchmark = v->as_string();
+      benchmark_named = true;
+    }
+  }
+
+  if (const JsonValue* scenario = reader.get("scenario")) {
+    const std::string scenario_path = path + ".scenario";
+    ObjectReader scenario_reader(*scenario, scenario_path);
+    const JsonValue* family = scenario_reader.get("family");
+    const JsonValue* inline_benchmark = scenario_reader.get("benchmark");
+    if ((family != nullptr) == (inline_benchmark != nullptr)) {
+      throw ConfigError(scenario_path,
+                        "expected exactly one of 'family' (generated via the "
+                        "scenario catalog) or 'benchmark' (fully inline)");
+    }
+    if (family != nullptr) {
+      if (!family->is_string()) {
+        throw ConfigError(scenario_path + ".family",
+                          "expected a string, got " + type_of(*family));
+      }
+      std::uint64_t seed = 1;
+      scenario_reader.integer("seed", seed, 0, INT64_MAX);
+      workload::ScenarioParams params;
+      if (const JsonValue* p = scenario_reader.get("params")) {
+        params = scenario_params_from_json(*p, scenario_path + ".params");
+      }
+      const ScenarioCatalog catalog = ScenarioCatalog::standard(params);
+      const std::string& name = family->as_string();
+      if (!catalog.contains(name)) {
+        throw ConfigError(scenario_path + ".family",
+                          util::unknown_name_message("scenario family", name,
+                                                     catalog.family_names()));
+      }
+      config.scenario = std::make_shared<const workload::Benchmark>(
+          catalog.make(name, seed));
+      if (!benchmark_named) {
+        config.benchmark = name + "#s" + std::to_string(seed);
+      }
+      // Mirror ScenarioCatalog::expand: unless the document pins its own
+      // simulation seed, reuse the scenario seed so a `dtpm run` of
+      // {family, seed} reproduces the matching sweep row bit-for-bit.
+      if (json.find("seed") == nullptr) config.seed = seed;
+    } else {
+      config.scenario = std::make_shared<const workload::Benchmark>(
+          benchmark_from_json(*inline_benchmark, scenario_path + ".benchmark"));
+      if (!benchmark_named) config.benchmark = config.scenario->name;
+    }
+    scenario_reader.finish();
+  } else if (benchmark_named) {
+    // Without an inline scenario the benchmark must resolve in the suite.
+    validate_benchmark_name(config.benchmark, path + ".benchmark");
+  }
+
+  std::string policy;
+  reader.string("policy", policy);
+  if (!policy.empty()) {
+    validate_policy_name(policy, path + ".policy");
+    set_policy(config, policy);
+  }
+
+  if (const JsonValue* params = reader.get("policy_params")) {
+    ObjectReader ignored(*params, path + ".policy_params");
+    for (const auto& [key, value] : params->as_object()) {
+      if (!value.is_number()) {
+        throw ConfigError(path + ".policy_params." + key,
+                          "expected a number, got " + type_of(value));
+      }
+      config.policy_params[key] = value.as_number();
+    }
+  }
+
+  std::string governor;
+  reader.string("governor", governor);
+  if (!governor.empty()) {
+    const governors::GovernorRegistry& registry =
+        governors::GovernorRegistry::instance();
+    if (!registry.contains(governor)) {
+      throw ConfigError(path + ".governor",
+                        util::unknown_name_message("governor", governor,
+                                                   registry.names()));
+    }
+    config.governor_name = governor;
+  }
+
+  std::string preset;
+  reader.string("preset", preset);
+  if (!preset.empty()) {
+    try {
+      config.preset = preset_by_name(preset);
+    } catch (const std::exception&) {
+      throw ConfigError(path + ".preset",
+                        util::unknown_name_message("preset", preset,
+                                                   preset_names()));
+    }
+  }
+
+  if (const JsonValue* dtpm = reader.get("dtpm")) {
+    config.dtpm = dtpm_params_from_json(*dtpm, path + ".dtpm");
+  }
+
+  reader.number("control_interval_s", config.control_interval_s, 1e-4, 60.0);
+  reader.number("plant_substep_s", config.plant_substep_s, 1e-5, 60.0);
+  reader.number("warmup_s", config.warmup_s, 0.0, 1e6);
+  reader.number("warmup_activity", config.warmup_activity, 0.0, 1.0);
+  reader.number("max_sim_time_s", config.max_sim_time_s, 0.0, 1e9);
+  reader.integer("seed", config.seed, 0, INT64_MAX);
+  reader.boolean("record_trace", config.record_trace);
+  reader.boolean("observe_predictions", config.observe_predictions);
+  reader.integer("observe_horizon_steps", config.observe_horizon_steps, 1,
+                 100000);
+  reader.finish();
+
+  if (config.plant_substep_s > config.control_interval_s) {
+    throw ConfigError(path + ".plant_substep_s",
+                      "plant substep must not exceed control_interval_s");
+  }
+  return config;
+}
+
+ExperimentConfig load_experiment_config(const std::string& file_path) {
+  const JsonValue json = util::json_parse_file(file_path);
+  if (json.is_object() &&
+      (json.find("base") != nullptr || json.find("scenarios") != nullptr ||
+       json.find("benchmarks") != nullptr)) {
+    throw ConfigError(
+        "$", "this looks like a sweep grid (has 'base'/'benchmarks'/"
+             "'scenarios'); run it with `dtpm sweep` instead");
+  }
+  return experiment_from_json(json);
+}
+
+// --- SweepSpec ---------------------------------------------------------------
+
+std::vector<ExperimentConfig> SweepSpec::expand() const {
+  if (has_scenarios) {
+    ScenarioCatalog::Sweep sweep;
+    sweep.base = base;
+    sweep.families = families;
+    sweep.policy_names = policies;
+    if (!scenario_seeds.empty()) sweep.seeds = scenario_seeds;
+    return ScenarioCatalog::standard(scenario_params).expand(sweep);
+  }
+  SweepGrid grid;
+  grid.base = base;
+  grid.benchmarks = benchmarks;
+  grid.policy_names = policies;
+  grid.seeds = seeds;
+  grid.dtpm_params = dtpm_grid;
+  return sweep(grid);
+}
+
+JsonValue to_json(const SweepSpec& spec) {
+  JsonValue json((JsonObject()));
+  json.set("base", to_json(spec.base));
+  if (!spec.benchmarks.empty()) {
+    JsonArray names;
+    for (const std::string& name : spec.benchmarks) names.emplace_back(name);
+    json.set("benchmarks", JsonValue(std::move(names)));
+  }
+  if (!spec.policies.empty()) {
+    JsonArray names;
+    for (const std::string& name : spec.policies) names.emplace_back(name);
+    json.set("policies", JsonValue(std::move(names)));
+  }
+  if (!spec.seeds.empty()) {
+    JsonArray seeds;
+    for (std::uint64_t seed : spec.seeds) seeds.emplace_back(seed);
+    json.set("seeds", JsonValue(std::move(seeds)));
+  }
+  if (!spec.dtpm_grid.empty()) {
+    JsonArray grid;
+    for (const core::DtpmParams& params : spec.dtpm_grid) {
+      grid.push_back(to_json(params));
+    }
+    json.set("dtpm_grid", JsonValue(std::move(grid)));
+  }
+  if (spec.has_scenarios) {
+    JsonValue scenarios((JsonObject()));
+    if (!spec.families.empty()) {
+      JsonArray names;
+      for (const std::string& name : spec.families) names.emplace_back(name);
+      scenarios.set("families", JsonValue(std::move(names)));
+    }
+    if (!spec.scenario_seeds.empty()) {
+      JsonArray seeds;
+      for (std::uint64_t seed : spec.scenario_seeds) seeds.emplace_back(seed);
+      scenarios.set("seeds", JsonValue(std::move(seeds)));
+    }
+    scenarios.set("params", to_json(spec.scenario_params));
+    json.set("scenarios", std::move(scenarios));
+  }
+  return json;
+}
+
+SweepSpec sweep_from_json(const JsonValue& json, const std::string& path) {
+  SweepSpec spec;
+  ObjectReader reader(json, path);
+
+  if (const JsonValue* base = reader.get("base")) {
+    spec.base = experiment_from_json(*base, path + ".base");
+  }
+
+  spec.benchmarks = string_list(reader, "benchmarks");
+  for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
+    validate_benchmark_name(
+        spec.benchmarks[i], path + ".benchmarks[" + std::to_string(i) + "]");
+  }
+
+  spec.policies = string_list(reader, "policies");
+  for (std::size_t i = 0; i < spec.policies.size(); ++i) {
+    validate_policy_name(spec.policies[i],
+                         path + ".policies[" + std::to_string(i) + "]");
+  }
+
+  spec.seeds = seed_list(reader, "seeds");
+
+  if (const JsonValue* grid = reader.get("dtpm_grid")) {
+    if (!grid->is_array()) {
+      throw ConfigError(path + ".dtpm_grid",
+                        "expected an array of DTPM parameter objects, got " +
+                            type_of(*grid));
+    }
+    const JsonArray& array = grid->as_array();
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      spec.dtpm_grid.push_back(dtpm_params_from_json(
+          array[i], path + ".dtpm_grid[" + std::to_string(i) + "]"));
+    }
+  }
+
+  if (const JsonValue* scenarios = reader.get("scenarios")) {
+    if (!spec.benchmarks.empty()) {
+      throw ConfigError(path + ".scenarios",
+                        "cannot combine a 'benchmarks' axis with a "
+                        "'scenarios' selection in one sweep");
+    }
+    // The catalog expansion has no dtpm axis and reads its seeds from
+    // $.scenarios.seeds; accepting these here would silently ignore them.
+    if (!spec.seeds.empty()) {
+      throw ConfigError(path + ".seeds",
+                        "a 'scenarios' sweep takes its seeds from "
+                        "$.scenarios.seeds, not a top-level 'seeds' axis");
+    }
+    if (!spec.dtpm_grid.empty()) {
+      throw ConfigError(path + ".dtpm_grid",
+                        "a 'dtpm_grid' axis cannot be combined with a "
+                        "'scenarios' selection; set base.dtpm instead");
+    }
+    spec.has_scenarios = true;
+    const std::string scenarios_path = path + ".scenarios";
+    ObjectReader scenario_reader(*scenarios, scenarios_path);
+    if (const JsonValue* params = scenario_reader.get("params")) {
+      spec.scenario_params =
+          scenario_params_from_json(*params, scenarios_path + ".params");
+    }
+    spec.families = string_list(scenario_reader, "families");
+    const ScenarioCatalog catalog =
+        ScenarioCatalog::standard(spec.scenario_params);
+    for (std::size_t i = 0; i < spec.families.size(); ++i) {
+      if (!catalog.contains(spec.families[i])) {
+        throw ConfigError(
+            scenarios_path + ".families[" + std::to_string(i) + "]",
+            util::unknown_name_message("scenario family", spec.families[i],
+                                       catalog.family_names()));
+      }
+    }
+    spec.scenario_seeds = seed_list(scenario_reader, "seeds");
+    scenario_reader.finish();
+  }
+
+  reader.finish();
+  return spec;
+}
+
+SweepSpec load_sweep_spec(const std::string& file_path) {
+  return sweep_from_json(util::json_parse_file(file_path));
+}
+
+}  // namespace dtpm::sim

@@ -1,0 +1,107 @@
+// Declarative experiment definitions: JSON round-trip for ExperimentConfig,
+// DtpmParams, inline workload::Benchmark descriptions, and sweep documents
+// (flat grids and scenario-catalog selections). This is what makes
+// experiments *data* instead of recompiled C++ -- the `dtpm` CLI feeds these
+// loaders, and anything registered in governors::PolicyRegistry is
+// selectable by name from a config file.
+//
+// Every validation failure throws ConfigError carrying a JSON-pointer-style
+// path and, for name lookups, the sorted valid names plus a nearest-match
+// suggestion:
+//
+//   $.policies[2]: unknown policy 'dtmp', did you mean 'dtpm'?
+//       (valid: default+fan, dtpm, no-fan, reactive)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/batch.hpp"
+#include "sim/config.hpp"
+#include "util/json.hpp"
+#include "workload/scenario.hpp"
+
+namespace dtpm::sim {
+
+/// Config validation failure, pinned to a document path like "$.dtpm.t_max_c"
+/// or "$.policies[2]".
+class ConfigError : public std::runtime_error {
+ public:
+  ConfigError(const std::string& path, const std::string& detail)
+      : std::runtime_error(path + ": " + detail),
+        path_(path),
+        detail_(detail) {}
+
+  const std::string& path() const { return path_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  std::string path_;
+  std::string detail_;
+};
+
+// --- DtpmParams --------------------------------------------------------------
+util::JsonValue to_json(const core::DtpmParams& params);
+core::DtpmParams dtpm_params_from_json(const util::JsonValue& json,
+                                       const std::string& path = "$");
+
+// --- workload::Benchmark (the inline-scenario path) --------------------------
+util::JsonValue to_json(const workload::Benchmark& benchmark);
+workload::Benchmark benchmark_from_json(const util::JsonValue& json,
+                                        const std::string& path = "$");
+
+// --- workload::ScenarioParams ------------------------------------------------
+util::JsonValue to_json(const workload::ScenarioParams& params);
+workload::ScenarioParams scenario_params_from_json(
+    const util::JsonValue& json, const std::string& path = "$");
+
+// --- ExperimentConfig --------------------------------------------------------
+// The "scenario" member supports two shapes:
+//   {"family": "bursty", "seed": 7, "params": {...}}   regenerated through
+//       the standard ScenarioCatalog (deterministic, so configs stay small)
+//   {"benchmark": {...full benchmark description...}}   fully inline
+// to_json always emits the fully-inline shape (a generated Benchmark does
+// not remember its family), so every config round-trips losslessly.
+util::JsonValue to_json(const ExperimentConfig& config);
+ExperimentConfig experiment_from_json(const util::JsonValue& json,
+                                      const std::string& path = "$");
+
+/// Parses a `dtpm run` config file; JSON syntax errors carry line/column,
+/// validation errors carry their $.path.
+ExperimentConfig load_experiment_config(const std::string& file_path);
+
+// --- Sweep documents ---------------------------------------------------------
+
+/// A declarative sweep: a base experiment plus the axes to expand. Either a
+/// flat benchmark grid (mirroring sim::SweepGrid) or a scenario-catalog
+/// selection ("scenarios" member) -- not both in one document.
+struct SweepSpec {
+  ExperimentConfig base;
+
+  // Grid axes (empty = inherit from base, mirroring sim::sweep()).
+  std::vector<std::string> benchmarks;
+  std::vector<std::string> policies;  ///< registry names
+  std::vector<std::uint64_t> seeds;
+  std::vector<core::DtpmParams> dtpm_grid;
+
+  // Scenario-catalog selection.
+  bool has_scenarios = false;
+  std::vector<std::string> families;  ///< empty = every standard family
+  std::vector<std::uint64_t> scenario_seeds;
+  workload::ScenarioParams scenario_params;
+
+  /// Expands to concrete configs: SweepGrid/sweep() for the flat grid,
+  /// ScenarioCatalog::standard(scenario_params).expand() for selections.
+  std::vector<ExperimentConfig> expand() const;
+};
+
+util::JsonValue to_json(const SweepSpec& spec);
+SweepSpec sweep_from_json(const util::JsonValue& json,
+                          const std::string& path = "$");
+
+/// Parses a `dtpm sweep` grid file.
+SweepSpec load_sweep_spec(const std::string& file_path);
+
+}  // namespace dtpm::sim

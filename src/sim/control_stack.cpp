@@ -1,32 +1,19 @@
 #include "sim/control_stack.hpp"
 
-#include <stdexcept>
-
-#include "governors/fan_policy.hpp"
-#include "governors/reactive.hpp"
+#include "governors/policy_registry.hpp"
 
 namespace dtpm::sim {
 
 namespace {
 
-std::unique_ptr<governors::ThermalPolicy> make_policy(
+governors::PolicyContext make_context(
     const ExperimentConfig& config,
     const sysid::IdentifiedPlatformModel* model) {
-  switch (config.policy) {
-    case Policy::kDefaultWithFan:
-      return std::make_unique<governors::FanPolicy>();
-    case Policy::kWithoutFan:
-      return std::make_unique<governors::NullPolicy>();
-    case Policy::kReactive:
-      return std::make_unique<governors::ReactiveThrottlePolicy>();
-    case Policy::kProposedDtpm:
-      if (model == nullptr) {
-        throw std::invalid_argument(
-            "ControlStack: DTPM policy requires an identified model");
-      }
-      return std::make_unique<core::DtpmGovernor>(*model, config.dtpm);
-  }
-  throw std::invalid_argument("ControlStack: unknown policy");
+  governors::PolicyContext context;
+  context.model = model;
+  context.dtpm = &config.dtpm;
+  context.params = &config.policy_params;
+  return context;
 }
 
 }  // namespace
@@ -35,12 +22,17 @@ ControlStack::ControlStack(
     const ExperimentConfig& config,
     const sysid::IdentifiedPlatformModel* model,
     std::unique_ptr<governors::ThermalPolicy> policy_override)
-    : policy_(policy_override != nullptr ? std::move(policy_override)
-                                         : make_policy(config, model)),
+    : governor_(governors::GovernorRegistry::instance().make(
+          resolved_governor_name(config), make_context(config, model))),
+      policy_(policy_override != nullptr
+                  ? std::move(policy_override)
+                  : governors::PolicyRegistry::instance().make(
+                        resolved_policy_name(config),
+                        make_context(config, model))),
       dtpm_(dynamic_cast<core::DtpmGovernor*>(policy_.get())) {}
 
 governors::Decision ControlStack::decide(const soc::PlatformView& view) {
-  const governors::Decision proposal = governor_.decide(view);
+  const governors::Decision proposal = governor_->decide(view);
   return policy_->adjust(view, proposal);
 }
 

@@ -1,25 +1,27 @@
-// The software side of Fig. 3.1: the default ondemand governor proposes a
+// The software side of Fig. 3.1: the configured default governor proposes a
 // configuration every control interval and the configured thermal policy
-// adjusts it. Owns policy construction from an ExperimentConfig, including
-// the extension point for user-supplied ThermalPolicy implementations.
+// adjusts it. Both layers are constructed by name through the string-keyed
+// governors::PolicyRegistry/GovernorRegistry, so user-registered
+// implementations are selectable from an ExperimentConfig (or a JSON config
+// file) exactly like the built-ins.
 #pragma once
 
 #include <memory>
 
 #include "core/dtpm_governor.hpp"
 #include "governors/governor.hpp"
-#include "governors/ondemand.hpp"
 #include "sim/config.hpp"
 #include "sysid/model_store.hpp"
 
 namespace dtpm::sim {
 
-/// Ondemand governor + thermal policy, evaluated in that order.
+/// Default governor + thermal policy, evaluated in that order.
 class ControlStack {
  public:
-  /// Builds the policy selected by `config.policy`, or adopts
+  /// Builds the governor and policy the config selects (by registry name;
+  /// the Policy enum is resolved through resolved_policy_name), or adopts
   /// `policy_override` (any user-defined governors::ThermalPolicy) when one
-  /// is supplied. kProposedDtpm requires `model`.
+  /// is supplied. The "dtpm" policy requires `model`.
   ControlStack(const ExperimentConfig& config,
                const sysid::IdentifiedPlatformModel* model,
                std::unique_ptr<governors::ThermalPolicy> policy_override);
@@ -35,7 +37,7 @@ class ControlStack {
   const governors::ThermalPolicy& policy() const { return *policy_; }
 
  private:
-  governors::OndemandGovernor governor_;
+  std::unique_ptr<governors::Governor> governor_;
   std::unique_ptr<governors::ThermalPolicy> policy_;
   core::DtpmGovernor* dtpm_ = nullptr;
 };

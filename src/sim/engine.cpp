@@ -2,20 +2,6 @@
 
 namespace dtpm::sim {
 
-const char* to_string(Policy p) {
-  switch (p) {
-    case Policy::kDefaultWithFan:
-      return "default+fan";
-    case Policy::kWithoutFan:
-      return "no-fan";
-    case Policy::kReactive:
-      return "reactive";
-    case Policy::kProposedDtpm:
-      return "dtpm";
-  }
-  return "?";
-}
-
 RunResult run_experiment(const ExperimentConfig& config,
                          const sysid::IdentifiedPlatformModel* model,
                          const RunPlan* plan) {

@@ -160,6 +160,9 @@ std::vector<InvariantViolation> InvariantChecker::check(
                          config.preset.platform_load.display_w;
   const double dtpm_trigger_c =
       config.dtpm.t_max_c - config.dtpm.guard_band_c;
+  // Registry-name dispatch: the budget contract binds whenever the config
+  // selects the DTPM governor, whether via the enum shim or by name.
+  const bool dtpm_policy = resolved_policy_name(config) == "dtpm";
 
   double prev_time = -1.0;
   double prev_progress = 0.0;
@@ -285,7 +288,7 @@ std::vector<InvariantViolation> InvariantChecker::check(
     // unrestricted maximum beyond the configured grace (one interval of
     // reaction latency, plus one where the computed budget still admits the
     // current operating point).
-    if (config.policy == Policy::kProposedDtpm) {
+    if (dtpm_policy) {
       const bool predicted_violation =
           row[col.pred_ahead] > dtpm_trigger_c + 1e-9;
       const bool unrestricted_max =

@@ -1,0 +1,18 @@
+#include "sim/preset.hpp"
+
+#include <stdexcept>
+
+#include "util/names.hpp"
+
+namespace dtpm::sim {
+
+std::vector<std::string> preset_names() { return {"default"}; }
+
+PlatformPreset preset_by_name(const std::string& name) {
+  if (name == "default") return default_preset();
+  throw std::invalid_argument(
+      "preset_by_name: " +
+      util::unknown_name_message("preset", name, preset_names()));
+}
+
+}  // namespace dtpm::sim

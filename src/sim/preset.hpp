@@ -3,6 +3,9 @@
 // the identified models face the same plant the policies later control.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "power/sensors.hpp"
 #include "soc/soc.hpp"
 #include "thermal/fan.hpp"
@@ -23,5 +26,14 @@ struct PlatformPreset {
 
 /// The default Odroid-XU+E-like platform used throughout the reproduction.
 inline PlatformPreset default_preset() { return PlatformPreset{}; }
+
+/// Names selectable from config files ("preset": "default") and listed by
+/// `dtpm list presets`. A single entry today; alternative platform presets
+/// slot in here.
+std::vector<std::string> preset_names();
+
+/// Lookup by name; throws std::invalid_argument with the valid names and a
+/// nearest-match suggestion when absent.
+PlatformPreset preset_by_name(const std::string& name);
 
 }  // namespace dtpm::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/names.hpp"
+
 namespace dtpm::sim {
 
 ScenarioCatalog ScenarioCatalog::standard(
@@ -54,7 +56,9 @@ const ScenarioFactory& ScenarioCatalog::factory_for(
   for (const auto& [registered, factory] : families_) {
     if (registered == name) return factory;
   }
-  throw std::invalid_argument("ScenarioCatalog: unknown family " + name);
+  throw std::invalid_argument(
+      "ScenarioCatalog: " +
+      util::unknown_name_message("scenario family", name, family_names()));
 }
 
 workload::Benchmark ScenarioCatalog::make(const std::string& family,
@@ -66,9 +70,8 @@ std::vector<ExperimentConfig> ScenarioCatalog::expand(
     const Sweep& sweep) const {
   const std::vector<std::string> families =
       sweep.families.empty() ? family_names() : sweep.families;
-  const std::vector<Policy> policies =
-      sweep.policies.empty() ? std::vector<Policy>{sweep.base.policy}
-                             : sweep.policies;
+  const std::vector<std::string> policies =
+      merged_policy_axis(sweep.policies, sweep.policy_names, sweep.base);
   const std::vector<std::uint64_t> seeds =
       sweep.seeds.empty() ? std::vector<std::uint64_t>{sweep.base.seed}
                           : sweep.seeds;
@@ -81,11 +84,11 @@ std::vector<ExperimentConfig> ScenarioCatalog::expand(
       // One benchmark per (family, seed), shared read-only by every policy.
       auto scenario = std::make_shared<const workload::Benchmark>(
           factory(seed));
-      for (Policy policy : policies) {
+      for (const std::string& policy : policies) {
         ExperimentConfig config = sweep.base;
         config.benchmark = family + "#s" + std::to_string(seed);
         config.scenario = scenario;
-        config.policy = policy;
+        set_policy(config, policy);
         config.seed = seed;
         configs.push_back(std::move(config));
       }

@@ -52,6 +52,10 @@ class ScenarioCatalog {
     ExperimentConfig base;  ///< template for every generated config
     std::vector<std::string> families;
     std::vector<Policy> policies;
+    /// Registry-name policy axis, appended after `policies` (mapped onto
+    /// their registry names) -- user-registered policies sweep the catalog
+    /// exactly like the built-ins.
+    std::vector<std::string> policy_names;
     std::vector<std::uint64_t> seeds{1, 2, 3};
   };
 

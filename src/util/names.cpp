@@ -1,0 +1,63 @@
+#include "util/names.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace dtpm::util {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // Single-row dynamic program over the shorter string.
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i + 1;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t substitute = diagonal + (a[i] == b[j] ? 0 : 1);
+      diagonal = row[j + 1];
+      row[j + 1] = std::min({row[j + 1] + 1, row[j] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates,
+                          std::size_t max_distance) {
+  std::string best;
+  std::size_t best_distance = max_distance + 1;
+  for (const std::string& candidate : candidates) {
+    std::size_t d = edit_distance(name, candidate);
+    // A truncated or over-long prefix ("hottest" for "hottest-core") is a
+    // plausible typo however many characters are missing.
+    const std::size_t prefix = std::min(name.size(), candidate.size());
+    if (prefix >= 3 && name.substr(0, prefix) == candidate.substr(0, prefix)) {
+      d = std::min<std::size_t>(d, 1);
+    }
+    if (d < best_distance && d < candidate.size()) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string unknown_name_message(std::string_view kind, std::string_view name,
+                                 std::vector<std::string> valid) {
+  std::sort(valid.begin(), valid.end());
+  std::ostringstream os;
+  os << "unknown " << kind << " '" << name << "'";
+  const std::string suggestion = closest_match(name, valid);
+  if (!suggestion.empty()) os << ", did you mean '" << suggestion << "'?";
+  os << " (valid: ";
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << valid[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace dtpm::util

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/names.hpp"
+
 namespace dtpm::workload {
 namespace {
 
@@ -126,6 +128,14 @@ const std::vector<Benchmark>& multithreaded_suite() {
   return suite;
 }
 
+std::vector<std::string> all_benchmark_names() {
+  std::vector<std::string> names;
+  names.reserve(standard_suite().size() + multithreaded_suite().size());
+  for (const auto& b : standard_suite()) names.push_back(b.name);
+  for (const auto& b : multithreaded_suite()) names.push_back(b.name);
+  return names;
+}
+
 const Benchmark& find_benchmark(const std::string& name) {
   for (const auto& b : standard_suite()) {
     if (b.name == name) return b;
@@ -133,7 +143,9 @@ const Benchmark& find_benchmark(const std::string& name) {
   for (const auto& b : multithreaded_suite()) {
     if (b.name == name) return b;
   }
-  throw std::invalid_argument("find_benchmark: unknown benchmark " + name);
+  throw std::invalid_argument(
+      "find_benchmark: " +
+      util::unknown_name_message("benchmark", name, all_benchmark_names()));
 }
 
 bool wants_heavy_background(const Benchmark& b) {

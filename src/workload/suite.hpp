@@ -20,7 +20,12 @@ const std::vector<Benchmark>& standard_suite();
 /// The multithreaded FFT/LU pair of Fig. 6.10.
 const std::vector<Benchmark>& multithreaded_suite();
 
-/// Lookup by name across both suites; throws std::invalid_argument if absent.
+/// Every benchmark name across both suites, in suite order (the valid values
+/// of ExperimentConfig::benchmark when no inline scenario is attached).
+std::vector<std::string> all_benchmark_names();
+
+/// Lookup by name across both suites; throws std::invalid_argument carrying
+/// the sorted valid names and a nearest-match suggestion when absent.
 const Benchmark& find_benchmark(const std::string& name);
 
 /// True for the game/video benchmarks that the paper ran with a background

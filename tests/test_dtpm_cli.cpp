@@ -1,0 +1,254 @@
+// The `dtpm` CLI, driven in-process through dtpm::cli::run. Includes the
+// acceptance pin for the open-registry redesign: a policy defined in THIS
+// test TU (not in src/) is registered at startup via PolicyRegistration and
+// selected purely by a JSON config run through `dtpm run`.
+#include "dtpm_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "governors/policy_registry.hpp"
+#include "sim/config_io.hpp"
+
+#ifndef DTPM_CONFIG_DIR
+#error "build must define DTPM_CONFIG_DIR (see CMakeLists.txt)"
+#endif
+
+namespace dtpm {
+namespace {
+
+// --- the out-of-library policy, registered at static-init time -------------
+
+std::atomic<long> g_unit_trip_adjusts{0};
+std::atomic<double> g_unit_trip_c{0.0};
+
+class UnitTripPolicy final : public governors::ThermalPolicy {
+ public:
+  explicit UnitTripPolicy(double trip_c) { g_unit_trip_c = trip_c; }
+
+  governors::Decision adjust(const soc::PlatformView&,
+                             const governors::Decision& proposal) override {
+    ++g_unit_trip_adjusts;
+    governors::Decision out = proposal;
+    out.fan = thermal::FanSpeed::kOff;
+    return out;
+  }
+  std::string_view name() const override { return "unit-trip"; }
+};
+
+/// Startup self-registration: exactly the pattern user code ships.
+const governors::PolicyRegistration kUnitTripRegistration{
+    "unit-trip",
+    [](const governors::PolicyContext& context) {
+      return std::make_unique<UnitTripPolicy>(context.param("trip_c", 63.0));
+    },
+    "test-TU trip policy (registered outside src/)"};
+
+// --- harness ----------------------------------------------------------------
+
+struct CliResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = cli::run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_dir() {
+  const std::string dir = ::testing::TempDir() + "dtpm_cli/";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string write_file(const std::string& name, const std::string& content) {
+  const std::string path = temp_dir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t line_count(const std::string& text) {
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+// --- list -------------------------------------------------------------------
+
+TEST(DtpmCli, ListPoliciesIncludesBuiltinsSorted) {
+  const CliResult r = run_cli({"list", "policies"});
+  EXPECT_EQ(r.exit_code, 0);
+  // The four builtins in sorted order; "unit-trip" (registered by this TU)
+  // sorts last.
+  EXPECT_EQ(r.out,
+            "default+fan\ndtpm\nno-fan\nreactive\nunit-trip\n");
+  const CliResult verbose = run_cli({"list", "policies", "--long"});
+  EXPECT_NE(verbose.out.find("registered outside src/"), std::string::npos);
+}
+
+TEST(DtpmCli, ListCategories) {
+  EXPECT_EQ(run_cli({"list", "scenarios"}).out,
+            "bursty\nperiodic-square\nsawtooth-ramp\nthermal-soak\n"
+            "phase-mix\ngpu-co-stress\nduty-cycle-resonance\n");
+  EXPECT_EQ(run_cli({"list", "governors"}).out, "ondemand\n");
+  EXPECT_EQ(run_cli({"list", "presets"}).out, "default\n");
+  const CliResult benchmarks = run_cli({"list", "benchmarks"});
+  EXPECT_NE(benchmarks.out.find("crc32\n"), std::string::npos);
+  EXPECT_NE(benchmarks.out.find("templerun\n"), std::string::npos);
+
+  const CliResult unknown = run_cli({"list", "polices"});
+  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_NE(unknown.err.find("did you mean 'policies'?"), std::string::npos);
+  EXPECT_EQ(run_cli({"list"}).exit_code, 2);
+}
+
+// --- usage ------------------------------------------------------------------
+
+TEST(DtpmCli, UsageErrors) {
+  EXPECT_EQ(run_cli({}).exit_code, 2);
+  EXPECT_EQ(run_cli({"frobnicate"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"run"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"run", "a.json", "b.json"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"sweep", "g.json", "-j", "nope"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"run", "c.json", "--bogus"}).exit_code, 2);
+  // -j only drives the sweep's BatchRunner; run must reject it rather than
+  // silently ignore it.
+  const CliResult j_on_run = run_cli({"run", "c.json", "-j", "2"});
+  EXPECT_EQ(j_on_run.exit_code, 2);
+  EXPECT_NE(j_on_run.err.find("only valid for `dtpm sweep`"),
+            std::string::npos);
+  EXPECT_EQ(run_cli({"help"}).exit_code, 0);
+  EXPECT_NE(run_cli({"help"}).out.find("dtpm run"), std::string::npos);
+}
+
+// --- run --------------------------------------------------------------------
+
+TEST(DtpmCli, RunWritesTraceAndSummary) {
+  const std::string config = write_file("run_nofan.json", R"({
+    // short closed-loop run for the CLI test
+    "benchmark": "crc32",
+    "policy": "no-fan",
+    "warmup_s": 1.0,
+    "max_sim_time_s": 6.0,
+    "seed": 3
+  })");
+  const std::string out_dir = temp_dir() + "run-out";
+  const CliResult r = run_cli({"run", config, "--out", out_dir});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  const std::string summary = slurp(out_dir + "/summary.csv");
+  EXPECT_NE(summary.find("benchmark,policy,seed,completed"),
+            std::string::npos);
+  EXPECT_NE(summary.find("crc32,no-fan,3,"), std::string::npos);
+  EXPECT_EQ(line_count(summary), 2u);  // header + one row
+
+  const std::string trace = slurp(out_dir + "/crc32_no-fan_trace.csv");
+  EXPECT_NE(trace.find("time_s"), std::string::npos);
+  EXPECT_GE(line_count(trace), 40u);  // ~5 s of 100 ms intervals
+}
+
+TEST(DtpmCli, RunReportsConfigErrorsWithPath) {
+  const std::string config =
+      write_file("bad_policy.json", R"({"policy": "dtmp"})");
+  const CliResult r = run_cli({"run", config, "--out", temp_dir() + "x"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("$.policy: unknown policy 'dtmp', did you mean "
+                       "'dtpm'?"),
+            std::string::npos);
+  EXPECT_EQ(run_cli({"run", temp_dir() + "missing.json"}).exit_code, 1);
+}
+
+/// THE acceptance pin: a policy living in this test TU, registered at
+/// startup, selected purely via a JSON config through `dtpm run`.
+TEST(DtpmCli, CustomPolicyFromTestTuRunsViaJsonConfig) {
+  g_unit_trip_adjusts = 0;
+  const std::string config = write_file("unit_trip.json", R"({
+    "benchmark": "crc32",
+    "policy": "unit-trip",
+    "policy_params": {"trip_c": 61.0},
+    "warmup_s": 1.0,
+    "max_sim_time_s": 5.0,
+    "record_trace": false
+  })");
+  const std::string out_dir = temp_dir() + "unit-trip-out";
+  const CliResult r = run_cli({"run", config, "--out", out_dir, "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_DOUBLE_EQ(g_unit_trip_c, 61.0);     // policy_params reached it
+  EXPECT_GE(g_unit_trip_adjusts.load(), 40); // and it ran closed-loop
+  EXPECT_NE(slurp(out_dir + "/summary.csv").find("crc32,unit-trip,"),
+            std::string::npos);
+}
+
+// --- sweep ------------------------------------------------------------------
+
+TEST(DtpmCli, SweepSmokeWritesSummaryRows) {
+  const std::string grid = write_file("grid.json", R"({
+    "base": {"warmup_s": 1.0, "max_sim_time_s": 5.0, "record_trace": false},
+    "benchmarks": ["crc32"],
+    "policies": ["no-fan", "reactive"],
+    "seeds": [1, 2]
+  })");
+  const std::string out_dir = temp_dir() + "sweep-out";
+  const CliResult r =
+      run_cli({"sweep", grid, "--smoke", "-j", "2", "--out", out_dir});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string summary = slurp(out_dir + "/summary.csv");
+  EXPECT_EQ(line_count(summary), 5u);  // header + 2 policies x 2 seeds
+  EXPECT_NE(summary.find("crc32,reactive,2,"), std::string::npos);
+}
+
+TEST(DtpmCli, SweepScenarioSelection) {
+  const std::string grid = write_file("scenario_grid.json", R"({
+    "base": {"warmup_s": 1.0, "max_sim_time_s": 4.0, "record_trace": false},
+    "policies": ["no-fan"],
+    "scenarios": {"families": ["bursty"], "seeds": [1, 2]}
+  })");
+  const std::string out_dir = temp_dir() + "scenario-out";
+  const CliResult r = run_cli({"sweep", grid, "--smoke", "--out", out_dir});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string summary = slurp(out_dir + "/summary.csv");
+  EXPECT_EQ(line_count(summary), 3u);
+  EXPECT_NE(summary.find("bursty#s1,no-fan,1,"), std::string::npos);
+  EXPECT_NE(summary.find("bursty#s2,no-fan,2,"), std::string::npos);
+}
+
+// --- the checked-in example configs stay loadable ---------------------------
+
+TEST(DtpmCli, ExampleConfigsParseAndExpand) {
+  const std::string dir = DTPM_CONFIG_DIR;
+  const sim::ExperimentConfig quickstart =
+      sim::load_experiment_config(dir + "/quickstart.json");
+  EXPECT_EQ(sim::resolved_policy_name(quickstart), "dtpm");
+
+  const sim::SweepSpec comparison =
+      sim::load_sweep_spec(dir + "/policy_comparison.json");
+  EXPECT_GE(comparison.expand().size(), 4u);
+
+  const sim::SweepSpec fuzz =
+      sim::load_sweep_spec(dir + "/scenario_fuzz.json");
+  EXPECT_TRUE(fuzz.has_scenarios);
+  EXPECT_GE(fuzz.expand().size(), 4u);
+}
+
+}  // namespace
+}  // namespace dtpm

@@ -1,0 +1,214 @@
+// governors::PolicyRegistry / GovernorRegistry: the string-keyed source of
+// truth for selectable policies. Pins the enum<->name compatibility shim
+// (exhaustive round trip), the unknown-name ergonomics, closed-loop
+// selection of a custom policy purely by name, and byte-identical traces
+// when a paper policy is selected by name instead of enum.
+#include "governors/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario_catalog.hpp"
+
+namespace dtpm {
+namespace {
+
+using governors::GovernorRegistry;
+using governors::PolicyContext;
+using governors::PolicyRegistry;
+
+TEST(PolicyRegistry, BuiltinsMatchThePaperConfigurations) {
+  const std::vector<std::string> names = PolicyRegistry::instance().names();
+  const std::vector<std::string> expected = {"default+fan", "dtpm", "no-fan",
+                                             "reactive"};
+  // names() is sorted; user policies registered by other tests in this
+  // binary would only append, so assert the builtins are all present.
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(PolicyRegistry::instance().contains(name)) << name;
+  }
+  EXPECT_GE(names.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_FALSE(PolicyRegistry::instance().description("dtpm").empty());
+  EXPECT_TRUE(GovernorRegistry::instance().contains("ondemand"));
+}
+
+TEST(PolicyRegistry, EnumNameRoundTripIsExhaustive) {
+  const sim::Policy all[] = {sim::Policy::kDefaultWithFan,
+                             sim::Policy::kWithoutFan, sim::Policy::kReactive,
+                             sim::Policy::kProposedDtpm};
+  for (sim::Policy p : all) {
+    const std::string name = sim::to_string(p);
+    EXPECT_EQ(sim::parse_policy(name), p) << name;
+    ASSERT_TRUE(sim::try_parse_policy(name).has_value());
+    EXPECT_EQ(*sim::try_parse_policy(name), p);
+    // Every enum name resolves in the registry: the shim cannot drift.
+    EXPECT_TRUE(PolicyRegistry::instance().contains(name)) << name;
+  }
+  EXPECT_EQ(sim::paper_policy_names().size(), 4u);
+  EXPECT_FALSE(sim::try_parse_policy("not-a-policy").has_value());
+  try {
+    sim::parse_policy("dtmp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "parse_policy: unknown policy 'dtmp', did you mean 'dtpm'? "
+              "(valid: default+fan, dtpm, no-fan, reactive)");
+  }
+}
+
+TEST(PolicyRegistry, UnknownNameSuggestsNearest) {
+  try {
+    PolicyRegistry::instance().make("reactiv", PolicyContext{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown policy 'reactiv'"), std::string::npos);
+    EXPECT_NE(message.find("did you mean 'reactive'?"), std::string::npos);
+    EXPECT_NE(message.find("default+fan"), std::string::npos);
+  }
+}
+
+TEST(PolicyRegistry, DtpmRequiresModel) {
+  core::DtpmParams params;
+  PolicyContext context;
+  context.dtpm = &params;
+  EXPECT_THROW(PolicyRegistry::instance().make("dtpm", context),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, RegistrationValidation) {
+  PolicyRegistry& registry = PolicyRegistry::instance();
+  EXPECT_THROW(registry.add("", [](const PolicyContext&) {
+                 return std::make_unique<governors::NullPolicy>();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("null-factory", nullptr), std::invalid_argument);
+  EXPECT_THROW(registry.add("no-fan",
+                            [](const PolicyContext&) {
+                              return std::make_unique<governors::NullPolicy>();
+                            }),
+               std::invalid_argument);  // duplicate of a builtin
+  EXPECT_FALSE(registry.remove("never-registered"));
+}
+
+TEST(PolicyRegistry, PolicyContextParamFallback) {
+  const std::map<std::string, double> bag = {{"trip_c", 59.0}};
+  PolicyContext context;
+  EXPECT_DOUBLE_EQ(context.param("trip_c", 63.0), 63.0);  // no bag at all
+  context.params = &bag;
+  EXPECT_DOUBLE_EQ(context.param("trip_c", 63.0), 59.0);
+  EXPECT_DOUBLE_EQ(context.param("absent", 1.5), 1.5);
+}
+
+// Shared with the policy below: the Simulation owns (and destroys) the
+// policy instance, so the test observes it through these statics instead of
+// keeping a pointer.
+std::atomic<long> g_adjust_calls{0};
+std::atomic<double> g_constructed_trip_c{0.0};
+
+/// A trivial custom policy: pin the fan off and count adjust() calls.
+class CountingPolicy final : public governors::ThermalPolicy {
+ public:
+  explicit CountingPolicy(double trip_c) { g_constructed_trip_c = trip_c; }
+
+  governors::Decision adjust(const soc::PlatformView&,
+                             const governors::Decision& proposal) override {
+    ++g_adjust_calls;
+    governors::Decision out = proposal;
+    out.fan = thermal::FanSpeed::kOff;
+    return out;
+  }
+  std::string_view name() const override { return "counting"; }
+};
+
+TEST(PolicyRegistry, CustomPolicySelectableByNameClosedLoop) {
+  PolicyRegistry& registry = PolicyRegistry::instance();
+  registry.add("counting-test", [](const PolicyContext& context) {
+    return std::make_unique<CountingPolicy>(context.param("trip_c", 63.0));
+  });
+  g_adjust_calls = 0;
+
+  sim::ExperimentConfig config;
+  config.benchmark = "crc32";
+  config.policy_name = "counting-test";  // no enum involved anywhere
+  config.policy_params = {{"trip_c", 59.5}};
+  config.warmup_s = 1.0;
+  config.max_sim_time_s = 5.0;
+  config.record_trace = false;
+  const sim::RunResult result = sim::run_experiment(config);
+
+  EXPECT_DOUBLE_EQ(g_constructed_trip_c, 59.5);  // bag reached the factory
+  EXPECT_GE(result.control_steps, 40u);
+  // One adjust() per control interval: the policy really ran closed-loop.
+  EXPECT_EQ(g_adjust_calls.load(), long(result.control_steps));
+  registry.remove("counting-test");
+}
+
+TEST(PolicyRegistry, SweepGridCarriesRegistryOnlyPolicies) {
+  PolicyRegistry& registry = PolicyRegistry::instance();
+  registry.add("sweep-test", [](const PolicyContext&) {
+    return std::make_unique<governors::NullPolicy>();
+  });
+
+  sim::SweepGrid grid;
+  grid.base.benchmark = "crc32";
+  grid.policies = {sim::Policy::kWithoutFan};
+  grid.policy_names = {"sweep-test"};
+  grid.seeds = {1, 2};
+  const std::vector<sim::ExperimentConfig> configs = sim::sweep(grid);
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(sim::resolved_policy_name(configs[0]), "no-fan");
+  EXPECT_EQ(configs[0].policy, sim::Policy::kWithoutFan);
+  EXPECT_EQ(sim::resolved_policy_name(configs[2]), "sweep-test");
+
+  sim::ScenarioCatalog::Sweep sweep;
+  sweep.base.record_trace = false;
+  sweep.families = {"bursty"};
+  sweep.policy_names = {"sweep-test"};
+  sweep.seeds = {5};
+  const std::vector<sim::ExperimentConfig> scenario_configs =
+      sim::ScenarioCatalog::standard().expand(sweep);
+  ASSERT_EQ(scenario_configs.size(), 1u);
+  EXPECT_EQ(sim::resolved_policy_name(scenario_configs[0]), "sweep-test");
+
+  registry.remove("sweep-test");
+}
+
+/// Acceptance pin: selecting a paper policy by registry name must be
+/// byte-identical to selecting it through the legacy enum.
+TEST(PolicyRegistry, NameSelectionBytesIdenticalToEnumSelection) {
+  sim::ExperimentConfig by_enum;
+  by_enum.benchmark = "crc32";
+  by_enum.policy = sim::Policy::kDefaultWithFan;
+  by_enum.max_sim_time_s = 40.0;
+
+  sim::ExperimentConfig by_name = by_enum;
+  by_name.policy = sim::Policy::kReactive;  // must be ignored...
+  by_name.policy_name = "default+fan";      // ...because the name wins
+
+  const sim::RunResult a = sim::run_experiment(by_enum);
+  const sim::RunResult b = sim::run_experiment(by_name);
+  EXPECT_EQ(a.execution_time_s, b.execution_time_s);
+  EXPECT_EQ(a.platform_energy_j, b.platform_energy_j);
+  ASSERT_TRUE(a.trace.has_value());
+  ASSERT_TRUE(b.trace.has_value());
+  ASSERT_EQ(a.trace->size(), b.trace->size());
+  for (std::size_t r = 0; r < a.trace->size(); ++r) {
+    for (std::size_t c = 0; c < a.trace->header().size(); ++c) {
+      const double x = a.trace->rows()[r][c];
+      const double y = b.trace->rows()[r][c];
+      ASSERT_TRUE(x == y || (std::isnan(x) && std::isnan(y)))
+          << "row " << r << " col " << a.trace->header()[c];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtpm
