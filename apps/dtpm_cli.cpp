@@ -12,6 +12,7 @@
 #include "sim/calibration.hpp"
 #include "sim/config_io.hpp"
 #include "sim/engine.hpp"
+#include "sim/platform_registry.hpp"
 #include "sim/scenario_catalog.hpp"
 #include "util/csv.hpp"
 #include "util/names.hpp"
@@ -29,25 +30,29 @@ const char kUsageText[] =
     "dtpm -- declarative experiment driver for the DTPM reproduction\n"
     "\n"
     "usage:\n"
-    "  dtpm run <config.json>  [--out DIR] [--with-model] [--smoke] "
-    "[--quiet]\n"
+    "  dtpm run <config.json>  [--platform NAME] [--out DIR] [--with-model] "
+    "[--smoke] [--quiet]\n"
     "      Run one experiment config; writes <out>/summary.csv and, when the\n"
-    "      config records a trace, <out>/<label>_trace.csv.\n"
-    "  dtpm sweep <grid.json>  [-j N] [--out DIR] [--with-model] [--smoke] "
-    "[--quiet]\n"
+    "      config records a trace, <out>/<label>_trace.csv. --platform\n"
+    "      overrides the config's platform with a registered one.\n"
+    "  dtpm sweep <grid.json>  [-j N] [--platform NAME] [--out DIR] "
+    "[--with-model] [--smoke] [--quiet]\n"
     "      Expand a sweep grid (flat benchmark axes or a scenario-catalog\n"
     "      selection) and run it on the parallel BatchRunner. --smoke caps\n"
     "      warm-up/simulated time and disables traces for CI-sized runs.\n"
-    "  dtpm list <policies|governors|scenarios|presets|benchmarks> [--long]\n"
+    "  dtpm list <policies|governors|scenarios|platforms|presets|benchmarks> "
+    "[--long]\n"
     "      List registered names, one per line (--long adds descriptions).\n"
     "\n"
-    "The identified platform model is calibrated on demand when a config\n"
-    "needs it (the 'dtpm' policy or observe_predictions); --with-model\n"
-    "forces it for custom policies that read PolicyContext::model.\n";
+    "Each platform's identified model is calibrated on demand when a config\n"
+    "needs it (the 'dtpm' policy or observe_predictions) and cached for the\n"
+    "process; --with-model forces it for custom policies that read\n"
+    "PolicyContext::model.\n";
 
 struct Options {
   std::string file;
   std::string out_dir = "dtpm-out";
+  std::string platform;  // empty = whatever the config selects
   bool with_model = false;
   bool quiet = false;
   bool smoke = false;
@@ -66,7 +71,7 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start,
       err << "dtpm: -j is only valid for `dtpm sweep`\n";
       return false;
     }
-    if (arg == "--out" || arg == "-j") {
+    if (arg == "--out" || arg == "-j" || arg == "--platform") {
       if (i + 1 >= args.size()) {
         err << "dtpm: " << arg << " requires an argument\n";
         return false;
@@ -74,6 +79,8 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start,
       const std::string& value = args[++i];
       if (arg == "--out") {
         options.out_dir = value;
+      } else if (arg == "--platform") {
+        options.platform = value;
       } else {
         try {
           const int n = std::stoi(value);
@@ -109,8 +116,35 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start,
 
 /// Whether running `config` requires the identified platform model.
 bool needs_model(const sim::ExperimentConfig& config) {
-  return sim::resolved_policy_name(config) == "dtpm" ||
-         config.observe_predictions;
+  return sim::needs_identified_model(config);
+}
+
+/// Whether the config document pinned the thermal constraint explicitly
+/// ($.dtpm.t_max_c, or $.base.dtpm.t_max_c / a dtpm_grid axis for sweeps).
+/// --platform must not clobber an explicit constraint: set_platform adopts
+/// the platform's default t_max only when the document left it implicit.
+bool document_pins_t_max(const std::string& file, bool sweep) {
+  const util::JsonValue json = util::json_parse_file(file);
+  const util::JsonValue* node = &json;
+  if (sweep) {
+    if (!json.is_object()) return false;
+    if (json.find("dtpm_grid") != nullptr) return true;
+    node = json.find("base");
+    if (node == nullptr) return false;
+  }
+  if (!node->is_object()) return false;
+  const util::JsonValue* dtpm = node->find("dtpm");
+  return dtpm != nullptr && dtpm->is_object() &&
+         dtpm->find("t_max_c") != nullptr;
+}
+
+/// Applies the --platform override to one expanded config, keeping an
+/// explicitly pinned t_max.
+void override_platform(sim::ExperimentConfig& config,
+                       const std::string& platform, bool t_max_pinned) {
+  const double pinned_t_max = config.dtpm.t_max_c;
+  sim::set_platform(config, platform);
+  if (t_max_pinned) config.dtpm.t_max_c = pinned_t_max;
 }
 
 std::string sanitize_label(const std::string& label) {
@@ -125,15 +159,16 @@ std::string sanitize_label(const std::string& label) {
 
 /// The summary row schema shared by `run` and `sweep`.
 const char kSummaryHeader[] =
-    "benchmark,policy,seed,completed,execution_time_s,avg_platform_power_w,"
-    "avg_soc_power_w,max_temp_c,avg_temp_c,violation_time_s,control_steps,"
-    "error";
+    "benchmark,policy,seed,platform,completed,execution_time_s,"
+    "avg_platform_power_w,avg_soc_power_w,max_temp_c,avg_temp_c,"
+    "violation_time_s,control_steps,error";
 
 void append_summary_row(std::ostream& out, const sim::ExperimentConfig& config,
                         const sim::RunResult& result,
                         const std::string& error) {
   out << std::setprecision(10) << config.benchmark << ','
       << sim::resolved_policy_name(config) << ',' << config.seed << ','
+      << sim::resolved_platform_name(config) << ','
       << (result.completed ? 1 : 0) << ',' << result.execution_time_s << ','
       << result.avg_platform_power_w << ',' << result.avg_soc_power_w << ','
       << result.max_temp_stats.max() << ',' << result.max_temp_stats.mean()
@@ -146,6 +181,7 @@ void print_result_line(std::ostream& out, const sim::ExperimentConfig& config,
   std::ostringstream line;
   line << std::fixed << std::setprecision(2) << config.benchmark << " ["
        << sim::resolved_policy_name(config) << ", seed " << config.seed
+       << ", " << sim::resolved_platform_name(config)
        << "]: exec " << result.execution_time_s << " s, max T "
        << result.max_temp_stats.max() << " C, avg "
        << result.avg_platform_power_w << " W"
@@ -170,15 +206,23 @@ std::ofstream open_or_throw(const std::filesystem::path& path) {
   return out;
 }
 
-int run_command(const Options& options, std::ostream& out, std::ostream& err) {
+int run_command(const Options& options, std::ostream& out,
+                std::ostream& /*err*/) {
   sim::ExperimentConfig config =
       sim::load_experiment_config(options.file);
+  if (!options.platform.empty()) {
+    override_platform(config, options.platform,
+                      document_pins_t_max(options.file, /*sweep=*/false));
+  }
   if (options.smoke) apply_smoke(config);
 
   const sysid::IdentifiedPlatformModel* model = nullptr;
   if (options.with_model || needs_model(config)) {
-    if (!options.quiet) out << "calibrating platform model...\n";
-    model = &sim::default_calibration().model;
+    if (!options.quiet) {
+      out << "calibrating platform model ("
+          << sim::resolved_platform_name(config) << ")...\n";
+    }
+    model = &sim::platform_calibration(sim::resolved_platform(config)).model;
   }
 
   const sim::RunResult result = sim::run_experiment(config, model);
@@ -210,6 +254,13 @@ int sweep_command(const Options& options, std::ostream& out,
                   std::ostream& err) {
   const sim::SweepSpec spec = sim::load_sweep_spec(options.file);
   std::vector<sim::ExperimentConfig> configs = spec.expand();
+  if (!options.platform.empty()) {
+    const bool t_max_pinned =
+        document_pins_t_max(options.file, /*sweep=*/true);
+    for (sim::ExperimentConfig& config : configs) {
+      override_platform(config, options.platform, t_max_pinned);
+    }
+  }
   if (options.smoke) {
     for (sim::ExperimentConfig& config : configs) apply_smoke(config);
   }
@@ -218,14 +269,26 @@ int sweep_command(const Options& options, std::ostream& out,
     return kFailure;
   }
 
-  const bool any_model =
-      options.with_model ||
-      std::any_of(configs.begin(), configs.end(),
-                  [](const sim::ExperimentConfig& c) { return needs_model(c); });
-  const sysid::IdentifiedPlatformModel* model = nullptr;
-  if (any_model) {
-    if (!options.quiet) out << "calibrating platform model...\n";
-    model = &sim::default_calibration().model;
+  // Calibrate once per distinct platform that needs a model; every run on
+  // that platform shares the cached identified model.
+  std::vector<std::string> announced;
+  auto model_for = [&](const sim::ExperimentConfig& config)
+      -> const sysid::IdentifiedPlatformModel* {
+    if (!options.with_model && !needs_model(config)) return nullptr;
+    const std::string name = sim::resolved_platform_name(config);
+    if (!options.quiet &&
+        std::find(announced.begin(), announced.end(), name) ==
+            announced.end()) {
+      announced.push_back(name);
+      out << "calibrating platform model (" << name << ")...\n";
+    }
+    return &sim::platform_calibration(sim::resolved_platform(config)).model;
+  };
+
+  std::vector<sim::BatchJob> jobs;
+  jobs.reserve(configs.size());
+  for (const sim::ExperimentConfig& config : configs) {
+    jobs.push_back({config, model_for(config)});
   }
 
   const sim::BatchRunner runner(options.workers);
@@ -233,11 +296,6 @@ int sweep_command(const Options& options, std::ostream& out,
     out << "running " << configs.size() << " configs on "
         << runner.worker_count() << " workers"
         << (options.smoke ? " (smoke mode)" : "") << "...\n";
-  }
-  std::vector<sim::BatchJob> jobs;
-  jobs.reserve(configs.size());
-  for (const sim::ExperimentConfig& config : configs) {
-    jobs.push_back({config, model});
   }
   const sim::BatchOutcome outcome = runner.run_collecting(jobs);
 
@@ -297,7 +355,7 @@ int list_command(const std::vector<std::string>& args, std::ostream& out,
   }
   if (category.empty()) {
     err << "dtpm: list requires a category: policies, governors, scenarios, "
-           "presets, benchmarks\n";
+           "platforms, presets, benchmarks\n";
     return kUsage;
   }
 
@@ -329,6 +387,15 @@ int list_command(const std::vector<std::string>& args, std::ostream& out,
   if (category == "scenarios") {
     return print_plain(sim::ScenarioCatalog::standard().family_names());
   }
+  if (category == "platforms") {
+    const sim::PlatformRegistry& registry = sim::PlatformRegistry::instance();
+    for (const std::string& name : registry.names()) {
+      out << name;
+      if (long_format) out << "  -  " << registry.description(name);
+      out << '\n';
+    }
+    return kOk;
+  }
   if (category == "presets") {
     return print_plain(sim::preset_names());
   }
@@ -338,7 +405,8 @@ int list_command(const std::vector<std::string>& args, std::ostream& out,
   err << "dtpm: "
       << util::unknown_name_message(
              "list category", category,
-             {"policies", "governors", "scenarios", "presets", "benchmarks"})
+             {"policies", "governors", "scenarios", "platforms", "presets",
+              "benchmarks"})
       << '\n';
   return kUsage;
 }

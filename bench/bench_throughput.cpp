@@ -77,6 +77,10 @@ int main(int argc, char** argv) {
   sweep.policy_names = {"default+fan", "dtpm"};
   sweep.seeds.clear();
   for (int s = 1; s <= seed_count; ++s) sweep.seeds.push_back(s);
+  // The perf baseline is tied to the plant it measured; record it so a
+  // future platform change in this bench can't be mistaken for a perf
+  // regression (or win) in the archived trajectory.
+  const std::string platform = sim::resolved_platform_name(sweep.base);
 
   const std::vector<sim::ExperimentConfig> configs = catalog.expand(sweep);
   std::vector<sim::BatchJob> jobs;
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"throughput\",\n"
        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"platform\": \"" << platform << "\",\n"
        << "  \"workers\": " << workers << ",\n"
        << "  \"families\": " << catalog.size() << ",\n"
        << "  \"seeds\": " << sweep.seeds.size() << ",\n"

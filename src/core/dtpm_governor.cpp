@@ -21,11 +21,19 @@ std::vector<double> to_vector(
 
 DtpmGovernor::DtpmGovernor(const sysid::IdentifiedPlatformModel& model,
                            const DtpmParams& params)
+    : DtpmGovernor(model, params, power::big_cluster_opp_table(),
+                   power::little_cluster_opp_table(), power::gpu_opp_table()) {
+}
+
+DtpmGovernor::DtpmGovernor(const sysid::IdentifiedPlatformModel& model,
+                           const DtpmParams& params, power::OppTable big_opps,
+                           power::OppTable little_opps,
+                           power::OppTable gpu_opps)
     : params_(params),
       predictor_(model.thermal),
-      big_opps_(power::big_cluster_opp_table()),
-      little_opps_(power::little_cluster_opp_table()),
-      gpu_opps_(power::gpu_opp_table()) {
+      big_opps_(std::move(big_opps)),
+      little_opps_(std::move(little_opps)),
+      gpu_opps_(std::move(gpu_opps)) {
   for (power::Resource r : power::all_resources()) {
     const std::size_t i = power::resource_index(r);
     power::AlphaCEstimator::Params alpha_params;

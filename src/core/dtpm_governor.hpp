@@ -66,8 +66,14 @@ struct DtpmDiagnostics {
 
 class DtpmGovernor final : public governors::ThermalPolicy {
  public:
+  /// Default Exynos-5410 OPP tables.
   DtpmGovernor(const sysid::IdentifiedPlatformModel& model,
                const DtpmParams& params = {});
+  /// Platform-specific DVFS tables (how the registry factory builds the
+  /// policy for non-default platforms).
+  DtpmGovernor(const sysid::IdentifiedPlatformModel& model,
+               const DtpmParams& params, power::OppTable big_opps,
+               power::OppTable little_opps, power::OppTable gpu_opps);
 
   governors::Decision adjust(const soc::PlatformView& view,
                              const governors::Decision& proposal) override;

@@ -1,14 +1,23 @@
 #include "governors/ondemand.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace dtpm::governors {
 
 OndemandGovernor::OndemandGovernor(const OndemandParams& params)
+    : OndemandGovernor(params, power::big_cluster_opp_table(),
+                       power::little_cluster_opp_table(),
+                       power::gpu_opp_table()) {}
+
+OndemandGovernor::OndemandGovernor(const OndemandParams& params,
+                                   power::OppTable big_opps,
+                                   power::OppTable little_opps,
+                                   power::OppTable gpu_opps)
     : params_(params),
-      big_opps_(power::big_cluster_opp_table()),
-      little_opps_(power::little_cluster_opp_table()),
-      gpu_opps_(power::gpu_opp_table()) {}
+      big_opps_(std::move(big_opps)),
+      little_opps_(std::move(little_opps)),
+      gpu_opps_(std::move(gpu_opps)) {}
 
 Decision OndemandGovernor::decide(const soc::PlatformView& view) {
   Decision d;

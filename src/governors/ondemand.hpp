@@ -30,7 +30,12 @@ struct OndemandParams {
 
 class OndemandGovernor final : public Governor {
  public:
+  /// Default Exynos-5410 OPP tables.
   explicit OndemandGovernor(const OndemandParams& params = {});
+  /// Platform-specific DVFS tables (the registry factory passes the
+  /// PolicyContext's resolved tables here).
+  OndemandGovernor(const OndemandParams& params, power::OppTable big_opps,
+                   power::OppTable little_opps, power::OppTable gpu_opps);
 
   Decision decide(const soc::PlatformView& view) override;
   std::string_view name() const override { return "ondemand"; }

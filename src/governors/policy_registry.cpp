@@ -16,6 +16,19 @@ double PolicyContext::param(const std::string& key, double fallback) const {
   return it != params->end() ? it->second : fallback;
 }
 
+power::OppTable PolicyContext::resolved_big_opps() const {
+  return big_opps != nullptr ? *big_opps : power::big_cluster_opp_table();
+}
+
+power::OppTable PolicyContext::resolved_little_opps() const {
+  return little_opps != nullptr ? *little_opps
+                                : power::little_cluster_opp_table();
+}
+
+power::OppTable PolicyContext::resolved_gpu_opps() const {
+  return gpu_opps != nullptr ? *gpu_opps : power::gpu_opp_table();
+}
+
 namespace {
 
 void register_builtin_policies(PolicyRegistry& registry) {
@@ -29,8 +42,10 @@ void register_builtin_policies(PolicyRegistry& registry) {
       "fan disabled, no thermal management");
   registry.add(
       "reactive",
-      [](const PolicyContext&) {
-        return std::make_unique<ReactiveThrottlePolicy>();
+      [](const PolicyContext& context) {
+        return std::make_unique<ReactiveThrottlePolicy>(
+            ReactiveThrottleParams{}, context.resolved_big_opps(),
+            context.resolved_little_opps());
       },
       "heuristic mimicking the fan policy with frequency throttling");
   registry.add(
@@ -42,7 +57,9 @@ void register_builtin_policies(PolicyRegistry& registry) {
         }
         return std::make_unique<core::DtpmGovernor>(
             *context.model,
-            context.dtpm != nullptr ? *context.dtpm : core::DtpmParams{});
+            context.dtpm != nullptr ? *context.dtpm : core::DtpmParams{},
+            context.resolved_big_opps(), context.resolved_little_opps(),
+            context.resolved_gpu_opps());
       },
       "the paper's predictive dynamic thermal and power management");
 }
@@ -50,7 +67,11 @@ void register_builtin_policies(PolicyRegistry& registry) {
 void register_builtin_governors(GovernorRegistry& registry) {
   registry.add(
       "ondemand",
-      [](const PolicyContext&) { return std::make_unique<OndemandGovernor>(); },
+      [](const PolicyContext& context) {
+        return std::make_unique<OndemandGovernor>(
+            OndemandParams{}, context.resolved_big_opps(),
+            context.resolved_little_opps(), context.resolved_gpu_opps());
+      },
       "classic ondemand with 5410-style cluster migration + GPU DVFS");
 }
 

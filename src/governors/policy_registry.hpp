@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "governors/governor.hpp"
+#include "power/opp.hpp"
 
 namespace dtpm::core {
 struct DtpmParams;
@@ -51,8 +52,21 @@ struct PolicyContext {
   /// filled from the config file's "policy_params" object).
   const std::map<std::string, double>* params = nullptr;
 
+  /// The platform's DVFS tables (null = the built-in Exynos-5410 defaults).
+  /// Factories that propose frequencies must construct against these so a
+  /// registry policy runs correctly on every registered platform -- use the
+  /// resolved accessors below.
+  const power::OppTable* big_opps = nullptr;
+  const power::OppTable* little_opps = nullptr;
+  const power::OppTable* gpu_opps = nullptr;
+
   /// Bag lookup with a default; the idiom for custom-policy knobs.
   double param(const std::string& key, double fallback) const;
+
+  /// The context's tables, falling back to the default Exynos-5410 ones.
+  power::OppTable resolved_big_opps() const;
+  power::OppTable resolved_little_opps() const;
+  power::OppTable resolved_gpu_opps() const;
 };
 
 /// String-keyed thermal-policy registry.

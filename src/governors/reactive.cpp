@@ -1,14 +1,21 @@
 #include "governors/reactive.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace dtpm::governors {
 
 ReactiveThrottlePolicy::ReactiveThrottlePolicy(
     const ReactiveThrottleParams& params)
+    : ReactiveThrottlePolicy(params, power::big_cluster_opp_table(),
+                             power::little_cluster_opp_table()) {}
+
+ReactiveThrottlePolicy::ReactiveThrottlePolicy(
+    const ReactiveThrottleParams& params, power::OppTable big_opps,
+    power::OppTable little_opps)
     : params_(params),
-      big_opps_(power::big_cluster_opp_table()),
-      little_opps_(power::little_cluster_opp_table()) {}
+      big_opps_(std::move(big_opps)),
+      little_opps_(std::move(little_opps)) {}
 
 Decision ReactiveThrottlePolicy::adjust(const soc::PlatformView& view,
                                         const Decision& proposal) {

@@ -27,7 +27,12 @@ struct ReactiveThrottleParams {
 
 class ReactiveThrottlePolicy final : public ThermalPolicy {
  public:
+  /// Default Exynos-5410 OPP tables.
   explicit ReactiveThrottlePolicy(const ReactiveThrottleParams& params = {});
+  /// Platform-specific DVFS tables.
+  ReactiveThrottlePolicy(const ReactiveThrottleParams& params,
+                         power::OppTable big_opps,
+                         power::OppTable little_opps);
 
   Decision adjust(const soc::PlatformView& view,
                   const Decision& proposal) override;

@@ -30,6 +30,11 @@ struct LeakageParams {
   double dibl_exponent = 0.0;
 };
 
+inline bool operator==(const LeakageParams& a, const LeakageParams& b) {
+  return a.c1 == b.c1 && a.c2_k == b.c2_k && a.i_gate_a == b.i_gate_a &&
+         a.v_ref == b.v_ref && a.dibl_exponent == b.dibl_exponent;
+}
+
 /// Evaluates leakage current and power from the parameters.
 ///
 /// The DIBL factor pow(Vdd/v_ref, e) depends only on the supply voltage,

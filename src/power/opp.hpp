@@ -17,6 +17,10 @@ struct Opp {
   double voltage_v = 0.0;
 };
 
+inline bool operator==(const Opp& a, const Opp& b) {
+  return a.frequency_hz == b.frequency_hz && a.voltage_v == b.voltage_v;
+}
+
 /// Immutable, ascending-frequency list of operating points for one domain.
 class OppTable {
  public:

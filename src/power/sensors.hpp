@@ -17,6 +17,11 @@ struct PowerSensorParams {
   double quantization_w = 0.001;    ///< reading granularity
 };
 
+inline bool operator==(const PowerSensorParams& a, const PowerSensorParams& b) {
+  return a.noise_fraction == b.noise_fraction &&
+         a.quantization_w == b.quantization_w;
+}
+
 /// Samples true per-rail powers into sensor readings.
 class PowerSensorBank {
  public:
@@ -34,6 +39,11 @@ struct PlatformLoadParams {
   double board_base_w = 1.2;   ///< regulators, storage, networking
   double display_w = 1.8;      ///< panel + backlight, always on in experiments
 };
+
+inline bool operator==(const PlatformLoadParams& a,
+                       const PlatformLoadParams& b) {
+  return a.board_base_w == b.board_base_w && a.display_w == b.display_w;
+}
 
 /// External platform power meter: SoC rails + fan + fixed platform loads.
 class ExternalPowerMeter {

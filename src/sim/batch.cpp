@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sim/engine.hpp"
+#include "sim/platform_registry.hpp"
 #include "sim/run_plan.hpp"
 
 namespace dtpm::sim {
@@ -32,15 +33,27 @@ BatchOutcome BatchRunner::run_collecting(
   outcome.errors.resize(jobs.size());
   if (jobs.empty()) return outcome;
 
-  // Hoist the per-run invariants (floorplan template, benchmark resolution)
-  // once, single-threaded, before the pool spawns; workers share the plan
-  // read-only. Configs the plan does not cover fall back transparently.
-  RunPlan plan(jobs.front().config.preset.floorplan);
-  for (const BatchJob& job : jobs) plan.cache_benchmark_for(job.config);
+  // Hoist the per-run invariants (per-platform floorplan templates,
+  // benchmark resolution, per-platform calibration) once, single-threaded,
+  // before the pool spawns; workers share the plan read-only. Configs the
+  // plan does not cover fall back transparently.
+  RunPlan plan(jobs);
+  for (const BatchJob& job : jobs) {
+    // Jobs that need the identified model but were not handed one get it
+    // from the plan's per-platform calibration cache (one calibration per
+    // distinct platform, shared read-only by every run on it). A job that
+    // carries its own model keeps it.
+    if (job.model == nullptr && needs_identified_model(job.config)) {
+      plan.cache_model_for(job.config);
+    }
+  }
 
   auto run_one = [&](std::size_t i) {
     try {
-      outcome.results[i] = run_experiment(jobs[i].config, jobs[i].model, &plan);
+      const sysid::IdentifiedPlatformModel* model =
+          jobs[i].model != nullptr ? jobs[i].model
+                                   : plan.model_for(jobs[i].config);
+      outcome.results[i] = run_experiment(jobs[i].config, model, &plan);
     } catch (...) {
       outcome.errors[i] = std::current_exception();
     }
@@ -104,24 +117,37 @@ std::vector<ExperimentConfig> sweep(const SweepGrid& grid) {
       grid.dtpm_params.empty()
           ? std::vector<core::DtpmParams>{grid.base.dtpm}
           : grid.dtpm_params;
+  // Resolve each platform once; every generated config shares the
+  // descriptor (cheap shared_ptr copies, and RunPlan dedupes by pointer).
+  std::vector<PlatformPtr> platforms;
+  for (const std::string& name : grid.platforms) {
+    platforms.push_back(PlatformRegistry::instance().get(name));
+  }
+  if (platforms.empty()) platforms.push_back(nullptr);  // inherit from base
 
   std::vector<ExperimentConfig> configs;
-  configs.reserve(benchmarks.size() * policies.size() * dtpm_params.size() *
-                  seeds.size());
+  configs.reserve(benchmarks.size() * platforms.size() * policies.size() *
+                  dtpm_params.size() * seeds.size());
   for (const std::string& benchmark : benchmarks) {
-    for (const std::string& policy : policies) {
-      for (const core::DtpmParams& dtpm : dtpm_params) {
-        for (std::uint64_t seed : seeds) {
-          ExperimentConfig config = grid.base;
-          config.benchmark = benchmark;
-          // A named benchmarks dimension must actually take effect: an
-          // inline scenario inherited from `base` would otherwise shadow
-          // every name (Simulation prefers config.scenario).
-          if (!grid.benchmarks.empty()) config.scenario.reset();
-          set_policy(config, policy);
-          config.dtpm = dtpm;
-          config.seed = seed;
-          configs.push_back(std::move(config));
+    for (const PlatformPtr& platform : platforms) {
+      for (const std::string& policy : policies) {
+        for (const core::DtpmParams& dtpm : dtpm_params) {
+          for (std::uint64_t seed : seeds) {
+            ExperimentConfig config = grid.base;
+            config.benchmark = benchmark;
+            // A named benchmarks dimension must actually take effect: an
+            // inline scenario inherited from `base` would otherwise shadow
+            // every name (Simulation prefers config.scenario).
+            if (!grid.benchmarks.empty()) config.scenario.reset();
+            if (platform != nullptr) set_platform(config, platform);
+            set_policy(config, policy);
+            // An explicit dtpm axis overrides the platform's default t_max;
+            // without one the grid inherits base.dtpm (already copied),
+            // adjusted by set_platform above.
+            if (!grid.dtpm_params.empty()) config.dtpm = dtpm;
+            config.seed = seed;
+            configs.push_back(std::move(config));
+          }
         }
       }
     }

@@ -18,7 +18,9 @@
 namespace dtpm::sim {
 
 /// One batch entry: a config plus the (shared, read-only) identified model
-/// it needs. `model` may be null for policies that do not require one.
+/// it needs. `model` may be null: policies that require one then get the
+/// config's platform calibrated through the batch's RunPlan (once per
+/// distinct platform, cached process-wide) instead of failing.
 struct BatchJob {
   ExperimentConfig config;
   const sysid::IdentifiedPlatformModel* model = nullptr;
@@ -75,6 +77,10 @@ struct SweepGrid {
   ExperimentConfig base;  ///< template for every generated config
 
   std::vector<std::string> benchmarks;
+  /// PlatformRegistry names ("odroid-xu-e", "dragon", ...); every scenario x
+  /// policy cell runs once per platform. Empty falls back to base's
+  /// platform, so existing grids expand exactly as before.
+  std::vector<std::string> platforms;
   std::vector<Policy> policies;
   /// Registry-name policy axis; appended after `policies` (mapped onto their
   /// registry names), so enum-based and name-based selections mix freely and
@@ -85,11 +91,13 @@ struct SweepGrid {
   std::vector<core::DtpmParams> dtpm_params;
 };
 
-/// Expands the grid in row-major order (benchmark outermost, then policy,
-/// then DtpmParams, then seed), giving every config a deterministic seed
-/// from the grid -- the same grid always produces the same configs. Every
-/// generated config carries its policy by registry name (policy_name), with
-/// the enum shim kept in sync for the four paper policies.
+/// Expands the grid in row-major order (benchmark outermost, then platform,
+/// then policy, then DtpmParams, then seed), giving every config a
+/// deterministic seed from the grid -- the same grid always produces the
+/// same configs. Every generated config carries its policy by registry name
+/// (policy_name, enum shim kept in sync for the four paper policies) and
+/// its platform by descriptor (set_platform, which also adopts the
+/// platform's default t_max unless a dtpm axis overrides it).
 std::vector<ExperimentConfig> sweep(const SweepGrid& grid);
 
 }  // namespace dtpm::sim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "power/dynamic_power.hpp"
@@ -17,51 +20,40 @@ namespace {
 using power::Resource;
 using power::resource_index;
 
-/// A fresh plant instance (floorplan + SoC + sensors) for one experiment.
+/// A fresh plant instance (floorplan + SoC + sensors) for one experiment,
+/// built from the platform descriptor's topology and role indices.
 struct PlantBundle {
   thermal::Floorplan floorplan;
   soc::Soc soc;
   thermal::TempSensorBank temp_bank;
   power::PowerSensorBank power_bank;
 
-  PlantBundle(const PlatformPreset& preset, util::Rng& root)
-      : floorplan(thermal::make_default_floorplan(preset.floorplan)),
-        soc(preset.plant, preset.perf),
-        temp_bank(
-            [] {
-              const auto nodes = thermal::Floorplan::big_core_nodes();
-              return std::vector<std::size_t>(nodes.begin(), nodes.end());
-            }(),
-            preset.temp_sensor, root.fork()),
-        power_bank(preset.power_sensor, root.fork()) {}
+  PlantBundle(const PlatformDescriptor& platform, util::Rng& root)
+      : floorplan(thermal::build_floorplan(platform.floorplan)),
+        soc(platform.power, platform.perf, platform.big_opp_table(),
+            platform.little_opp_table(), platform.gpu_opp_table()),
+        temp_bank(floorplan.sensor_node_index, platform.temp_sensor,
+                  root.fork()),
+        power_bank(platform.power_sensor, root.fork()) {}
 
   std::array<double, soc::kBigCoreCount> big_true_temps() const {
     const auto& temps = floorplan.network.temperatures_c();
-    return {temps[thermal::node_index(thermal::FloorplanNode::kBig0)],
-            temps[thermal::node_index(thermal::FloorplanNode::kBig1)],
-            temps[thermal::node_index(thermal::FloorplanNode::kBig2)],
-            temps[thermal::node_index(thermal::FloorplanNode::kBig3)]};
+    const auto& cores = floorplan.core_node_index;
+    return {temps[cores[0]], temps[cores[1]], temps[cores[2]],
+            temps[cores[3]]};
   }
 
   soc::SocStepResult plant_substep(const workload::Demand& demand,
                                    double dt_s) {
     const auto& temps = floorplan.network.temperatures_c();
-    soc::SocStepResult out = soc.step(
-        demand, {}, big_true_temps(),
-        temps[thermal::node_index(thermal::FloorplanNode::kLittleCluster)],
-        temps[thermal::node_index(thermal::FloorplanNode::kGpu)],
-        temps[thermal::node_index(thermal::FloorplanNode::kMem)], dt_s);
-    std::vector<double> node_power(thermal::kFloorplanNodeCount, 0.0);
-    for (int c = 0; c < soc::kBigCoreCount; ++c) {
-      node_power[thermal::node_index(thermal::FloorplanNode::kBig0) + c] =
-          out.big_core_power_w[c];
-    }
-    node_power[thermal::node_index(thermal::FloorplanNode::kLittleCluster)] =
-        out.rail_power_w[resource_index(Resource::kLittleCluster)];
-    node_power[thermal::node_index(thermal::FloorplanNode::kGpu)] =
-        out.rail_power_w[resource_index(Resource::kGpu)];
-    node_power[thermal::node_index(thermal::FloorplanNode::kMem)] =
-        out.rail_power_w[resource_index(Resource::kMem)];
+    soc::SocStepResult out =
+        soc.step(demand, {}, big_true_temps(),
+                 temps[floorplan.little_node_index],
+                 temps[floorplan.gpu_node_index],
+                 temps[floorplan.mem_node_index], dt_s);
+    std::vector<double> node_power;
+    floorplan.assemble_node_power_into(out.big_core_power_w, out.rail_power_w,
+                                       node_power);
     floorplan.network.step(dt_s, node_power);
     return out;
   }
@@ -87,23 +79,14 @@ struct PlantBundle {
     for (int iter = 0; iter < 8; ++iter) {
       const auto& temps_before = floorplan.network.temperatures_c();
       // Probe powers without advancing time meaningfully.
-      soc::SocStepResult out = soc.step(
-          demand, {}, big_true_temps(),
-          temps_before[thermal::node_index(thermal::FloorplanNode::kLittleCluster)],
-          temps_before[thermal::node_index(thermal::FloorplanNode::kGpu)],
-          temps_before[thermal::node_index(thermal::FloorplanNode::kMem)],
-          1e-4);
-      std::vector<double> node_power(thermal::kFloorplanNodeCount, 0.0);
-      for (int c = 0; c < soc::kBigCoreCount; ++c) {
-        node_power[thermal::node_index(thermal::FloorplanNode::kBig0) + c] =
-            out.big_core_power_w[c];
-      }
-      node_power[thermal::node_index(thermal::FloorplanNode::kLittleCluster)] =
-          out.rail_power_w[resource_index(Resource::kLittleCluster)];
-      node_power[thermal::node_index(thermal::FloorplanNode::kGpu)] =
-          out.rail_power_w[resource_index(Resource::kGpu)];
-      node_power[thermal::node_index(thermal::FloorplanNode::kMem)] =
-          out.rail_power_w[resource_index(Resource::kMem)];
+      soc::SocStepResult out =
+          soc.step(demand, {}, big_true_temps(),
+                   temps_before[floorplan.little_node_index],
+                   temps_before[floorplan.gpu_node_index],
+                   temps_before[floorplan.mem_node_index], 1e-4);
+      std::vector<double> node_power;
+      floorplan.assemble_node_power_into(out.big_core_power_w,
+                                         out.rail_power_w, node_power);
       const auto steady = floorplan.network.steady_state(node_power);
       for (std::size_t i = 0; i < steady.size(); ++i) {
         if (!floorplan.network.node(i).is_boundary) {
@@ -143,14 +126,14 @@ workload::Demand heavy_cpu_demand(int threads, double activity,
 
 /// Furnace sweep for one resource at one fixed operating point.
 std::vector<sysid::FurnaceSample> furnace_run(const CalibrationOptions& opt,
+                                              const PlatformDescriptor& platform,
                                               util::Rng& root, Resource target,
                                               std::size_t op_index) {
   std::vector<sysid::FurnaceSample> samples;
   for (double t_furnace : opt.furnace_temps_c) {
-    PlantBundle plant(opt.preset, root);
+    PlantBundle plant(platform, root);
     auto& rc = plant.floorplan.network;
-    const std::size_t ambient =
-        thermal::node_index(thermal::FloorplanNode::kAmbient);
+    const std::size_t ambient = plant.floorplan.ambient_node_index;
     rc.set_boundary_temperature_c(ambient, t_furnace);
     rc.set_all_temperatures_c(t_furnace);
 
@@ -201,8 +184,8 @@ std::vector<sysid::FurnaceSample> furnace_run(const CalibrationOptions& opt,
         config.little_freq_hz = plant.soc.little_opps().min().frequency_hz;
         config.gpu_freq_hz = plant.soc.gpu_opps().min().frequency_hz;
         demand = light_cpu_demand(0.15, 0.30);
-        sample_v = opt.preset.plant.mem_nominal_voltage_v;
-        sample_f = opt.preset.plant.mem_nominal_frequency_hz;
+        sample_v = platform.power.mem_nominal_voltage_v;
+        sample_f = platform.power.mem_nominal_frequency_hz;
         break;
       }
       case Resource::kCount:
@@ -235,10 +218,11 @@ struct ExcitationResult {
 
 /// PRBS excitation of one resource (§4.2.1): toggle its knob between the
 /// extremes while everything else idles; record sensor T/P traces.
-ExcitationResult excitation_run(const CalibrationOptions& opt, util::Rng& root,
-                                Resource target,
+ExcitationResult excitation_run(const CalibrationOptions& opt,
+                                const PlatformDescriptor& platform,
+                                util::Rng& root, Resource target,
                                 const power::LeakageParams& fitted_leakage) {
-  PlantBundle plant(opt.preset, root);
+  PlantBundle plant(platform, root);
   auto& rc = plant.floorplan.network;
   util::Prbs prbs(15, opt.prbs_hold_intervals,
                   std::uint32_t(0x1234 + 97 * resource_index(target)));
@@ -304,8 +288,8 @@ ExcitationResult excitation_run(const CalibrationOptions& opt, util::Rng& root,
         config.little_freq_hz = plant.soc.little_opps().min().frequency_hz;
         config.gpu_freq_hz = plant.soc.gpu_opps().min().frequency_hz;
         demand = heavy_cpu_demand(2, 0.3, bit ? 0.95 : 0.02);
-        knob_v = opt.preset.plant.mem_nominal_voltage_v;
-        knob_f = opt.preset.plant.mem_nominal_frequency_hz;
+        knob_v = platform.power.mem_nominal_voltage_v;
+        knob_f = platform.power.mem_nominal_frequency_hz;
         break;
       }
       case Resource::kCount:
@@ -363,13 +347,18 @@ std::size_t second_op_index(Resource r) {
 CalibrationArtifacts calibrate_platform_full(const CalibrationOptions& options) {
   CalibrationArtifacts art;
   util::Rng root(options.seed);
+  const PlatformPtr platform =
+      options.platform != nullptr
+          ? options.platform
+          : std::make_shared<const PlatformDescriptor>(
+                descriptor_from_preset(options.preset));
 
   // --- 1. Furnace leakage characterization -----------------------------------
   for (Resource r : power::all_resources()) {
     const std::size_t idx = resource_index(r);
-    auto samples = furnace_run(options, root, r, 0);
+    auto samples = furnace_run(options, *platform, root, r, 0);
     if (r != Resource::kMem) {
-      auto more = furnace_run(options, root, r, second_op_index(r));
+      auto more = furnace_run(options, *platform, root, r, second_op_index(r));
       samples.insert(samples.end(), more.begin(), more.end());
     }
     sysid::LeakageFitOptions fit_options;
@@ -381,13 +370,13 @@ CalibrationArtifacts calibrate_platform_full(const CalibrationOptions& options) 
 
   // --- 2. PRBS excitation + 3. ARX identification ---------------------------
   for (Resource r : power::all_resources()) {
-    ExcitationResult ex = excitation_run(options, root, r,
+    ExcitationResult ex = excitation_run(options, *platform, root, r,
                                          art.model.leakage[resource_index(r)]);
     art.excitation_segments.push_back(std::move(ex.segment));
     art.model.initial_alpha_c[resource_index(r)] = ex.alpha_c_high;
   }
   sysid::ArxFitOptions arx_options;
-  arx_options.ambient_ref_c = options.preset.floorplan.ambient_temp_c;
+  arx_options.ambient_ref_c = platform->floorplan.ambient_temp_c();
   art.arx = sysid::fit_thermal_model(art.excitation_segments,
                                      options.control_interval_s, arx_options);
   art.model.thermal = art.arx.model;
@@ -402,6 +391,35 @@ sysid::IdentifiedPlatformModel calibrate_platform(
 const CalibrationArtifacts& default_calibration() {
   static const CalibrationArtifacts artifacts = calibrate_platform_full();
   return artifacts;
+}
+
+const CalibrationArtifacts& platform_calibration(const PlatformPtr& platform) {
+  if (platform == nullptr) {
+    throw std::invalid_argument("platform_calibration: null platform");
+  }
+  // The default platform shares the default_calibration() artifacts, so
+  // legacy callers and platform-aware callers agree on one model.
+  if (*platform == PlatformDescriptor{}) return default_calibration();
+
+  // Keyed by descriptor *identity* (pointer fast path, then memberwise
+  // equality), never by name alone: two different descriptors that happen to
+  // share a name each get their own calibration. The linear scan is fine --
+  // a process calibrates a handful of platforms, each costing far more than
+  // any lookup.
+  using Entry = std::pair<PlatformPtr, std::unique_ptr<CalibrationArtifacts>>;
+  static std::mutex mutex;
+  static std::vector<Entry>* cache = new std::vector<Entry>();
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const Entry& entry : *cache) {
+    if (entry.first == platform || *entry.first == *platform) {
+      return *entry.second;
+    }
+  }
+  CalibrationOptions options;
+  options.platform = platform;
+  cache->emplace_back(platform, std::make_unique<CalibrationArtifacts>(
+                                    calibrate_platform_full(options)));
+  return *cache->back().second;
 }
 
 }  // namespace dtpm::sim

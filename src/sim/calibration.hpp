@@ -29,7 +29,12 @@
 namespace dtpm::sim {
 
 struct CalibrationOptions {
+  /// Legacy scalar-parameter plant description; used only when `platform`
+  /// is null (the workflow then runs against the default Odroid topology
+  /// with these parameters).
   PlatformPreset preset = default_preset();
+  /// The platform to calibrate. Null = descriptor_from_preset(preset).
+  PlatformPtr platform;
   double control_interval_s = 0.1;
   double plant_substep_s = 0.02;
 
@@ -66,7 +71,15 @@ sysid::IdentifiedPlatformModel calibrate_platform(
     const CalibrationOptions& options = {});
 
 /// Process-wide cached calibration with default options; benches and tests
-/// share it so the (cheap but not free) workflow runs once.
+/// share it so the (cheap but not free) workflow runs once. Equivalent to
+/// platform_calibration() on the odroid-xu-e descriptor.
 const CalibrationArtifacts& default_calibration();
+
+/// Process-wide per-platform calibration cache, keyed by descriptor name:
+/// the first call for a platform runs the full Chapter-4 workflow against
+/// that plant (with otherwise-default options); later calls return the
+/// cached artifacts. This is what gives every platform in a sweep its own
+/// identified model without recalibrating per run.
+const CalibrationArtifacts& platform_calibration(const PlatformPtr& platform);
 
 }  // namespace dtpm::sim

@@ -3,8 +3,11 @@
 // switch copy-pasted between engine.cpp and control_stack.cpp).
 #include "sim/config.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "sim/platform_registry.hpp"
 #include "util/names.hpp"
 
 namespace dtpm::sim {
@@ -55,6 +58,37 @@ std::string resolved_policy_name(const ExperimentConfig& config) {
 
 std::string resolved_governor_name(const ExperimentConfig& config) {
   return config.governor_name.empty() ? "ondemand" : config.governor_name;
+}
+
+PlatformPtr resolved_platform(const ExperimentConfig& config) {
+  if (config.platform != nullptr) return config.platform;
+  return std::make_shared<const PlatformDescriptor>(
+      descriptor_from_preset(config.preset));
+}
+
+std::string resolved_platform_name(const ExperimentConfig& config) {
+  return config.platform != nullptr ? config.platform->name : "odroid-xu-e";
+}
+
+bool needs_identified_model(const ExperimentConfig& config) {
+  return resolved_policy_name(config) == "dtpm" || config.observe_predictions;
+}
+
+void set_platform(ExperimentConfig& config, const std::string& name) {
+  set_platform(config, PlatformRegistry::instance().get(name));
+}
+
+void set_platform(ExperimentConfig& config, PlatformPtr platform) {
+  if (platform == nullptr) {
+    throw std::invalid_argument("set_platform: null platform descriptor");
+  }
+  // Hand-built descriptors reach the plant only through here; registry and
+  // JSON descriptors were validated at registration/parse time but revalidate
+  // cheaply.
+  platform->validate();
+  config.platform = std::move(platform);
+  config.preset = preset_from_descriptor(*config.platform);
+  config.dtpm.t_max_c = config.platform->default_t_max_c;
 }
 
 void set_policy(ExperimentConfig& config, const std::string& name) {

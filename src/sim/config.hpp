@@ -61,7 +61,15 @@ struct ExperimentConfig {
   std::map<std::string, double> policy_params;
   /// Registry name of the default governor; empty means "ondemand".
   std::string governor_name;
+  /// Legacy scalar-parameter view of the platform. When `platform` is null
+  /// the plant is built from these (with the default Odroid topology), so
+  /// code that tweaks preset fields keeps working; when `platform` is set
+  /// it is the source of truth and this mirrors its scalar params.
   PlatformPreset preset = default_preset();
+  /// The platform the experiment runs on: a shared descriptor from the
+  /// PlatformRegistry ("platform": "dragon" in JSON) or a user-built one.
+  /// Select via set_platform() so `preset` and dtpm.t_max_c stay coherent.
+  PlatformPtr platform;
   core::DtpmParams dtpm{};  ///< used when the resolved policy is "dtpm"
 
   double control_interval_s = 0.1;  ///< 100 ms driver period (§6.2)
@@ -88,6 +96,28 @@ std::string resolved_policy_name(const ExperimentConfig& config);
 
 /// The default-governor registry name ("ondemand" when unset).
 std::string resolved_governor_name(const ExperimentConfig& config);
+
+/// The descriptor the plant is built from: `platform` when set, otherwise a
+/// descriptor synthesized from `preset` (default topology + the preset's
+/// parameters). Never null. Every dispatch site that needs platform data
+/// (Plant, InvariantChecker, calibration, summary labels) resolves through
+/// this.
+PlatformPtr resolved_platform(const ExperimentConfig& config);
+
+/// The platform name for labels/summaries ("odroid-xu-e" when unset).
+std::string resolved_platform_name(const ExperimentConfig& config);
+
+/// Whether running `config` requires the identified platform model (the
+/// "dtpm" policy or observe-only prediction validation). Shared by the CLI
+/// and the BatchRunner's per-platform calibration fallback.
+bool needs_identified_model(const ExperimentConfig& config);
+
+/// Selects a platform: by registry name or as an explicit descriptor.
+/// Syncs the legacy `preset` mirror and adopts the platform's recommended
+/// thermal constraint as dtpm.t_max_c (set config.dtpm afterwards to
+/// override).
+void set_platform(ExperimentConfig& config, const std::string& name);
+void set_platform(ExperimentConfig& config, PlatformPtr platform);
 
 /// Selects a policy by registry name, keeping the enum shim in sync for the
 /// four paper policies (registry-only names rely on policy_name alone).

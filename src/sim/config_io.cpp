@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "governors/policy_registry.hpp"
+#include "sim/platform_registry.hpp"
 #include "sim/scenario_catalog.hpp"
 #include "util/names.hpp"
 #include "workload/suite.hpp"
@@ -263,8 +264,9 @@ JsonValue to_json(const core::DtpmParams& params) {
 }
 
 core::DtpmParams dtpm_params_from_json(const JsonValue& json,
-                                       const std::string& path) {
-  core::DtpmParams params;
+                                       const std::string& path,
+                                       const core::DtpmParams& base) {
+  core::DtpmParams params = base;
   ObjectReader reader(json, path);
   reader.number("t_max_c", params.t_max_c, 0.0, 150.0);
   reader.integer("horizon_steps", params.horizon_steps, 1, 1000);
@@ -391,6 +393,392 @@ workload::ScenarioParams scenario_params_from_json(const JsonValue& json,
   return params;
 }
 
+// --- sim::PlatformDescriptor -------------------------------------------------
+
+namespace {
+
+JsonValue leakage_to_json(const power::LeakageParams& params) {
+  JsonValue json((JsonObject()));
+  json.set("c1", params.c1);
+  json.set("c2_k", params.c2_k);
+  json.set("i_gate_a", params.i_gate_a);
+  json.set("v_ref", params.v_ref);
+  json.set("dibl_exponent", params.dibl_exponent);
+  return json;
+}
+
+void leakage_from_json(ObjectReader& parent, const std::string& key,
+                       power::LeakageParams& out, const std::string& path) {
+  const JsonValue* v = parent.get(key);
+  if (v == nullptr) return;
+  ObjectReader reader(*v, path + "." + key);
+  reader.number("c1", out.c1, 0.0, 1.0);
+  reader.number("c2_k", out.c2_k, -1e5, 0.0);
+  reader.number("i_gate_a", out.i_gate_a, 0.0, 10.0);
+  reader.number("v_ref", out.v_ref, 1e-3, 10.0);
+  reader.number("dibl_exponent", out.dibl_exponent, 0.0, 10.0);
+  reader.finish();
+}
+
+JsonValue opps_to_json(const std::vector<power::Opp>& opps) {
+  JsonArray array;
+  for (const power::Opp& opp : opps) {
+    JsonValue p((JsonObject()));
+    p.set("frequency_hz", opp.frequency_hz);
+    p.set("voltage_v", opp.voltage_v);
+    array.push_back(std::move(p));
+  }
+  return JsonValue(std::move(array));
+}
+
+void opps_from_json(ObjectReader& parent, const std::string& key,
+                    std::vector<power::Opp>& out, const std::string& path) {
+  const JsonValue* v = parent.get(key);
+  if (v == nullptr) return;
+  const std::string list_path = path + "." + key;
+  if (!v->is_array()) {
+    throw ConfigError(list_path, "expected an array of operating points, got " +
+                                     type_of(*v));
+  }
+  out.clear();
+  const JsonArray& array = v->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const std::string p = list_path + "[" + std::to_string(i) + "]";
+    power::Opp opp;
+    ObjectReader reader(array[i], p);
+    reader.number("frequency_hz", opp.frequency_hz, 1.0, 1e12);
+    reader.number("voltage_v", opp.voltage_v, 1e-3, 10.0);
+    reader.finish();
+    if (opp.frequency_hz <= 0.0) {
+      throw ConfigError(p, "operating point needs a positive frequency_hz");
+    }
+    out.push_back(opp);
+  }
+}
+
+JsonValue floorplan_to_json(const thermal::FloorplanSpec& spec) {
+  JsonValue json((JsonObject()));
+  JsonArray nodes;
+  for (const thermal::FloorplanNodeSpec& node : spec.nodes) {
+    JsonValue n((JsonObject()));
+    n.set("name", node.name);
+    n.set("capacitance_j_per_k", node.capacitance_j_per_k);
+    n.set("initial_temp_c", node.initial_temp_c);
+    if (node.is_boundary) n.set("boundary", true);
+    nodes.push_back(std::move(n));
+  }
+  json.set("nodes", JsonValue(std::move(nodes)));
+  JsonArray edges;
+  for (const thermal::FloorplanEdgeSpec& edge : spec.edges) {
+    JsonValue e((JsonObject()));
+    e.set("a", edge.node_a);
+    e.set("b", edge.node_b);
+    e.set("conductance_w_per_k", edge.conductance_w_per_k);
+    if (edge.fan_modulated) e.set("fan", true);
+    edges.push_back(std::move(e));
+  }
+  json.set("edges", JsonValue(std::move(edges)));
+  JsonArray cores;
+  for (const std::string& name : spec.core_nodes) cores.emplace_back(name);
+  json.set("core_nodes", JsonValue(std::move(cores)));
+  json.set("little_node", spec.little_node);
+  json.set("gpu_node", spec.gpu_node);
+  json.set("mem_node", spec.mem_node);
+  JsonArray sensors;
+  for (const std::string& name : spec.sensor_nodes) sensors.emplace_back(name);
+  json.set("sensor_nodes", JsonValue(std::move(sensors)));
+  return json;
+}
+
+thermal::FloorplanSpec floorplan_from_json(const JsonValue& json,
+                                           const std::string& path) {
+  thermal::FloorplanSpec spec;
+  ObjectReader reader(json, path);
+
+  const JsonValue* nodes = reader.get("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    throw ConfigError(path + ".nodes",
+                      nodes == nullptr ? "a floorplan requires a 'nodes' array"
+                                       : "expected an array of node objects, "
+                                         "got " + type_of(*nodes));
+  }
+  for (std::size_t i = 0; i < nodes->as_array().size(); ++i) {
+    const std::string node_path =
+        path + ".nodes[" + std::to_string(i) + "]";
+    thermal::FloorplanNodeSpec node;
+    ObjectReader node_reader(nodes->as_array()[i], node_path);
+    node_reader.string("name", node.name);
+    if (node.name.empty()) {
+      throw ConfigError(node_path, "node needs a non-empty 'name'");
+    }
+    node_reader.number("capacitance_j_per_k", node.capacitance_j_per_k, 1e-9,
+                       1e9);
+    node_reader.number("initial_temp_c", node.initial_temp_c, -273.15, 1000.0);
+    node_reader.boolean("boundary", node.is_boundary);
+    node_reader.finish();
+    spec.nodes.push_back(std::move(node));
+  }
+
+  const JsonValue* edges = reader.get("edges");
+  if (edges == nullptr || !edges->is_array()) {
+    throw ConfigError(path + ".edges",
+                      edges == nullptr ? "a floorplan requires an 'edges' array"
+                                       : "expected an array of edge objects, "
+                                         "got " + type_of(*edges));
+  }
+  // Known node names, for reference checks that pin the exact member --
+  // "$.platform.floorplan.edges[3].a: unknown node 'big9'" beats a
+  // whole-floorplan error.
+  std::vector<std::string> node_names;
+  for (const thermal::FloorplanNodeSpec& node : spec.nodes) {
+    node_names.push_back(node.name);
+  }
+  auto check_node_ref = [&](const std::string& name,
+                            const std::string& ref_path) {
+    if (std::find(node_names.begin(), node_names.end(), name) ==
+        node_names.end()) {
+      throw ConfigError(ref_path,
+                        util::unknown_name_message("node", name, node_names));
+    }
+  };
+
+  for (std::size_t i = 0; i < edges->as_array().size(); ++i) {
+    const std::string edge_path =
+        path + ".edges[" + std::to_string(i) + "]";
+    thermal::FloorplanEdgeSpec edge;
+    ObjectReader edge_reader(edges->as_array()[i], edge_path);
+    edge_reader.string("a", edge.node_a);
+    edge_reader.string("b", edge.node_b);
+    if (edge.node_a.empty() || edge.node_b.empty()) {
+      throw ConfigError(edge_path, "edge needs node names 'a' and 'b'");
+    }
+    check_node_ref(edge.node_a, edge_path + ".a");
+    check_node_ref(edge.node_b, edge_path + ".b");
+    edge_reader.number("conductance_w_per_k", edge.conductance_w_per_k, 1e-12,
+                       1e9);
+    edge_reader.boolean("fan", edge.fan_modulated);
+    edge_reader.finish();
+    spec.edges.push_back(std::move(edge));
+  }
+
+  spec.core_nodes = string_list(reader, "core_nodes");
+  for (std::size_t i = 0; i < spec.core_nodes.size(); ++i) {
+    check_node_ref(spec.core_nodes[i],
+                   path + ".core_nodes[" + std::to_string(i) + "]");
+  }
+  reader.string("little_node", spec.little_node);
+  if (!spec.little_node.empty()) {
+    check_node_ref(spec.little_node, path + ".little_node");
+  }
+  reader.string("gpu_node", spec.gpu_node);
+  if (!spec.gpu_node.empty()) check_node_ref(spec.gpu_node, path + ".gpu_node");
+  reader.string("mem_node", spec.mem_node);
+  if (!spec.mem_node.empty()) check_node_ref(spec.mem_node, path + ".mem_node");
+  spec.sensor_nodes = string_list(reader, "sensor_nodes");
+  for (std::size_t i = 0; i < spec.sensor_nodes.size(); ++i) {
+    check_node_ref(spec.sensor_nodes[i],
+                   path + ".sensor_nodes[" + std::to_string(i) + "]");
+  }
+  reader.finish();
+
+  try {
+    thermal::validate_floorplan_spec(spec);
+  } catch (const std::exception& e) {
+    throw ConfigError(path, e.what());
+  }
+  return spec;
+}
+
+void plant_power_from_json(ObjectReader& parent, const std::string& key,
+                           soc::PlantPowerParams& out,
+                           const std::string& parent_path) {
+  const JsonValue* v = parent.get(key);
+  if (v == nullptr) return;
+  const std::string path = parent_path + "." + key;
+  ObjectReader reader(*v, path);
+  leakage_from_json(reader, "big_leakage", out.big_leakage, path);
+  leakage_from_json(reader, "little_leakage", out.little_leakage, path);
+  leakage_from_json(reader, "gpu_leakage", out.gpu_leakage, path);
+  leakage_from_json(reader, "mem_leakage", out.mem_leakage, path);
+  reader.number("big_core_alpha_c_max", out.big_core_alpha_c_max, 0.0, 1.0);
+  reader.number("little_core_alpha_c_max", out.little_core_alpha_c_max, 0.0,
+                1.0);
+  reader.number("gpu_alpha_c_max", out.gpu_alpha_c_max, 0.0, 1.0);
+  reader.number("big_uncore_alpha_c", out.big_uncore_alpha_c, 0.0, 1.0);
+  reader.number("little_uncore_alpha_c", out.little_uncore_alpha_c, 0.0, 1.0);
+  reader.number("big_idle_activity", out.big_idle_activity, 0.0, 1.0);
+  reader.number("little_idle_activity", out.little_idle_activity, 0.0, 1.0);
+  reader.number("gpu_idle_util", out.gpu_idle_util, 0.0, 1.0);
+  reader.number("mem_bandwidth_cap", out.mem_bandwidth_cap, 1e-3, 1e3);
+  reader.number("offline_core_leakage_fraction",
+                out.offline_core_leakage_fraction, 0.0, 1.0);
+  reader.number("inactive_cluster_leakage_fraction",
+                out.inactive_cluster_leakage_fraction, 0.0, 1.0);
+  reader.number("mem_dynamic_max_w", out.mem_dynamic_max_w, 0.0, 100.0);
+  reader.number("mem_base_w", out.mem_base_w, 0.0, 100.0);
+  reader.number("mem_gpu_traffic_weight", out.mem_gpu_traffic_weight, 0.0,
+                10.0);
+  reader.number("mem_nominal_voltage_v", out.mem_nominal_voltage_v, 1e-3,
+                10.0);
+  reader.number("mem_nominal_frequency_hz", out.mem_nominal_frequency_hz, 1.0,
+                1e12);
+  reader.finish();
+}
+
+JsonValue plant_power_to_json(const soc::PlantPowerParams& p) {
+  JsonValue json((JsonObject()));
+  json.set("big_leakage", leakage_to_json(p.big_leakage));
+  json.set("little_leakage", leakage_to_json(p.little_leakage));
+  json.set("gpu_leakage", leakage_to_json(p.gpu_leakage));
+  json.set("mem_leakage", leakage_to_json(p.mem_leakage));
+  json.set("big_core_alpha_c_max", p.big_core_alpha_c_max);
+  json.set("little_core_alpha_c_max", p.little_core_alpha_c_max);
+  json.set("gpu_alpha_c_max", p.gpu_alpha_c_max);
+  json.set("big_uncore_alpha_c", p.big_uncore_alpha_c);
+  json.set("little_uncore_alpha_c", p.little_uncore_alpha_c);
+  json.set("big_idle_activity", p.big_idle_activity);
+  json.set("little_idle_activity", p.little_idle_activity);
+  json.set("gpu_idle_util", p.gpu_idle_util);
+  json.set("mem_bandwidth_cap", p.mem_bandwidth_cap);
+  json.set("offline_core_leakage_fraction", p.offline_core_leakage_fraction);
+  json.set("inactive_cluster_leakage_fraction",
+           p.inactive_cluster_leakage_fraction);
+  json.set("mem_dynamic_max_w", p.mem_dynamic_max_w);
+  json.set("mem_base_w", p.mem_base_w);
+  json.set("mem_gpu_traffic_weight", p.mem_gpu_traffic_weight);
+  json.set("mem_nominal_voltage_v", p.mem_nominal_voltage_v);
+  json.set("mem_nominal_frequency_hz", p.mem_nominal_frequency_hz);
+  return json;
+}
+
+}  // namespace
+
+JsonValue to_json(const PlatformDescriptor& d) {
+  JsonValue json((JsonObject()));
+  json.set("name", d.name);
+  json.set("description", d.description);
+  json.set("floorplan", floorplan_to_json(d.floorplan));
+  json.set("big_cores", d.big_cores);
+  json.set("little_cores", d.little_cores);
+  json.set("big_opps", opps_to_json(d.big_opps));
+  json.set("little_opps", opps_to_json(d.little_opps));
+  json.set("gpu_opps", opps_to_json(d.gpu_opps));
+  json.set("power", plant_power_to_json(d.power));
+  {
+    JsonValue perf((JsonObject()));
+    perf.set("big_ipc_scale", d.perf.big_ipc_scale);
+    perf.set("little_ipc_scale", d.perf.little_ipc_scale);
+    perf.set("cluster_switch_stall_s", d.perf.cluster_switch_stall_s);
+    json.set("perf", std::move(perf));
+  }
+  {
+    JsonValue fan((JsonObject()));
+    fan.set("conductance_off", d.fan.conductance_off);
+    fan.set("conductance_low", d.fan.conductance_low);
+    fan.set("conductance_half", d.fan.conductance_half);
+    fan.set("conductance_full", d.fan.conductance_full);
+    fan.set("power_off", d.fan.power_off);
+    fan.set("power_low", d.fan.power_low);
+    fan.set("power_half", d.fan.power_half);
+    fan.set("power_full", d.fan.power_full);
+    json.set("fan", std::move(fan));
+  }
+  {
+    JsonValue sensor((JsonObject()));
+    sensor.set("quantization_c", d.temp_sensor.quantization_c);
+    sensor.set("noise_stddev_c", d.temp_sensor.noise_stddev_c);
+    json.set("temp_sensor", std::move(sensor));
+  }
+  {
+    JsonValue sensor((JsonObject()));
+    sensor.set("noise_fraction", d.power_sensor.noise_fraction);
+    sensor.set("quantization_w", d.power_sensor.quantization_w);
+    json.set("power_sensor", std::move(sensor));
+  }
+  {
+    JsonValue load((JsonObject()));
+    load.set("board_base_w", d.platform_load.board_base_w);
+    load.set("display_w", d.platform_load.display_w);
+    json.set("platform_load", std::move(load));
+  }
+  json.set("default_t_max_c", d.default_t_max_c);
+  return json;
+}
+
+PlatformDescriptor platform_from_json(const JsonValue& json,
+                                      const std::string& path) {
+  PlatformDescriptor d;  // defaults: the Odroid plant
+  ObjectReader reader(json, path);
+  reader.string("name", d.name);
+  reader.string("description", d.description);
+  if (const JsonValue* floorplan = reader.get("floorplan")) {
+    d.floorplan = floorplan_from_json(*floorplan, path + ".floorplan");
+  }
+  reader.integer("big_cores", d.big_cores, 1, 64);
+  reader.integer("little_cores", d.little_cores, 0, 64);
+  opps_from_json(reader, "big_opps", d.big_opps, path);
+  opps_from_json(reader, "little_opps", d.little_opps, path);
+  opps_from_json(reader, "gpu_opps", d.gpu_opps, path);
+  plant_power_from_json(reader, "power", d.power, path);
+  if (const JsonValue* perf = reader.get("perf")) {
+    ObjectReader perf_reader(*perf, path + ".perf");
+    perf_reader.number("big_ipc_scale", d.perf.big_ipc_scale, 1e-3, 100.0);
+    perf_reader.number("little_ipc_scale", d.perf.little_ipc_scale, 1e-3,
+                       100.0);
+    perf_reader.number("cluster_switch_stall_s",
+                       d.perf.cluster_switch_stall_s, 0.0, 10.0);
+    perf_reader.finish();
+  }
+  if (const JsonValue* fan = reader.get("fan")) {
+    ObjectReader fan_reader(*fan, path + ".fan");
+    fan_reader.number("conductance_off", d.fan.conductance_off, 0.0, 1e6);
+    fan_reader.number("conductance_low", d.fan.conductance_low, 0.0, 1e6);
+    fan_reader.number("conductance_half", d.fan.conductance_half, 0.0, 1e6);
+    fan_reader.number("conductance_full", d.fan.conductance_full, 0.0, 1e6);
+    fan_reader.number("power_off", d.fan.power_off, 0.0, 1e3);
+    fan_reader.number("power_low", d.fan.power_low, 0.0, 1e3);
+    fan_reader.number("power_half", d.fan.power_half, 0.0, 1e3);
+    fan_reader.number("power_full", d.fan.power_full, 0.0, 1e3);
+    fan_reader.finish();
+  }
+  if (const JsonValue* sensor = reader.get("temp_sensor")) {
+    ObjectReader sensor_reader(*sensor, path + ".temp_sensor");
+    sensor_reader.number("quantization_c", d.temp_sensor.quantization_c, 0.0,
+                         100.0);
+    sensor_reader.number("noise_stddev_c", d.temp_sensor.noise_stddev_c, 0.0,
+                         100.0);
+    sensor_reader.finish();
+  }
+  if (const JsonValue* sensor = reader.get("power_sensor")) {
+    ObjectReader sensor_reader(*sensor, path + ".power_sensor");
+    sensor_reader.number("noise_fraction", d.power_sensor.noise_fraction, 0.0,
+                         1.0);
+    sensor_reader.number("quantization_w", d.power_sensor.quantization_w, 0.0,
+                         100.0);
+    sensor_reader.finish();
+  }
+  if (const JsonValue* load = reader.get("platform_load")) {
+    ObjectReader load_reader(*load, path + ".platform_load");
+    load_reader.number("board_base_w", d.platform_load.board_base_w, 0.0,
+                       1e3);
+    load_reader.number("display_w", d.platform_load.display_w, 0.0, 1e3);
+    load_reader.finish();
+  }
+  reader.number("default_t_max_c", d.default_t_max_c, 0.0, 150.0);
+  reader.finish();
+
+  try {
+    d.validate();
+  } catch (const std::exception& e) {
+    throw ConfigError(path, std::string("invalid platform: ") + e.what());
+  }
+  return d;
+}
+
+PlatformDescriptor load_platform(const std::string& file_path) {
+  return platform_from_json(util::json_parse_file(file_path));
+}
+
 // --- ExperimentConfig --------------------------------------------------------
 
 JsonValue to_json(const ExperimentConfig& config) {
@@ -410,7 +798,20 @@ JsonValue to_json(const ExperimentConfig& config) {
     json.set("policy_params", std::move(params));
   }
   json.set("governor", resolved_governor_name(config));
-  json.set("preset", "default");
+  if (config.platform != nullptr) {
+    // Emit the compact registry reference when the descriptor is exactly a
+    // registered one; a customized descriptor rides along fully inline so
+    // every config stays lossless.
+    const PlatformRegistry& registry = PlatformRegistry::instance();
+    if (registry.contains(config.platform->name) &&
+        *registry.get(config.platform->name) == *config.platform) {
+      json.set("platform", config.platform->name);
+    } else {
+      json.set("platform", to_json(*config.platform));
+    }
+  } else {
+    json.set("preset", "default");
+  }
   json.set("dtpm", to_json(config.dtpm));
   json.set("control_interval_s", config.control_interval_s);
   json.set("plant_substep_s", config.plant_substep_s);
@@ -533,8 +934,33 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
     }
   }
 
+  // "platform" selects the plant: a registry name ("dragon") or a fully
+  // inline descriptor object. Parsed before "dtpm" so the platform's
+  // default t_max applies unless the document overrides it explicitly.
+  if (const JsonValue* platform = reader.get("platform")) {
+    const std::string platform_path = path + ".platform";
+    if (platform->is_string()) {
+      const PlatformRegistry& registry = PlatformRegistry::instance();
+      const std::string& name = platform->as_string();
+      if (!registry.contains(name)) {
+        throw ConfigError(platform_path,
+                          util::unknown_name_message("platform", name,
+                                                     registry.names()));
+      }
+      set_platform(config, registry.get(name));
+    } else if (platform->is_object()) {
+      set_platform(config,
+                   std::make_shared<const PlatformDescriptor>(
+                       platform_from_json(*platform, platform_path)));
+    } else {
+      throw ConfigError(platform_path,
+                        "expected a platform name or an inline platform "
+                        "object, got " + type_of(*platform));
+    }
+  }
+
   if (const JsonValue* dtpm = reader.get("dtpm")) {
-    config.dtpm = dtpm_params_from_json(*dtpm, path + ".dtpm");
+    config.dtpm = dtpm_params_from_json(*dtpm, path + ".dtpm", config.dtpm);
   }
 
   reader.number("control_interval_s", config.control_interval_s, 1e-4, 60.0);
@@ -560,10 +986,11 @@ ExperimentConfig load_experiment_config(const std::string& file_path) {
   const JsonValue json = util::json_parse_file(file_path);
   if (json.is_object() &&
       (json.find("base") != nullptr || json.find("scenarios") != nullptr ||
-       json.find("benchmarks") != nullptr)) {
+       json.find("benchmarks") != nullptr ||
+       json.find("platforms") != nullptr)) {
     throw ConfigError(
         "$", "this looks like a sweep grid (has 'base'/'benchmarks'/"
-             "'scenarios'); run it with `dtpm sweep` instead");
+             "'platforms'/'scenarios'); run it with `dtpm sweep` instead");
   }
   return experiment_from_json(json);
 }
@@ -575,6 +1002,7 @@ std::vector<ExperimentConfig> SweepSpec::expand() const {
     ScenarioCatalog::Sweep sweep;
     sweep.base = base;
     sweep.families = families;
+    sweep.platforms = platforms;
     sweep.policy_names = policies;
     if (!scenario_seeds.empty()) sweep.seeds = scenario_seeds;
     return ScenarioCatalog::standard(scenario_params).expand(sweep);
@@ -582,6 +1010,7 @@ std::vector<ExperimentConfig> SweepSpec::expand() const {
   SweepGrid grid;
   grid.base = base;
   grid.benchmarks = benchmarks;
+  grid.platforms = platforms;
   grid.policy_names = policies;
   grid.seeds = seeds;
   grid.dtpm_params = dtpm_grid;
@@ -595,6 +1024,11 @@ JsonValue to_json(const SweepSpec& spec) {
     JsonArray names;
     for (const std::string& name : spec.benchmarks) names.emplace_back(name);
     json.set("benchmarks", JsonValue(std::move(names)));
+  }
+  if (!spec.platforms.empty()) {
+    JsonArray names;
+    for (const std::string& name : spec.platforms) names.emplace_back(name);
+    json.set("platforms", JsonValue(std::move(names)));
   }
   if (!spec.policies.empty()) {
     JsonArray names;
@@ -643,6 +1077,17 @@ SweepSpec sweep_from_json(const JsonValue& json, const std::string& path) {
   for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
     validate_benchmark_name(
         spec.benchmarks[i], path + ".benchmarks[" + std::to_string(i) + "]");
+  }
+
+  spec.platforms = string_list(reader, "platforms");
+  for (std::size_t i = 0; i < spec.platforms.size(); ++i) {
+    const PlatformRegistry& registry = PlatformRegistry::instance();
+    if (!registry.contains(spec.platforms[i])) {
+      throw ConfigError(path + ".platforms[" + std::to_string(i) + "]",
+                        util::unknown_name_message("platform",
+                                                   spec.platforms[i],
+                                                   registry.names()));
+    }
   }
 
   spec.policies = string_list(reader, "policies");

@@ -44,8 +44,11 @@ class ConfigError : public std::runtime_error {
 
 // --- DtpmParams --------------------------------------------------------------
 util::JsonValue to_json(const core::DtpmParams& params);
+/// Members absent from the document keep their value in `base` -- which is
+/// how a platform's default t_max survives a partial "dtpm" override.
 core::DtpmParams dtpm_params_from_json(const util::JsonValue& json,
-                                       const std::string& path = "$");
+                                       const std::string& path = "$",
+                                       const core::DtpmParams& base = {});
 
 // --- workload::Benchmark (the inline-scenario path) --------------------------
 util::JsonValue to_json(const workload::Benchmark& benchmark);
@@ -56,6 +59,22 @@ workload::Benchmark benchmark_from_json(const util::JsonValue& json,
 util::JsonValue to_json(const workload::ScenarioParams& params);
 workload::ScenarioParams scenario_params_from_json(
     const util::JsonValue& json, const std::string& path = "$");
+
+// --- sim::PlatformDescriptor -------------------------------------------------
+// The platform-as-data path: a descriptor serializes completely (floorplan
+// topology with named nodes/edges and role mapping, OPP tables, power/perf
+// coefficients, sensor and fan models), so a custom SoC ships as a JSON
+// file instead of recompiled C++. Parsing starts from the default (Odroid)
+// descriptor and overrides the members present; a "floorplan" member, when
+// given, must be complete (nodes, edges, and the role mapping). Validation
+// failures carry exact paths like "$.platform.floorplan.edges[3].a".
+util::JsonValue to_json(const PlatformDescriptor& descriptor);
+PlatformDescriptor platform_from_json(const util::JsonValue& json,
+                                      const std::string& path = "$");
+
+/// Parses a standalone platform file (e.g. examples/configs/
+/// custom_platform.json) and validates the result.
+PlatformDescriptor load_platform(const std::string& file_path);
 
 // --- ExperimentConfig --------------------------------------------------------
 // The "scenario" member supports two shapes:
@@ -82,7 +101,8 @@ struct SweepSpec {
 
   // Grid axes (empty = inherit from base, mirroring sim::sweep()).
   std::vector<std::string> benchmarks;
-  std::vector<std::string> policies;  ///< registry names
+  std::vector<std::string> platforms;  ///< PlatformRegistry names
+  std::vector<std::string> policies;   ///< registry names
   std::vector<std::uint64_t> seeds;
   std::vector<core::DtpmParams> dtpm_grid;
 

@@ -21,10 +21,15 @@ class ControlStack {
   /// Builds the governor and policy the config selects (by registry name;
   /// the Policy enum is resolved through resolved_policy_name), or adopts
   /// `policy_override` (any user-defined governors::ThermalPolicy) when one
-  /// is supplied. The "dtpm" policy requires `model`.
+  /// is supplied. The "dtpm" policy requires `model`. A non-null `platform`
+  /// hands the factories the platform's OPP tables through
+  /// PolicyContext::big_opps/little_opps/gpu_opps, so registry policies
+  /// propose frequencies from the plant they actually run on; null keeps
+  /// the default Exynos-5410 tables.
   ControlStack(const ExperimentConfig& config,
                const sysid::IdentifiedPlatformModel* model,
-               std::unique_ptr<governors::ThermalPolicy> policy_override);
+               std::unique_ptr<governors::ThermalPolicy> policy_override,
+               const PlatformDescriptor* platform = nullptr);
 
   /// One control decision: default proposal, then the policy's adjustment.
   governors::Decision decide(const soc::PlatformView& view);

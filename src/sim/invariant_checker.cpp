@@ -91,6 +91,11 @@ std::vector<InvariantViolation> InvariantChecker::check(
     found.push_back({invariant, row, message});
   };
 
+  // Everything platform-dependent (OPP tables, fan power curve, ambient,
+  // fixed loads) comes from the config's resolved descriptor, so the checks
+  // hold on every registered platform, not just the default board.
+  const PlatformPtr platform = resolved_platform(config);
+
   // --- Aggregate invariants (always checkable). ---------------------------
   if (result.execution_time_s < 0.0) {
     violate("exec-time", InvariantViolation::kAggregate,
@@ -115,8 +120,8 @@ std::vector<InvariantViolation> InvariantChecker::check(
     }
     // Rail decomposition: platform minus SoC covers at least the fixed
     // platform loads (the remainder is the non-negative fan energy).
-    const double fixed = config.preset.platform_load.board_base_w +
-                         config.preset.platform_load.display_w;
+    const double fixed = platform->platform_load.board_base_w +
+                         platform->platform_load.display_w;
     const double overhead =
         result.avg_platform_power_w - result.avg_soc_power_w;
     if (overhead < fixed - 1e-6) {
@@ -139,7 +144,7 @@ std::vector<InvariantViolation> InvariantChecker::check(
                          result.max_temp_stats.max()));
     }
     if (result.max_temp_stats.min() <
-        config.preset.floorplan.ambient_temp_c - options_.temp_margin_c) {
+        platform->floorplan.ambient_temp_c() - options_.temp_margin_c) {
       violate("temp-range", InvariantViolation::kAggregate,
               format_row("max temperature below ambient",
                          result.max_temp_stats.min()));
@@ -150,14 +155,14 @@ std::vector<InvariantViolation> InvariantChecker::check(
   const util::TraceTable& trace = *result.trace;
   const Columns col(trace.header());
 
-  const power::OppTable big_opps = power::big_cluster_opp_table();
-  const power::OppTable little_opps = power::little_cluster_opp_table();
-  const power::OppTable gpu_opps = power::gpu_opp_table();
-  const thermal::Fan fan(config.preset.fan);
+  const power::OppTable big_opps = platform->big_opp_table();
+  const power::OppTable little_opps = platform->little_opp_table();
+  const power::OppTable gpu_opps = platform->gpu_opp_table();
+  const thermal::Fan fan(platform->fan);
   const double ambient_floor_c =
-      config.preset.floorplan.ambient_temp_c - options_.temp_margin_c;
-  const double fixed_w = config.preset.platform_load.board_base_w +
-                         config.preset.platform_load.display_w;
+      platform->floorplan.ambient_temp_c() - options_.temp_margin_c;
+  const double fixed_w = platform->platform_load.board_base_w +
+                         platform->platform_load.display_w;
   const double dtpm_trigger_c =
       config.dtpm.t_max_c - config.dtpm.guard_band_c;
   // Registry-name dispatch: the budget contract binds whenever the config
@@ -239,17 +244,20 @@ std::vector<InvariantViolation> InvariantChecker::check(
     // Frequencies must be operating points of their domain tables.
     if (!in_table(big_opps, row[col.f_big] * 1e6, options_.freq_tol_hz)) {
       violate("opp-table", r,
-              format_row("big frequency not in Table 6.1", row[col.f_big]));
+              format_row("big frequency not in the platform's big OPP table",
+                         row[col.f_big]));
     }
     if (!in_table(little_opps, row[col.f_little] * 1e6,
                   options_.freq_tol_hz)) {
       violate("opp-table", r,
-              format_row("little frequency not in Table 6.2",
-                         row[col.f_little]));
+              format_row(
+                  "little frequency not in the platform's little OPP table",
+                  row[col.f_little]));
     }
     if (!in_table(gpu_opps, row[col.f_gpu] * 1e6, options_.freq_tol_hz)) {
       violate("opp-table", r,
-              format_row("GPU frequency not in Table 6.3", row[col.f_gpu]));
+              format_row("GPU frequency not in the platform's GPU OPP table",
+                         row[col.f_gpu]));
     }
 
     // Actuation/observation ranges.

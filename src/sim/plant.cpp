@@ -1,20 +1,31 @@
 #include "sim/plant.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace dtpm::sim {
 
-Plant::Plant(const PlatformPreset& preset, util::Rng& root,
+Plant::Plant(const PlatformDescriptor& platform, util::Rng& root,
              const thermal::Floorplan* floorplan_template)
     : floorplan_(floorplan_template != nullptr
                      ? *floorplan_template
-                     : thermal::make_default_floorplan(preset.floorplan)),
-      fan_(preset.fan),
-      soc_(preset.plant, preset.perf),
-      temp_bank_(thermal::Floorplan::big_core_node_indices(),
-                 preset.temp_sensor, root.fork()),
-      power_bank_(preset.power_sensor, root.fork()),
-      meter_(preset.platform_load, root.fork()) {
+                     : thermal::build_floorplan(platform.floorplan)),
+      fan_(platform.fan),
+      soc_(platform.power, platform.perf, platform.big_opp_table(),
+           platform.little_opp_table(), platform.gpu_opp_table()),
+      temp_bank_(floorplan_.sensor_node_index, platform.temp_sensor,
+                 root.fork()),
+      power_bank_(platform.power_sensor, root.fork()),
+      meter_(platform.platform_load, root.fork()) {
+  // advance() indexes core_node_index[0..kBigCoreCount-1] unconditionally;
+  // a descriptor that bypassed validate() (built by hand and stuffed
+  // straight into ExperimentConfig::platform) must fail here -- whichever
+  // path built the floorplan -- not read out of bounds.
+  if (floorplan_.core_node_index.size() != std::size_t(soc::kBigCoreCount)) {
+    throw std::invalid_argument(
+        "Plant: platform '" + platform.name + "' must declare exactly " +
+        std::to_string(soc::kBigCoreCount) + " core nodes");
+  }
   // Warm-start at the low end; ondemand ramps up from here.
   soc::SocConfig initial;
   initial.active_cluster = soc::ClusterId::kBig;
@@ -43,6 +54,7 @@ double Plant::read_platform_power(const power::ResourceVector& true_avg_w,
 }
 
 void Plant::set_fan(thermal::FanSpeed speed) {
+  if (!floorplan_.has_fan_edge()) return;  // fanless platform: a no-op
   floorplan_.network.set_edge_conductance(floorplan_.fan_edge,
                                           fan_.conductance_w_per_k(speed));
 }
@@ -58,26 +70,24 @@ PlantIntervalResult Plant::advance(
     workload::WorkloadInstance* instance, int substeps, double sub_dt) {
   PlantIntervalResult result;
   power::ResourceVector rails_accum{};
+  const auto& cores = floorplan_.core_node_index;
   for (int s = 0; s < substeps; ++s) {
     const auto& temps = floorplan_.network.temperatures_c();
     const std::array<double, soc::kBigCoreCount> big_true{
-        temps[thermal::node_index(thermal::FloorplanNode::kBig0)],
-        temps[thermal::node_index(thermal::FloorplanNode::kBig1)],
-        temps[thermal::node_index(thermal::FloorplanNode::kBig2)],
-        temps[thermal::node_index(thermal::FloorplanNode::kBig3)]};
+        temps[cores[0]], temps[cores[1]], temps[cores[2]], temps[cores[3]]};
     // The workload schedule (placement, contention, activity) is a pure
     // function of the demand and the applied config, both held fixed across
     // this interval's substeps -- only the first substep recomputes it.
-    result.last_substep = soc_.step(
-        demand, background_threads, big_true,
-        temps[thermal::node_index(thermal::FloorplanNode::kLittleCluster)],
-        temps[thermal::node_index(thermal::FloorplanNode::kGpu)],
-        temps[thermal::node_index(thermal::FloorplanNode::kMem)], sub_dt,
-        /*reuse_schedule=*/s > 0);
+    result.last_substep =
+        soc_.step(demand, background_threads, big_true,
+                  temps[floorplan_.little_node_index],
+                  temps[floorplan_.gpu_node_index],
+                  temps[floorplan_.mem_node_index], sub_dt,
+                  /*reuse_schedule=*/s > 0);
 
-    thermal::assemble_node_power_into(result.last_substep.big_core_power_w,
-                                      result.last_substep.rail_power_w,
-                                      node_power_scratch_);
+    floorplan_.assemble_node_power_into(result.last_substep.big_core_power_w,
+                                        result.last_substep.rail_power_w,
+                                        node_power_scratch_);
     floorplan_.network.step(sub_dt, node_power_scratch_);
 
     for (std::size_t r = 0; r < power::kResourceCount; ++r) {

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "power/sensors.hpp"
-#include "sim/preset.hpp"
+#include "sim/platform.hpp"
 #include "soc/soc.hpp"
 #include "thermal/fan.hpp"
 #include "thermal/floorplan.hpp"
@@ -27,18 +27,20 @@ struct PlantIntervalResult {
   bool benchmark_finished = false;      ///< the foreground workload completed
 };
 
-/// Physical platform bundle: thermal plant, SoC, fan, and sensors.
+/// Physical platform bundle: thermal plant, SoC, fan, and sensors -- all
+/// built from a data-driven PlatformDescriptor (floorplan topology, role
+/// indices, OPP tables, power physics, sensor models).
 ///
 /// Forks three RNG streams from `root` in a fixed order (temperature bank,
 /// power bank, external meter) so experiments replay bit-identically.
 ///
 /// When `floorplan_template` is non-null it is copied instead of rebuilding
-/// (validating + compiling) the network from the preset parameters -- the
-/// RunPlan hoist for batches that share one platform across many runs. The
-/// template must have been built from `preset.floorplan`.
+/// (validating + compiling) the network from the descriptor -- the RunPlan
+/// hoist for batches that share one platform across many runs. The template
+/// must have been built from `platform.floorplan`.
 class Plant {
  public:
-  Plant(const PlatformPreset& preset, util::Rng& root,
+  Plant(const PlatformDescriptor& platform, util::Rng& root,
         const thermal::Floorplan* floorplan_template = nullptr);
 
   /// Sensor sampling (start of a control interval).

@@ -6,6 +6,30 @@
 
 namespace dtpm::sim {
 
+PlatformDescriptor descriptor_from_preset(const PlatformPreset& preset) {
+  PlatformDescriptor d;  // defaults are the Odroid, including the OPP tables
+  d.floorplan = thermal::default_floorplan_spec(preset.floorplan);
+  d.power = preset.plant;
+  d.perf = preset.perf;
+  d.fan = preset.fan;
+  d.temp_sensor = preset.temp_sensor;
+  d.power_sensor = preset.power_sensor;
+  d.platform_load = preset.platform_load;
+  return d;
+}
+
+PlatformPreset preset_from_descriptor(const PlatformDescriptor& descriptor) {
+  PlatformPreset preset;
+  preset.floorplan.ambient_temp_c = descriptor.floorplan.ambient_temp_c();
+  preset.fan = descriptor.fan;
+  preset.plant = descriptor.power;
+  preset.perf = descriptor.perf;
+  preset.temp_sensor = descriptor.temp_sensor;
+  preset.power_sensor = descriptor.power_sensor;
+  preset.platform_load = descriptor.platform_load;
+  return preset;
+}
+
 std::vector<std::string> preset_names() { return {"default"}; }
 
 PlatformPreset preset_by_name(const std::string& name) {

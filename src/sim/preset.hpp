@@ -1,12 +1,17 @@
-// One-stop bundle of every physical parameter of the simulated platform.
-// All experiments (and the calibration workflow) share the same preset so
-// the identified models face the same plant the policies later control.
+// The legacy struct-of-structs platform bundle, kept as a thin shim over the
+// data-driven platform layer (sim/platform.hpp): a PlatformPreset is just
+// the scalar-parameter view of a PlatformDescriptor, and the descriptor --
+// not this struct -- is what the plant is built from. Code that mutates
+// preset fields on an ExperimentConfig without selecting a platform keeps
+// working unchanged: the effective descriptor is synthesized from the preset
+// (descriptor_from_preset) with the default Odroid topology.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "power/sensors.hpp"
+#include "sim/platform.hpp"
 #include "soc/soc.hpp"
 #include "thermal/fan.hpp"
 #include "thermal/floorplan.hpp"
@@ -27,9 +32,24 @@ struct PlatformPreset {
 /// The default Odroid-XU+E-like platform used throughout the reproduction.
 inline PlatformPreset default_preset() { return PlatformPreset{}; }
 
+/// Lifts a preset to a full descriptor: the default Odroid topology built
+/// from preset.floorplan plus the preset's scalar parameters. The identity
+/// the golden traces pin: a plant built from
+/// descriptor_from_preset(default_preset()) is byte-identical to the legacy
+/// enum-addressed default plant.
+PlatformDescriptor descriptor_from_preset(const PlatformPreset& preset);
+
+/// Projects a descriptor onto the legacy struct-of-structs: every scalar
+/// parameter mirrors the descriptor so legacy readers
+/// (config.preset.platform_load and friends) agree with the plant that
+/// actually runs. The floorplan *topology* cannot be represented here --
+/// only its ambient temperature is carried over; the descriptor remains the
+/// source of truth.
+PlatformPreset preset_from_descriptor(const PlatformDescriptor& descriptor);
+
 /// Names selectable from config files ("preset": "default") and listed by
-/// `dtpm list presets`. A single entry today; alternative platform presets
-/// slot in here.
+/// `dtpm list presets`. Kept for the legacy config key; platforms (the
+/// superset that includes alternative SoCs) live in sim::PlatformRegistry.
 std::vector<std::string> preset_names();
 
 /// Lookup by name; throws std::invalid_argument with the valid names and a

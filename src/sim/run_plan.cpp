@@ -1,35 +1,83 @@
 #include "sim/run_plan.hpp"
 
+#include "sim/batch.hpp"
+#include "sim/calibration.hpp"
 #include "workload/suite.hpp"
 
 namespace dtpm::sim {
 
-namespace {
-
-thermal::FloorplanParams params_of(
-    const std::vector<ExperimentConfig>& configs) {
-  return configs.empty() ? thermal::FloorplanParams{}
-                         : configs.front().preset.floorplan;
+RunPlan::RunPlan(const thermal::FloorplanParams& params) {
+  PlatformPreset preset;
+  preset.floorplan = params;
+  cache_platform(std::make_shared<const PlatformDescriptor>(
+      descriptor_from_preset(preset)));
 }
 
-}  // namespace
+RunPlan::RunPlan(const std::vector<ExperimentConfig>& configs) {
+  std::vector<thermal::FloorplanParams> params_memo;
+  for (const ExperimentConfig& config : configs) absorb(config, params_memo);
+  if (floorplans_.empty()) {
+    cache_platform(std::make_shared<const PlatformDescriptor>(
+        descriptor_from_preset(PlatformPreset{})));
+  }
+}
 
-RunPlan::RunPlan(const thermal::FloorplanParams& params)
-    : floorplan_params_(params),
-      floorplan_(thermal::make_default_floorplan(params)) {}
-
-RunPlan::RunPlan(const std::vector<ExperimentConfig>& configs)
-    : RunPlan(params_of(configs)) {
-  for (const ExperimentConfig& config : configs) cache_benchmark_for(config);
+RunPlan::RunPlan(const std::vector<BatchJob>& jobs) {
+  std::vector<thermal::FloorplanParams> params_memo;
+  for (const BatchJob& job : jobs) absorb(job.config, params_memo);
+  if (floorplans_.empty()) {
+    cache_platform(std::make_shared<const PlatformDescriptor>(
+        descriptor_from_preset(PlatformPreset{})));
+  }
 }
 
 RunPlan::RunPlan(const ExperimentConfig& config)
-    : RunPlan(config.preset.floorplan) {
+    : RunPlan(std::vector<ExperimentConfig>{config}) {}
+
+void RunPlan::absorb(const ExperimentConfig& config,
+                     std::vector<thermal::FloorplanParams>& params_memo) {
+  if (config.platform != nullptr) {
+    cache_platform(config.platform);
+  } else {
+    bool seen = false;
+    for (const thermal::FloorplanParams& params : params_memo) {
+      if (params == config.preset.floorplan) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      params_memo.push_back(config.preset.floorplan);
+      cache_platform(resolved_platform(config));
+    }
+  }
   cache_benchmark_for(config);
+}
+
+void RunPlan::cache_platform(const PlatformPtr& platform) {
+  if (platform == nullptr) return;
+  for (const auto& [descriptor, floorplan] : floorplans_) {
+    if (descriptor == platform) return;  // pointer-identity fast path
+  }
+  if (floorplan_for(*platform) != nullptr) return;
+  floorplans_.emplace_back(platform,
+                           thermal::build_floorplan(platform->floorplan));
 }
 
 void RunPlan::cache_benchmark_for(const ExperimentConfig& config) {
   if (config.scenario == nullptr) cache_benchmark(config.benchmark);
+}
+
+const sysid::IdentifiedPlatformModel* RunPlan::cache_model_for(
+    const ExperimentConfig& config) {
+  const PlatformPtr platform = resolved_platform(config);
+  if (const sysid::IdentifiedPlatformModel* cached = model_for(config)) {
+    return cached;
+  }
+  const sysid::IdentifiedPlatformModel* model =
+      &platform_calibration(platform).model;
+  models_.emplace_back(platform, model);
+  return model;
 }
 
 void RunPlan::cache_benchmark(const std::string& name) {
@@ -43,14 +91,37 @@ void RunPlan::cache_benchmark(const std::string& name) {
 }
 
 const thermal::Floorplan* RunPlan::floorplan_for(
+    const PlatformDescriptor& platform) const {
+  for (const auto& [descriptor, floorplan] : floorplans_) {
+    if (descriptor->floorplan == platform.floorplan) return &floorplan;
+  }
+  return nullptr;
+}
+
+const thermal::Floorplan* RunPlan::floorplan_for(
     const thermal::FloorplanParams& params) const {
-  return params == floorplan_params_ ? &floorplan_ : nullptr;
+  for (const auto& [descriptor, floorplan] : floorplans_) {
+    if (descriptor->floorplan == thermal::default_floorplan_spec(params)) {
+      return &floorplan;
+    }
+  }
+  return nullptr;
 }
 
 const workload::Benchmark* RunPlan::benchmark_for(
     const std::string& name) const {
   const auto it = benchmarks_.find(name);
   return it == benchmarks_.end() ? nullptr : it->second;
+}
+
+const sysid::IdentifiedPlatformModel* RunPlan::model_for(
+    const ExperimentConfig& config) const {
+  if (models_.empty()) return nullptr;
+  const PlatformPtr platform = resolved_platform(config);
+  for (const auto& [descriptor, model] : models_) {
+    if (descriptor == platform || *descriptor == *platform) return model;
+  }
+  return nullptr;
 }
 
 }  // namespace dtpm::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/platform_registry.hpp"
 #include "util/names.hpp"
 
 namespace dtpm::sim {
@@ -75,22 +76,32 @@ std::vector<ExperimentConfig> ScenarioCatalog::expand(
   const std::vector<std::uint64_t> seeds =
       sweep.seeds.empty() ? std::vector<std::uint64_t>{sweep.base.seed}
                           : sweep.seeds;
+  std::vector<PlatformPtr> platforms;
+  for (const std::string& name : sweep.platforms) {
+    platforms.push_back(PlatformRegistry::instance().get(name));
+  }
+  if (platforms.empty()) platforms.push_back(nullptr);  // inherit from base
 
   std::vector<ExperimentConfig> configs;
-  configs.reserve(families.size() * policies.size() * seeds.size());
+  configs.reserve(families.size() * seeds.size() * platforms.size() *
+                  policies.size());
   for (const std::string& family : families) {
     const ScenarioFactory& factory = factory_for(family);
     for (std::uint64_t seed : seeds) {
-      // One benchmark per (family, seed), shared read-only by every policy.
+      // One benchmark per (family, seed), shared read-only by every
+      // platform x policy cell.
       auto scenario = std::make_shared<const workload::Benchmark>(
           factory(seed));
-      for (const std::string& policy : policies) {
-        ExperimentConfig config = sweep.base;
-        config.benchmark = family + "#s" + std::to_string(seed);
-        config.scenario = scenario;
-        set_policy(config, policy);
-        config.seed = seed;
-        configs.push_back(std::move(config));
+      for (const PlatformPtr& platform : platforms) {
+        for (const std::string& policy : policies) {
+          ExperimentConfig config = sweep.base;
+          config.benchmark = family + "#s" + std::to_string(seed);
+          config.scenario = scenario;
+          if (platform != nullptr) set_platform(config, platform);
+          set_policy(config, policy);
+          config.seed = seed;
+          configs.push_back(std::move(config));
+        }
       }
     }
   }

@@ -51,6 +51,9 @@ class ScenarioCatalog {
   struct Sweep {
     ExperimentConfig base;  ///< template for every generated config
     std::vector<std::string> families;
+    /// PlatformRegistry names; empty falls back to base's platform, so the
+    /// catalog expands exactly as before the platform axis existed.
+    std::vector<std::string> platforms;
     std::vector<Policy> policies;
     /// Registry-name policy axis, appended after `policies` (mapped onto
     /// their registry names) -- user-registered policies sweep the catalog
@@ -60,10 +63,11 @@ class ScenarioCatalog {
   };
 
   /// Expands the grid in row-major order (family outermost, then seed, then
-  /// policy, so one generated benchmark is shared read-only by every policy
-  /// that runs it). Each config carries its generated benchmark inline and is
-  /// labeled "<family>#s<seed>"; the same grid always expands to the same
-  /// configs, so catalog batches replay bit-identically.
+  /// platform, then policy, so one generated benchmark is shared read-only
+  /// by every platform x policy cell that runs it). Each config carries its
+  /// generated benchmark inline and is labeled "<family>#s<seed>"; the same
+  /// grid always expands to the same configs, so catalog batches replay
+  /// bit-identically.
   std::vector<ExperimentConfig> expand(const Sweep& sweep) const;
 
  private:

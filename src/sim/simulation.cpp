@@ -51,17 +51,17 @@ Simulation::Simulation(const ExperimentConfig& config,
                        std::unique_ptr<governors::ThermalPolicy> policy_override,
                        const RunPlan* plan)
     : config_(validated(config, model)),
+      platform_(resolved_platform(config_)),
       dt_s_(config_.control_interval_s),
       substeps_(std::max(1, int(std::lround(dt_s_ / config_.plant_substep_s)))),
       sub_dt_s_(dt_s_ / substeps_),
       root_(config_.seed),
-      plant_(config_.preset, root_,
-             plan != nullptr ? plan->floorplan_for(config_.preset.floorplan)
-                             : nullptr),
+      plant_(*platform_, root_,
+             plan != nullptr ? plan->floorplan_for(*platform_) : nullptr),
       bench_(resolve_benchmark(config_, plan)),
       background_(background_params(bench_), root_.fork()),
       instance_(bench_),
-      control_(config_, model, std::move(policy_override)),
+      control_(config_, model, std::move(policy_override), platform_.get()),
       observer_(config_.observe_predictions
                     ? PredictionObserver(*model, config_.observe_horizon_steps)
                     : PredictionObserver()),
@@ -137,8 +137,8 @@ bool Simulation::step() {
     result_.max_temp_stats.add(t_max_reading);
     const double soc_power = power::total(last_rails_avg_);
     const double platform_true = soc_power + last_fan_power_ +
-                                 config_.preset.platform_load.board_base_w +
-                                 config_.preset.platform_load.display_w;
+                                 platform_->platform_load.board_base_w +
+                                 platform_->platform_load.display_w;
     result_.platform_energy_j += platform_true * interval.consumed_s;
     fan_energy_j_ += last_fan_power_ * interval.consumed_s;
     if (t_max_reading > config_.dtpm.t_max_c) {
@@ -224,8 +224,8 @@ RunResult Simulation::finish() {
   if (result.execution_time_s > 0.0) {
     result.avg_soc_power_w =
         (result.platform_energy_j - fan_energy_j_) / result.execution_time_s -
-        config_.preset.platform_load.board_base_w -
-        config_.preset.platform_load.display_w;
+        platform_->platform_load.board_base_w -
+        platform_->platform_load.display_w;
   }
   observer_.finalize(result);
   if (control_.dtpm() != nullptr) result.dtpm = control_.dtpm()->diagnostics();

@@ -82,6 +82,10 @@ class Simulation {
                     double platform_power_w);
 
   ExperimentConfig config_;
+  /// The resolved platform descriptor the plant was built from (config's
+  /// `platform`, or synthesized from its preset). Declared before plant_ --
+  /// construction order matters.
+  PlatformPtr platform_;
   double dt_s_;
   int substeps_;
   double sub_dt_s_;

@@ -3,17 +3,24 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "power/dynamic_power.hpp"
 
 namespace dtpm::soc {
 
 Soc::Soc(const PlantPowerParams& power_params, const PerfParams& perf_params)
+    : Soc(power_params, perf_params, power::big_cluster_opp_table(),
+          power::little_cluster_opp_table(), power::gpu_opp_table()) {}
+
+Soc::Soc(const PlantPowerParams& power_params, const PerfParams& perf_params,
+         power::OppTable big_opps, power::OppTable little_opps,
+         power::OppTable gpu_opps)
     : power_params_(power_params),
       perf_params_(perf_params),
-      big_opps_(power::big_cluster_opp_table()),
-      little_opps_(power::little_cluster_opp_table()),
-      gpu_opps_(power::gpu_opp_table()),
+      big_opps_(std::move(big_opps)),
+      little_opps_(std::move(little_opps)),
+      gpu_opps_(std::move(gpu_opps)),
       big_leak_(power_params.big_leakage),
       little_leak_(power_params.little_leakage),
       gpu_leak_(power_params.gpu_leakage),
@@ -24,6 +31,35 @@ Soc::Soc(const PlantPowerParams& power_params, const PerfParams& perf_params)
   v_big_ = big_opps_.max().voltage_v;
   v_little_ = little_opps_.max().voltage_v;
   v_gpu_ = gpu_opps_.max().voltage_v;
+}
+
+bool operator==(const PlantPowerParams& a, const PlantPowerParams& b) {
+  return a.big_leakage == b.big_leakage &&
+         a.little_leakage == b.little_leakage &&
+         a.gpu_leakage == b.gpu_leakage && a.mem_leakage == b.mem_leakage &&
+         a.big_core_alpha_c_max == b.big_core_alpha_c_max &&
+         a.little_core_alpha_c_max == b.little_core_alpha_c_max &&
+         a.gpu_alpha_c_max == b.gpu_alpha_c_max &&
+         a.big_uncore_alpha_c == b.big_uncore_alpha_c &&
+         a.little_uncore_alpha_c == b.little_uncore_alpha_c &&
+         a.big_idle_activity == b.big_idle_activity &&
+         a.little_idle_activity == b.little_idle_activity &&
+         a.gpu_idle_util == b.gpu_idle_util &&
+         a.mem_bandwidth_cap == b.mem_bandwidth_cap &&
+         a.offline_core_leakage_fraction == b.offline_core_leakage_fraction &&
+         a.inactive_cluster_leakage_fraction ==
+             b.inactive_cluster_leakage_fraction &&
+         a.mem_dynamic_max_w == b.mem_dynamic_max_w &&
+         a.mem_base_w == b.mem_base_w &&
+         a.mem_gpu_traffic_weight == b.mem_gpu_traffic_weight &&
+         a.mem_nominal_voltage_v == b.mem_nominal_voltage_v &&
+         a.mem_nominal_frequency_hz == b.mem_nominal_frequency_hz;
+}
+
+bool operator==(const PerfParams& a, const PerfParams& b) {
+  return a.big_ipc_scale == b.big_ipc_scale &&
+         a.little_ipc_scale == b.little_ipc_scale &&
+         a.cluster_switch_stall_s == b.cluster_switch_stall_s;
 }
 
 void Soc::apply(const SocConfig& config) {

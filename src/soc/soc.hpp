@@ -70,6 +70,8 @@ struct PlantPowerParams {
   double mem_nominal_frequency_hz = 800e6;
 };
 
+bool operator==(const PlantPowerParams& a, const PlantPowerParams& b);
+
 /// Performance model parameters.
 struct PerfParams {
   double big_ipc_scale = 1.0;
@@ -79,6 +81,8 @@ struct PerfParams {
   /// clusters has a larger overhead).
   double cluster_switch_stall_s = 0.05;
 };
+
+bool operator==(const PerfParams& a, const PerfParams& b);
 
 /// True plant outputs for one interval.
 struct SocStepResult {
@@ -94,7 +98,13 @@ struct SocStepResult {
 class Soc {
  public:
   Soc() : Soc(PlantPowerParams{}, PerfParams{}) {}
+  /// Default Exynos-5410 OPP tables (Tables 6.1-6.3).
   Soc(const PlantPowerParams& power_params, const PerfParams& perf_params);
+  /// Platform-specific DVFS domains: the tables a sim::PlatformDescriptor
+  /// carries as data.
+  Soc(const PlantPowerParams& power_params, const PerfParams& perf_params,
+      power::OppTable big_opps, power::OppTable little_opps,
+      power::OppTable gpu_opps);
 
   const power::OppTable& big_opps() const { return big_opps_; }
   const power::OppTable& little_opps() const { return little_opps_; }

@@ -35,6 +35,31 @@ struct FanParams {
   double power_full = 0.55;
 };
 
+inline bool operator==(const FanParams& a, const FanParams& b) {
+  return a.conductance_off == b.conductance_off &&
+         a.conductance_low == b.conductance_low &&
+         a.conductance_half == b.conductance_half &&
+         a.conductance_full == b.conductance_full &&
+         a.power_off == b.power_off && a.power_low == b.power_low &&
+         a.power_half == b.power_half && a.power_full == b.power_full;
+}
+
+/// FanParams of a platform with no fan at all: every speed maps to the same
+/// passive conductance and draws no power, so fan "actuation" by a policy is
+/// physically and electrically a no-op.
+inline FanParams passive_cooling(double conductance_w_per_k) {
+  FanParams params;
+  params.conductance_off = conductance_w_per_k;
+  params.conductance_low = conductance_w_per_k;
+  params.conductance_half = conductance_w_per_k;
+  params.conductance_full = conductance_w_per_k;
+  params.power_off = 0.0;
+  params.power_low = 0.0;
+  params.power_half = 0.0;
+  params.power_full = 0.0;
+  return params;
+}
+
 /// Stateless mapping from speed to conductance/power.
 class Fan {
  public:

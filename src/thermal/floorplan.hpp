@@ -1,10 +1,19 @@
-// Exynos-5410-like thermal floorplan: the node/edge topology that the
-// RcNetwork plant integrates. The four A15 (big) cores are the thermal
-// hotspots instrumented with sensors, matching the Odroid-XU+E (§6.1.2).
+// Thermal floorplans: the node/edge topology that the RcNetwork plant
+// integrates. Two layers live here:
+//
+//   * FloorplanSpec -- a fully data-driven description (named nodes,
+//     conductance edges, a fan-modulated edge, and the role mapping that
+//     tells the plant which nodes are the per-core hotspots / cluster heat
+//     sinks / sensor sites). This is what sim::PlatformDescriptor carries
+//     and what platform JSON files serialize.
+//   * The Exynos-5410-like default floorplan of the Odroid-XU+E (§6.1.2),
+//     expressed as a FloorplanSpec generated from FloorplanParams so the
+//     historical parameter struct keeps working unchanged.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "power/resource.hpp"
@@ -87,22 +96,115 @@ inline bool operator!=(const FloorplanParams& a, const FloorplanParams& b) {
   return !(a == b);
 }
 
-/// A constructed floorplan: the network plus the index of the edge the fan
-/// modulates (board-to-ambient convection).
-struct Floorplan {
-  RcNetwork network;
-  std::size_t fan_edge = 0;
-  FloorplanParams params;
+// --- Data-driven floorplan description ---------------------------------------
 
-  /// Indices of the four big-core nodes, in order.
+/// One named thermal node of a data-driven floorplan.
+struct FloorplanNodeSpec {
+  std::string name;
+  double capacitance_j_per_k = 1.0;
+  double initial_temp_c = 25.0;
+  /// Fixed-temperature boundary node (the ambient / furnace chamber).
+  bool is_boundary = false;
+};
+
+/// One conductance edge, referencing nodes by name.
+struct FloorplanEdgeSpec {
+  std::string node_a;
+  std::string node_b;
+  double conductance_w_per_k = 0.0;
+  /// The fan modulates this edge's conductance (at most one per floorplan;
+  /// none on a fanless platform).
+  bool fan_modulated = false;
+};
+
+/// A complete floorplan as data: topology plus the role mapping through
+/// which the SoC model injects heat and the sensor bank observes it. This is
+/// the serializable source of truth a sim::PlatformDescriptor carries.
+struct FloorplanSpec {
+  std::vector<FloorplanNodeSpec> nodes;
+  std::vector<FloorplanEdgeSpec> edges;
+
+  /// Per-core hotspot nodes, in core order (heat injection of the big
+  /// cores' individual power draws).
+  std::vector<std::string> core_nodes;
+  /// Cluster-level heat sinks of the remaining metered rails.
+  std::string little_node;
+  std::string gpu_node;
+  std::string mem_node;
+  /// Temperature-sensor placement, in sensor order.
+  std::vector<std::string> sensor_nodes;
+
+  /// The single boundary node's fixed temperature; throws std::logic_error
+  /// when the spec has no boundary node.
+  double ambient_temp_c() const;
+
+  /// True when some edge is fan-modulated.
+  bool has_fan_edge() const;
+};
+
+bool operator==(const FloorplanNodeSpec& a, const FloorplanNodeSpec& b);
+bool operator==(const FloorplanEdgeSpec& a, const FloorplanEdgeSpec& b);
+/// Memberwise equality -- the sharing key for compiled floorplan templates
+/// (sim::RunPlan) now that topology itself is data.
+bool operator==(const FloorplanSpec& a, const FloorplanSpec& b);
+inline bool operator!=(const FloorplanSpec& a, const FloorplanSpec& b) {
+  return !(a == b);
+}
+
+/// A constructed floorplan: the compiled network, the fan-modulated edge
+/// (kNoFanEdge on fanless platforms), and the role indices resolved from the
+/// spec's node names.
+struct Floorplan {
+  /// Sentinel fan_edge value of a floorplan without a fan-modulated edge.
+  static constexpr std::size_t kNoFanEdge = static_cast<std::size_t>(-1);
+
+  RcNetwork network;
+  std::size_t fan_edge = kNoFanEdge;
+  FloorplanSpec spec;
+
+  /// Role indices into the network, resolved once at construction.
+  std::vector<std::size_t> core_node_index;
+  std::size_t little_node_index = 0;
+  std::size_t gpu_node_index = 0;
+  std::size_t mem_node_index = 0;
+  std::size_t ambient_node_index = 0;
+  std::vector<std::size_t> sensor_node_index;
+
+  bool has_fan_edge() const { return fan_edge != kNoFanEdge; }
+
+  /// Maps the SoC's power draws onto this floorplan's heat-injection nodes
+  /// through the role indices: each big core heats its own core node and the
+  /// little/GPU/memory rails heat their cluster nodes. Allocation-free after
+  /// the first call on a reused buffer.
+  void assemble_node_power_into(const std::array<double, 4>& big_core_power_w,
+                                const power::ResourceVector& rail_power_w,
+                                std::vector<double>& node_power_out) const;
+
+  /// Indices of the four big-core nodes of the *default* floorplan, in
+  /// order. Kept for the enum-addressed legacy call sites and tests.
   static std::array<std::size_t, 4> big_core_nodes();
 
-  /// The same indices as a shared immutable vector (what sensor banks
-  /// consume), built once per process instead of once per Plant.
+  /// The same indices as a shared immutable vector, built once per process.
   static const std::vector<std::size_t>& big_core_node_indices();
 };
 
-/// Builds the default Exynos-5410-like floorplan.
+/// The default Exynos-5410-like topology as a data-driven spec. The result
+/// builds (node for node, edge for edge) the exact network
+/// make_default_floorplan has always produced.
+FloorplanSpec default_floorplan_spec(const FloorplanParams& params = {});
+
+/// Builds a floorplan from its data description. Validates the spec first:
+/// duplicate/empty node names, edges or role members referencing unknown
+/// nodes, more than one fan-modulated edge, boundary role nodes, or not
+/// exactly one boundary node all throw std::invalid_argument.
+Floorplan build_floorplan(const FloorplanSpec& spec);
+
+/// Validation half of build_floorplan (everything except what RcNetwork
+/// itself checks); throws std::invalid_argument with the offending member.
+void validate_floorplan_spec(const FloorplanSpec& spec);
+
+/// Builds the default Exynos-5410-like floorplan:
+/// build_floorplan(default_floorplan_spec(params)).
 Floorplan make_default_floorplan(const FloorplanParams& params = {});
 
 /// Maps the SoC's power draws onto the floorplan's heat-injection nodes:

@@ -16,6 +16,11 @@ struct TempSensorParams {
   double noise_stddev_c = 0.20;  ///< additive Gaussian noise before quantizing
 };
 
+inline bool operator==(const TempSensorParams& a, const TempSensorParams& b) {
+  return a.quantization_c == b.quantization_c &&
+         a.noise_stddev_c == b.noise_stddev_c;
+}
+
 /// Samples true node temperatures into sensor readings.
 class TempSensorBank {
  public:

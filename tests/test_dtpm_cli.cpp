@@ -122,6 +122,15 @@ TEST(DtpmCli, ListCategories) {
   EXPECT_EQ(run_cli({"list"}).exit_code, 2);
 }
 
+TEST(DtpmCli, ListPlatforms) {
+  // Sorted registry names; the three built-ins ship pre-registered.
+  EXPECT_EQ(run_cli({"list", "platforms"}).out,
+            "compact\ndragon\nodroid-xu-e\n");
+  const CliResult verbose = run_cli({"list", "platforms", "--long"});
+  EXPECT_NE(verbose.out.find("Tegra-X1-like"), std::string::npos);
+  EXPECT_NE(verbose.out.find("the paper's board"), std::string::npos);
+}
+
 // --- usage ------------------------------------------------------------------
 
 TEST(DtpmCli, UsageErrors) {
@@ -157,9 +166,9 @@ TEST(DtpmCli, RunWritesTraceAndSummary) {
   EXPECT_EQ(r.exit_code, 0) << r.err;
 
   const std::string summary = slurp(out_dir + "/summary.csv");
-  EXPECT_NE(summary.find("benchmark,policy,seed,completed"),
+  EXPECT_NE(summary.find("benchmark,policy,seed,platform,completed"),
             std::string::npos);
-  EXPECT_NE(summary.find("crc32,no-fan,3,"), std::string::npos);
+  EXPECT_NE(summary.find("crc32,no-fan,3,odroid-xu-e,"), std::string::npos);
   EXPECT_EQ(line_count(summary), 2u);  // header + one row
 
   const std::string trace = slurp(out_dir + "/crc32_no-fan_trace.csv");
@@ -199,6 +208,84 @@ TEST(DtpmCli, CustomPolicyFromTestTuRunsViaJsonConfig) {
             std::string::npos);
 }
 
+TEST(DtpmCli, RunOnSelectedPlatform) {
+  const std::string config = write_file("run_dragon.json", R"({
+    "benchmark": "crc32",
+    "policy": "no-fan",
+    "platform": "dragon",
+    "warmup_s": 1.0,
+    "max_sim_time_s": 5.0,
+    "record_trace": false
+  })");
+  const std::string out_dir = temp_dir() + "dragon-out";
+  const CliResult r = run_cli({"run", config, "--out", out_dir, "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(slurp(out_dir + "/summary.csv").find("crc32,no-fan,1,dragon,"),
+            std::string::npos);
+}
+
+TEST(DtpmCli, PlatformFlagOverridesConfig) {
+  const std::string config = write_file("run_flag_platform.json", R"({
+    "benchmark": "crc32",
+    "policy": "no-fan",
+    "warmup_s": 1.0,
+    "max_sim_time_s": 5.0,
+    "record_trace": false
+  })");
+  const std::string out_dir = temp_dir() + "flag-platform-out";
+  const CliResult r = run_cli(
+      {"run", config, "--platform", "compact", "--out", out_dir, "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(slurp(out_dir + "/summary.csv").find("crc32,no-fan,1,compact,"),
+            std::string::npos);
+
+  // Unknown names fail with the sorted list + suggestion, like every other
+  // registry lookup.
+  const CliResult bad =
+      run_cli({"run", config, "--platform", "drago", "--quiet"});
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.err.find("did you mean 'dragon'?"), std::string::npos);
+}
+
+TEST(DtpmCli, PlatformFlagKeepsExplicitlyPinnedTmax) {
+  // The document pins t_max_c = 30 -- far below every temperature the run
+  // will see -- so if --platform kept it, violation_time covers the whole
+  // run; if the flag clobbered it with compact's 58 C default, violation
+  // time would be zero.
+  const std::string config = write_file("pinned_tmax.json", R"({
+    "benchmark": "crc32",
+    "policy": "no-fan",
+    "dtpm": {"t_max_c": 30.0},
+    "warmup_s": 1.0,
+    "max_sim_time_s": 5.0,
+    "record_trace": false
+  })");
+  const std::string out_dir = temp_dir() + "pinned-tmax-out";
+  const CliResult r = run_cli(
+      {"run", config, "--platform", "compact", "--out", out_dir, "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string summary = slurp(out_dir + "/summary.csv");
+  // Parse the data row: violation_time_s is the 11th column (index 10).
+  const std::size_t row_start = summary.find('\n') + 1;
+  std::istringstream row(summary.substr(row_start));
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(row, field, ',')) fields.push_back(field);
+  ASSERT_GT(fields.size(), 10u);
+  EXPECT_EQ(fields[3], "compact");
+  EXPECT_GT(std::stod(fields[10]), 1.0) << summary;
+}
+
+TEST(DtpmCli, RunReportsUnknownPlatformInConfigWithPath) {
+  const std::string config =
+      write_file("bad_platform.json", R"({"platform": "odroid-xue"})");
+  const CliResult r = run_cli({"run", config, "--out", temp_dir() + "y"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("$.platform: unknown platform 'odroid-xue', did you "
+                       "mean 'odroid-xu-e'?"),
+            std::string::npos);
+}
+
 // --- sweep ------------------------------------------------------------------
 
 TEST(DtpmCli, SweepSmokeWritesSummaryRows) {
@@ -215,6 +302,22 @@ TEST(DtpmCli, SweepSmokeWritesSummaryRows) {
   const std::string summary = slurp(out_dir + "/summary.csv");
   EXPECT_EQ(line_count(summary), 5u);  // header + 2 policies x 2 seeds
   EXPECT_NE(summary.find("crc32,reactive,2,"), std::string::npos);
+}
+
+TEST(DtpmCli, SweepPlatformAxis) {
+  const std::string grid = write_file("platform_grid.json", R"({
+    "base": {"benchmark": "crc32", "policy": "no-fan",
+             "warmup_s": 1.0, "max_sim_time_s": 4.0, "record_trace": false},
+    "platforms": ["odroid-xu-e", "dragon", "compact"]
+  })");
+  const std::string out_dir = temp_dir() + "platform-sweep-out";
+  const CliResult r = run_cli({"sweep", grid, "--smoke", "--out", out_dir});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string summary = slurp(out_dir + "/summary.csv");
+  EXPECT_EQ(line_count(summary), 4u);  // header + one row per platform
+  EXPECT_NE(summary.find("crc32,no-fan,1,odroid-xu-e,"), std::string::npos);
+  EXPECT_NE(summary.find("crc32,no-fan,1,dragon,"), std::string::npos);
+  EXPECT_NE(summary.find("crc32,no-fan,1,compact,"), std::string::npos);
 }
 
 TEST(DtpmCli, SweepScenarioSelection) {
@@ -248,6 +351,16 @@ TEST(DtpmCli, ExampleConfigsParseAndExpand) {
       sim::load_sweep_spec(dir + "/scenario_fuzz.json");
   EXPECT_TRUE(fuzz.has_scenarios);
   EXPECT_GE(fuzz.expand().size(), 4u);
+
+  // The inline-descriptor example: a custom fanless SoC defined purely in
+  // JSON, selectable without any registry entry.
+  const sim::ExperimentConfig custom =
+      sim::load_experiment_config(dir + "/custom_platform.json");
+  ASSERT_NE(custom.platform, nullptr);
+  EXPECT_EQ(custom.platform->name, "stb-quad");
+  EXPECT_FALSE(custom.platform->has_fan());
+  EXPECT_EQ(custom.platform->platform_load.display_w, 0.0);
+  EXPECT_DOUBLE_EQ(custom.dtpm.t_max_c, 75.0);  // adopted from the platform
 }
 
 }  // namespace
