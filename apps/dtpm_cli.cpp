@@ -30,18 +30,19 @@ const char kUsageText[] =
     "dtpm -- declarative experiment driver for the DTPM reproduction\n"
     "\n"
     "usage:\n"
-    "  dtpm run <config.json>  [--platform NAME] [--out DIR] [--with-model] "
-    "[--smoke] [--quiet]\n"
+    "  dtpm run <config.json>  [--platform NAME] [--engine NAME] [--out DIR] "
+    "[--with-model] [--smoke] [--quiet]\n"
     "      Run one experiment config; writes <out>/summary.csv and, when the\n"
     "      config records a trace, <out>/<label>_trace.csv. --platform\n"
-    "      overrides the config's platform with a registered one.\n"
-    "  dtpm sweep <grid.json>  [-j N] [--platform NAME] [--out DIR] "
-    "[--with-model] [--smoke] [--quiet]\n"
+    "      overrides the config's platform with a registered one; --engine\n"
+    "      overrides the stepping engine (see `dtpm list engines`).\n"
+    "  dtpm sweep <grid.json>  [-j N] [--platform NAME] [--engine NAME] "
+    "[--out DIR] [--with-model] [--smoke] [--quiet]\n"
     "      Expand a sweep grid (flat benchmark axes or a scenario-catalog\n"
     "      selection) and run it on the parallel BatchRunner. --smoke caps\n"
     "      warm-up/simulated time and disables traces for CI-sized runs.\n"
-    "  dtpm list <policies|governors|scenarios|platforms|presets|benchmarks> "
-    "[--long]\n"
+    "  dtpm list <policies|governors|scenarios|platforms|presets|benchmarks"
+    "|engines> [--long]\n"
     "      List registered names, one per line (--long adds descriptions).\n"
     "\n"
     "Each platform's identified model is calibrated on demand when a config\n"
@@ -53,6 +54,7 @@ struct Options {
   std::string file;
   std::string out_dir = "dtpm-out";
   std::string platform;  // empty = whatever the config selects
+  std::string engine;    // empty = whatever the config selects
   bool with_model = false;
   bool quiet = false;
   bool smoke = false;
@@ -71,7 +73,8 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start,
       err << "dtpm: -j is only valid for `dtpm sweep`\n";
       return false;
     }
-    if (arg == "--out" || arg == "-j" || arg == "--platform") {
+    if (arg == "--out" || arg == "-j" || arg == "--platform" ||
+        arg == "--engine") {
       if (i + 1 >= args.size()) {
         err << "dtpm: " << arg << " requires an argument\n";
         return false;
@@ -81,6 +84,8 @@ bool parse_options(const std::vector<std::string>& args, std::size_t start,
         options.out_dir = value;
       } else if (arg == "--platform") {
         options.platform = value;
+      } else if (arg == "--engine") {
+        options.engine = value;
       } else {
         try {
           const int n = std::stoi(value);
@@ -161,7 +166,7 @@ std::string sanitize_label(const std::string& label) {
 const char kSummaryHeader[] =
     "benchmark,policy,seed,platform,completed,execution_time_s,"
     "avg_platform_power_w,avg_soc_power_w,max_temp_c,avg_temp_c,"
-    "violation_time_s,control_steps,error";
+    "violation_time_s,control_steps,engine,error";
 
 void append_summary_row(std::ostream& out, const sim::ExperimentConfig& config,
                         const sim::RunResult& result,
@@ -173,7 +178,7 @@ void append_summary_row(std::ostream& out, const sim::ExperimentConfig& config,
       << result.avg_platform_power_w << ',' << result.avg_soc_power_w << ','
       << result.max_temp_stats.max() << ',' << result.max_temp_stats.mean()
       << ',' << result.violation_time_s << ',' << result.control_steps << ','
-      << error << '\n';
+      << sim::to_string(config.engine) << ',' << error << '\n';
 }
 
 void print_result_line(std::ostream& out, const sim::ExperimentConfig& config,
@@ -213,6 +218,9 @@ int run_command(const Options& options, std::ostream& out,
   if (!options.platform.empty()) {
     override_platform(config, options.platform,
                       document_pins_t_max(options.file, /*sweep=*/false));
+  }
+  if (!options.engine.empty()) {
+    config.engine = sim::parse_engine(options.engine);
   }
   if (options.smoke) apply_smoke(config);
 
@@ -260,6 +268,10 @@ int sweep_command(const Options& options, std::ostream& out,
     for (sim::ExperimentConfig& config : configs) {
       override_platform(config, options.platform, t_max_pinned);
     }
+  }
+  if (!options.engine.empty()) {
+    const sim::Engine engine = sim::parse_engine(options.engine);
+    for (sim::ExperimentConfig& config : configs) config.engine = engine;
   }
   if (options.smoke) {
     for (sim::ExperimentConfig& config : configs) apply_smoke(config);
@@ -402,11 +414,27 @@ int list_command(const std::vector<std::string>& args, std::ostream& out,
   if (category == "benchmarks") {
     return print_plain(workload::all_benchmark_names());
   }
+  if (category == "engines") {
+    // Enumerator order (reference first), not sorted: the list doubles as
+    // a ranking from bit-exact baseline to fastest.
+    const char* const descriptions[] = {
+        "per-substep RK4 integrator; the bit-exact golden-trace baseline",
+        "cached exact LTI propagator; one matvec per substep",
+        "propagator + structure-of-arrays lanes across a BatchRunner wave",
+    };
+    const std::vector<std::string>& names = sim::engine_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      out << names[i];
+      if (long_format) out << "  -  " << descriptions[i];
+      out << '\n';
+    }
+    return kOk;
+  }
   err << "dtpm: "
       << util::unknown_name_message(
              "list category", category,
              {"policies", "governors", "scenarios", "platforms", "presets",
-              "benchmarks"})
+              "benchmarks", "engines"})
       << '\n';
   return kUsage;
 }

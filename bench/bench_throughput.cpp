@@ -1,10 +1,14 @@
 // Simulation throughput benchmark: the perf baseline every future PR is
 // measured against. Expands the scenario catalog over {family x policy x
-// seed}, runs the grid through the BatchRunner (trace recording off, so the
-// hot path is what is measured), and reports aggregate steps/sec, runs/sec,
-// and per-step latency percentiles from the per-run RunResult cost counters.
-// Results are written to BENCH_throughput.json so CI can archive the perf
-// trajectory per PR (see README "Performance").
+// seed}, then runs the grid through the BatchRunner once per (stepping
+// engine x worker count) cell -- reference-rk4, propagator and batched,
+// each on 1, 2 and all hardware workers -- and reports aggregate steps/sec,
+// runs/sec, and per-step latency percentiles from the per-run RunResult
+// cost counters. Results (plus compiler/build metadata, so an archived
+// number can never be mistaken for one from a different toolchain) are
+// written to BENCH_throughput.json; scripts/check_bench_regression.py
+// diffs a fresh run against the checked-in artifact in CI (see README
+// "Performance").
 //
 // Calibration (the identified model the DTPM policy needs) runs before the
 // clock starts; the measurement covers simulation stepping only.
@@ -23,18 +27,53 @@
 
 #include "bench_common.hpp"
 #include "sim/scenario_catalog.hpp"
+#include "sim/stepping_engine.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double percentile(std::vector<double> sorted_values, double p) {
+double percentile(const std::vector<double>& sorted_values, double p) {
   if (sorted_values.empty()) return 0.0;
   const double rank = p * double(sorted_values.size() - 1);
   const std::size_t lo = std::size_t(rank);
   const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
   const double frac = rank - double(lo);
   return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+/// One (engine x workers) cell of the sweep.
+struct Measurement {
+  std::string engine;
+  unsigned workers = 0;
+  std::size_t runs = 0;
+  std::size_t failed = 0;
+  std::size_t control_steps = 0;
+  std::size_t plant_substeps = 0;
+  double wall_s = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+
+  double runs_per_sec() const { return double(runs - failed) / wall_s; }
+  double steps_per_sec() const { return double(control_steps) / wall_s; }
+  double substeps_per_sec() const { return double(plant_substeps) / wall_s; }
+};
+
+const char* compiler_string() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_type() {
+#ifdef DTPM_BUILD_TYPE
+  return DTPM_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
 }
 
 }  // namespace
@@ -64,8 +103,9 @@ int main(int argc, char** argv) {
   }
   if (smoke) seed_count = 1;
 
-  bench::print_header("Throughput",
-                      "Scenario-catalog sweep: steps/sec, runs/sec, latency");
+  bench::print_header(
+      "Throughput",
+      "Scenario-catalog sweep: steps/sec per engine and worker count");
 
   // Calibrate outside the measurement window.
   const sysid::IdentifiedPlatformModel& model = bench::shared_model();
@@ -82,56 +122,76 @@ int main(int argc, char** argv) {
   // regression (or win) in the archived trajectory.
   const std::string platform = sim::resolved_platform_name(sweep.base);
 
-  const std::vector<sim::ExperimentConfig> configs = catalog.expand(sweep);
-  std::vector<sim::BatchJob> jobs;
-  jobs.reserve(configs.size());
-  for (const sim::ExperimentConfig& c : configs) jobs.push_back({c, &model});
+  std::vector<sim::ExperimentConfig> configs = catalog.expand(sweep);
 
-  const unsigned workers = sim::BatchRunner().worker_count();
-  std::printf("  %zu families x %zu seeds x %zu policies = %zu runs on %u "
-              "workers (%s)\n\n",
+  // The sweep cells: every engine on 1, 2 and all-hardware workers
+  // (deduplicated, so a 2-core host measures 1 and 2).
+  const std::vector<sim::Engine> engines = {
+      sim::Engine::kReferenceRk4, sim::Engine::kPropagator,
+      sim::Engine::kBatched};
+  std::vector<unsigned> worker_counts = {
+      1u, 2u, sim::BatchRunner().worker_count()};
+  std::sort(worker_counts.begin(), worker_counts.end());
+  worker_counts.erase(
+      std::unique(worker_counts.begin(), worker_counts.end()),
+      worker_counts.end());
+
+  std::printf("  %zu families x %zu seeds x %zu policies = %zu runs per "
+              "cell; %zu engines x %zu worker counts (%s)\n",
               catalog.size(), sweep.seeds.size(), sweep.policy_names.size(),
-              configs.size(), workers, smoke ? "smoke" : "full");
+              configs.size(), engines.size(), worker_counts.size(),
+              smoke ? "smoke" : "full");
+  std::printf("  compiler %s, build %s\n\n", compiler_string(), build_type());
 
-  const auto t0 = Clock::now();
-  const sim::BatchOutcome outcome = sim::BatchRunner().run_collecting(jobs);
-  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<Measurement> measurements;
+  std::printf("  %-14s %7s %12s %10s %14s %8s\n", "engine", "workers",
+              "steps/sec", "runs/sec", "substeps/sec", "p50 us");
+  for (const sim::Engine engine : engines) {
+    for (sim::ExperimentConfig& c : configs) c.engine = engine;
+    std::vector<sim::BatchJob> jobs;
+    jobs.reserve(configs.size());
+    for (const sim::ExperimentConfig& c : configs) jobs.push_back({c, &model});
 
-  std::size_t control_steps = 0;
-  std::size_t plant_substeps = 0;
-  std::size_t failed = 0;
-  std::vector<double> step_latency_us;
-  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
-    if (outcome.errors[i] != nullptr) {
-      ++failed;
-      continue;
-    }
-    const sim::RunResult& r = outcome.results[i];
-    control_steps += r.control_steps;
-    plant_substeps += r.plant_substeps;
-    if (r.control_steps > 0) {
-      step_latency_us.push_back(1e6 * r.wall_time_s / double(r.control_steps));
+    for (const unsigned workers : worker_counts) {
+      Measurement m;
+      m.engine = sim::to_string(engine);
+      m.workers = workers;
+      m.runs = configs.size();
+
+      const auto t0 = Clock::now();
+      const sim::BatchOutcome outcome =
+          sim::BatchRunner(workers).run_collecting(jobs);
+      m.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+      std::vector<double> step_latency_us;
+      for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+        if (outcome.errors[i] != nullptr) {
+          ++m.failed;
+          continue;
+        }
+        const sim::RunResult& r = outcome.results[i];
+        m.control_steps += r.control_steps;
+        m.plant_substeps += r.plant_substeps;
+        if (r.control_steps > 0) {
+          step_latency_us.push_back(1e6 * r.wall_time_s /
+                                    double(r.control_steps));
+        }
+      }
+      std::sort(step_latency_us.begin(), step_latency_us.end());
+      m.p50 = percentile(step_latency_us, 0.50);
+      m.p90 = percentile(step_latency_us, 0.90);
+      m.p99 = percentile(step_latency_us, 0.99);
+
+      std::printf("  %-14s %7u %12.0f %10.2f %14.0f %8.2f%s\n",
+                  m.engine.c_str(), m.workers, m.steps_per_sec(),
+                  m.runs_per_sec(), m.substeps_per_sec(), m.p50,
+                  m.failed > 0 ? "  (FAILURES)" : "");
+      measurements.push_back(std::move(m));
     }
   }
-  std::sort(step_latency_us.begin(), step_latency_us.end());
-  const double p50 = percentile(step_latency_us, 0.50);
-  const double p90 = percentile(step_latency_us, 0.90);
-  const double p99 = percentile(step_latency_us, 0.99);
-  const double steps_per_sec = double(control_steps) / wall_s;
-  const double runs_per_sec = double(configs.size() - failed) / wall_s;
 
-  std::printf("  wall time          %10.3f s\n", wall_s);
-  std::printf("  runs               %10zu (%zu failed)\n",
-              configs.size(), failed);
-  std::printf("  runs/sec           %10.2f\n", runs_per_sec);
-  std::printf("  control steps      %10zu\n", control_steps);
-  std::printf("  steps/sec          %10.0f\n", steps_per_sec);
-  std::printf("  plant substeps     %10zu\n", plant_substeps);
-  std::printf("  substeps/sec       %10.0f\n",
-              double(plant_substeps) / wall_s);
-  std::printf("  step latency p50   %10.2f us\n", p50);
-  std::printf("  step latency p90   %10.2f us\n", p90);
-  std::printf("  step latency p99   %10.2f us\n", p99);
+  std::size_t total_failed = 0;
+  for (const Measurement& m : measurements) total_failed += m.failed;
 
   std::ofstream json(json_path);
   if (!json) {
@@ -142,7 +202,8 @@ int main(int argc, char** argv) {
        << "  \"bench\": \"throughput\",\n"
        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
        << "  \"platform\": \"" << platform << "\",\n"
-       << "  \"workers\": " << workers << ",\n"
+       << "  \"compiler\": \"" << compiler_string() << "\",\n"
+       << "  \"build_type\": \"" << build_type() << "\",\n"
        << "  \"families\": " << catalog.size() << ",\n"
        << "  \"seeds\": " << sweep.seeds.size() << ",\n"
        << "  \"policies\": [";
@@ -150,17 +211,24 @@ int main(int argc, char** argv) {
     json << (p == 0 ? "" : ", ") << '"' << sweep.policy_names[p] << '"';
   }
   json << "],\n"
-       << "  \"runs\": " << configs.size() << ",\n"
-       << "  \"failed_runs\": " << failed << ",\n"
-       << "  \"wall_s\": " << wall_s << ",\n"
-       << "  \"runs_per_sec\": " << runs_per_sec << ",\n"
-       << "  \"control_steps\": " << control_steps << ",\n"
-       << "  \"steps_per_sec\": " << steps_per_sec << ",\n"
-       << "  \"plant_substeps\": " << plant_substeps << ",\n"
-       << "  \"substeps_per_sec\": " << double(plant_substeps) / wall_s << ",\n"
-       << "  \"step_latency_us\": {\"p50\": " << p50 << ", \"p90\": " << p90
-       << ", \"p99\": " << p99 << "}\n"
+       << "  \"runs_per_cell\": " << configs.size() << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    json << "    {\"engine\": \"" << m.engine << "\", \"workers\": "
+         << m.workers << ", \"failed_runs\": " << m.failed
+         << ", \"wall_s\": " << m.wall_s
+         << ", \"runs_per_sec\": " << m.runs_per_sec()
+         << ", \"control_steps\": " << m.control_steps
+         << ", \"steps_per_sec\": " << m.steps_per_sec()
+         << ", \"plant_substeps\": " << m.plant_substeps
+         << ", \"substeps_per_sec\": " << m.substeps_per_sec()
+         << ", \"step_latency_us\": {\"p50\": " << m.p50 << ", \"p90\": "
+         << m.p90 << ", \"p99\": " << m.p99 << "}}"
+         << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n"
        << "}\n";
   std::printf("\n  wrote %s\n", json_path.c_str());
-  return failed == 0 ? 0 : 1;
+  return total_failed == 0 ? 0 : 1;
 }

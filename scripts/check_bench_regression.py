@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI gate for simulation throughput: compare a fresh bench_throughput run
+against the checked-in BENCH_throughput.json and fail if steps_per_sec
+regressed by more than the threshold for any (engine, workers) cell on the
+same platform.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json
+        [--threshold 0.20] [--relative]
+
+Absolute mode (default) compares raw steps_per_sec cell by cell -- right
+when both files come from the same class of machine. --relative first
+normalizes each file by its own reference-rk4 / workers=1 cell and compares
+the resulting per-engine speedup ratios; host speed cancels out, so this is
+the mode CI uses on shared runners whose absolute numbers vary run to run.
+
+Exit status: 0 clean, 1 regression found, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+REFERENCE_ENGINE = "reference-rk4"
+
+
+def load_results(path):
+    """Returns (platform, {(engine, workers): steps_per_sec})."""
+    with open(path) as f:
+        doc = json.load(f)
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise SystemExit(
+            f"{path}: no 'results' array -- regenerate the artifact with the "
+            "current bench_throughput (the flat pre-engine schema is not "
+            "comparable)"
+        )
+    cells = {}
+    for cell in results:
+        key = (cell["engine"], int(cell["workers"]))
+        if key in cells:
+            raise SystemExit(f"{path}: duplicate cell {key}")
+        cells[key] = float(cell["steps_per_sec"])
+    return doc.get("platform", "?"), cells
+
+
+def normalize(cells, path):
+    """Divides every cell by the reference-rk4 workers=1 cell."""
+    anchor = cells.get((REFERENCE_ENGINE, 1))
+    if anchor is None or anchor <= 0.0:
+        raise SystemExit(
+            f"{path}: --relative needs a positive ({REFERENCE_ENGINE}, "
+            "workers=1) cell to normalize by"
+        )
+    return {key: value / anchor for key, value in cells.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on >threshold steps_per_sec regressions between "
+        "two BENCH_throughput.json files."
+    )
+    parser.add_argument("baseline", help="checked-in BENCH_throughput.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_throughput.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop per cell (default 0.20)",
+    )
+    parser.add_argument(
+        "--relative",
+        action="store_true",
+        help="compare per-engine speedups over reference-rk4/workers=1 "
+        "instead of raw steps/sec (host speed cancels out)",
+    )
+    args = parser.parse_args()
+
+    base_platform, base = load_results(args.baseline)
+    fresh_platform, fresh = load_results(args.fresh)
+    if base_platform != fresh_platform:
+        raise SystemExit(
+            f"platform mismatch: baseline measured '{base_platform}', fresh "
+            f"run measured '{fresh_platform}' -- these are not comparable"
+        )
+
+    metric = "speedup" if args.relative else "steps/sec"
+    if args.relative:
+        base = normalize(base, args.baseline)
+        fresh = normalize(fresh, args.fresh)
+
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        raise SystemExit("no (engine, workers) cells in common")
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        print(f"note: {len(missing)} baseline cell(s) not in fresh run: "
+              f"{missing}")
+
+    regressions = []
+    print(f"{'engine':<14} {'workers':>7} {'baseline':>12} {'fresh':>12} "
+          f"{'ratio':>7}   ({metric}, threshold -{args.threshold:.0%})")
+    for key in shared:
+        engine, workers = key
+        ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            regressions.append(key)
+            flag = "  REGRESSION"
+        print(f"{engine:<14} {workers:>7} {base[key]:>12.4g} "
+              f"{fresh[key]:>12.4g} {ratio:>7.2f}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} cell(s) regressed more than "
+              f"{args.threshold:.0%}: {regressions}")
+        return 1
+    print(f"\nOK: no cell regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

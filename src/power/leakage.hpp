@@ -35,6 +35,22 @@ inline bool operator==(const LeakageParams& a, const LeakageParams& b) {
          a.v_ref == b.v_ref && a.dibl_exponent == b.dibl_exponent;
 }
 
+/// The leakage model collapsed to coefficients at a fixed supply voltage:
+///
+///     power_w(T, vdd) == t2_scale_w * Tk^2 * exp(c2_k / Tk) + gate_w,
+///     Tk = celsius_to_kelvin(T).
+///
+/// This is the form the structure-of-arrays batch power kernel evaluates
+/// across lanes (sim/batch_lane.cpp): the voltage factors (including the
+/// DIBL term) fold into the two scale coefficients, leaving temperature as
+/// the only per-substep input. Equal to LeakageModel::power_w up to
+/// floating-point reassociation.
+struct LeakageCoeffs {
+  double t2_scale_w = 0.0;  ///< vdd * c1 * dibl(vdd), W/K^2
+  double c2_k = 0.0;        ///< exponent scale, Kelvin
+  double gate_w = 0.0;      ///< vdd * i_gate, W
+};
+
 /// Evaluates leakage current and power from the parameters.
 ///
 /// The DIBL factor pow(Vdd/v_ref, e) depends only on the supply voltage,
@@ -65,6 +81,16 @@ class LeakageModel {
   /// Leakage power in W: Vdd * I_leak.
   double power_w(double temp_c, double vdd_v) const {
     return vdd_v * current_a(temp_c, vdd_v);
+  }
+
+  /// Coefficient form of this model at a fixed supply (see LeakageCoeffs).
+  LeakageCoeffs coeffs_at(double vdd_v) const {
+    double dibl = 1.0;
+    if (params_.dibl_exponent != 0.0 && params_.v_ref > 0.0) {
+      dibl = std::pow(vdd_v / params_.v_ref, params_.dibl_exponent);
+    }
+    return {vdd_v * params_.c1 * dibl, params_.c2_k,
+            vdd_v * params_.i_gate_a};
   }
 
   const LeakageParams& params() const { return params_; }

@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "sim/batch_lane.hpp"
 #include "sim/engine.hpp"
 #include "sim/platform_registry.hpp"
 #include "sim/run_plan.hpp"
@@ -48,6 +49,15 @@ BatchOutcome BatchRunner::run_collecting(
     }
   }
 
+  // Lockstep partition: batched-engine jobs that share a platform and a
+  // step geometry run as structure-of-arrays lane groups (sim/batch_lane);
+  // every other job -- and batched jobs with no partner -- stays on the
+  // ordinary one-Simulation-per-run path. Both kinds of task share the
+  // same pool below, and both write only their own batch-aligned slots.
+  std::vector<std::size_t> singles;
+  const std::vector<LockstepGroup> groups =
+      plan_lockstep_groups(jobs, singles);
+
   auto run_one = [&](std::size_t i) {
     try {
       const sysid::IdentifiedPlatformModel* model =
@@ -58,6 +68,15 @@ BatchOutcome BatchRunner::run_collecting(
       outcome.errors[i] = std::current_exception();
     }
   };
+  const std::size_t task_count = singles.size() + groups.size();
+  auto run_task = [&](std::size_t t) {
+    if (t < singles.size()) {
+      run_one(singles[t]);
+    } else {
+      run_lockstep_group(jobs, groups[t - singles.size()], plan,
+                         outcome.results, outcome.errors);
+    }
+  };
   auto count_failures = [&outcome] {
     for (const std::exception_ptr& e : outcome.errors) {
       if (e) ++outcome.failure_count;
@@ -65,24 +84,25 @@ BatchOutcome BatchRunner::run_collecting(
   };
 
   const unsigned workers =
-      std::min<unsigned>(worker_count_, unsigned(jobs.size()));
+      std::min<unsigned>(worker_count_, unsigned(task_count));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    for (std::size_t t = 0; t < task_count; ++t) run_task(t);
     count_failures();
     return outcome;
   }
 
-  // Work-stealing by atomic index: each worker pops the next unclaimed job,
-  // so stragglers never serialize the whole batch. Every run only touches
-  // its own Simulation (seeded from its config) and its own results/errors
-  // slot, which is what makes parallel output bit-identical to serial --
+  // Work-stealing by atomic index: each worker pops the next unclaimed
+  // task (a single run or a whole lockstep group), so stragglers never
+  // serialize the whole batch. Every task only touches its own
+  // Simulation(s) (seeded from their configs) and its own results/errors
+  // slots, which is what makes parallel output bit-identical to serial --
   // including batches where some runs throw.
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      run_one(i);
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= task_count) return;
+      run_task(t);
     }
   };
 

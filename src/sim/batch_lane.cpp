@@ -1,0 +1,393 @@
+#include "sim/batch_lane.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "power/leakage.hpp"
+#include "power/resource.hpp"
+#include "sim/run_plan.hpp"
+#include "sim/simulation.hpp"
+#include "util/vexp.hpp"
+
+namespace dtpm::sim {
+
+namespace {
+
+/// Lanes per group. Bounds how many Simulations one worker keeps alive at
+/// once; well past the point where wider SoA rows stop paying.
+constexpr std::size_t kMaxLanesPerGroup = 64;
+
+constexpr std::size_t kBigRail =
+    power::resource_index(power::Resource::kBigCluster);
+constexpr std::size_t kLittleRail =
+    power::resource_index(power::Resource::kLittleCluster);
+constexpr std::size_t kGpuRail = power::resource_index(power::Resource::kGpu);
+constexpr std::size_t kMemRail = power::resource_index(power::Resource::kMem);
+
+}  // namespace
+
+void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
+  const std::size_t lanes = wave.size();
+  if (lanes == 0) return;
+  Simulation& first = *wave.front();
+  const int substeps = first.plant_substeps();
+  const double sub_dt = first.plant_sub_dt_s();
+  const thermal::Floorplan& fp = first.plant().floorplan();
+  const std::size_t nodes = fp.network.node_count();
+  for (Simulation* sim : wave) {
+    if (sim->plant_substeps() != substeps ||
+        sim->plant_sub_dt_s() != sub_dt ||
+        sim->plant().floorplan().network.node_count() != nodes) {
+      throw std::logic_error(
+          "BatchPlantStepper: lanes are not lockstep-compatible");
+    }
+  }
+
+  // Bucket lanes by their fan-edge conductance -- the only conductance
+  // that can differ between same-platform lanes (Simulation's sole runtime
+  // conductance mutation is Plant::set_fan) -- so the propagator's
+  // signature hash and cache scan run once per bucket, not once per lane.
+  fan_g_.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const thermal::Floorplan& lane_fp = wave[l]->plant().floorplan();
+    fan_g_[l] = lane_fp.has_fan_edge()
+                    ? lane_fp.network.edge_conductance(lane_fp.fan_edge)
+                    : 0.0;
+  }
+  order_.resize(lanes);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return fan_g_[a] < fan_g_[b];
+                   });
+  sorted_.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) sorted_[l] = wave[order_[l]];
+  wave.swap(sorted_);
+  std::sort(fan_g_.begin(), fan_g_.end());
+  // Compile every distinct fan state first (a compile can grow the cache
+  // and move earlier entries, so pointers are only taken on the second,
+  // compile-free pass), then hand each bucket its shared matrices.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (l == 0 || fan_g_[l] != fan_g_[l - 1]) {
+      propagator_.matrices_for(wave[l]->plant().network(), sub_dt);
+    }
+  }
+  mats_.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    mats_[l] = (l > 0 && fan_g_[l] == fan_g_[l - 1])
+                   ? mats_[l - 1]
+                   : &propagator_.matrices_for(wave[l]->plant().network(),
+                                               sub_dt);
+  }
+
+  // Leak row -> heat-injection node (identical across lanes: one platform).
+  row_node_.assign(fp.core_node_index.begin(), fp.core_node_index.end());
+  row_node_.push_back(fp.little_node_index);
+  row_node_.push_back(fp.gpu_node_index);
+  row_node_.push_back(fp.mem_node_index);
+
+  temps_.resize(nodes * lanes);
+  power_.resize(nodes * lanes);
+  c2_.resize(kLeakRows * lanes);
+  scale_.resize(kLeakRows * lanes);
+  gate_.resize(kLeakRows * lanes);
+  tk_.resize(kLeakRows * lanes);
+  leak_.resize(kLeakRows * lanes);
+  konst_.resize(lanes);
+  committing_.assign(lanes, 1);
+
+  // --- Substep 0: scalar schedule + power per lane, packed into columns.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Simulation& sim = *wave[l];
+    Plant& plant = sim.plant();
+    plant.interval_begin();
+    const std::vector<double>& node_power = plant.substep_prepare(
+        sim.staged_demand(), sim.staged_background(), sub_dt,
+        /*reuse_schedule=*/false);
+    konst_[l] = plant.soc().interval_constants();
+    const std::vector<double>& t = plant.network().temperatures_c();
+    for (std::size_t n = 0; n < nodes; ++n) {
+      temps_[n * lanes + l] = t[n];
+      power_[n * lanes + l] = node_power[n];
+    }
+    const soc::SocIntervalConstants& k = konst_[l];
+    for (std::size_t r = 0; r < kLeakRows; ++r) {
+      const power::LeakageCoeffs& c =
+          r < std::size_t(soc::kBigCoreCount)
+              ? k.big_leak
+              : (r == kLeakRows - 3
+                     ? k.little_leak
+                     : (r == kLeakRows - 2 ? k.gpu_leak : k.mem_leak));
+      c2_[r * lanes + l] = c.c2_k;
+      scale_[r * lanes + l] = c.t2_scale_w;
+      gate_[r * lanes + l] = c.gate_w;
+    }
+  }
+
+  for (int s = 0; s < substeps; ++s) {
+    if (s > 0) compute_lane_powers(wave, sub_dt);
+    thermal_matvec(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!committing_[l]) continue;
+      Simulation& sim = *wave[l];
+      if (!sim.plant().substep_commit(sim.staged_instance(), sub_dt)) {
+        // Benchmark done mid-interval: freeze this lane where the scalar
+        // loop would have broken; its column keeps being computed (and
+        // discarded) so the bucket stays dense.
+        committing_[l] = 0;
+        scatter_lane(sim, l, lanes, nodes);
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Simulation& sim = *wave[l];
+    if (committing_[l]) scatter_lane(sim, l, lanes, nodes);
+    sim.finish_step(sim.plant().interval_end());
+  }
+}
+
+void BatchPlantStepper::compute_lane_powers(std::vector<Simulation*>& wave,
+                                            double sub_dt) {
+  const std::size_t lanes = wave.size();
+  // Structure-of-arrays leakage: Kelvin rows, then exp, then the collapsed
+  // coefficient form -- three flat loops the compiler vectorizes across
+  // lanes (the whole reason for vexp and LeakageCoeffs).
+  for (std::size_t r = 0; r < kLeakRows; ++r) {
+    const double* t_row = &temps_[row_node_[r] * lanes];
+    double* tk_row = &tk_[r * lanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      tk_row[l] = t_row[l] + power::kKelvinOffset;
+    }
+  }
+  const std::size_t total = kLeakRows * lanes;
+  for (std::size_t i = 0; i < total; ++i) leak_[i] = c2_[i] / tk_[i];
+  for (std::size_t i = 0; i < total; ++i) leak_[i] = util::vexp(leak_[i]);
+  for (std::size_t i = 0; i < total; ++i) {
+    leak_[i] = scale_[i] * (tk_[i] * tk_[i]) * leak_[i] + gate_[i];
+  }
+
+  // Rail assembly stays per-lane scalar (a handful of fmas) and writes
+  // through pending_substep() so the ordinary substep_commit sees exactly
+  // what the scalar SoC step would have produced.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (!committing_[l]) continue;
+    Plant& plant = wave[l]->plant();
+    soc::SocStepResult& sub = plant.pending_substep();
+    const soc::SocIntervalConstants& k = konst_[l];
+    const double leak0 = leak_[l];  // big core 0 row
+    double big_rail = 0.0;
+    for (int c = 0; c < soc::kBigCoreCount; ++c) {
+      const double p = k.core_const_w[c] +
+                       k.core_leak_mult[c] * leak_[std::size_t(c) * lanes + l] +
+                       k.core_leak0_mult[c] * leak0;
+      sub.big_core_power_w[c] = p;
+      big_rail += p;
+      power_[row_node_[std::size_t(c)] * lanes + l] = p;
+    }
+    sub.rail_power_w[kBigRail] = big_rail;
+    const double p_little =
+        k.little_const_w +
+        k.little_leak_mult * leak_[(kLeakRows - 3) * lanes + l];
+    const double p_gpu = k.gpu_const_w + leak_[(kLeakRows - 2) * lanes + l];
+    const double p_mem = k.mem_const_w + leak_[(kLeakRows - 1) * lanes + l];
+    sub.rail_power_w[kLittleRail] = p_little;
+    sub.rail_power_w[kGpuRail] = p_gpu;
+    sub.rail_power_w[kMemRail] = p_mem;
+    power_[row_node_[kLeakRows - 3] * lanes + l] = p_little;
+    power_[row_node_[kLeakRows - 2] * lanes + l] = p_gpu;
+    power_[row_node_[kLeakRows - 1] * lanes + l] = p_mem;
+    sub.progress_units =
+        k.progress_rate * plant.soc().consume_migration_stall(sub_dt);
+  }
+}
+
+void BatchPlantStepper::thermal_matvec(std::size_t lane_count) {
+  // One pass per fan-state bucket (contiguous columns after the sort). The
+  // per-lane sum order -- all Phi terms in ascending j, then all Gamma
+  // terms -- matches PropagatorRcModel::step exactly, so a lane's thermal
+  // update is bit-identical to the scalar propagator for identical inputs.
+  std::size_t lo = 0;
+  while (lo < lane_count) {
+    const thermal::PropagatorMatrices* m = mats_[lo];
+    std::size_t hi = lo + 1;
+    while (hi < lane_count && mats_[hi] == m) ++hi;
+    const std::size_t width = hi - lo;
+    const std::size_t n = m->free_count;
+    tf_.resize(n * width);
+    z_.resize(n * width);
+    out_.resize(n * width);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t node = m->free_nodes[i];
+      const double* t_row = &temps_[node * lane_count + lo];
+      const double* p_row = &power_[node * lane_count + lo];
+      double* tf_row = &tf_[i * width];
+      double* z_row = &z_[i * width];
+      for (std::size_t l = 0; l < width; ++l) {
+        tf_row[l] = t_row[l];
+        z_row[l] = p_row[l];
+      }
+    }
+    for (const thermal::PropagatorMatrices::BoundaryTerm& bt :
+         m->boundary_terms) {
+      const double* b_row = &temps_[bt.boundary_node * lane_count + lo];
+      double* z_row = &z_[bt.free_slot * width];
+      for (std::size_t l = 0; l < width; ++l) z_row[l] += bt.g * b_row[l];
+    }
+    const double* phi = m->phi.data();
+    const double* gamma = m->gamma.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      double* acc = &out_[i * width];
+      for (std::size_t l = 0; l < width; ++l) acc[l] = 0.0;
+      const double* phi_row = phi + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double pij = phi_row[j];
+        const double* tf_row = &tf_[j * width];
+        for (std::size_t l = 0; l < width; ++l) acc[l] += pij * tf_row[l];
+      }
+      const double* gamma_row = gamma + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double gij = gamma_row[j];
+        const double* z_row = &z_[j * width];
+        for (std::size_t l = 0; l < width; ++l) acc[l] += gij * z_row[l];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double* t_row = &temps_[m->free_nodes[i] * lane_count + lo];
+      const double* o_row = &out_[i * width];
+      for (std::size_t l = 0; l < width; ++l) t_row[l] = o_row[l];
+    }
+    lo = hi;
+  }
+}
+
+void BatchPlantStepper::scatter_lane(Simulation& sim, std::size_t lane,
+                                     std::size_t lane_count,
+                                     std::size_t node_count) {
+  std::vector<double>& temps = sim.plant().network().temperatures_mut();
+  for (std::size_t n = 0; n < node_count; ++n) {
+    temps[n] = temps_[n * lane_count + lane];
+  }
+}
+
+std::vector<LockstepGroup> plan_lockstep_groups(
+    const std::vector<BatchJob>& jobs, std::vector<std::size_t>& singles) {
+  struct Bucket {
+    PlatformPtr platform;
+    double control_interval_s;
+    double plant_substep_s;
+    LockstepGroup members;
+  };
+  std::vector<Bucket> buckets;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ExperimentConfig& config = jobs[i].config;
+    if (config.engine != Engine::kBatched) {
+      singles.push_back(i);
+      continue;
+    }
+    // Value equality, not pointer identity: preset-only configs synthesize
+    // a fresh descriptor each, and sweeps mixing the two must still group.
+    const PlatformPtr platform = resolved_platform(config);
+    bool placed = false;
+    for (Bucket& b : buckets) {
+      if (b.control_interval_s == config.control_interval_s &&
+          b.plant_substep_s == config.plant_substep_s &&
+          *b.platform == *platform) {
+        b.members.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      buckets.push_back({platform, config.control_interval_s,
+                         config.plant_substep_s, LockstepGroup{i}});
+    }
+  }
+
+  std::vector<LockstepGroup> groups;
+  for (Bucket& b : buckets) {
+    if (b.members.size() < 2) {
+      singles.insert(singles.end(), b.members.begin(), b.members.end());
+      continue;
+    }
+    for (std::size_t off = 0; off < b.members.size();
+         off += kMaxLanesPerGroup) {
+      const std::size_t end =
+          std::min(off + kMaxLanesPerGroup, b.members.size());
+      if (end - off == 1) {
+        singles.push_back(b.members[off]);  // a chunk of one gains nothing
+      } else {
+        groups.emplace_back(b.members.begin() + std::ptrdiff_t(off),
+                            b.members.begin() + std::ptrdiff_t(end));
+      }
+    }
+  }
+  return groups;
+}
+
+void run_lockstep_group(const std::vector<BatchJob>& jobs,
+                        const LockstepGroup& members, const RunPlan& plan,
+                        std::vector<RunResult>& results,
+                        std::vector<std::exception_ptr>& errors) {
+  struct Lane {
+    std::size_t slot = 0;
+    std::unique_ptr<Simulation> sim;
+    bool finished = false;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(members.size());
+  for (std::size_t slot : members) {
+    try {
+      const sysid::IdentifiedPlatformModel* model =
+          jobs[slot].model != nullptr ? jobs[slot].model
+                                      : plan.model_for(jobs[slot].config);
+      Lane lane;
+      lane.slot = slot;
+      lane.sim = std::make_unique<Simulation>(jobs[slot].config, model,
+                                              nullptr, &plan);
+      lanes.push_back(std::move(lane));
+    } catch (...) {
+      errors[slot] = std::current_exception();
+    }
+  }
+
+  BatchPlantStepper stepper;
+  std::vector<Simulation*> wave;
+  try {
+    for (;;) {
+      wave.clear();
+      for (Lane& lane : lanes) {
+        if (lane.finished) continue;
+        bool running = false;
+        try {
+          running = lane.sim->begin_step();
+        } catch (...) {
+          errors[lane.slot] = std::current_exception();
+          lane.finished = true;
+          continue;
+        }
+        if (running) {
+          wave.push_back(lane.sim.get());
+        } else {
+          results[lane.slot] = lane.sim->finish();
+          lane.finished = true;
+        }
+      }
+      if (wave.empty()) break;
+      stepper.run_interval(wave);
+    }
+  } catch (...) {
+    // A failure inside the shared kernel has no single owning lane; every
+    // lane still in flight reports it rather than silently returning a
+    // default-constructed result.
+    for (Lane& lane : lanes) {
+      if (!lane.finished) {
+        errors[lane.slot] = std::current_exception();
+        lane.finished = true;
+      }
+    }
+  }
+}
+
+}  // namespace dtpm::sim

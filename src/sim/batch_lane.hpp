@@ -1,0 +1,124 @@
+// Structure-of-arrays batch stepping: the `batched` engine's fleet lane.
+//
+// A BatchRunner wave usually runs many configs that share one platform and
+// one step geometry while differing only in benchmark/policy/seed. Each of
+// those runs spends its interval budget on the same arithmetic -- leakage
+// exponentials, the LTI propagator matvec -- over different state. The
+// batch lane exploits that: same-platform runs are grouped into lockstep
+// lanes whose per-node state lives column-major (`temps[node][lane]`), so
+// one pass of the thermal propagator and one pass of the leakage kernel
+// advance every lane at once, in loops the compiler vectorizes across
+// lanes.
+//
+// Division of labour per control interval:
+//
+//   * control + sensors + actuation: per-lane scalar (Simulation::begin_step
+//     -- policies are stateful and branchy; no value in lanes there),
+//   * substep 0: per-lane scalar Plant::substep_prepare (recomputes the
+//     workload schedule) whose outputs seed the lane columns, plus a
+//     Soc::interval_constants() capture of the temperature-independent
+//     power terms,
+//   * substeps >= 1: structure-of-arrays leakage (util/vexp.hpp) + rail
+//     assembly + propagator matvec across all lanes, with lanes bucketed by
+//     fan-state conductance so each bucket shares one (Phi, Gamma) pair,
+//   * bookkeeping: the ordinary Plant::substep_commit / interval_end /
+//     Simulation::finish_step per lane, so termination, recording and
+//     metrics share the scalar code path operation for operation.
+//
+// A lane whose benchmark completes mid-interval is peeled: its column is
+// scattered back to its own RcNetwork immediately and it stops committing,
+// exactly where the scalar loop would have broken. Lanes that finish their
+// runs retire from subsequent waves; the rest keep stepping.
+//
+// Numerics: within one interval the thermal matvec reproduces the scalar
+// propagator sum order bit for bit; the power evaluation differs from the
+// scalar path by documented reassociation (SocIntervalConstants) and by
+// vexp()'s few-ulp deviation from std::exp, so `batched` trades golden-trace
+// bit-identity for throughput the same way `propagator` trades the RK4
+// fallback's -- see sim/stepping_engine.hpp for the contract.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/batch.hpp"
+#include "sim/run_result.hpp"
+#include "soc/soc.hpp"
+#include "thermal/lti_propagator.hpp"
+
+namespace dtpm::sim {
+
+class RunPlan;
+class Simulation;
+
+/// Indices into a BatchRunner job vector that run in lockstep as lanes of
+/// one structure-of-arrays group.
+using LockstepGroup = std::vector<std::size_t>;
+
+/// Steps N same-platform simulations through one control interval in
+/// structure-of-arrays form. All lanes must share the platform (hence
+/// floorplan topology), substep count and substep dt -- the invariants
+/// plan_lockstep_groups() groups by; run_interval throws std::logic_error
+/// on a violation. Owns the group-shared propagator whose conductance-keyed
+/// cache serves every fan-state bucket. Not thread-safe; one stepper per
+/// group per worker.
+class BatchPlantStepper {
+ public:
+  explicit BatchPlantStepper(
+      thermal::PropagatorMode mode = thermal::PropagatorMode::kRk4Map)
+      : propagator_(mode) {}
+
+  /// Runs one control interval for every lane in `wave`. Every lane must
+  /// have returned true from Simulation::begin_step() and not yet advanced;
+  /// on return every lane has been through finish_step(). Reorders `wave`
+  /// (lanes sharing a fan-state bucket become contiguous columns).
+  void run_interval(std::vector<Simulation*>& wave);
+
+  thermal::PropagatorRcModel& propagator() { return propagator_; }
+
+ private:
+  /// Leakage evaluation rows: the big cores + little + GPU + mem.
+  static constexpr std::size_t kLeakRows = soc::kBigCoreCount + 3;
+
+  void compute_lane_powers(std::vector<Simulation*>& wave, double sub_dt);
+  void thermal_matvec(std::size_t lane_count);
+  void scatter_lane(Simulation& sim, std::size_t lane, std::size_t lane_count,
+                    std::size_t node_count);
+
+  thermal::PropagatorRcModel propagator_;
+
+  // Per-wave scratch, resized (capacity-preserving) each interval. SoA rows
+  // have stride = current lane count.
+  std::vector<const thermal::PropagatorMatrices*> mats_;  ///< per lane
+  std::vector<soc::SocIntervalConstants> konst_;          ///< per lane
+  std::vector<char> committing_;                          ///< per lane
+  std::vector<std::size_t> row_node_;        ///< leak row -> node index
+  std::vector<double> temps_, power_;        ///< [node][lane]
+  std::vector<double> c2_, scale_, gate_;    ///< [leak row][lane]
+  std::vector<double> tk_, leak_;            ///< [leak row][lane]
+  std::vector<double> tf_, z_, out_;         ///< [free slot][lane]
+  std::vector<double> fan_g_;                ///< per-lane bucket key
+  std::vector<std::size_t> order_;
+  std::vector<Simulation*> sorted_;
+};
+
+/// Partitions a batch into lockstep groups: jobs whose config selects
+/// Engine::kBatched and agrees on (platform value, control interval, plant
+/// substep) land in one group; everything else -- other engines, and
+/// batched jobs with no lockstep partner -- is appended to `singles` for
+/// the ordinary per-run path. Groups larger than the lane cap are split.
+std::vector<LockstepGroup> plan_lockstep_groups(
+    const std::vector<BatchJob>& jobs, std::vector<std::size_t>& singles);
+
+/// Runs one lockstep group to completion, writing each job's RunResult (or
+/// exception) into its own slot of the batch-aligned arrays. Construction
+/// and control-step errors are attributed per lane; a failure inside the
+/// shared stepping kernel is reported by every lane still in flight.
+void run_lockstep_group(const std::vector<BatchJob>& jobs,
+                        const LockstepGroup& members, const RunPlan& plan,
+                        std::vector<RunResult>& results,
+                        std::vector<std::exception_ptr>& errors);
+
+}  // namespace dtpm::sim

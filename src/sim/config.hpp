@@ -12,6 +12,7 @@
 
 #include "core/dtpm_governor.hpp"
 #include "sim/preset.hpp"
+#include "sim/stepping_engine.hpp"
 #include "workload/benchmark.hpp"
 
 namespace dtpm::sim {
@@ -74,6 +75,11 @@ struct ExperimentConfig {
 
   double control_interval_s = 0.1;  ///< 100 ms driver period (§6.2)
   double plant_substep_s = 0.01;
+  /// Plant stepping engine (sim/stepping_engine.hpp). The default
+  /// reference-rk4 is bit-exact with the golden traces; `propagator` and
+  /// `batched` trade that for throughput (bounded error, documented in the
+  /// README's Performance section).
+  Engine engine = Engine::kReferenceRk4;
   /// Settling time before the benchmark starts and recording begins. A
   /// moderate warm-up load runs during this window so traces start from the
   /// warm platform visible in the paper's figures (~50 C).

@@ -9,6 +9,7 @@
 #include "governors/policy_registry.hpp"
 #include "sim/platform_registry.hpp"
 #include "sim/scenario_catalog.hpp"
+#include "sim/stepping_engine.hpp"
 #include "util/names.hpp"
 #include "workload/suite.hpp"
 
@@ -813,6 +814,7 @@ JsonValue to_json(const ExperimentConfig& config) {
     json.set("preset", "default");
   }
   json.set("dtpm", to_json(config.dtpm));
+  json.set("engine", to_string(config.engine));
   json.set("control_interval_s", config.control_interval_s);
   json.set("plant_substep_s", config.plant_substep_s);
   json.set("warmup_s", config.warmup_s);
@@ -961,6 +963,18 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
 
   if (const JsonValue* dtpm = reader.get("dtpm")) {
     config.dtpm = dtpm_params_from_json(*dtpm, path + ".dtpm", config.dtpm);
+  }
+
+  std::string engine;
+  reader.string("engine", engine);
+  if (!engine.empty()) {
+    const std::optional<Engine> parsed = try_parse_engine(engine);
+    if (!parsed.has_value()) {
+      throw ConfigError(path + ".engine",
+                        util::unknown_name_message("engine", engine,
+                                                   engine_names()));
+    }
+    config.engine = *parsed;
   }
 
   reader.number("control_interval_s", config.control_interval_s, 1e-4, 60.0);

@@ -6,7 +6,7 @@
 namespace dtpm::sim {
 
 Plant::Plant(const PlatformDescriptor& platform, util::Rng& root,
-             const thermal::Floorplan* floorplan_template)
+             const thermal::Floorplan* floorplan_template, Engine engine)
     : floorplan_(floorplan_template != nullptr
                      ? *floorplan_template
                      : thermal::build_floorplan(platform.floorplan)),
@@ -16,7 +16,11 @@ Plant::Plant(const PlatformDescriptor& platform, util::Rng& root,
       temp_bank_(floorplan_.sensor_node_index, platform.temp_sensor,
                  root.fork()),
       power_bank_(platform.power_sensor, root.fork()),
-      meter_(platform.platform_load, root.fork()) {
+      meter_(platform.platform_load, root.fork()),
+      engine_(engine),
+      propagator_(engine == Engine::kReferenceRk4
+                      ? nullptr
+                      : std::make_unique<thermal::PropagatorRcModel>()) {
   // advance() indexes core_node_index[0..kBigCoreCount-1] unconditionally;
   // a descriptor that bypassed validate() (built by hand and stuffed
   // straight into ExperimentConfig::platform) must fail here -- whichever
@@ -64,49 +68,77 @@ double Plant::max_true_temp_c() const {
   return *std::max_element(temps.begin(), temps.end());
 }
 
+void Plant::interval_begin() {
+  pending_ = PlantIntervalResult{};
+  rails_accum_ = power::ResourceVector{};
+}
+
+const std::vector<double>& Plant::substep_prepare(
+    const workload::Demand& demand,
+    const std::vector<workload::ThreadDemand>& background_threads,
+    double sub_dt, bool reuse_schedule) {
+  const auto& cores = floorplan_.core_node_index;
+  const auto& temps = floorplan_.network.temperatures_c();
+  const std::array<double, soc::kBigCoreCount> big_true{
+      temps[cores[0]], temps[cores[1]], temps[cores[2]], temps[cores[3]]};
+  // The workload schedule (placement, contention, activity) is a pure
+  // function of the demand and the applied config, both held fixed across
+  // this interval's substeps -- only the first substep recomputes it.
+  pending_.last_substep = soc_.step(
+      demand, background_threads, big_true,
+      temps[floorplan_.little_node_index], temps[floorplan_.gpu_node_index],
+      temps[floorplan_.mem_node_index], sub_dt, reuse_schedule);
+
+  floorplan_.assemble_node_power_into(pending_.last_substep.big_core_power_w,
+                                      pending_.last_substep.rail_power_w,
+                                      node_power_scratch_);
+  return node_power_scratch_;
+}
+
+void Plant::thermal_substep(double sub_dt) {
+  if (propagator_ != nullptr) {
+    propagator_->step(floorplan_.network, sub_dt, node_power_scratch_);
+  } else {
+    floorplan_.network.step(sub_dt, node_power_scratch_);
+  }
+}
+
+bool Plant::substep_commit(workload::WorkloadInstance* instance,
+                           double sub_dt) {
+  for (std::size_t r = 0; r < power::kResourceCount; ++r) {
+    rails_accum_[r] += pending_.last_substep.rail_power_w[r] * sub_dt;
+  }
+  pending_.consumed_s += sub_dt;
+  ++pending_.substeps_taken;
+  if (instance != nullptr) {
+    instance->advance(pending_.last_substep.progress_units);
+    if (instance->done()) {
+      pending_.benchmark_finished = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+PlantIntervalResult Plant::interval_end() {
+  for (std::size_t r = 0; r < power::kResourceCount; ++r) {
+    pending_.rails_avg_w[r] = rails_accum_[r] / pending_.consumed_s;
+  }
+  return pending_;
+}
+
 PlantIntervalResult Plant::advance(
     const workload::Demand& demand,
     const std::vector<workload::ThreadDemand>& background_threads,
     workload::WorkloadInstance* instance, int substeps, double sub_dt) {
-  PlantIntervalResult result;
-  power::ResourceVector rails_accum{};
-  const auto& cores = floorplan_.core_node_index;
+  interval_begin();
   for (int s = 0; s < substeps; ++s) {
-    const auto& temps = floorplan_.network.temperatures_c();
-    const std::array<double, soc::kBigCoreCount> big_true{
-        temps[cores[0]], temps[cores[1]], temps[cores[2]], temps[cores[3]]};
-    // The workload schedule (placement, contention, activity) is a pure
-    // function of the demand and the applied config, both held fixed across
-    // this interval's substeps -- only the first substep recomputes it.
-    result.last_substep =
-        soc_.step(demand, background_threads, big_true,
-                  temps[floorplan_.little_node_index],
-                  temps[floorplan_.gpu_node_index],
-                  temps[floorplan_.mem_node_index], sub_dt,
-                  /*reuse_schedule=*/s > 0);
-
-    floorplan_.assemble_node_power_into(result.last_substep.big_core_power_w,
-                                        result.last_substep.rail_power_w,
-                                        node_power_scratch_);
-    floorplan_.network.step(sub_dt, node_power_scratch_);
-
-    for (std::size_t r = 0; r < power::kResourceCount; ++r) {
-      rails_accum[r] += result.last_substep.rail_power_w[r] * sub_dt;
-    }
-    result.consumed_s += sub_dt;
-    ++result.substeps_taken;
-    if (instance != nullptr) {
-      instance->advance(result.last_substep.progress_units);
-      if (instance->done()) {
-        result.benchmark_finished = true;
-        break;
-      }
-    }
+    substep_prepare(demand, background_threads, sub_dt,
+                    /*reuse_schedule=*/s > 0);
+    thermal_substep(sub_dt);
+    if (!substep_commit(instance, sub_dt)) break;
   }
-  for (std::size_t r = 0; r < power::kResourceCount; ++r) {
-    result.rails_avg_w[r] = rails_accum[r] / result.consumed_s;
-  }
-  return result;
+  return interval_end();
 }
 
 }  // namespace dtpm::sim

@@ -5,13 +5,16 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "power/sensors.hpp"
 #include "sim/platform.hpp"
+#include "sim/stepping_engine.hpp"
 #include "soc/soc.hpp"
 #include "thermal/fan.hpp"
 #include "thermal/floorplan.hpp"
+#include "thermal/lti_propagator.hpp"
 #include "thermal/sensor.hpp"
 #include "util/rng.hpp"
 #include "workload/runtime.hpp"
@@ -40,8 +43,15 @@ struct PlantIntervalResult {
 /// must have been built from `platform.floorplan`.
 class Plant {
  public:
+  /// `engine` selects the thermal integrator advance() runs
+  /// (sim/stepping_engine.hpp): reference-rk4 is the bit-exact RK4 loop,
+  /// propagator swaps in the cached LTI step map, and batched behaves as
+  /// propagator here (the structure-of-arrays lanes live in the batch
+  /// driver, which steps the network out-of-band through the phase API
+  /// below).
   Plant(const PlatformDescriptor& platform, util::Rng& root,
-        const thermal::Floorplan* floorplan_template = nullptr);
+        const thermal::Floorplan* floorplan_template = nullptr,
+        Engine engine = Engine::kReferenceRk4);
 
   /// Sensor sampling (start of a control interval).
   std::vector<double> read_temps();
@@ -67,6 +77,51 @@ class Plant {
       const std::vector<workload::ThreadDemand>& background_threads,
       workload::WorkloadInstance* instance, int substeps, double sub_dt);
 
+  /// Phase-decomposed interval API -- advance() is exactly this sequence:
+  ///
+  ///   interval_begin();
+  ///   for each substep:
+  ///     substep_prepare(...);   // SoC step + node-power assembly
+  ///     thermal_substep(sub_dt);  // or an external engine steps network()
+  ///     if (!substep_commit(...)) break;  // benchmark finished early
+  ///   result = interval_end();
+  ///
+  /// The batch lane driver replaces thermal_substep() with a
+  /// structure-of-arrays step across many plants; everything else runs
+  /// through the same code path, so the scalar and batched engines share
+  /// the SoC/power/bookkeeping arithmetic operation for operation.
+  void interval_begin();
+  /// Reads the true node temperatures, steps the SoC model, and assembles
+  /// the per-node power injection; returns the assembled vector (valid
+  /// until the next prepare). `reuse_schedule` must be false on the first
+  /// substep of an interval and true after.
+  const std::vector<double>& substep_prepare(
+      const workload::Demand& demand,
+      const std::vector<workload::ThreadDemand>& background_threads,
+      double sub_dt, bool reuse_schedule);
+  /// Advances the thermal network by sub_dt with the engine this plant was
+  /// built with, using the power assembled by the last substep_prepare().
+  void thermal_substep(double sub_dt);
+  /// Accumulates rails/time/progress for the substep; returns false when
+  /// the foreground workload completed (the interval ends early).
+  bool substep_commit(workload::WorkloadInstance* instance, double sub_dt);
+  /// Finalizes and returns the interval result (time-averaged rails).
+  PlantIntervalResult interval_end();
+
+  Engine engine() const { return engine_; }
+  /// Mutable view of the pending interval's per-substep record. The batch
+  /// lane kernel writes the temperature-dependent fields (rail powers, core
+  /// powers, progress) it evaluated in structure-of-arrays form, then runs
+  /// the ordinary substep_commit() so all bookkeeping stays shared with the
+  /// scalar path. Valid between interval_begin() and interval_end().
+  soc::SocStepResult& pending_substep() { return pending_.last_substep; }
+  /// The thermal network (external stepping engines advance it in place).
+  thermal::RcNetwork& network() { return floorplan_.network; }
+  const thermal::Floorplan& floorplan() const { return floorplan_; }
+  /// The propagator backing this plant's thermal step; null when the
+  /// engine is reference-rk4.
+  thermal::PropagatorRcModel* propagator() { return propagator_.get(); }
+
   const soc::Soc& soc() const { return soc_; }
   soc::Soc& soc() { return soc_; }
   /// Current true node temperatures (not sensor readings).
@@ -82,8 +137,15 @@ class Plant {
   thermal::TempSensorBank temp_bank_;
   power::PowerSensorBank power_bank_;
   power::ExternalPowerMeter meter_;
+  Engine engine_;
+  /// Backs thermal_substep() for the propagator/batched engines; null for
+  /// reference-rk4.
+  std::unique_ptr<thermal::PropagatorRcModel> propagator_;
   /// Reused node-power injection buffer (advance() allocates nothing).
   std::vector<double> node_power_scratch_;
+  /// Interval accumulation state between interval_begin()/interval_end().
+  PlantIntervalResult pending_;
+  power::ResourceVector rails_accum_{};
 };
 
 }  // namespace dtpm::sim

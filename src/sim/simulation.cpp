@@ -57,7 +57,8 @@ Simulation::Simulation(const ExperimentConfig& config,
       sub_dt_s_(dt_s_ / substeps_),
       root_(config_.seed),
       plant_(*platform_, root_,
-             plan != nullptr ? plan->floorplan_for(*platform_) : nullptr),
+             plan != nullptr ? plan->floorplan_for(*platform_) : nullptr,
+             config_.engine),
       bench_(resolve_benchmark(config_, plan)),
       background_(background_params(bench_), root_.fork()),
       instance_(bench_),
@@ -71,13 +72,21 @@ Simulation::Simulation(const ExperimentConfig& config,
 }
 
 bool Simulation::step() {
+  if (!begin_step()) return false;
+  const PlantIntervalResult interval =
+      plant_.advance(staged_demand(), staged_background(), staged_instance(),
+                     substeps_, sub_dt_s_);
+  return finish_step(interval);
+}
+
+bool Simulation::begin_step() {
   if (done_) return false;
 
   // 1. Sensor sampling (into the reused step buffers).
   plant_.read_temps_into(buffers_.sensor_temps);
   const std::vector<double>& sensor_temps = buffers_.sensor_temps;
   const power::ResourceVector sensor_rails = plant_.read_rails(last_rails_avg_);
-  const double platform_power =
+  pending_.platform_power_w =
       plant_.read_platform_power(last_rails_avg_, last_fan_power_);
 
   soc::PlatformView pv;
@@ -86,7 +95,7 @@ bool Simulation::step() {
     pv.big_temps_c[c] = sensor_temps[c];
   }
   pv.rail_power_w = sensor_rails;
-  pv.platform_power_w = platform_power;
+  pv.platform_power_w = pending_.platform_power_w;
   pv.cpu_max_util = last_cpu_max_util_;
   pv.cpu_avg_util = last_cpu_avg_util_;
   pv.gpu_util = last_gpu_util_;
@@ -99,16 +108,18 @@ bool Simulation::step() {
   plant_.set_fan(fan_speed_);
 
   // 3. Observe-only prediction bookkeeping.
-  const bool active = started_ && !instance_.done();
-  const PredictionObserver::DueSample due =
-      observer_.observe(k_, active, sensor_temps, sensor_rails);
+  pending_.active = started_ && !instance_.done();
+  pending_.due =
+      observer_.observe(k_, pending_.active, sensor_temps, sensor_rails);
 
-  // 4. Plant advance with leakage-temperature feedback per substep.
+  // 4. Stage the plant-advance inputs (the caller -- step() or the lockstep
+  // batch driver -- advances the plant, then hands the interval result to
+  // finish_step()).
   workload::Demand& demand = buffers_.demand;
   demand.threads.clear();
   demand.gpu_load = 0.0;
   demand.gpu_cycles_per_unit = 0.0;
-  if (active) {
+  if (pending_.active) {
     instance_.demand_into(demand);
   } else if (!started_) {
     // Moderate warm-up load so recording starts from a warm platform.
@@ -120,9 +131,18 @@ bool Simulation::step() {
     demand.threads.push_back(warm);
   }
   background_.threads_into(buffers_.background_threads);
-  const PlantIntervalResult interval =
-      plant_.advance(demand, buffers_.background_threads,
-                     active ? &instance_ : nullptr, substeps_, sub_dt_s_);
+  pending_.armed = true;
+  return true;
+}
+
+bool Simulation::finish_step(const PlantIntervalResult& interval) {
+  if (!pending_.armed) {
+    throw std::logic_error(
+        "Simulation::finish_step: no begin_step() pending");
+  }
+  pending_.armed = false;
+  const std::vector<double>& sensor_temps = buffers_.sensor_temps;
+  const PredictionObserver::DueSample& due = pending_.due;
   plant_substeps_ += static_cast<std::size_t>(interval.substeps_taken);
   last_rails_avg_ = interval.rails_avg_w;
   last_fan_power_ = plant_.fan_power_w(fan_speed_);
@@ -188,7 +208,7 @@ bool Simulation::step() {
     done_ = true;
   }
 
-  refresh_view(sensor_temps, platform_power);
+  refresh_view(sensor_temps, pending_.platform_power_w);
   return !done_;
 }
 

@@ -67,6 +67,37 @@ class Simulation {
   /// runaway, or the simulated-time cap) has been reached.
   bool step();
 
+  /// Split-phase stepping for external interval drivers (the lockstep batch
+  /// lane). step() is exactly:
+  ///
+  ///   if (!begin_step()) return false;
+  ///   interval = plant().advance(staged_demand(), staged_background(),
+  ///                              staged_instance(), plant_substeps(),
+  ///                              plant_sub_dt_s());
+  ///   return finish_step(interval);
+  ///
+  /// begin_step() samples the sensors, runs the control stack, applies the
+  /// actuation, and stages the plant-advance inputs; it returns false (doing
+  /// nothing) once the run is done. After a true return the caller MUST
+  /// advance the plant and call finish_step() exactly once before the next
+  /// begin_step().
+  bool begin_step();
+  bool finish_step(const PlantIntervalResult& interval);
+
+  /// The plant and the advance inputs staged by the last begin_step().
+  Plant& plant() { return plant_; }
+  const workload::Demand& staged_demand() const { return buffers_.demand; }
+  const std::vector<workload::ThreadDemand>& staged_background() const {
+    return buffers_.background_threads;
+  }
+  /// The foreground instance to advance, or null outside the benchmark
+  /// window (warm-up / completed).
+  workload::WorkloadInstance* staged_instance() {
+    return pending_.active ? &instance_ : nullptr;
+  }
+  int plant_substeps() const { return substeps_; }
+  double plant_sub_dt_s() const { return sub_dt_s_; }
+
   /// True once a termination condition has been reached.
   bool done() const { return done_; }
 
@@ -80,6 +111,15 @@ class Simulation {
  private:
   void refresh_view(const std::vector<double>& sensor_temps,
                     double platform_power_w);
+
+  /// State carried from begin_step() to finish_step() (sensor temps live in
+  /// buffers_.sensor_temps).
+  struct PendingStep {
+    PredictionObserver::DueSample due;
+    bool active = false;  ///< inside the benchmark window
+    double platform_power_w = 0.0;
+    bool armed = false;  ///< begin_step() ran, finish_step() has not
+  };
 
   ExperimentConfig config_;
   /// The resolved platform descriptor the plant was built from (config's
@@ -119,6 +159,7 @@ class Simulation {
   /// Reused per-step scratch: the steady-state step() path (trace recording
   /// and prediction observation off) performs zero heap allocations.
   StepBuffers buffers_;
+  PendingStep pending_;
   std::size_t plant_substeps_ = 0;
   std::chrono::steady_clock::time_point wall_start_;
 

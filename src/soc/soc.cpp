@@ -289,14 +289,88 @@ SocStepResult Soc::step(const workload::Demand& foreground,
       mem_leak_.power_w(mem_temp_c, power_params_.mem_nominal_voltage_v);
 
   // --- Progress (with cluster-migration stall) -------------------------------
-  double effective_dt = dt_s;
-  if (migration_stall_remaining_s_ > 0.0) {
-    const double consumed = std::min(migration_stall_remaining_s_, dt_s);
-    migration_stall_remaining_s_ -= consumed;
-    effective_dt -= consumed;
-  }
-  out.progress_units = progress_rate * effective_dt;
+  out.progress_units = progress_rate * consume_migration_stall(dt_s);
   return out;
+}
+
+SocIntervalConstants Soc::interval_constants() const {
+  SocIntervalConstants k;
+  k.big_active = config_.active_cluster == ClusterId::kBig;
+  const double f_cpu =
+      k.big_active ? config_.big_freq_hz : config_.little_freq_hz;
+  const double v_cpu = k.big_active ? v_big_ : v_little_;
+  const double core_alpha_c_max = k.big_active
+                                      ? power_params_.big_core_alpha_c_max
+                                      : power_params_.little_core_alpha_c_max;
+  const double idle_activity = k.big_active
+                                   ? power_params_.big_idle_activity
+                                   : power_params_.little_idle_activity;
+
+  if (k.big_active) {
+    const int online = std::max(config_.online_big_cores(), 1);
+    double max_activity = 0.0;
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      if (config_.big_core_online[c]) {
+        max_activity = std::max(
+            max_activity,
+            std::min(schedule_.core_activity[c] + idle_activity, 1.0));
+      }
+    }
+    const double uncore_w = power::dynamic_power_w(
+        max_activity * power_params_.big_uncore_alpha_c, v_cpu, f_cpu);
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      k.core_leak0_mult[c] = 0.0;
+      if (config_.big_core_online[c]) {
+        const double act =
+            std::min(schedule_.core_activity[c] + idle_activity, 1.0);
+        k.core_const_w[c] =
+            power::dynamic_power_w(act * core_alpha_c_max, v_cpu, f_cpu) +
+            uncore_w / double(online);
+        k.core_leak_mult[c] = 1.0 / double(kBigCoreCount);
+      } else {
+        k.core_const_w[c] = 0.0;
+        k.core_leak_mult[c] = power_params_.offline_core_leakage_fraction /
+                              double(kBigCoreCount);
+      }
+    }
+    k.big_leak = big_leak_.coeffs_at(v_cpu);
+    k.little_leak = little_leak_.coeffs_at(little_opps_.min().voltage_v);
+    k.little_const_w = 0.0;
+    k.little_leak_mult = power_params_.inactive_cluster_leakage_fraction;
+  } else {
+    double little_dyn = 0.0;
+    double max_activity = 0.0;
+    for (int c = 0; c < kLittleCoreCount; ++c) {
+      const double act =
+          std::min(schedule_.core_activity[c] + idle_activity, 1.0);
+      max_activity = std::max(max_activity, act);
+      little_dyn +=
+          power::dynamic_power_w(act * core_alpha_c_max, v_cpu, f_cpu);
+    }
+    little_dyn += power::dynamic_power_w(
+        max_activity * power_params_.little_uncore_alpha_c, v_cpu, f_cpu);
+    k.little_leak = little_leak_.coeffs_at(v_cpu);
+    k.little_const_w = little_dyn;
+    k.little_leak_mult = 1.0;
+    k.big_leak = big_leak_.coeffs_at(big_opps_.min().voltage_v);
+    for (int c = 0; c < kBigCoreCount; ++c) {
+      k.core_const_w[c] = 0.0;
+      k.core_leak_mult[c] = 0.0;
+      k.core_leak0_mult[c] =
+          power_params_.inactive_cluster_leakage_fraction /
+          double(kBigCoreCount);
+    }
+  }
+
+  k.gpu_leak = gpu_leak_.coeffs_at(v_gpu_);
+  k.gpu_const_w = power::dynamic_power_w(
+      schedule_.gpu_busy * power_params_.gpu_alpha_c_max, v_gpu_,
+      config_.gpu_freq_hz);
+  k.mem_leak = mem_leak_.coeffs_at(power_params_.mem_nominal_voltage_v);
+  k.mem_const_w = power_params_.mem_base_w +
+                  schedule_.mem_traffic * power_params_.mem_dynamic_max_w;
+  k.progress_rate = schedule_.progress_rate;
+  return k;
 }
 
 }  // namespace dtpm::soc

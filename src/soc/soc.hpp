@@ -10,6 +10,7 @@
 // on the real board.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -84,6 +85,41 @@ struct PerfParams {
 
 bool operator==(const PerfParams& a, const PerfParams& b);
 
+/// The temperature-independent inputs of Soc::step's power/progress phase
+/// for the current schedule and applied config, captured once per control
+/// interval. Combined with per-substep temperatures these reproduce
+/// step(reuse_schedule=true) up to floating-point reassociation -- the
+/// contract the structure-of-arrays batch kernel (sim/batch_lane.cpp)
+/// relies on to evaluate many lanes' power models in one vectorized pass.
+///
+/// The per-core formula is branch-free across cluster modes:
+///
+///   p_core[c] = core_const_w[c]
+///             + core_leak_mult[c]   * big_leak(T_core[c])
+///             + core_leak0_mult[c]  * big_leak(T_core[0])
+///
+/// Big-cluster-active lanes use the per-core term (const = dynamic + uncore
+/// share, mult = 1/4 online or offline_fraction/4); little-active lanes use
+/// the shared core-0 residual term exactly as the scalar path does.
+struct SocIntervalConstants {
+  bool big_active = true;
+  std::array<double, kBigCoreCount> core_const_w{};
+  std::array<double, kBigCoreCount> core_leak_mult{};
+  std::array<double, kBigCoreCount> core_leak0_mult{};
+  power::LeakageCoeffs big_leak;  ///< at v_cpu (big active) / big min V
+  /// Little rail: little_const_w + little_leak_mult * little_leak(T_little).
+  power::LeakageCoeffs little_leak;
+  double little_const_w = 0.0;
+  double little_leak_mult = 1.0;
+  /// GPU rail: gpu_const_w + gpu_leak(T_gpu).
+  power::LeakageCoeffs gpu_leak;
+  double gpu_const_w = 0.0;
+  /// Memory rail: mem_const_w + mem_leak(T_mem).
+  power::LeakageCoeffs mem_leak;
+  double mem_const_w = 0.0;
+  double progress_rate = 0.0;  ///< work units per effective second
+};
+
 /// True plant outputs for one interval.
 struct SocStepResult {
   power::ResourceVector rail_power_w{};
@@ -135,6 +171,24 @@ class Soc {
                      double little_temp_c, double gpu_temp_c,
                      double mem_temp_c, double dt_s,
                      bool reuse_schedule = false);
+
+  /// Captures the temperature-independent power/progress inputs of the
+  /// current schedule + applied config (see SocIntervalConstants). Call
+  /// after the first (reuse_schedule=false) step of a control interval.
+  SocIntervalConstants interval_constants() const;
+
+  /// Consumes up to dt_s of the pending cluster-migration stall and returns
+  /// the effective progress time -- exactly step()'s stall rule, exposed so
+  /// an external power kernel can advance progress identically.
+  double consume_migration_stall(double dt_s) {
+    double effective_dt = dt_s;
+    if (migration_stall_remaining_s_ > 0.0) {
+      const double consumed = std::min(migration_stall_remaining_s_, dt_s);
+      migration_stall_remaining_s_ -= consumed;
+      effective_dt -= consumed;
+    }
+    return effective_dt;
+  }
 
   const PlantPowerParams& power_params() const { return power_params_; }
   const PerfParams& perf_params() const { return perf_params_; }

@@ -127,6 +127,7 @@ void CompiledRcModel::set_edge_conductance(std::size_t edge_index,
   }
   if (edge_g_.at(edge_index) == conductance_w_per_k) return;
   edge_g_[edge_index] = conductance_w_per_k;
+  ++conductance_epoch_;
   if (edge_term_a_[edge_index] != kNoSlot) {
     csr_g_[edge_term_a_[edge_index]] = conductance_w_per_k;
   }
@@ -157,7 +158,10 @@ void CompiledRcModel::recompute_stability_bound() {
     tau_min = std::min(tau_min, capacitance_[i] / gsum[i]);
   }
   max_substep_s_ = std::max(1e-6, 0.25 * tau_min);
-  cached_dt_s_ = -1.0;  // force re-subdivision on the next step()
+}
+
+unsigned CompiledRcModel::substeps_for(double dt_s) const {
+  return static_cast<unsigned>(std::ceil(dt_s / max_substep_s_));
 }
 
 void CompiledRcModel::derivative(const double* temps, const double* power_w,
@@ -223,13 +227,8 @@ void CompiledRcModel::step(double dt_s, const double* power_w, double* temps) {
   if (dt_s <= 0.0) {
     throw std::invalid_argument("CompiledRcModel::step: dt must be > 0");
   }
-  if (dt_s != cached_dt_s_) {
-    cached_dt_s_ = dt_s;
-    cached_substeps_ = static_cast<unsigned>(std::ceil(dt_s / max_substep_s_));
-    cached_h_ = dt_s / double(cached_substeps_);
-  }
-  const unsigned substeps = cached_substeps_;
-  const double h = cached_h_;
+  const unsigned substeps = substeps_for(dt_s);
+  const double h = dt_s / double(substeps);
 
   if (contiguous_free_) {
     run_rk4<true>(substeps, h, power_w, temps);

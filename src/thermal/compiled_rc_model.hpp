@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +53,31 @@ class CompiledRcModel {
   /// non-positive conductance, std::out_of_range on a bad index.
   void set_edge_conductance(std::size_t edge_index, double conductance_w_per_k);
   double edge_conductance(std::size_t edge_index) const;
+
+  /// Monotonic counter bumped by every set_edge_conductance call that
+  /// actually changes a value. Derived models (the LTI propagator, the batch
+  /// lanes) key their caches on it: an unchanged epoch guarantees the
+  /// conductance state -- and hence any precomputed transition matrix -- is
+  /// still valid.
+  std::uint64_t conductance_epoch() const { return conductance_epoch_; }
+
+  /// Edge endpoints (propagator assembly; conductance via edge_conductance).
+  std::size_t edge_node_a(std::size_t e) const { return edge_a_.at(e); }
+  std::size_t edge_node_b(std::size_t e) const { return edge_b_.at(e); }
+
+  /// Node structure for derived stepping engines.
+  const std::vector<std::size_t>& free_nodes() const { return free_nodes_; }
+  const std::vector<std::size_t>& boundary_nodes() const {
+    return boundary_nodes_;
+  }
+  double capacitance_j_per_k(std::size_t node) const {
+    return capacitance_.at(node);
+  }
+
+  /// The internal subdivision step() would use for dt_s: substeps =
+  /// ceil(dt_s / max_stable_substep_s()), h = dt_s / substeps. Exposed so a
+  /// propagator built for the same dt reproduces the subdivision exactly.
+  unsigned substeps_for(double dt_s) const;
 
   /// dT/dt into `dtemps_out`; boundary nodes read 0. All three arrays have
   /// node_count() elements. Bit-identical to the reference edge-list sweep.
@@ -125,12 +151,12 @@ class CompiledRcModel {
   // Name map: (name, index) sorted by name then index.
   std::vector<std::pair<std::string, std::size_t>> name_index_;
 
-  // Cached stability bound and the subdivision of the last-seen dt (the
-  // plant steps with one fixed dt, so this hits every call after the first).
+  // Stability bound, recomputed only when a conductance changes. The dt
+  // subdivision (substeps, h) is derived from it per step() call -- two
+  // integer-ish ops, so there is no last-seen-dt cache to race on when a
+  // shared model is stepped from several threads.
   double max_substep_s_ = 0.0;
-  mutable double cached_dt_s_ = -1.0;
-  mutable unsigned cached_substeps_ = 1;
-  mutable double cached_h_ = 0.0;
+  std::uint64_t conductance_epoch_ = 0;
 
   // RK4 scratch (sized at compile time; step() never allocates). partial_
   // carries the running k1 + 2k2 + 2k3 Butcher sum; k4 lives only in

@@ -92,6 +92,11 @@ class RcNetwork {
   /// The compiled form the step path runs on (read-only).
   const CompiledRcModel& compiled() const { return compiled_; }
 
+  /// Mutable temperature state for external stepping engines: the LTI
+  /// propagator and the batch lanes advance the state out-of-band and write
+  /// the result back through this. Everyone else reads temperatures_c().
+  std::vector<double>& temperatures_mut() { return temps_; }
+
  private:
   std::vector<ThermalNode> nodes_;
   std::vector<ThermalEdge> edges_;

@@ -1,0 +1,63 @@
+// vexp: a branch-free polynomial exp() the auto-vectorizer can turn into
+// SIMD code, for the structure-of-arrays batch power kernel.
+//
+// std::exp is a libm call, so a loop over lanes evaluating leakage
+// exp(c2/T) serializes into one call per lane. vexp computes the same
+// quantity with Cody-Waite argument reduction (x = k ln2 + r, |r| <=
+// ln2/2), a degree-13 Maclaurin polynomial in r (term 14 is below double
+// epsilon on that range), and 2^k assembled directly in the exponent field
+// -- no branches, no calls, so a lane loop vectorizes end to end.
+//
+// Accuracy: a few ulp of std::exp for |x| <= ~700 (the leakage arguments
+// live in [-10, -6]); covered by the accuracy sweep in
+// tests/test_batch_lane.cpp. Assumes round-to-nearest (the magic-shift
+// rounding trick) and no -ffast-math reassociation of the reduction.
+// Internal linkage on purpose: the batch-kernel TU may be built with wider
+// vector flags than the rest of the library, and each TU inlining its own
+// copy sidesteps any ODR merging across flag boundaries.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace dtpm::util {
+
+namespace vexp_detail {
+constexpr double kLog2e = 1.4426950408889634074;
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+/// 1.5 * 2^52: adding it rounds x*log2e to the nearest integer in the low
+/// mantissa bits (round-to-nearest mode), subtracting recovers it exactly.
+constexpr double kShift = 6755399441055744.0;
+}  // namespace vexp_detail
+
+static inline double vexp(double x) {
+  using namespace vexp_detail;
+  const double t = x * kLog2e + kShift;
+  const double k = t - kShift;  // nearest integer to x / ln2, exactly
+  const double r = (x - k * kLn2Hi) - k * kLn2Lo;
+  // exp(r) by Horner over the Maclaurin coefficients 1/n!.
+  double p = 1.0 / 6227020800.0;  // 1/13!
+  p = p * r + 1.0 / 479001600.0;
+  p = p * r + 1.0 / 39916800.0;
+  p = p * r + 1.0 / 3628800.0;
+  p = p * r + 1.0 / 362880.0;
+  p = p * r + 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 1.0 / 2.0;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  // 2^k: biased exponent straight into the bit pattern (|k| < 1023 for
+  // every argument exp() does not over/underflow on anyway).
+  const std::int64_t ki = static_cast<std::int64_t>(k);
+  const std::uint64_t bits = static_cast<std::uint64_t>(ki + 1023) << 52;
+  double s;
+  std::memcpy(&s, &bits, sizeof(s));
+  return p * s;
+}
+
+}  // namespace dtpm::util

@@ -1,0 +1,211 @@
+#include "sim/batch_lane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/run_plan.hpp"
+#include "sim/simulation.hpp"
+#include "util/vexp.hpp"
+
+namespace dtpm::sim {
+namespace {
+
+ExperimentConfig quick_config(const char* benchmark, Policy policy,
+                              std::uint64_t seed, Engine engine) {
+  ExperimentConfig c;
+  c.benchmark = benchmark;
+  c.policy = policy;
+  c.record_trace = false;
+  c.seed = seed;
+  c.engine = engine;
+  return c;
+}
+
+// --- vexp -------------------------------------------------------------------
+
+TEST(Vexp, MatchesStdExpAcrossTheLeakageRange) {
+  // The leakage arguments live in roughly [-10, -6]; sweep far past that
+  // on both sides. vexp must track std::exp to a few ulp everywhere.
+  for (double x = -40.0; x <= 5.0; x += 0.00731) {
+    const double want = std::exp(x);
+    const double got = util::vexp(x);
+    EXPECT_NEAR(got, want, std::abs(want) * 1e-14) << "x=" << x;
+  }
+}
+
+TEST(Vexp, ExactAtZero) { EXPECT_EQ(util::vexp(0.0), 1.0); }
+
+// --- Group planning ---------------------------------------------------------
+
+TEST(PlanLockstepGroups, GroupsBatchedJobsAndLeavesTheRestSingle) {
+  auto job = [](Engine engine, double interval = 0.1) {
+    ExperimentConfig c;
+    c.engine = engine;
+    c.control_interval_s = interval;
+    return BatchJob{c, nullptr};
+  };
+  const std::vector<BatchJob> jobs{
+      job(Engine::kReferenceRk4),         // 0: default engine -> single
+      job(Engine::kBatched),              // 1: lane
+      job(Engine::kBatched),              // 2: lane
+      job(Engine::kPropagator),           // 3: scalar engine -> single
+      job(Engine::kBatched, 0.05),        // 4: different geometry -> single
+      job(Engine::kBatched),              // 5: lane
+  };
+  std::vector<std::size_t> singles;
+  const std::vector<LockstepGroup> groups =
+      plan_lockstep_groups(jobs, singles);
+
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (LockstepGroup{1, 2, 5}));
+  EXPECT_EQ(singles, (std::vector<std::size_t>{0, 3, 4}));
+}
+
+TEST(PlanLockstepGroups, AllScalarEnginesMeansNoGroups) {
+  auto job = [](Engine engine) {
+    ExperimentConfig c;
+    c.engine = engine;
+    return BatchJob{c, nullptr};
+  };
+  const std::vector<BatchJob> jobs{job(Engine::kReferenceRk4),
+                                   job(Engine::kPropagator),
+                                   job(Engine::kReferenceRk4)};
+  std::vector<std::size_t> singles;
+  EXPECT_TRUE(plan_lockstep_groups(jobs, singles).empty());
+  EXPECT_EQ(singles, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+// --- Lockstep kernel vs scalar stepping -------------------------------------
+
+// Drives three batched lanes through BatchPlantStepper next to three scalar
+// twins (engine=propagator, the path a standalone batched run takes) with
+// identical configs. Seeds differ across lanes so fan decisions -- hence
+// conductance buckets -- diverge between columns; within each pair the
+// whole closed loop (same RNG streams, same policy state) must track to the
+// batch kernel's documented numerical slack: reassociated power sums and
+// vexp's few-ulp exp. 1e-6 degC over the full run is orders of magnitude
+// above that slack and orders of magnitude below anything the sensors can
+// resolve.
+TEST(BatchPlantStepper, TracksTheScalarEngineTrajectory) {
+  constexpr int kLanes = 3;
+  constexpr int kMaxIntervals = 2000;  // safety cap; the runs finish earlier
+  std::vector<std::unique_ptr<Simulation>> batched, scalar;
+  for (int i = 0; i < kLanes; ++i) {
+    const auto policy =
+        i == 1 ? Policy::kWithoutFan : Policy::kDefaultWithFan;
+    batched.push_back(std::make_unique<Simulation>(quick_config(
+        "crc32", policy, 10 + std::uint64_t(i), Engine::kBatched)));
+    scalar.push_back(std::make_unique<Simulation>(quick_config(
+        "crc32", policy, 10 + std::uint64_t(i), Engine::kPropagator)));
+  }
+
+  BatchPlantStepper stepper;
+  std::vector<Simulation*> wave;
+  for (int step = 0; step < kMaxIntervals; ++step) {
+    bool any_running = false;
+    for (auto& sim : batched) any_running = any_running || !sim->done();
+    for (auto& sim : scalar) any_running = any_running || !sim->done();
+    if (!any_running) break;
+    wave.clear();
+    for (auto& sim : batched) {
+      if (!sim->done() && sim->begin_step()) wave.push_back(sim.get());
+    }
+    if (!wave.empty()) stepper.run_interval(wave);
+    for (auto& sim : scalar) {
+      if (!sim->done()) sim->step();
+    }
+    for (int i = 0; i < kLanes; ++i) {
+      SCOPED_TRACE("lane " + std::to_string(i) + " step " +
+                   std::to_string(step));
+      ASSERT_EQ(batched[i]->done(), scalar[i]->done());
+      const std::vector<double>& bt = batched[i]->plant().true_temps_c();
+      const std::vector<double>& st = scalar[i]->plant().true_temps_c();
+      ASSERT_EQ(bt.size(), st.size());
+      for (std::size_t n = 0; n < bt.size(); ++n) {
+        ASSERT_NEAR(bt[n], st[n], 1e-6);
+      }
+    }
+  }
+
+  // The runs must have exercised the interesting paths: completion (lane
+  // peeling) and identical step counts.
+  for (int i = 0; i < kLanes; ++i) {
+    EXPECT_TRUE(batched[i]->done());
+    const RunResult br = batched[i]->finish();
+    const RunResult sr = scalar[i]->finish();
+    EXPECT_TRUE(br.completed);
+    EXPECT_EQ(br.control_steps, sr.control_steps);
+    EXPECT_EQ(br.plant_substeps, sr.plant_substeps);
+    EXPECT_NEAR(br.execution_time_s, sr.execution_time_s, 1e-9);
+    EXPECT_NEAR(br.avg_platform_power_w, sr.avg_platform_power_w, 1e-6);
+    EXPECT_NEAR(br.max_temp_stats.max(), sr.max_temp_stats.max(), 1e-6);
+  }
+}
+
+// --- End-to-end through BatchRunner -----------------------------------------
+
+TEST(BatchedEngine, BatchRunnerGroupMatchesStandaloneRuns) {
+  // A batch mixing a lockstep group (three batched same-platform configs)
+  // with a reference-rk4 single. The grouped results must match each
+  // config's standalone run within the engine's tolerance, and the
+  // reference single must stay bit-identical to its standalone run.
+  std::vector<BatchJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    jobs.push_back({quick_config("crc32", Policy::kDefaultWithFan, seed,
+                                 Engine::kBatched),
+                    nullptr});
+  }
+  jobs.push_back({quick_config("crc32", Policy::kDefaultWithFan, 7,
+                               Engine::kReferenceRk4),
+                  nullptr});
+
+  const BatchOutcome outcome = BatchRunner(1).run_collecting(jobs);
+  ASSERT_TRUE(outcome.all_succeeded());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    const RunResult standalone = run_experiment(jobs[i].config);
+    const RunResult& grouped = outcome.results[i];
+    EXPECT_EQ(grouped.completed, standalone.completed);
+    EXPECT_EQ(grouped.control_steps, standalone.control_steps);
+    if (jobs[i].config.engine == Engine::kReferenceRk4) {
+      EXPECT_EQ(grouped.execution_time_s, standalone.execution_time_s);
+      EXPECT_EQ(grouped.platform_energy_j, standalone.platform_energy_j);
+    } else {
+      EXPECT_NEAR(grouped.execution_time_s, standalone.execution_time_s,
+                  1e-9);
+      EXPECT_NEAR(grouped.platform_energy_j, standalone.platform_energy_j,
+                  1e-4);
+      EXPECT_NEAR(grouped.max_temp_stats.max(),
+                  standalone.max_temp_stats.max(), 1e-5);
+    }
+  }
+}
+
+TEST(BatchedEngine, ConstructionErrorStaysInItsOwnLane) {
+  // One lane of the group carries an unknown benchmark; the other lanes
+  // must still produce their ordinary results.
+  std::vector<BatchJob> jobs;
+  jobs.push_back({quick_config("crc32", Policy::kDefaultWithFan, 1,
+                               Engine::kBatched),
+                  nullptr});
+  jobs.push_back({quick_config("no-such-benchmark", Policy::kDefaultWithFan,
+                               2, Engine::kBatched),
+                  nullptr});
+  jobs.push_back({quick_config("crc32", Policy::kDefaultWithFan, 3,
+                               Engine::kBatched),
+                  nullptr});
+
+  const BatchOutcome outcome = BatchRunner(1).run_collecting(jobs);
+  EXPECT_EQ(outcome.failure_count, 1u);
+  EXPECT_TRUE(outcome.errors[1] != nullptr);
+  EXPECT_TRUE(outcome.results[0].completed);
+  EXPECT_TRUE(outcome.results[2].completed);
+}
+
+}  // namespace
+}  // namespace dtpm::sim

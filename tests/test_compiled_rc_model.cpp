@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "thermal/floorplan.hpp"
@@ -295,6 +296,57 @@ TEST(CompiledRcModel, PowerSizeMismatchThrows) {
   EXPECT_THROW(net.step(0.1, {1.0, 0.0, 0.0}), std::invalid_argument);
   EXPECT_THROW(net.steady_state({1.0}), std::invalid_argument);
   EXPECT_NO_THROW(net.step(0.1, {1.0, 0.0}));
+}
+
+TEST(CompiledRcModel, ConductanceEpochCountsRealChangesOnly) {
+  const Floorplan fp = make_default_floorplan();
+  RcNetwork net = fp.network;
+  const std::uint64_t epoch0 = net.compiled().conductance_epoch();
+  net.set_edge_conductance(fp.fan_edge, 0.83);
+  EXPECT_EQ(net.compiled().conductance_epoch(), epoch0 + 1);
+  net.set_edge_conductance(fp.fan_edge, 0.83);  // unchanged: no bump
+  EXPECT_EQ(net.compiled().conductance_epoch(), epoch0 + 1);
+  net.set_edge_conductance(fp.fan_edge, 0.125);
+  EXPECT_EQ(net.compiled().conductance_epoch(), epoch0 + 2);
+}
+
+// Two models stepping the same dt from different threads: the subdivision
+// is computed per call (no shared last-seen-dt cache to race on), so both
+// integrations are bit-identical to a serial run. Run under
+// -fsanitize=thread in CI to pin the data-race-freedom claim.
+TEST(CompiledRcModel, ConcurrentSameDtStepsMatchSerial) {
+  const Floorplan serial_a = make_default_floorplan();
+  const Floorplan serial_b = make_default_floorplan();
+  Floorplan threaded_a = make_default_floorplan();
+  Floorplan threaded_b = make_default_floorplan();
+
+  const std::vector<double> power_a(kFloorplanNodeCount, 2.0);
+  const std::vector<double> power_b(kFloorplanNodeCount, 3.5);
+  constexpr int kSteps = 2000;
+  constexpr double kDt = 0.01;
+
+  Floorplan expected_a = serial_a;
+  Floorplan expected_b = serial_b;
+  for (int k = 0; k < kSteps; ++k) {
+    expected_a.network.step(kDt, power_a);
+    expected_b.network.step(kDt, power_b);
+  }
+
+  std::thread ta([&] {
+    for (int k = 0; k < kSteps; ++k) threaded_a.network.step(kDt, power_a);
+  });
+  std::thread tb([&] {
+    for (int k = 0; k < kSteps; ++k) threaded_b.network.step(kDt, power_b);
+  });
+  ta.join();
+  tb.join();
+
+  for (std::size_t i = 0; i < kFloorplanNodeCount; ++i) {
+    EXPECT_EQ(threaded_a.network.temperature_c(i),
+              expected_a.network.temperature_c(i));
+    EXPECT_EQ(threaded_b.network.temperature_c(i),
+              expected_b.network.temperature_c(i));
+  }
 }
 
 TEST(CompiledRcModel, StabilityBoundTracksConductance) {

@@ -61,12 +61,30 @@ TEST(ConfigIo, ModifiedExperimentRoundTrips) {
   config.seed = 99;
   config.record_trace = false;
   config.observe_horizon_steps = 25;
+  config.engine = Engine::kBatched;
 
   const ExperimentConfig reparsed = experiment_from_json(to_json(config));
   expect_same_config(config, reparsed);
   EXPECT_EQ(reparsed.policy, Policy::kReactive);  // enum shim kept in sync
   EXPECT_DOUBLE_EQ(reparsed.policy_params.at("trip_c"), 61.5);
   EXPECT_EQ(reparsed.dtpm.row_policy, core::BudgetRowPolicy::kAllHotspots);
+  EXPECT_EQ(reparsed.engine, Engine::kBatched);
+}
+
+TEST(ConfigIo, EngineMemberParsesAndRejectsUnknownNames) {
+  const ExperimentConfig parsed =
+      experiment_from_json(json_parse(R"({"engine": "propagator"})"));
+  EXPECT_EQ(parsed.engine, Engine::kPropagator);
+  // Absent member keeps the bit-exact default.
+  EXPECT_EQ(experiment_from_json(json_parse("{}")).engine,
+            Engine::kReferenceRk4);
+
+  const std::string what = what_of([] {
+    experiment_from_json(json_parse(R"({"engine": "propogator"})"));
+  });
+  EXPECT_NE(what.find("$.engine"), std::string::npos) << what;
+  EXPECT_NE(what.find("did you mean 'propagator'?"), std::string::npos)
+      << what;
 }
 
 TEST(ConfigIo, DtpmParamsRoundTrip) {

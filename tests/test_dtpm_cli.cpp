@@ -131,6 +131,15 @@ TEST(DtpmCli, ListPlatforms) {
   EXPECT_NE(verbose.out.find("the paper's board"), std::string::npos);
 }
 
+TEST(DtpmCli, ListEngines) {
+  // Enumerator order, not sorted: baseline first, fastest last.
+  EXPECT_EQ(run_cli({"list", "engines"}).out,
+            "reference-rk4\npropagator\nbatched\n");
+  const CliResult verbose = run_cli({"list", "engines", "--long"});
+  EXPECT_NE(verbose.out.find("golden-trace baseline"), std::string::npos);
+  EXPECT_NE(verbose.out.find("structure-of-arrays"), std::string::npos);
+}
+
 // --- usage ------------------------------------------------------------------
 
 TEST(DtpmCli, UsageErrors) {
@@ -276,6 +285,59 @@ TEST(DtpmCli, PlatformFlagKeepsExplicitlyPinnedTmax) {
   EXPECT_GT(std::stod(fields[10]), 1.0) << summary;
 }
 
+TEST(DtpmCli, EngineFromConfigAndFlagReachesTheSummary) {
+  // The config pins "engine": "propagator"; the summary's engine column
+  // must record it, and --engine must override it the way --platform
+  // overrides the plant.
+  const std::string config = write_file("run_engine.json", R"({
+    "benchmark": "crc32",
+    "policy": "no-fan",
+    "engine": "propagator",
+    "warmup_s": 1.0,
+    "max_sim_time_s": 5.0,
+    "record_trace": false
+  })");
+  const std::string out_dir = temp_dir() + "engine-out";
+  const CliResult r = run_cli({"run", config, "--out", out_dir, "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(slurp(out_dir + "/summary.csv").find(",propagator,"),
+            std::string::npos);
+
+  const CliResult overridden = run_cli({"run", config, "--engine",
+                                        "reference-rk4", "--out", out_dir,
+                                        "--quiet"});
+  EXPECT_EQ(overridden.exit_code, 0) << overridden.err;
+  EXPECT_NE(slurp(out_dir + "/summary.csv").find(",reference-rk4,"),
+            std::string::npos);
+
+  // Unknown names fail with the sorted list + suggestion.
+  const CliResult bad =
+      run_cli({"run", config, "--engine", "propogator", "--quiet"});
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.err.find("did you mean 'propagator'?"), std::string::npos);
+}
+
+TEST(DtpmCli, SweepEngineFlagAppliesToEveryRow) {
+  const std::string grid = write_file("engine_grid.json", R"({
+    "base": {"benchmark": "crc32", "policy": "no-fan",
+             "warmup_s": 1.0, "max_sim_time_s": 4.0, "record_trace": false},
+    "seeds": [1, 2]
+  })");
+  const std::string out_dir = temp_dir() + "engine-sweep-out";
+  const CliResult r = run_cli({"sweep", grid, "--engine", "batched",
+                               "--smoke", "--out", out_dir, "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string summary = slurp(out_dir + "/summary.csv");
+  EXPECT_EQ(line_count(summary), 3u);  // header + 2 seeds
+  // Both data rows stepped on the batched engine (as one lockstep group).
+  std::size_t batched_rows = 0, pos = 0;
+  while ((pos = summary.find(",batched,", pos)) != std::string::npos) {
+    ++batched_rows;
+    pos += 1;
+  }
+  EXPECT_EQ(batched_rows, 2u);
+}
+
 TEST(DtpmCli, RunReportsUnknownPlatformInConfigWithPath) {
   const std::string config =
       write_file("bad_platform.json", R"({"platform": "odroid-xue"})");
@@ -361,6 +423,17 @@ TEST(DtpmCli, ExampleConfigsParseAndExpand) {
   EXPECT_FALSE(custom.platform->has_fan());
   EXPECT_EQ(custom.platform->platform_load.display_w, 0.0);
   EXPECT_DOUBLE_EQ(custom.dtpm.t_max_c, 75.0);  // adopted from the platform
+
+  // The engine example: every expanded config selects the batched engine,
+  // so the whole sweep runs as structure-of-arrays lockstep lanes.
+  const sim::SweepSpec fleet =
+      sim::load_sweep_spec(dir + "/engine_throughput.json");
+  EXPECT_EQ(fleet.base.engine, sim::Engine::kBatched);
+  const std::vector<sim::ExperimentConfig> expanded = fleet.expand();
+  EXPECT_EQ(expanded.size(), 8u);
+  for (const sim::ExperimentConfig& config : expanded) {
+    EXPECT_EQ(config.engine, sim::Engine::kBatched);
+  }
 }
 
 }  // namespace
