@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_1_fan_effect.dir/bench/bench_fig1_1_fan_effect.cpp.o"
+  "CMakeFiles/bench_fig1_1_fan_effect.dir/bench/bench_fig1_1_fan_effect.cpp.o.d"
+  "bench_fig1_1_fan_effect"
+  "bench_fig1_1_fan_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_1_fan_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

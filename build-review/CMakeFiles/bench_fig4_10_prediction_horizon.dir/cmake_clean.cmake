@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_10_prediction_horizon.dir/bench/bench_fig4_10_prediction_horizon.cpp.o"
+  "CMakeFiles/bench_fig4_10_prediction_horizon.dir/bench/bench_fig4_10_prediction_horizon.cpp.o.d"
+  "bench_fig4_10_prediction_horizon"
+  "bench_fig4_10_prediction_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_10_prediction_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_2_4_3_furnace_leakage.dir/bench/bench_fig4_2_4_3_furnace_leakage.cpp.o"
+  "CMakeFiles/bench_fig4_2_4_3_furnace_leakage.dir/bench/bench_fig4_2_4_3_furnace_leakage.cpp.o.d"
+  "bench_fig4_2_4_3_furnace_leakage"
+  "bench_fig4_2_4_3_furnace_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_2_4_3_furnace_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_2_4_3_furnace_leakage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_5_4_6_power_decomposition.dir/bench/bench_fig4_5_4_6_power_decomposition.cpp.o"
+  "CMakeFiles/bench_fig4_5_4_6_power_decomposition.dir/bench/bench_fig4_5_4_6_power_decomposition.cpp.o.d"
+  "bench_fig4_5_4_6_power_decomposition"
+  "bench_fig4_5_4_6_power_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_5_4_6_power_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_5_4_6_power_decomposition.
+# This may be replaced when dependencies are built.

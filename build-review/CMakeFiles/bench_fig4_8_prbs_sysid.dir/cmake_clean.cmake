@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_8_prbs_sysid.dir/bench/bench_fig4_8_prbs_sysid.cpp.o"
+  "CMakeFiles/bench_fig4_8_prbs_sysid.dir/bench/bench_fig4_8_prbs_sysid.cpp.o.d"
+  "bench_fig4_8_prbs_sysid"
+  "bench_fig4_8_prbs_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_8_prbs_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_9_thermal_validation.dir/bench/bench_fig4_9_thermal_validation.cpp.o"
+  "CMakeFiles/bench_fig4_9_thermal_validation.dir/bench/bench_fig4_9_thermal_validation.cpp.o.d"
+  "bench_fig4_9_thermal_validation"
+  "bench_fig4_9_thermal_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_9_thermal_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_9_thermal_validation.
+# This may be replaced when dependencies are built.

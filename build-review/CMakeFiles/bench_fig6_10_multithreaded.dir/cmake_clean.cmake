@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_10_multithreaded.dir/bench/bench_fig6_10_multithreaded.cpp.o"
+  "CMakeFiles/bench_fig6_10_multithreaded.dir/bench/bench_fig6_10_multithreaded.cpp.o.d"
+  "bench_fig6_10_multithreaded"
+  "bench_fig6_10_multithreaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_10_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_2_prediction_error_all.dir/bench/bench_fig6_2_prediction_error_all.cpp.o"
+  "CMakeFiles/bench_fig6_2_prediction_error_all.dir/bench/bench_fig6_2_prediction_error_all.cpp.o.d"
+  "bench_fig6_2_prediction_error_all"
+  "bench_fig6_2_prediction_error_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_2_prediction_error_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

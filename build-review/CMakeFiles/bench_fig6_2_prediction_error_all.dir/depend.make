@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_2_prediction_error_all.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_3_6_4_temp_control.dir/bench/bench_fig6_3_6_4_temp_control.cpp.o"
+  "CMakeFiles/bench_fig6_3_6_4_temp_control.dir/bench/bench_fig6_3_6_4_temp_control.cpp.o.d"
+  "bench_fig6_3_6_4_temp_control"
+  "bench_fig6_3_6_4_temp_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_3_6_4_temp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_6_to_6_8_freq_temp_traces.dir/bench/bench_fig6_6_to_6_8_freq_temp_traces.cpp.o"
+  "CMakeFiles/bench_fig6_6_to_6_8_freq_temp_traces.dir/bench/bench_fig6_6_to_6_8_freq_temp_traces.cpp.o.d"
+  "bench_fig6_6_to_6_8_freq_temp_traces"
+  "bench_fig6_6_to_6_8_freq_temp_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_6_to_6_8_freq_temp_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

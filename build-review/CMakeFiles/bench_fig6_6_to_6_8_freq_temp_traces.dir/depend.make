@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_6_to_6_8_freq_temp_traces.
+# This may be replaced when dependencies are built.

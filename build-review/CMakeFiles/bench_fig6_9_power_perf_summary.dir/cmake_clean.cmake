@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_9_power_perf_summary.dir/bench/bench_fig6_9_power_perf_summary.cpp.o"
+  "CMakeFiles/bench_fig6_9_power_perf_summary.dir/bench/bench_fig6_9_power_perf_summary.cpp.o.d"
+  "bench_fig6_9_power_perf_summary"
+  "bench_fig6_9_power_perf_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_9_power_perf_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

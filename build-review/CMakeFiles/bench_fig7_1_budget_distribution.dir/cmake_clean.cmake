@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_1_budget_distribution.dir/bench/bench_fig7_1_budget_distribution.cpp.o"
+  "CMakeFiles/bench_fig7_1_budget_distribution.dir/bench/bench_fig7_1_budget_distribution.cpp.o.d"
+  "bench_fig7_1_budget_distribution"
+  "bench_fig7_1_budget_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_1_budget_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_governor.dir/bench/bench_overhead_governor.cpp.o"
+  "CMakeFiles/bench_overhead_governor.dir/bench/bench_overhead_governor.cpp.o.d"
+  "bench_overhead_governor"
+  "bench_overhead_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

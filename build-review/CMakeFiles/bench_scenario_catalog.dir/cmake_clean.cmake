@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_catalog.dir/bench/bench_scenario_catalog.cpp.o"
+  "CMakeFiles/bench_scenario_catalog.dir/bench/bench_scenario_catalog.cpp.o.d"
+  "bench_scenario_catalog"
+  "bench_scenario_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_1_to_6_3_opp_tables.dir/bench/bench_tab6_1_to_6_3_opp_tables.cpp.o"
+  "CMakeFiles/bench_tab6_1_to_6_3_opp_tables.dir/bench/bench_tab6_1_to_6_3_opp_tables.cpp.o.d"
+  "bench_tab6_1_to_6_3_opp_tables"
+  "bench_tab6_1_to_6_3_opp_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_1_to_6_3_opp_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab6_1_to_6_3_opp_tables.
+# This may be replaced when dependencies are built.

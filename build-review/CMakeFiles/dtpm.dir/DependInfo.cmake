@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/budget_distribution.cpp" "CMakeFiles/dtpm.dir/src/core/budget_distribution.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/core/budget_distribution.cpp.o.d"
+  "/root/repo/src/core/dtpm_governor.cpp" "CMakeFiles/dtpm.dir/src/core/dtpm_governor.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/core/dtpm_governor.cpp.o.d"
+  "/root/repo/src/core/power_budget.cpp" "CMakeFiles/dtpm.dir/src/core/power_budget.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/core/power_budget.cpp.o.d"
+  "/root/repo/src/core/thermal_predictor.cpp" "CMakeFiles/dtpm.dir/src/core/thermal_predictor.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/core/thermal_predictor.cpp.o.d"
+  "/root/repo/src/governors/fan_policy.cpp" "CMakeFiles/dtpm.dir/src/governors/fan_policy.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/governors/fan_policy.cpp.o.d"
+  "/root/repo/src/governors/ondemand.cpp" "CMakeFiles/dtpm.dir/src/governors/ondemand.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/governors/ondemand.cpp.o.d"
+  "/root/repo/src/governors/policy_registry.cpp" "CMakeFiles/dtpm.dir/src/governors/policy_registry.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/governors/policy_registry.cpp.o.d"
+  "/root/repo/src/governors/reactive.cpp" "CMakeFiles/dtpm.dir/src/governors/reactive.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/governors/reactive.cpp.o.d"
+  "/root/repo/src/power/dynamic_power.cpp" "CMakeFiles/dtpm.dir/src/power/dynamic_power.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/power/dynamic_power.cpp.o.d"
+  "/root/repo/src/power/leakage.cpp" "CMakeFiles/dtpm.dir/src/power/leakage.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/power/leakage.cpp.o.d"
+  "/root/repo/src/power/opp.cpp" "CMakeFiles/dtpm.dir/src/power/opp.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/power/opp.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "CMakeFiles/dtpm.dir/src/power/power_model.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/power/power_model.cpp.o.d"
+  "/root/repo/src/power/resource.cpp" "CMakeFiles/dtpm.dir/src/power/resource.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/power/resource.cpp.o.d"
+  "/root/repo/src/power/sensors.cpp" "CMakeFiles/dtpm.dir/src/power/sensors.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/power/sensors.cpp.o.d"
+  "/root/repo/src/sim/batch.cpp" "CMakeFiles/dtpm.dir/src/sim/batch.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/batch.cpp.o.d"
+  "/root/repo/src/sim/batch_lane.cpp" "CMakeFiles/dtpm.dir/src/sim/batch_lane.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/batch_lane.cpp.o.d"
+  "/root/repo/src/sim/calibration.cpp" "CMakeFiles/dtpm.dir/src/sim/calibration.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/calibration.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "CMakeFiles/dtpm.dir/src/sim/config.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/config.cpp.o.d"
+  "/root/repo/src/sim/config_io.cpp" "CMakeFiles/dtpm.dir/src/sim/config_io.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/config_io.cpp.o.d"
+  "/root/repo/src/sim/control_stack.cpp" "CMakeFiles/dtpm.dir/src/sim/control_stack.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/control_stack.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/dtpm.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/invariant_checker.cpp" "CMakeFiles/dtpm.dir/src/sim/invariant_checker.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/invariant_checker.cpp.o.d"
+  "/root/repo/src/sim/plant.cpp" "CMakeFiles/dtpm.dir/src/sim/plant.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/plant.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "CMakeFiles/dtpm.dir/src/sim/platform.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/platform.cpp.o.d"
+  "/root/repo/src/sim/platform_registry.cpp" "CMakeFiles/dtpm.dir/src/sim/platform_registry.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/platform_registry.cpp.o.d"
+  "/root/repo/src/sim/prediction_observer.cpp" "CMakeFiles/dtpm.dir/src/sim/prediction_observer.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/prediction_observer.cpp.o.d"
+  "/root/repo/src/sim/preset.cpp" "CMakeFiles/dtpm.dir/src/sim/preset.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/preset.cpp.o.d"
+  "/root/repo/src/sim/run_plan.cpp" "CMakeFiles/dtpm.dir/src/sim/run_plan.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/run_plan.cpp.o.d"
+  "/root/repo/src/sim/scenario_catalog.cpp" "CMakeFiles/dtpm.dir/src/sim/scenario_catalog.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/scenario_catalog.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "CMakeFiles/dtpm.dir/src/sim/simulation.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/stepping_engine.cpp" "CMakeFiles/dtpm.dir/src/sim/stepping_engine.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/stepping_engine.cpp.o.d"
+  "/root/repo/src/sim/trace_recorder.cpp" "CMakeFiles/dtpm.dir/src/sim/trace_recorder.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sim/trace_recorder.cpp.o.d"
+  "/root/repo/src/soc/scheduler.cpp" "CMakeFiles/dtpm.dir/src/soc/scheduler.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/soc/scheduler.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "CMakeFiles/dtpm.dir/src/soc/soc.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/soc/soc.cpp.o.d"
+  "/root/repo/src/soc/state.cpp" "CMakeFiles/dtpm.dir/src/soc/state.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/soc/state.cpp.o.d"
+  "/root/repo/src/sysid/arx_fit.cpp" "CMakeFiles/dtpm.dir/src/sysid/arx_fit.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sysid/arx_fit.cpp.o.d"
+  "/root/repo/src/sysid/leakage_fit.cpp" "CMakeFiles/dtpm.dir/src/sysid/leakage_fit.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sysid/leakage_fit.cpp.o.d"
+  "/root/repo/src/sysid/model_store.cpp" "CMakeFiles/dtpm.dir/src/sysid/model_store.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sysid/model_store.cpp.o.d"
+  "/root/repo/src/sysid/thermal_model.cpp" "CMakeFiles/dtpm.dir/src/sysid/thermal_model.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/sysid/thermal_model.cpp.o.d"
+  "/root/repo/src/thermal/compiled_rc_model.cpp" "CMakeFiles/dtpm.dir/src/thermal/compiled_rc_model.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/thermal/compiled_rc_model.cpp.o.d"
+  "/root/repo/src/thermal/fan.cpp" "CMakeFiles/dtpm.dir/src/thermal/fan.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/thermal/fan.cpp.o.d"
+  "/root/repo/src/thermal/floorplan.cpp" "CMakeFiles/dtpm.dir/src/thermal/floorplan.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/thermal/floorplan.cpp.o.d"
+  "/root/repo/src/thermal/lti_propagator.cpp" "CMakeFiles/dtpm.dir/src/thermal/lti_propagator.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/thermal/lti_propagator.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "CMakeFiles/dtpm.dir/src/thermal/rc_network.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/thermal/rc_network.cpp.o.d"
+  "/root/repo/src/thermal/sensor.cpp" "CMakeFiles/dtpm.dir/src/thermal/sensor.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/thermal/sensor.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/dtpm.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/dtpm.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "CMakeFiles/dtpm.dir/src/util/matrix.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/matrix.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "CMakeFiles/dtpm.dir/src/util/metrics.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/metrics.cpp.o.d"
+  "/root/repo/src/util/names.cpp" "CMakeFiles/dtpm.dir/src/util/names.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/names.cpp.o.d"
+  "/root/repo/src/util/prbs.cpp" "CMakeFiles/dtpm.dir/src/util/prbs.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/prbs.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/dtpm.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/workload/background.cpp" "CMakeFiles/dtpm.dir/src/workload/background.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/workload/background.cpp.o.d"
+  "/root/repo/src/workload/benchmark.cpp" "CMakeFiles/dtpm.dir/src/workload/benchmark.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/workload/benchmark.cpp.o.d"
+  "/root/repo/src/workload/runtime.cpp" "CMakeFiles/dtpm.dir/src/workload/runtime.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/workload/runtime.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "CMakeFiles/dtpm.dir/src/workload/scenario.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/workload/scenario.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "CMakeFiles/dtpm.dir/src/workload/suite.cpp.o" "gcc" "CMakeFiles/dtpm.dir/src/workload/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+CMakeFiles/dtpm.dir/src/thermal/fan.cpp.o: /root/repo/src/thermal/fan.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/thermal/fan.hpp

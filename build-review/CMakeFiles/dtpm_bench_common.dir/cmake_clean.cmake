@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtpm_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/dtpm_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libdtpm_bench_common.a"
+  "libdtpm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtpm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtpm_bench_common.a"
+)

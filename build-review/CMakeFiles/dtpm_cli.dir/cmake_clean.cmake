@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtpm_cli.dir/apps/dtpm_main.cpp.o"
+  "CMakeFiles/dtpm_cli.dir/apps/dtpm_main.cpp.o.d"
+  "dtpm"
+  "dtpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtpm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

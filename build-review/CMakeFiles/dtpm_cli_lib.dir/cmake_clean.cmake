@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtpm_cli_lib.dir/apps/dtpm_cli.cpp.o"
+  "CMakeFiles/dtpm_cli_lib.dir/apps/dtpm_cli.cpp.o.d"
+  "libdtpm_cli_lib.a"
+  "libdtpm_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtpm_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

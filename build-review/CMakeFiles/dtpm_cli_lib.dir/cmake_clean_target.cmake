@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtpm_cli_lib.a"
+)

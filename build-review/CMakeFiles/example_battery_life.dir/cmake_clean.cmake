@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_battery_life.dir/examples/battery_life.cpp.o"
+  "CMakeFiles/example_battery_life.dir/examples/battery_life.cpp.o.d"
+  "example_battery_life"
+  "example_battery_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_battery_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_policy.dir/examples/custom_policy.cpp.o"
+  "CMakeFiles/example_custom_policy.dir/examples/custom_policy.cpp.o.d"
+  "example_custom_policy"
+  "example_custom_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

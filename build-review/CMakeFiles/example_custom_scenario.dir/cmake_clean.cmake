@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_scenario.dir/examples/custom_scenario.cpp.o"
+  "CMakeFiles/example_custom_scenario.dir/examples/custom_scenario.cpp.o.d"
+  "example_custom_scenario"
+  "example_custom_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

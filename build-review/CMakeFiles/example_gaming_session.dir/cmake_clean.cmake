@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gaming_session.dir/examples/gaming_session.cpp.o"
+  "CMakeFiles/example_gaming_session.dir/examples/gaming_session.cpp.o.d"
+  "example_gaming_session"
+  "example_gaming_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gaming_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sysid_workflow.dir/examples/sysid_workflow.cpp.o"
+  "CMakeFiles/example_sysid_workflow.dir/examples/sysid_workflow.cpp.o.d"
+  "example_sysid_workflow"
+  "example_sysid_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sysid_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arx_fit.dir/tests/test_arx_fit.cpp.o"
+  "CMakeFiles/test_arx_fit.dir/tests/test_arx_fit.cpp.o.d"
+  "test_arx_fit"
+  "test_arx_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arx_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_background.dir/tests/test_background.cpp.o"
+  "CMakeFiles/test_background.dir/tests/test_background.cpp.o.d"
+  "test_background"
+  "test_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

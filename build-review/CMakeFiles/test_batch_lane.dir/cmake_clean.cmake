@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_lane.dir/tests/test_batch_lane.cpp.o"
+  "CMakeFiles/test_batch_lane.dir/tests/test_batch_lane.cpp.o.d"
+  "test_batch_lane"
+  "test_batch_lane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_lane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_batch_lane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_runner.dir/tests/test_batch_runner.cpp.o"
+  "CMakeFiles/test_batch_runner.dir/tests/test_batch_runner.cpp.o.d"
+  "test_batch_runner"
+  "test_batch_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

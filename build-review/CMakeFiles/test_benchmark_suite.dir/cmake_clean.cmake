@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmark_suite.dir/tests/test_benchmark_suite.cpp.o"
+  "CMakeFiles/test_benchmark_suite.dir/tests/test_benchmark_suite.cpp.o.d"
+  "test_benchmark_suite"
+  "test_benchmark_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmark_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

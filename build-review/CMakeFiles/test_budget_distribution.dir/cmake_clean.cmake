@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_budget_distribution.dir/tests/test_budget_distribution.cpp.o"
+  "CMakeFiles/test_budget_distribution.dir/tests/test_budget_distribution.cpp.o.d"
+  "test_budget_distribution"
+  "test_budget_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_budget_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

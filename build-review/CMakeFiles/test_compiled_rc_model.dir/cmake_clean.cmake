@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled_rc_model.dir/tests/test_compiled_rc_model.cpp.o"
+  "CMakeFiles/test_compiled_rc_model.dir/tests/test_compiled_rc_model.cpp.o.d"
+  "test_compiled_rc_model"
+  "test_compiled_rc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled_rc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

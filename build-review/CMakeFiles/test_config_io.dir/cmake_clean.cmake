@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_io.dir/tests/test_config_io.cpp.o"
+  "CMakeFiles/test_config_io.dir/tests/test_config_io.cpp.o.d"
+  "test_config_io"
+  "test_config_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

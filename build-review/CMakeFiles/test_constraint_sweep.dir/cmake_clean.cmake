@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint_sweep.dir/tests/test_constraint_sweep.cpp.o"
+  "CMakeFiles/test_constraint_sweep.dir/tests/test_constraint_sweep.cpp.o.d"
+  "test_constraint_sweep"
+  "test_constraint_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

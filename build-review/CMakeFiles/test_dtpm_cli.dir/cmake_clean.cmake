@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtpm_cli.dir/tests/test_dtpm_cli.cpp.o"
+  "CMakeFiles/test_dtpm_cli.dir/tests/test_dtpm_cli.cpp.o.d"
+  "test_dtpm_cli"
+  "test_dtpm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtpm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtpm_governor.dir/tests/test_dtpm_governor.cpp.o"
+  "CMakeFiles/test_dtpm_governor.dir/tests/test_dtpm_governor.cpp.o.d"
+  "test_dtpm_governor"
+  "test_dtpm_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtpm_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fan_policy.dir/tests/test_fan_policy.cpp.o"
+  "CMakeFiles/test_fan_policy.dir/tests/test_fan_policy.cpp.o.d"
+  "test_fan_policy"
+  "test_fan_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fan_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fan_sensor.dir/tests/test_fan_sensor.cpp.o"
+  "CMakeFiles/test_fan_sensor.dir/tests/test_fan_sensor.cpp.o.d"
+  "test_fan_sensor"
+  "test_fan_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fan_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan.dir/tests/test_floorplan.cpp.o"
+  "CMakeFiles/test_floorplan.dir/tests/test_floorplan.cpp.o.d"
+  "test_floorplan"
+  "test_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariant_checker.dir/tests/test_invariant_checker.cpp.o"
+  "CMakeFiles/test_invariant_checker.dir/tests/test_invariant_checker.cpp.o.d"
+  "test_invariant_checker"
+  "test_invariant_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariant_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

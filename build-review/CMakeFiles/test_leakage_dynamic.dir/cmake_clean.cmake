@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leakage_dynamic.dir/tests/test_leakage_dynamic.cpp.o"
+  "CMakeFiles/test_leakage_dynamic.dir/tests/test_leakage_dynamic.cpp.o.d"
+  "test_leakage_dynamic"
+  "test_leakage_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leakage_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

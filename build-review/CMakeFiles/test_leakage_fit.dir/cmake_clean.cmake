@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leakage_fit.dir/tests/test_leakage_fit.cpp.o"
+  "CMakeFiles/test_leakage_fit.dir/tests/test_leakage_fit.cpp.o.d"
+  "test_leakage_fit"
+  "test_leakage_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leakage_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

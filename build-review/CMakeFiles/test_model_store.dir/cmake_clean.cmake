@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_store.dir/tests/test_model_store.cpp.o"
+  "CMakeFiles/test_model_store.dir/tests/test_model_store.cpp.o.d"
+  "test_model_store"
+  "test_model_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ondemand.dir/tests/test_ondemand.cpp.o"
+  "CMakeFiles/test_ondemand.dir/tests/test_ondemand.cpp.o.d"
+  "test_ondemand"
+  "test_ondemand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ondemand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opp.dir/tests/test_opp.cpp.o"
+  "CMakeFiles/test_opp.dir/tests/test_opp.cpp.o.d"
+  "test_opp"
+  "test_opp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_invariant_sweep.dir/tests/test_platform_invariant_sweep.cpp.o"
+  "CMakeFiles/test_platform_invariant_sweep.dir/tests/test_platform_invariant_sweep.cpp.o.d"
+  "test_platform_invariant_sweep"
+  "test_platform_invariant_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_invariant_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_platform_invariant_sweep.
+# This may be replaced when dependencies are built.

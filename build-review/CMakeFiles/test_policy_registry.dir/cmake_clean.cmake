@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_registry.dir/tests/test_policy_registry.cpp.o"
+  "CMakeFiles/test_policy_registry.dir/tests/test_policy_registry.cpp.o.d"
+  "test_policy_registry"
+  "test_policy_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

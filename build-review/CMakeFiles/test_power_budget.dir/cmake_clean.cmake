@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_budget.dir/tests/test_power_budget.cpp.o"
+  "CMakeFiles/test_power_budget.dir/tests/test_power_budget.cpp.o.d"
+  "test_power_budget"
+  "test_power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

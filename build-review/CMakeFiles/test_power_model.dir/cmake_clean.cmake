@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_model.dir/tests/test_power_model.cpp.o"
+  "CMakeFiles/test_power_model.dir/tests/test_power_model.cpp.o.d"
+  "test_power_model"
+  "test_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

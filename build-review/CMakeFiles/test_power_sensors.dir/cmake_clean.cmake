@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_sensors.dir/tests/test_power_sensors.cpp.o"
+  "CMakeFiles/test_power_sensors.dir/tests/test_power_sensors.cpp.o.d"
+  "test_power_sensors"
+  "test_power_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

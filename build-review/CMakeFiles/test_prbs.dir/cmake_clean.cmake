@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prbs.dir/tests/test_prbs.cpp.o"
+  "CMakeFiles/test_prbs.dir/tests/test_prbs.cpp.o.d"
+  "test_prbs"
+  "test_prbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propagator.dir/tests/test_propagator.cpp.o"
+  "CMakeFiles/test_propagator.dir/tests/test_propagator.cpp.o.d"
+  "test_propagator"
+  "test_propagator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propagator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_network.dir/tests/test_rc_network.cpp.o"
+  "CMakeFiles/test_rc_network.dir/tests/test_rc_network.cpp.o.d"
+  "test_rc_network"
+  "test_rc_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

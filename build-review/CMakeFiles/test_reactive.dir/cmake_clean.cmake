@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reactive.dir/tests/test_reactive.cpp.o"
+  "CMakeFiles/test_reactive.dir/tests/test_reactive.cpp.o.d"
+  "test_reactive"
+  "test_reactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

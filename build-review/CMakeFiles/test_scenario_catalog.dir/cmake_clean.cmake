@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_catalog.dir/tests/test_scenario_catalog.cpp.o"
+  "CMakeFiles/test_scenario_catalog.dir/tests/test_scenario_catalog.cpp.o.d"
+  "test_scenario_catalog"
+  "test_scenario_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

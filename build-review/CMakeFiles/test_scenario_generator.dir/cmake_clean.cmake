@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_generator.dir/tests/test_scenario_generator.cpp.o"
+  "CMakeFiles/test_scenario_generator.dir/tests/test_scenario_generator.cpp.o.d"
+  "test_scenario_generator"
+  "test_scenario_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_step.dir/tests/test_simulation_step.cpp.o"
+  "CMakeFiles/test_simulation_step.dir/tests/test_simulation_step.cpp.o.d"
+  "test_simulation_step"
+  "test_simulation_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc.dir/tests/test_soc.cpp.o"
+  "CMakeFiles/test_soc.dir/tests/test_soc.cpp.o.d"
+  "test_soc"
+  "test_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

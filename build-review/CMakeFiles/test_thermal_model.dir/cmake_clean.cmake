@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_model.dir/tests/test_thermal_model.cpp.o"
+  "CMakeFiles/test_thermal_model.dir/tests/test_thermal_model.cpp.o.d"
+  "test_thermal_model"
+  "test_thermal_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

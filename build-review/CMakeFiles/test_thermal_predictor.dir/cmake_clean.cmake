@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_predictor.dir/tests/test_thermal_predictor.cpp.o"
+  "CMakeFiles/test_thermal_predictor.dir/tests/test_thermal_predictor.cpp.o.d"
+  "test_thermal_predictor"
+  "test_thermal_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

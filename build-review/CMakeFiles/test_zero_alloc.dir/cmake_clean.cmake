@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_alloc.dir/tests/test_zero_alloc.cpp.o"
+  "CMakeFiles/test_zero_alloc.dir/tests/test_zero_alloc.cpp.o.d"
+  "test_zero_alloc"
+  "test_zero_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
