@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/analyzer.hpp"
 #include "governors/policy_registry.hpp"
 #include "sim/batch.hpp"
 #include "sim/calibration.hpp"
@@ -41,6 +42,14 @@ const char kUsageText[] =
     "      Expand a sweep grid (flat benchmark axes or a scenario-catalog\n"
     "      selection) and run it on the parallel BatchRunner. --smoke caps\n"
     "      warm-up/simulated time and disables traces for CI-sized runs.\n"
+    "  dtpm analyze [--platform NAME] [--ambient-sweep LO:HI:STEP] "
+    "[--out DIR] [--quiet]\n"
+    "      Coupled leakage-temperature stability analysis: solve the\n"
+    "      equilibrium at every (OPP, cooling, ambient) operating point,\n"
+    "      classify runaway stability, and derive the safe operating\n"
+    "      envelope. Prints a summary and writes one\n"
+    "      <out>/analysis_<platform>.json per platform (all registered\n"
+    "      platforms unless --platform narrows it).\n"
     "  dtpm list <policies|governors|scenarios|platforms|presets|benchmarks"
     "|engines> [--long]\n"
     "      List registered names, one per line (--long adds descriptions).\n"
@@ -351,6 +360,139 @@ int sweep_command(const Options& options, std::ostream& out,
   return outcome.all_succeeded() ? kOk : kFailure;
 }
 
+/// Parses an `--ambient-sweep LO:HI:STEP` spec into an inclusive list of
+/// ambient temperatures.
+bool parse_ambient_sweep(const std::string& spec, std::vector<double>& out,
+                         std::ostream& err) {
+  double lo = 0.0, hi = 0.0, step = 0.0;
+  char c1 = 0, c2 = 0;
+  std::istringstream in(spec);
+  if (!(in >> lo >> c1 >> hi >> c2 >> step) || c1 != ':' || c2 != ':' ||
+      !in.eof()) {
+    err << "dtpm: --ambient-sweep expects LO:HI:STEP, got '" << spec << "'\n";
+    return false;
+  }
+  if (step <= 0.0 || hi < lo) {
+    err << "dtpm: --ambient-sweep needs STEP > 0 and HI >= LO\n";
+    return false;
+  }
+  out.clear();
+  for (double a = lo; a <= hi + 1e-9; a += step) out.push_back(a);
+  return true;
+}
+
+/// One fixed-precision detail line per OPP (the golden analysis listing pins
+/// these, so the format must stay deterministic).
+void print_point_line(std::ostream& out,
+                      const analysis::OperatingPointAnalysis& p) {
+  std::ostringstream line;
+  line << std::fixed << "    opp " << std::setw(2) << p.opp_index << "  "
+       << std::setw(4) << std::llround(p.frequency_hz / 1e6) << " MHz  "
+       << std::setprecision(3) << p.voltage_v << " V  ";
+  if (p.diverged) {
+    line << "DIVERGED (thermal runaway)";
+  } else if (!p.converged) {
+    line << "no equilibrium after " << p.iterations << " iterations";
+  } else {
+    line << std::setprecision(2) << "T*core " << std::setw(6)
+         << p.max_core_temp_c << " C  P " << std::setw(5) << p.total_power_w
+         << " W  " << std::setprecision(3) << "gain " << p.loop_gain
+         << "  margin " << p.stability_margin
+         << (p.stable ? "  stable" : "  UNSTABLE");
+  }
+  out << line.str() << '\n';
+}
+
+int analyze_command(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  std::string out_dir = "dtpm-out";
+  std::string platform;
+  bool quiet = false;
+  analysis::AnalysisOptions analysis_options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--out" || arg == "--platform" || arg == "--ambient-sweep") {
+      if (i + 1 >= args.size()) {
+        err << "dtpm: " << arg << " requires an argument\n";
+        return kUsage;
+      }
+      const std::string& value = args[++i];
+      if (arg == "--out") {
+        out_dir = value;
+      } else if (arg == "--platform") {
+        platform = value;
+      } else if (!parse_ambient_sweep(value, analysis_options.ambients_c,
+                                      err)) {
+        return kUsage;
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      err << "dtpm: analyze does not take '" << arg << "'\n";
+      return kUsage;
+    }
+  }
+
+  const sim::PlatformRegistry& registry = sim::PlatformRegistry::instance();
+  const std::vector<std::string> names =
+      platform.empty() ? registry.names()
+                       : std::vector<std::string>{platform};
+
+  std::filesystem::create_directories(out_dir);
+  for (const std::string& name : names) {
+    const sim::PlatformPtr descriptor = registry.get(name);  // throws: unknown
+    const analysis::PlatformAnalysis analysis =
+        analysis::analyze_platform(*descriptor, analysis_options);
+
+    const std::filesystem::path json_path =
+        std::filesystem::path(out_dir) /
+        ("analysis_" + sanitize_label(name) + ".json");
+    util::json_write_file(json_path.string(), analysis::to_json(analysis));
+
+    if (quiet) continue;
+    std::ostringstream head;
+    head << std::fixed << std::setprecision(1) << "== " << name << " (t_max "
+         << analysis.t_max_c << " C, runaway abort "
+         << analysis.runaway_abort_temp_c << " C) ==";
+    out << head.str() << '\n';
+
+    // Envelope summary: one line per ambient, derived at best cooling.
+    const std::string best_cooling =
+        analysis.ambients.empty() || analysis.ambients.front().cooling.empty()
+            ? "?"
+            : analysis.ambients.front().cooling.back().label;
+    out << "  safe envelope (cooling: " << best_cooling << "):\n";
+    for (const analysis::EnvelopePoint& point : analysis.envelope) {
+      std::ostringstream line;
+      line << std::fixed << std::setprecision(1) << "    ambient "
+           << std::setw(5) << point.ambient_c << " C -> ";
+      if (point.max_safe_opp_index < 0) {
+        line << "no safe OPP";
+      } else {
+        line << "max OPP " << std::setw(2) << point.max_safe_opp_index << " ("
+             << std::llround(point.max_safe_frequency_hz / 1e6) << " MHz)";
+      }
+      line << "  limit: " << point.limit;
+      out << line.str() << '\n';
+    }
+
+    // Per-OPP detail at every ambient's best cooling state.
+    for (const analysis::AmbientAnalysis& ambient : analysis.ambients) {
+      if (ambient.cooling.empty()) continue;
+      const analysis::CoolingStateAnalysis& cooling = ambient.cooling.back();
+      std::ostringstream label;
+      label << std::fixed << std::setprecision(1) << "  detail @ ambient "
+            << ambient.ambient_c << " C, " << cooling.label << " cooling:";
+      out << label.str() << '\n';
+      for (const analysis::OperatingPointAnalysis& p : cooling.points) {
+        print_point_line(out, p);
+      }
+    }
+    out << "  json: " << json_path.string() << '\n';
+  }
+  return kOk;
+}
+
 int list_command(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   std::string category;
@@ -457,6 +599,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       }
       return command == "run" ? run_command(options, out, err)
                               : sweep_command(options, out, err);
+    }
+    if (command == "analyze") {
+      return analyze_command(args, out, err);
     }
     if (command == "list") {
       return list_command(args, out, err);

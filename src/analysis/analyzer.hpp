@@ -1,0 +1,134 @@
+// Platform-level stability & safety analysis: the `dtpm analyze` engine
+// (ROADMAP item 4). For a PlatformDescriptor it sweeps (OPP x cooling state
+// x ambient), solves the coupled leakage-temperature equilibrium at each
+// operating point (analysis/equilibrium.hpp), classifies its stability by
+// linearization (analysis/stability.hpp), and derives the safe operating
+// envelope: the highest OPP per ambient that is simultaneously
+// runaway-stable and inside the platform's thermal constraint under its
+// best cooling. Results serialize to JSON via util/json.
+//
+// PlatformRegistry::add also routes through validate_platform_stability so
+// a descriptor that cannot even idle stably is rejected at registration
+// time instead of producing runaway simulations later.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/equilibrium.hpp"
+#include "sim/platform.hpp"
+#include "util/json.hpp"
+#include "workload/runtime.hpp"
+
+namespace dtpm::analysis {
+
+/// The sustained load the analysis assumes on the big cluster.
+struct AnalysisWorkload {
+  int threads = 4;
+  double duty = 1.0;
+  double cpu_activity = 1.0;
+  double mem_intensity = 0.2;
+  double gpu_load = 0.0;
+};
+
+/// Demand vector equivalent of an AnalysisWorkload (non-progress-counting,
+/// the shape calibration's characterization loads use).
+workload::Demand analysis_demand(const AnalysisWorkload& workload);
+
+struct AnalysisOptions {
+  AnalysisWorkload workload;
+  /// Ambient temperatures (Celsius) of the envelope sweep.
+  std::vector<double> ambients_c = {15.0, 25.0, 35.0, 45.0};
+  EquilibriumOptions equilibrium;
+};
+
+/// One (platform, OPP, cooling, ambient, demand) operating point to solve.
+struct OperatingPointRequest {
+  std::size_t big_opp_index = 0;
+  /// Conductance applied to the fan-modulated edge; ignored on fanless
+  /// floorplans (their fixed cooling path is part of the topology).
+  double cooling_conductance_w_per_k = 0.0;
+  double ambient_c = 25.0;
+  workload::Demand demand;
+};
+
+/// Equilibrium + stability verdict of one operating point. The stability
+/// fields (loop_gain, stability_margin, spectral_abscissa_per_s) are only
+/// meaningful when `converged`; a diverged point has no equilibrium to
+/// linearize at and is reported unstable outright.
+struct OperatingPointAnalysis {
+  std::size_t opp_index = 0;
+  double frequency_hz = 0.0;
+  double voltage_v = 0.0;
+  bool converged = false;
+  bool diverged = false;
+  bool stable = false;
+  int iterations = 0;
+  double residual_c = 0.0;
+  double loop_gain = 0.0;
+  double stability_margin = 0.0;
+  double spectral_abscissa_per_s = 0.0;
+  /// Hottest core/sensor-site node at the equilibrium (what the platform's
+  /// t_max constrains) and the hottest free node overall.
+  double max_core_temp_c = 0.0;
+  double max_temp_c = 0.0;
+  double total_power_w = 0.0;
+};
+
+/// Solves one operating point. When `equilibrium_temps_c` is non-null it
+/// receives the full node-temperature vector at exit (the equilibrium when
+/// converged).
+OperatingPointAnalysis analyze_operating_point(
+    const sim::PlatformDescriptor& platform,
+    const OperatingPointRequest& request,
+    const EquilibriumOptions& options = {},
+    std::vector<double>* equilibrium_temps_c = nullptr);
+
+/// All OPPs of one cooling state at one ambient.
+struct CoolingStateAnalysis {
+  std::string label;  ///< fan speed name, or "passive" on fanless platforms
+  double conductance_w_per_k = 0.0;
+  std::vector<OperatingPointAnalysis> points;  ///< ascending OPP index
+};
+
+struct AmbientAnalysis {
+  double ambient_c = 0.0;
+  std::vector<CoolingStateAnalysis> cooling;  ///< ascending conductance
+};
+
+/// Safe-envelope entry: the highest big-cluster OPP at one ambient that is
+/// converged, stable, and within t_max under the platform's best cooling.
+struct EnvelopePoint {
+  double ambient_c = 0.0;
+  int max_safe_opp_index = -1;  ///< -1: no OPP is safe at this ambient
+  double max_safe_frequency_hz = 0.0;
+  /// What caps the envelope: "opp-table-max" (every OPP is safe), "t-max"
+  /// (next OPP exceeds the constraint), "unstable" (next OPP runs away), or
+  /// "none" (even the lowest OPP is unsafe).
+  std::string limit = "none";
+};
+
+struct PlatformAnalysis {
+  std::string platform;
+  double t_max_c = 0.0;
+  double runaway_abort_temp_c = 0.0;
+  AnalysisWorkload workload;
+  std::vector<AmbientAnalysis> ambients;
+  std::vector<EnvelopePoint> envelope;  ///< one entry per ambient
+};
+
+PlatformAnalysis analyze_platform(const sim::PlatformDescriptor& platform,
+                                  const AnalysisOptions& options = {});
+
+/// JSON document of a full platform analysis (the `dtpm analyze` artifact).
+util::JsonValue to_json(const PlatformAnalysis& analysis);
+
+/// Registration gate used by PlatformRegistry::add: the platform must have
+/// a converged, runaway-stable equilibrium at its lowest OPP under best
+/// cooling and native ambient with a light characterization load -- the
+/// same operating point calibration equilibrates at, so a descriptor that
+/// passes here can also be calibrated. Throws std::invalid_argument.
+void validate_platform_stability(const sim::PlatformDescriptor& platform);
+
+}  // namespace dtpm::analysis

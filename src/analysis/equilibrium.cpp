@@ -1,0 +1,73 @@
+#include "analysis/equilibrium.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtpm::analysis {
+
+EquilibriumResult solve_coupled_equilibrium(thermal::RcNetwork& network,
+                                            const NodePowerFn& node_power,
+                                            const EquilibriumOptions& options) {
+  if (options.max_iterations < 1) {
+    throw std::invalid_argument(
+        "solve_coupled_equilibrium: max_iterations must be positive");
+  }
+  if (!(options.tolerance_c > 0.0)) {
+    throw std::invalid_argument(
+        "solve_coupled_equilibrium: tolerance_c must be positive");
+  }
+
+  EquilibriumResult result;
+  std::vector<double> power;
+  double damping =
+      std::clamp(options.initial_damping, options.min_damping, 1.0);
+  double previous_residual = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    node_power(network.temperatures_c(), power);
+    const std::vector<double> steady = network.steady_state(power);
+
+    // The undamped fixed-point residual, measured before the (possibly
+    // damped) update: convergence means the *physics* balances, not that
+    // the relaxed step got small.
+    double residual = 0.0;
+    for (std::size_t i = 0; i < steady.size(); ++i) {
+      if (network.node(i).is_boundary) continue;
+      residual = std::max(residual,
+                          std::abs(steady[i] - network.temperature_c(i)));
+    }
+
+    result.iterations = iter + 1;
+    result.residual_c = residual;
+    if (residual < options.tolerance_c) {
+      result.converged = true;
+      return result;
+    }
+
+    // A growing residual means the undamped map overshoots (oscillatory
+    // approach) or has no stable fixed point at all; halving the relaxation
+    // rescues the former and cannot mask the latter (the damped map's gain
+    // d*rho + 1 - d stays above 1 whenever rho > 1).
+    if (residual > previous_residual) {
+      damping = std::max(options.min_damping, 0.5 * damping);
+    }
+    previous_residual = residual;
+
+    bool runaway = false;
+    for (std::size_t i = 0; i < steady.size(); ++i) {
+      if (network.node(i).is_boundary) continue;
+      const double current = network.temperature_c(i);
+      const double updated = current + damping * (steady[i] - current);
+      network.set_temperature_c(i, updated);
+      if (updated > options.divergence_temp_c) runaway = true;
+    }
+    if (runaway) {
+      result.diverged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace dtpm::analysis

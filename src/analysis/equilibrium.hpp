@@ -1,0 +1,71 @@
+// Coupled leakage-temperature equilibrium solver. The RC network's
+// steady_state() solves the *linear* system G.T = P at fixed power, but the
+// plant's power depends on temperature through leakage, so the physical
+// equilibrium is the fixed point
+//
+//     T* = steady_state(P(T*))
+//
+// This file owns the damped fixed-point iteration that finds it -- with a
+// residual-based convergence test and explicit divergence reporting --
+// shared by calibration's furnace equilibration (sim/calibration.cpp) and
+// the stability analyzer (analysis/analyzer.hpp).
+//
+// The iteration map's linearization at T* is G^-1 * dP/dT, a nonnegative
+// matrix for physical plants (G^-1 of an M-matrix is nonnegative; leakage
+// increases with temperature), so its dominant eigenvalue is real and
+// positive and damping cannot stabilize a divergent iteration: divergence of
+// this fixed point *is* the thermal-runaway instability the stability
+// classifier (analysis/stability.hpp) detects by linearization. See
+// PAPERS.md, "Power-Temperature Stability and Safety Analysis for
+// Multiprocessor Systems".
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+
+namespace dtpm::analysis {
+
+struct EquilibriumOptions {
+  int max_iterations = 200;
+  /// Converged when max |steady_state(P(T)) - T| over free nodes drops
+  /// below this (Celsius).
+  double tolerance_c = 1e-6;
+  /// Any free node exceeding this marks the iteration diverged (thermal
+  /// runaway: the map has no reachable stable fixed point).
+  double divergence_temp_c = 500.0;
+  /// Under-relaxation factor of the first step; adapted downward (never
+  /// below min_damping) when the residual grows, which smooths oscillatory
+  /// approaches without changing the fixed point itself.
+  double initial_damping = 1.0;
+  double min_damping = 0.0625;
+};
+
+struct EquilibriumResult {
+  bool converged = false;
+  /// Temperatures blew past divergence_temp_c: no stable equilibrium on the
+  /// physical branch (leakage-temperature runaway).
+  bool diverged = false;
+  int iterations = 0;
+  /// Final fixed-point residual max |steady_state(P(T)) - T| in Celsius.
+  double residual_c = std::numeric_limits<double>::infinity();
+};
+
+/// Evaluates the plant's node power vector (W per node, indexed like the
+/// network's nodes) at the given node temperatures. Implementations write
+/// into `node_power_w` (resizing as needed) so the solver loop stays
+/// allocation-free after the first iteration.
+using NodePowerFn = std::function<void(const std::vector<double>& temps_c,
+                                       std::vector<double>& node_power_w)>;
+
+/// Runs the damped fixed-point iteration on `network` in place: on return
+/// the network's non-boundary temperatures hold the last iterate (the
+/// equilibrium when result.converged). Boundary temperatures are inputs and
+/// are never modified.
+EquilibriumResult solve_coupled_equilibrium(thermal::RcNetwork& network,
+                                            const NodePowerFn& node_power,
+                                            const EquilibriumOptions& options = {});
+
+}  // namespace dtpm::analysis

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "analysis/equilibrium.hpp"
 #include "power/dynamic_power.hpp"
 #include "soc/soc.hpp"
 #include "thermal/floorplan.hpp"
@@ -73,26 +74,38 @@ struct PlantBundle {
     return accum;
   }
 
-  /// Leakage-consistent equilibration: alternate computing the power vector
-  /// at the current temperatures with a direct steady-state solve.
+  /// Leakage-consistent equilibration through the shared coupled solver
+  /// (analysis/equilibrium.hpp): iterate to the fixed point where the
+  /// network's steady state under temperature-dependent power reproduces the
+  /// temperatures the power was computed at, to a tight tolerance. Loud
+  /// failure instead of a silently-unconverged plant: calibration data taken
+  /// off-equilibrium would poison every coefficient fitted from it.
   void equilibrate(const workload::Demand& demand) {
-    for (int iter = 0; iter < 8; ++iter) {
-      const auto& temps_before = floorplan.network.temperatures_c();
-      // Probe powers without advancing time meaningfully.
+    const analysis::NodePowerFn probe = [&](const std::vector<double>& temps,
+                                            std::vector<double>& node_power) {
+      // Probe powers at the solver's trial temperatures without advancing
+      // time meaningfully (the network still holds `temps`; the SoC step is
+      // fed from it directly).
+      const auto& cores = floorplan.core_node_index;
+      const std::array<double, soc::kBigCoreCount> big = {
+          temps[cores[0]], temps[cores[1]], temps[cores[2]], temps[cores[3]]};
       soc::SocStepResult out =
-          soc.step(demand, {}, big_true_temps(),
-                   temps_before[floorplan.little_node_index],
-                   temps_before[floorplan.gpu_node_index],
-                   temps_before[floorplan.mem_node_index], 1e-4);
-      std::vector<double> node_power;
+          soc.step(demand, {}, big, temps[floorplan.little_node_index],
+                   temps[floorplan.gpu_node_index],
+                   temps[floorplan.mem_node_index], 1e-4);
       floorplan.assemble_node_power_into(out.big_core_power_w,
                                          out.rail_power_w, node_power);
-      const auto steady = floorplan.network.steady_state(node_power);
-      for (std::size_t i = 0; i < steady.size(); ++i) {
-        if (!floorplan.network.node(i).is_boundary) {
-          floorplan.network.set_temperature_c(i, steady[i]);
-        }
-      }
+    };
+    const analysis::EquilibriumResult eq =
+        analysis::solve_coupled_equilibrium(floorplan.network, probe);
+    if (!eq.converged) {
+      throw std::runtime_error(
+          "calibration: plant failed to reach a leakage-consistent "
+          "equilibrium (" +
+          std::string(eq.diverged ? "diverged -- thermal runaway"
+                                  : "did not converge") +
+          " after " + std::to_string(eq.iterations) +
+          " iterations, residual " + std::to_string(eq.residual_c) + " C)");
     }
   }
 };

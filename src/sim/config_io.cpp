@@ -703,6 +703,7 @@ JsonValue to_json(const PlatformDescriptor& d) {
     json.set("platform_load", std::move(load));
   }
   json.set("default_t_max_c", d.default_t_max_c);
+  json.set("runaway_abort_temp_c", d.runaway_abort_temp_c);
   return json;
 }
 
@@ -766,6 +767,7 @@ PlatformDescriptor platform_from_json(const JsonValue& json,
     load_reader.finish();
   }
   reader.number("default_t_max_c", d.default_t_max_c, 0.0, 150.0);
+  reader.number("runaway_abort_temp_c", d.runaway_abort_temp_c, 0.0, 500.0);
   reader.finish();
 
   try {

@@ -41,6 +41,16 @@ void PlatformDescriptor::validate() const {
         "platform '" + name +
         "': default_t_max_c must be above the ambient temperature");
   }
+  if (runaway_abort_temp_c < 0.0) {
+    throw std::invalid_argument(
+        "platform '" + name +
+        "': runaway_abort_temp_c must be >= 0 (0 derives t_max + margin)");
+  }
+  if (runaway_abort_temp_c > 0.0 && runaway_abort_temp_c <= default_t_max_c) {
+    throw std::invalid_argument(
+        "platform '" + name +
+        "': runaway_abort_temp_c must sit above default_t_max_c");
+  }
   // OppTable's constructor validates ordering/positivity; constructing the
   // three tables is the check.
   big_opp_table();
@@ -83,7 +93,8 @@ bool operator==(const PlatformDescriptor& a, const PlatformDescriptor& b) {
          a.power == b.power && a.perf == b.perf && a.fan == b.fan &&
          a.temp_sensor == b.temp_sensor && a.power_sensor == b.power_sensor &&
          a.platform_load == b.platform_load &&
-         a.default_t_max_c == b.default_t_max_c;
+         a.default_t_max_c == b.default_t_max_c &&
+         a.runaway_abort_temp_c == b.runaway_abort_temp_c;
 }
 
 }  // namespace dtpm::sim

@@ -71,6 +71,26 @@ struct PlatformDescriptor {
   /// policy's 50% threshold (§6.3.2).
   double default_t_max_c = 63.0;
 
+  /// Hard simulation-abort ceiling: a run whose hottest true node exceeds
+  /// this is declared thermal runaway and stopped (Simulation surfaces it in
+  /// RunResult::runaway). 0 derives the platform-relative default
+  /// `default_t_max_c + kRunawayAbortMarginC`, which fanless presets use so
+  /// a skin-limited phone aborts near its own envelope instead of cooking
+  /// ~60 C past it. The Odroid pins the legacy 115 C explicitly: its
+  /// junction legitimately sustains ~106 C fan-off equilibria (the no-fan
+  /// curves of Fig. 1.1), so the ceiling must sit above them.
+  double runaway_abort_temp_c = 115.0;
+
+  /// Margin over default_t_max_c of the derived (runaway_abort_temp_c == 0)
+  /// abort ceiling.
+  static constexpr double kRunawayAbortMarginC = 30.0;
+
+  /// The abort ceiling a Simulation on this platform actually uses.
+  double resolved_runaway_abort_temp_c() const {
+    return runaway_abort_temp_c > 0.0 ? runaway_abort_temp_c
+                                      : default_t_max_c + kRunawayAbortMarginC;
+  }
+
   PlatformDescriptor();
 
   bool has_fan() const { return floorplan.has_fan_edge(); }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "util/names.hpp"
 
 namespace dtpm::sim {
@@ -126,6 +127,9 @@ PlatformDescriptor dragon_platform() {
 
   // Die-limited rather than skin-limited: the thick chassis buys headroom.
   d.default_t_max_c = 70.0;
+  // Derived abort ceiling (t_max + margin = 100 C): the fanless SKU has no
+  // reason to inherit the Odroid's 115 C junction ceiling.
+  d.runaway_abort_temp_c = 0.0;
   return d;
 }
 
@@ -223,6 +227,11 @@ PlatformDescriptor compact_platform() {
 
   // Skin-limited: the constraint protects the hand, not the junction.
   d.default_t_max_c = 58.0;
+  // Derived abort ceiling (t_max + margin = 88 C): a phone that blows 30 C
+  // past its skin limit has already run away; aborting there instead of at
+  // the Odroid's 115 C junction ceiling is the point of the
+  // platform-relative threshold.
+  d.runaway_abort_temp_c = 0.0;
   return d;
 }
 
@@ -241,6 +250,13 @@ PlatformRegistry& PlatformRegistry::instance() {
 
 void PlatformRegistry::add(PlatformDescriptor descriptor) {
   descriptor.validate();
+  // Beyond structural validation: the plant must have a stable coupled
+  // leakage-temperature equilibrium at its gentlest operating point, or
+  // every simulation (and the calibration furnace) on it would run away.
+  // Inline descriptors in experiment configs deliberately skip this -- a
+  // runaway-unstable platform is constructible for tests, just not
+  // registrable by name.
+  analysis::validate_platform_stability(descriptor);
   std::lock_guard<std::mutex> lock(mutex_);
   const std::string name = descriptor.name;
   const bool inserted =

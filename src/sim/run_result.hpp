@@ -19,6 +19,14 @@ struct RunResult {
   double avg_soc_power_w = 0.0;     ///< SoC rails only
   double platform_energy_j = 0.0;
 
+  /// The run was aborted because a true node temperature crossed the
+  /// platform's abort ceiling (thermal runaway). Implies !completed.
+  bool runaway = false;
+  /// The abort ceiling that applied -- the platform's
+  /// resolved_runaway_abort_temp_c(), recorded so result consumers can
+  /// interpret `runaway` without the descriptor at hand.
+  double runaway_abort_temp_c = 0.0;
+
   /// Statistics of the max-core-temperature trace (Figs. 6.3-6.5).
   util::RunningStats max_temp_stats;
   /// Wall-clock time spent above the 63 C constraint.

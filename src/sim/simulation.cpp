@@ -10,8 +10,6 @@ namespace dtpm::sim {
 
 namespace {
 
-constexpr double kRunawayAbortTempC = 115.0;
-
 const ExperimentConfig& validated(const ExperimentConfig& config,
                                   const sysid::IdentifiedPlatformModel* model) {
   if (config.observe_predictions && model == nullptr) {
@@ -52,6 +50,7 @@ Simulation::Simulation(const ExperimentConfig& config,
                        const RunPlan* plan)
     : config_(validated(config, model)),
       platform_(resolved_platform(config_)),
+      runaway_abort_temp_c_(platform_->resolved_runaway_abort_temp_c()),
       dt_s_(config_.control_interval_s),
       substeps_(std::max(1, int(std::lround(dt_s_ / config_.plant_substep_s)))),
       sub_dt_s_(dt_s_ / substeps_),
@@ -199,7 +198,7 @@ bool Simulation::finish_step(const PlantIntervalResult& interval) {
     result_.completed = true;
     end_time_ = t_;
     done_ = true;
-  } else if (plant_.max_true_temp_c() > kRunawayAbortTempC) {
+  } else if (plant_.max_true_temp_c() > runaway_abort_temp_c_) {
     runaway_ = true;
     end_time_ = t_;
     done_ = true;
@@ -249,6 +248,8 @@ RunResult Simulation::finish() {
   }
   observer_.finalize(result);
   if (control_.dtpm() != nullptr) result.dtpm = control_.dtpm()->diagnostics();
+  result.runaway = runaway_;
+  result.runaway_abort_temp_c = runaway_abort_temp_c_;
   if (runaway_) result.completed = false;
   result.trace = recorder_.take();
   result.control_steps = k_;

@@ -37,7 +37,7 @@ struct SimulationView {
   std::size_t steps = 0;     ///< control intervals executed so far
   bool warmed_up = false;    ///< past the warm-up window, recording active
   bool benchmark_completed = false;
-  bool runaway = false;      ///< aborted on thermal runaway (> 115 C)
+  bool runaway = false;      ///< aborted on thermal runaway (platform ceiling)
   double max_temp_c = 0.0;   ///< latest hottest big-core sensor reading
   double progress = 0.0;     ///< benchmark progress fraction [0, 1]
   double platform_power_w = 0.0;  ///< latest external-meter reading
@@ -126,6 +126,9 @@ class Simulation {
   /// `platform`, or synthesized from its preset). Declared before plant_ --
   /// construction order matters.
   PlatformPtr platform_;
+  /// Abort ceiling for the runaway check: the platform's
+  /// resolved_runaway_abort_temp_c() (explicit, or t_max + margin).
+  double runaway_abort_temp_c_;
   double dt_s_;
   int substeps_;
   double sub_dt_s_;

@@ -226,24 +226,68 @@ Matrix Matrix::least_squares(const Matrix& b, double ridge) const {
   return x;
 }
 
-double Matrix::spectral_radius(unsigned iterations) const {
+double Matrix::spectral_radius(unsigned iterations, double tolerance) const {
   if (rows_ != cols_ || rows_ == 0) {
     throw std::invalid_argument("Matrix::spectral_radius: not square");
   }
+  if (rows_ == 1) return std::fabs(data_[0]);
   // Power iteration on A'A would give singular values; for the (generally
   // non-symmetric) state matrices we track ||A^k x|| growth instead, which
-  // converges to the dominant |eigenvalue| for diagonalizable A.
+  // converges to the dominant |eigenvalue| when a single real eigenvalue
+  // dominates. Converged means both the estimate and the iterate direction
+  // have settled (|<x_k+1, x_k>| -> 1; the absolute value also accepts the
+  // sign-flipping iterates of a negative dominant eigenvalue).
   Matrix x(rows_, 1);
-  for (std::size_t i = 0; i < rows_; ++i) x(i, 0) = 1.0 / std::sqrt(double(rows_));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    x(i, 0) = 1.0 / std::sqrt(double(rows_));
+  }
   double estimate = 0.0;
+  double previous_estimate = -1.0;
   for (unsigned it = 0; it < iterations; ++it) {
     Matrix y = (*this) * x;
     const double norm = y.frobenius_norm();
     if (norm < 1e-300) return 0.0;
     estimate = norm;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) dot += y(i, 0) * x(i, 0);
+    const double alignment = std::fabs(dot) / norm;
     x = y * (1.0 / norm);
+    if (it > 0 &&
+        std::fabs(estimate - previous_estimate) <=
+            tolerance * std::max(1.0, estimate) &&
+        1.0 - alignment <= 1e3 * tolerance) {
+      return estimate;
+    }
+    previous_estimate = estimate;
   }
-  return estimate;
+  // Documented fallback: the iterates of a dominant complex-conjugate pair
+  // rotate in a two-dimensional invariant subspace and never align, so
+  // extract that subspace instead. With the current unit iterate x, fit
+  //     A²x ≈ a·(Ax) + b·x        (least squares, exact on the subspace)
+  // whose companion polynomial λ² − aλ − b has the dominant pair as roots;
+  // return the larger root modulus (for a complex pair, sqrt(-b)).
+  try {
+    const Matrix ax = (*this) * x;
+    const Matrix aax = (*this) * ax;
+    Matrix basis(rows_, 2);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      basis(i, 0) = x(i, 0);
+      basis(i, 1) = ax(i, 0);
+    }
+    const Matrix coef = basis.least_squares(aax);
+    const double b = coef(0, 0);
+    const double a = coef(1, 0);
+    const double discriminant = 0.25 * a * a + b;
+    if (discriminant >= 0.0) {
+      const double root = std::sqrt(discriminant);
+      return std::max(std::fabs(0.5 * a + root), std::fabs(0.5 * a - root));
+    }
+    // Complex pair λ = a/2 ± i·sqrt(−disc): |λ|² = a²/4 − disc = −b.
+    return std::sqrt(-b);
+  } catch (const std::exception&) {
+    // Degenerate basis (x and Ax parallel): the plain estimate was right.
+    return estimate;
+  }
 }
 
 bool Matrix::approx_equal(const Matrix& other, double tolerance) const {

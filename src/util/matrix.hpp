@@ -86,9 +86,20 @@ class Matrix {
   /// appends sqrt(ridge) * I rows to the system.
   Matrix least_squares(const Matrix& b, double ridge = 0.0) const;
 
-  /// Largest absolute eigenvalue, estimated by power iteration. Used to check
-  /// the stability of identified thermal models (spectral radius < 1).
-  double spectral_radius(unsigned iterations = 200) const;
+  /// Largest absolute eigenvalue. Used to check the stability of identified
+  /// thermal models (spectral radius < 1) and by the runaway-stability
+  /// analyzer (analysis/stability.hpp).
+  ///
+  /// Power iteration with an explicit convergence criterion (relative
+  /// estimate change below `tolerance` AND iterate direction settled). When
+  /// the iteration fails to converge -- the signature of a dominant
+  /// complex-conjugate pair, whose iterates rotate forever -- it falls back
+  /// to a two-dimensional Krylov extraction: fit A²x = a·Ax + b·x in least
+  /// squares and return the largest root modulus of λ² − aλ − b, which is
+  /// exact for a dominant pair and a strictly better estimate than the last
+  /// raw iterate otherwise.
+  double spectral_radius(unsigned iterations = 200,
+                         double tolerance = 1e-10) const;
 
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;

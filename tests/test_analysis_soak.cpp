@@ -1,0 +1,228 @@
+// Brute-force cross-checks of the analyzer: long pinned-OPP Simulation
+// soaks must settle onto the equilibria the analyzer predicts, and a
+// synthetic runaway-unstable platform must (a) be classified as such, (b) be
+// rejected by the PlatformRegistry gate, and (c) trip the platform-derived
+// runaway abort when simulated anyway.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "governors/governor.hpp"
+#include "sim/platform_registry.hpp"
+#include "sim/simulation.hpp"
+#include "thermal/floorplan.hpp"
+#include "workload/benchmark.hpp"
+
+namespace dtpm {
+namespace {
+
+/// Ignores every proposal: the plant runs at one fixed SocConfig and fan
+/// speed, turning a Simulation into a constant-input soak.
+class PinPolicy final : public governors::ThermalPolicy {
+ public:
+  PinPolicy(soc::SocConfig config, thermal::FanSpeed fan)
+      : config_(config), fan_(fan) {}
+  governors::Decision adjust(const soc::PlatformView&,
+                             const governors::Decision&) override {
+    return {config_, fan_};
+  }
+  std::string_view name() const override { return "pin"; }
+
+ private:
+  soc::SocConfig config_;
+  thermal::FanSpeed fan_;
+};
+
+/// A never-finishing single-phase scenario mirroring the analyzer workload.
+std::shared_ptr<const workload::Benchmark> soak_scenario(
+    const analysis::AnalysisWorkload& w) {
+  auto bench = std::make_shared<workload::Benchmark>();
+  bench->name = "soak";
+  bench->phases.assign(1, {});
+  bench->phases[0].work_fraction = 1.0;
+  bench->phases[0].cpu_activity = w.cpu_activity;
+  bench->phases[0].mem_intensity = w.mem_intensity;
+  bench->phases[0].gpu_load = w.gpu_load;
+  bench->phases[0].threads = w.threads;
+  bench->phases[0].duty = w.duty;
+  bench->total_work_units = 1e12;  // never completes inside the soak window
+  bench->multithreaded = w.threads > 1;
+  return bench;
+}
+
+soc::SocConfig pinned_config(const sim::PlatformDescriptor& platform,
+                             std::size_t big_opp_index) {
+  soc::SocConfig config;
+  config.active_cluster = soc::ClusterId::kBig;
+  config.big_freq_hz = platform.big_opps.at(big_opp_index).frequency_hz;
+  config.little_freq_hz = platform.little_opps.front().frequency_hz;
+  config.gpu_freq_hz = platform.gpu_opps.front().frequency_hz;
+  return config;
+}
+
+/// Soaks `platform` at a pinned mid-table OPP with the fan off and compares
+/// the settled true core temperatures against the analyzer's equilibrium.
+void expect_soak_matches_analyzer(const sim::PlatformDescriptor& platform,
+                                  double soak_time_s) {
+  const std::size_t opp = platform.big_opps.size() / 2;
+  // Memory-quiet on both sides: a scenario's DDR occupancy is expressed per
+  // work unit (Benchmark::mem_seconds_per_unit), a notion the analyzer's
+  // sustained abstract workload deliberately has no equivalent of -- its
+  // zero-cycle threads are modelled as background-class traffic instead. A
+  // nonzero mem_intensity would therefore heat the two sides differently by
+  // construction; the coupled leakage-temperature physics under test is
+  // exercised just as well by a pure-CPU load.
+  analysis::AnalysisWorkload workload;
+  workload.mem_intensity = 0.0;
+
+  sim::ExperimentConfig config;
+  config.benchmark = "soak";
+  config.scenario = soak_scenario(workload);
+  config.platform = std::make_shared<sim::PlatformDescriptor>(platform);
+  config.warmup_s = 0.0;
+  config.max_sim_time_s = soak_time_s;
+  config.record_trace = false;
+  sim::Simulation sim(config, nullptr,
+                      std::make_unique<PinPolicy>(
+                          pinned_config(platform, opp),
+                          thermal::FanSpeed::kOff));
+  while (sim.step()) {
+  }
+  ASSERT_FALSE(sim.view().runaway) << platform.name;
+  const std::vector<double>& soaked = sim.plant().true_temps_c();
+
+  // The analyzer's demand must mirror what the simulation actually runs:
+  // the foreground workload plus the two low-duty background threads every
+  // run carries (workload/background.hpp defaults).
+  analysis::OperatingPointRequest request;
+  request.big_opp_index = opp;
+  request.cooling_conductance_w_per_k = platform.fan.conductance_off;
+  request.ambient_c = platform.floorplan.ambient_temp_c();
+  request.demand = analysis::analysis_demand(workload);
+  workload::ThreadDemand background;
+  background.duty = 0.10;
+  background.cpu_activity = 0.45;
+  background.mem_intensity = 0.3;
+  background.counts_progress = false;
+  request.demand.threads.push_back(background);
+  request.demand.threads.push_back(background);
+
+  std::vector<double> equilibrium;
+  const analysis::OperatingPointAnalysis point =
+      analysis::analyze_operating_point(platform, request, {}, &equilibrium);
+  ASSERT_TRUE(point.converged) << platform.name;
+  ASSERT_TRUE(point.stable) << platform.name;
+  ASSERT_EQ(equilibrium.size(), soaked.size());
+
+  // Core hotspots are the analysis subject; the background duty jitters
+  // around its mean, so allow a small band around the predicted fixed point.
+  const thermal::Floorplan floorplan =
+      thermal::build_floorplan(platform.floorplan);
+  for (std::size_t c = 0; c < floorplan.core_node_index.size(); ++c) {
+    const std::size_t node = floorplan.core_node_index[c];
+    EXPECT_NEAR(soaked[node], equilibrium[node], 1.0)
+        << platform.name << " core " << c;
+  }
+}
+
+TEST(AnalysisSoak, CompactSoakSettlesOntoTheAnalyzerEquilibrium) {
+  // Skin time constant ~260 s: 1600 s is > 6 tau.
+  expect_soak_matches_analyzer(
+      *sim::PlatformRegistry::instance().get("compact"), 1600.0);
+}
+
+TEST(AnalysisSoak, DragonSoakSettlesOntoTheAnalyzerEquilibrium) {
+  expect_soak_matches_analyzer(
+      *sim::PlatformRegistry::instance().get("dragon"), 700.0);
+}
+
+TEST(AnalysisSoak, OdroidSoakSettlesOntoTheAnalyzerEquilibrium) {
+  // With the fan pinned off the board-to-ambient path is at its weakest and
+  // the slow stage stretches to ~250 s; 1800 s is > 7 tau.
+  expect_soak_matches_analyzer(
+      *sim::PlatformRegistry::instance().get("odroid-xu-e"), 1800.0);
+}
+
+/// A compact variant whose leakage grows faster with temperature than the
+/// weakened chassis can shed: the coupled loop gain exceeds one even at the
+/// lowest OPP, so there is no equilibrium to settle onto -- textbook
+/// thermal runaway.
+sim::PlatformDescriptor runaway_platform() {
+  sim::PlatformDescriptor d = sim::compact_platform();
+  d.name = "synthetic-runaway";
+  d.description = "test-only: super-critical leakage feedback";
+  d.power.big_leakage.c1 *= 60.0;
+  d.power.little_leakage.c1 *= 60.0;
+  d.power.gpu_leakage.c1 *= 60.0;
+  d.power.mem_leakage.c1 *= 60.0;
+  for (thermal::FloorplanEdgeSpec& edge : d.floorplan.edges) {
+    edge.conductance_w_per_k *= 0.5;
+  }
+  return d;
+}
+
+TEST(AnalysisSoak, SyntheticHighLeakagePlatformIsClassifiedRunaway) {
+  const sim::PlatformDescriptor platform = runaway_platform();
+  platform.validate();  // structurally fine -- the physics is the problem
+
+  analysis::OperatingPointRequest request;
+  request.big_opp_index = platform.big_opps.size() - 1;
+  request.cooling_conductance_w_per_k = platform.fan.conductance_off;
+  request.ambient_c = platform.floorplan.ambient_temp_c();
+  request.demand = analysis::analysis_demand({});
+  const analysis::OperatingPointAnalysis point =
+      analysis::analyze_operating_point(platform, request);
+  EXPECT_FALSE(point.converged);
+  EXPECT_TRUE(point.diverged);
+  EXPECT_FALSE(point.stable);
+}
+
+TEST(AnalysisSoak, RegistryRejectsTheRunawayPlatform) {
+  EXPECT_THROW(sim::PlatformRegistry::instance().add(runaway_platform()),
+               std::invalid_argument);
+  EXPECT_FALSE(sim::PlatformRegistry::instance().contains(
+      "synthetic-runaway"));
+}
+
+TEST(AnalysisSoak, SimulationTripsThePlatformDerivedAbort) {
+  // The synthetic platform inherits compact's derived ceiling:
+  // t_max 58 + 30 margin = 88 C -- far below the legacy hardwired 115 C.
+  const sim::PlatformDescriptor platform = runaway_platform();
+  ASSERT_EQ(platform.resolved_runaway_abort_temp_c(), 88.0);
+
+  sim::ExperimentConfig config;
+  config.benchmark = "soak";
+  config.scenario = soak_scenario({});
+  config.platform = std::make_shared<sim::PlatformDescriptor>(platform);
+  config.warmup_s = 0.0;
+  config.max_sim_time_s = 3600.0;
+  config.record_trace = false;
+  sim::Simulation sim(
+      config, nullptr,
+      std::make_unique<PinPolicy>(
+          pinned_config(platform, platform.big_opps.size() - 1),
+          thermal::FanSpeed::kOff));
+  while (sim.step()) {
+  }
+  EXPECT_TRUE(sim.view().runaway);
+
+  const sim::RunResult result = sim.finish();
+  EXPECT_TRUE(result.runaway);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.runaway_abort_temp_c, 88.0);
+  // The run stopped just past its own ceiling -- nowhere near the old
+  // hardwired 115 C constant, which would have cooked the phone model for
+  // another ~27 C of divergence.
+  const std::vector<double>& temps = sim.plant().true_temps_c();
+  const double hottest = *std::max_element(temps.begin(), temps.end());
+  EXPECT_GT(hottest, 88.0);
+  EXPECT_LT(hottest, 100.0);
+}
+
+}  // namespace
+}  // namespace dtpm

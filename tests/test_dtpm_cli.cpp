@@ -16,6 +16,7 @@
 
 #include "governors/policy_registry.hpp"
 #include "sim/config_io.hpp"
+#include "util/json.hpp"
 
 #ifndef DTPM_CONFIG_DIR
 #error "build must define DTPM_CONFIG_DIR (see CMakeLists.txt)"
@@ -395,6 +396,53 @@ TEST(DtpmCli, SweepScenarioSelection) {
   EXPECT_EQ(line_count(summary), 3u);
   EXPECT_NE(summary.find("bursty#s1,no-fan,1,"), std::string::npos);
   EXPECT_NE(summary.find("bursty#s2,no-fan,2,"), std::string::npos);
+}
+
+// --- analyze ----------------------------------------------------------------
+
+TEST(DtpmCli, AnalyzeSinglePlatformWritesJsonAndEnvelope) {
+  const std::string dir = temp_dir() + "analyze";
+  const CliResult r = run_cli({"analyze", "--platform", "compact",
+                               "--ambient-sweep", "25:45:10", "--out", dir});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("== compact"), std::string::npos);
+  EXPECT_NE(r.out.find("safe envelope (cooling: passive):"),
+            std::string::npos);
+  // The skin-limited phone is t-max capped at 25 C (see test_analysis.cpp).
+  EXPECT_NE(r.out.find("limit: t-max"), std::string::npos);
+  // Inclusive sweep: 25, 35, 45.
+  EXPECT_NE(r.out.find("ambient  25.0 C"), std::string::npos);
+  EXPECT_NE(r.out.find("ambient  45.0 C"), std::string::npos);
+  EXPECT_EQ(r.out.find("ambient  15.0 C"), std::string::npos);
+
+  const std::string json = slurp(dir + "/analysis_compact.json");
+  const util::JsonValue doc = util::json_parse(json);
+  EXPECT_EQ(doc.find("platform")->as_string(), "compact");
+  EXPECT_EQ(doc.find("envelope")->as_array().size(), 3u);
+}
+
+TEST(DtpmCli, AnalyzeQuietStillWritesJson) {
+  const std::string dir = temp_dir() + "analyze-quiet";
+  const CliResult r = run_cli(
+      {"analyze", "--platform", "dragon", "--quiet", "--out", dir});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_TRUE(r.out.empty());
+  EXPECT_NE(slurp(dir + "/analysis_dragon.json").find("\"envelope\""),
+            std::string::npos);
+}
+
+TEST(DtpmCli, AnalyzeUsageAndFailureModes) {
+  EXPECT_EQ(run_cli({"analyze", "--bogus"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"analyze", "--ambient-sweep"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"analyze", "--ambient-sweep", "garbage"}).exit_code, 2);
+  // HI < LO and STEP <= 0 are spec errors, not empty sweeps.
+  EXPECT_EQ(run_cli({"analyze", "--ambient-sweep", "45:25:10"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"analyze", "--ambient-sweep", "25:45:0"}).exit_code, 2);
+
+  const CliResult unknown = run_cli(
+      {"analyze", "--platform", "toaster", "--out", temp_dir() + "nope"});
+  EXPECT_EQ(unknown.exit_code, 1);
+  EXPECT_NE(unknown.err.find("toaster"), std::string::npos);
 }
 
 // --- the checked-in example configs stay loadable ---------------------------

@@ -163,6 +163,38 @@ TEST(Matrix, SpectralRadiusOfDiagonal) {
   EXPECT_NEAR(a.spectral_radius(), 0.9, 1e-6);
 }
 
+TEST(Matrix, SpectralRadiusNegativeDominantEigenvalueConverges) {
+  // Dominant eigenvalue -2 flips the iterate's sign every step; the
+  // alignment criterion must accept that (|<y, x>| -> 1) instead of
+  // spinning to the iteration cap.
+  Matrix a{{-2.0, 0.0}, {0.0, 0.5}};
+  EXPECT_NEAR(a.spectral_radius(/*iterations=*/60), 2.0, 1e-6);
+}
+
+TEST(Matrix, SpectralRadiusComplexPairRegression) {
+  // Eigenvalues 1 +/- i*sqrt(5): a rotation-dominated iteration that never
+  // aligns. The pre-fix power iteration stalled and returned whatever the
+  // last oscillating ||A x_k|| happened to be; the Krylov fallback recovers
+  // the exact pair modulus sqrt(6).
+  Matrix a{{1.0, -5.0}, {1.0, 1.0}};
+  EXPECT_NEAR(a.spectral_radius(), std::sqrt(6.0), 1e-9);
+}
+
+TEST(Matrix, SpectralRadiusPureRotation) {
+  // Eigenvalues +/- 0.9i: zero real part, the fully rotation-dominated
+  // corner case.
+  Matrix a{{0.0, -0.9}, {0.9, 0.0}};
+  EXPECT_NEAR(a.spectral_radius(), 0.9, 1e-9);
+}
+
+TEST(Matrix, SpectralRadiusComplexPairEmbeddedInLargerSystem) {
+  // Block diagonal: a decaying real mode plus a dominant complex pair with
+  // modulus sqrt(0.5^2 + 1.1^2). The fallback must find the pair even when
+  // the iterate mixes in other modes.
+  Matrix a{{0.2, 0.0, 0.0}, {0.0, 0.5, -1.1}, {0.0, 1.1, 0.5}};
+  EXPECT_NEAR(a.spectral_radius(), std::hypot(0.5, 1.1), 1e-7);
+}
+
 TEST(Matrix, MaxAbsAndNorm) {
   Matrix a{{3, -4}};
   EXPECT_EQ(a.max_abs(), 4.0);
