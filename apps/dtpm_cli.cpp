@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/analyzer.hpp"
 #include "governors/policy_registry.hpp"
@@ -324,6 +325,16 @@ int sweep_command(const Options& options, std::ostream& out,
   const std::filesystem::path summary_path =
       std::filesystem::path(options.out_dir) / "summary.csv";
   std::ofstream summary = open_or_throw(summary_path);
+  // Provenance comments ahead of the header: an archived sweep records how
+  // wide it actually ran (the pool clamps to the hardware) and whether an
+  // --engine override forced every row onto one stepping engine, so its
+  // numbers can't be misread on a differently sized host.
+  summary << "# engine: "
+          << (options.engine.empty() ? "per-config" : options.engine) << '\n'
+          << "# workers: requested " << runner.worker_count()
+          << ", effective " << runner.effective_worker_count()
+          << " (host cpus "
+          << std::max(1u, std::thread::hardware_concurrency()) << ")\n";
   summary << kSummaryHeader << '\n';
   for (std::size_t i = 0; i < configs.size(); ++i) {
     std::string error;

@@ -6,13 +6,26 @@ same platform.
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json
-        [--threshold 0.20] [--relative]
+        [--threshold 0.20] [--relative] [--scaling-gate] [--phase-gate]
 
 Absolute mode (default) compares raw steps_per_sec cell by cell -- right
 when both files come from the same class of machine. --relative first
 normalizes each file by its own reference-rk4 / workers=1 cell and compares
 the resulting per-engine speedup ratios; host speed cancels out, so this is
 the mode CI uses on shared runners whose absolute numbers vary run to run.
+
+--scaling-gate checks the FRESH run alone: no engine's multi-worker cell
+may fall more than the threshold below that engine's workers=1 cell (adding
+workers must never cost throughput). Cells whose effective worker count was
+clamped to the anchor's width (small host) ran the identical configuration
+twice, so their ratio is pure scheduler noise -- they are reported and
+skipped rather than gated.
+
+--phase-gate compares the per-phase tick fractions (sensor/policy/schedule/
+plant) cell by cell and fails when a phase's share of the interval grew by
+more than 10 points absolute -- the "where the time goes" breakdown is an
+artifact contract, not decoration. Cells lacking phase data on either side
+(pre-phase-schema baselines) are skipped with a note.
 
 Exit status: 0 clean, 1 regression found, 2 usage/schema error.
 """
@@ -25,7 +38,9 @@ REFERENCE_ENGINE = "reference-rk4"
 
 
 def load_results(path):
-    """Returns (platform, {(engine, workers): steps_per_sec})."""
+    """Returns (platform, {(engine, workers): steps_per_sec},
+    {(engine, workers): phase_ticks dict or None},
+    {(engine, workers): workers_effective or None})."""
     with open(path) as f:
         doc = json.load(f)
     results = doc.get("results")
@@ -36,12 +51,88 @@ def load_results(path):
             "comparable)"
         )
     cells = {}
+    phases = {}
+    effective = {}
     for cell in results:
         key = (cell["engine"], int(cell["workers"]))
         if key in cells:
             raise SystemExit(f"{path}: duplicate cell {key}")
         cells[key] = float(cell["steps_per_sec"])
-    return doc.get("platform", "?"), cells
+        ticks = cell.get("phase_ticks")
+        phases[key] = ticks if isinstance(ticks, dict) else None
+        width = cell.get("workers_effective")
+        effective[key] = int(width) if width is not None else None
+    return doc.get("platform", "?"), cells, phases, effective
+
+
+def phase_fractions(ticks):
+    """Tick dict -> {phase: fraction of total}, or None if unusable."""
+    if not ticks:
+        return None
+    total = sum(float(v) for v in ticks.values())
+    if total <= 0.0:
+        return None
+    return {name: float(v) / total for name, v in ticks.items()}
+
+
+def check_scaling(fresh, effective, threshold):
+    """No engine's multi-worker cell may trail its own workers=1 cell by
+    more than the threshold. Cells whose effective width was clamped to the
+    anchor's (the pool caps at the host's cpu count) ran the identical
+    configuration and are skipped: their ratio measures scheduler noise,
+    not scaling. Returns the list of offending cells."""
+    offenders = []
+    engines = sorted({engine for engine, _ in fresh})
+    print(f"\nscaling gate (fresh run, threshold -{threshold:.0%} vs "
+          "workers=1):")
+    for engine in engines:
+        anchor = fresh.get((engine, 1))
+        if anchor is None or anchor <= 0.0:
+            print(f"  {engine:<14} no workers=1 cell -- skipped")
+            continue
+        anchor_width = effective.get((engine, 1))
+        for (cell_engine, workers) in sorted(fresh):
+            if cell_engine != engine or workers == 1:
+                continue
+            width = effective.get((cell_engine, workers))
+            ratio = fresh[(engine, workers)] / anchor
+            if width is not None and width == anchor_width:
+                print(f"  {engine:<14} {workers:>3}w / 1w = {ratio:.2f}  "
+                      f"(clamped to {width} effective -- noise, skipped)")
+                continue
+            flag = ""
+            if ratio < 1.0 - threshold:
+                offenders.append((engine, workers))
+                flag = "  SCALING REGRESSION"
+            print(f"  {engine:<14} {workers:>3}w / 1w = {ratio:.2f}{flag}")
+    return offenders
+
+
+def check_phases(base_phases, fresh_phases, shared, max_growth=0.10):
+    """A phase's fraction of its cell may not grow past base + max_growth
+    (absolute points). Returns the list of offending (cell, phase)."""
+    offenders = []
+    skipped = 0
+    print(f"\nphase gate (fraction growth limit +{max_growth:.0%} absolute):")
+    for key in shared:
+        base_frac = phase_fractions(base_phases.get(key))
+        fresh_frac = phase_fractions(fresh_phases.get(key))
+        if base_frac is None or fresh_frac is None:
+            skipped += 1
+            continue
+        for name in sorted(set(base_frac) | set(fresh_frac)):
+            b = base_frac.get(name, 0.0)
+            f = fresh_frac.get(name, 0.0)
+            if f > b + max_growth:
+                offenders.append((key, name))
+                print(f"  {key[0]:<14} {key[1]:>3}w {name:<9} "
+                      f"{b:.2f} -> {f:.2f}  PHASE REGRESSION")
+    if skipped:
+        print(f"  note: {skipped} cell(s) lacked phase data on one side -- "
+              "skipped")
+    if not offenders:
+        print("  all phase shares within limits")
+    return offenders
 
 
 def normalize(cells, path):
@@ -74,10 +165,24 @@ def main():
         help="compare per-engine speedups over reference-rk4/workers=1 "
         "instead of raw steps/sec (host speed cancels out)",
     )
+    parser.add_argument(
+        "--scaling-gate",
+        action="store_true",
+        help="also require every engine's multi-worker cells in the FRESH "
+        "run to stay within the threshold of its own workers=1 cell",
+    )
+    parser.add_argument(
+        "--phase-gate",
+        action="store_true",
+        help="also fail when any phase's share of a cell grew more than 10 "
+        "points absolute versus the baseline (cells without phase data are "
+        "skipped)",
+    )
     args = parser.parse_args()
 
-    base_platform, base = load_results(args.baseline)
-    fresh_platform, fresh = load_results(args.fresh)
+    base_platform, base, base_phases, _ = load_results(args.baseline)
+    fresh_platform, fresh, fresh_phases, fresh_widths = load_results(
+        args.fresh)
     if base_platform != fresh_platform:
         raise SystemExit(
             f"platform mismatch: baseline measured '{base_platform}', fresh "
@@ -110,9 +215,32 @@ def main():
         print(f"{engine:<14} {workers:>7} {base[key]:>12.4g} "
               f"{fresh[key]:>12.4g} {ratio:>7.2f}{flag}")
 
+    scaling_offenders = []
+    if args.scaling_gate:
+        # Raw fresh cells, never the normalized view: within one run the
+        # host is constant, so normalization would only obscure the ratios.
+        _, fresh_raw, _, _ = load_results(args.fresh)
+        scaling_offenders = check_scaling(fresh_raw, fresh_widths,
+                                          args.threshold)
+
+    phase_offenders = []
+    if args.phase_gate:
+        phase_offenders = check_phases(base_phases, fresh_phases, shared)
+
+    failed = False
     if regressions:
         print(f"\nFAIL: {len(regressions)} cell(s) regressed more than "
               f"{args.threshold:.0%}: {regressions}")
+        failed = True
+    if scaling_offenders:
+        print(f"FAIL: {len(scaling_offenders)} cell(s) lost throughput when "
+              f"workers were added: {scaling_offenders}")
+        failed = True
+    if phase_offenders:
+        print(f"FAIL: {len(phase_offenders)} phase share(s) grew more than "
+              f"10 points: {phase_offenders}")
+        failed = True
+    if failed:
         return 1
     print(f"\nOK: no cell regressed more than {args.threshold:.0%}")
     return 0

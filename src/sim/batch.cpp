@@ -18,6 +18,11 @@ BatchRunner::BatchRunner(unsigned worker_count) : worker_count_(worker_count) {
   }
 }
 
+unsigned BatchRunner::effective_worker_count() const {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::max(1u, std::min(worker_count_, hw));
+}
+
 std::vector<RunResult> BatchRunner::run(
     const std::vector<BatchJob>& jobs) const {
   BatchOutcome outcome = run_collecting(jobs);
@@ -54,9 +59,13 @@ BatchOutcome BatchRunner::run_collecting(
   // every other job -- and batched jobs with no partner -- stays on the
   // ordinary one-Simulation-per-run path. Both kinds of task share the
   // same pool below, and both write only their own batch-aligned slots.
+  // Plan for the workers that will actually run: lockstep buckets shard
+  // into one column tile per effective worker, so a multi-worker pool gets
+  // parallel lane groups instead of one monolithic group on one thread.
+  const unsigned pool_size = effective_worker_count();
   std::vector<std::size_t> singles;
   const std::vector<LockstepGroup> groups =
-      plan_lockstep_groups(jobs, singles);
+      plan_lockstep_groups(jobs, singles, pool_size);
 
   auto run_one = [&](std::size_t i) {
     try {
@@ -83,8 +92,7 @@ BatchOutcome BatchRunner::run_collecting(
     }
   };
 
-  const unsigned workers =
-      std::min<unsigned>(worker_count_, unsigned(task_count));
+  const unsigned workers = std::min<unsigned>(pool_size, unsigned(task_count));
   if (workers <= 1) {
     for (std::size_t t = 0; t < task_count; ++t) run_task(t);
     count_failures();
@@ -97,7 +105,9 @@ BatchOutcome BatchRunner::run_collecting(
   // Simulation(s) (seeded from their configs) and its own results/errors
   // slots, which is what makes parallel output bit-identical to serial --
   // including batches where some runs throw.
-  std::atomic<std::size_t> next{0};
+  // Cache-line-aligned so the claim counter never false-shares with the
+  // surrounding stack frame (results/errors are only written at run end).
+  alignas(64) std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);

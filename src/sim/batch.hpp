@@ -66,6 +66,14 @@ class BatchRunner {
 
   unsigned worker_count() const { return worker_count_; }
 
+  /// Workers a run() will actually spawn: the configured count clamped to
+  /// the host's hardware concurrency. Oversubscribing compute-bound
+  /// simulation threads onto fewer cores only adds context-switch thrash
+  /// (the classic "2 workers slower than 1 worker" on a 1-core host), so
+  /// the pool never does; artifacts that record a worker count should
+  /// record this one next to the requested one.
+  unsigned effective_worker_count() const;
+
  private:
   unsigned worker_count_;
 };

@@ -1,6 +1,7 @@
 #include "sim/batch_lane.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -8,6 +9,7 @@
 #include "power/resource.hpp"
 #include "sim/run_plan.hpp"
 #include "sim/simulation.hpp"
+#include "util/phase.hpp"
 #include "util/vexp.hpp"
 
 namespace dtpm::sim {
@@ -25,7 +27,79 @@ constexpr std::size_t kLittleRail =
 constexpr std::size_t kGpuRail = power::resource_index(power::Resource::kGpu);
 constexpr std::size_t kMemRail = power::resource_index(power::Resource::kMem);
 
+/// Schedule-memo equivalence class key: a cheap mix over the bit patterns
+/// of everything the Soc schedule solve reads -- staged demand, background
+/// threads, applied config. Collisions are resolved by the full equality
+/// check below, so the hash only has to be cheap, not perfect.
+std::uint64_t mix_bits(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::uint64_t hash_thread(std::uint64_t h, const workload::ThreadDemand& t) {
+  h = mix_bits(h, double_bits(t.duty));
+  h = mix_bits(h, double_bits(t.cpu_activity));
+  h = mix_bits(h, double_bits(t.mem_intensity));
+  h = mix_bits(h, t.counts_progress ? 1 : 0);
+  h = mix_bits(h, double_bits(t.cpu_cycles_per_unit));
+  h = mix_bits(h, double_bits(t.mem_seconds_per_unit));
+  return h;
+}
+
+std::uint64_t schedule_class_hash(Simulation& sim) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const workload::Demand& d = sim.staged_demand();
+  h = mix_bits(h, d.threads.size());
+  for (const workload::ThreadDemand& t : d.threads) h = hash_thread(h, t);
+  h = mix_bits(h, double_bits(d.gpu_load));
+  h = mix_bits(h, double_bits(d.gpu_cycles_per_unit));
+  const std::vector<workload::ThreadDemand>& bg = sim.staged_background();
+  h = mix_bits(h, bg.size());
+  for (const workload::ThreadDemand& t : bg) h = hash_thread(h, t);
+  const soc::SocConfig& c = sim.plant().soc().config();
+  h = mix_bits(h, static_cast<std::uint64_t>(c.active_cluster));
+  std::uint64_t mask = 0;
+  for (bool online : c.big_core_online) mask = (mask << 1) | (online ? 1 : 0);
+  h = mix_bits(h, mask);
+  h = mix_bits(h, double_bits(c.big_freq_hz));
+  h = mix_bits(h, double_bits(c.little_freq_hz));
+  h = mix_bits(h, double_bits(c.gpu_freq_hz));
+  return h;
+}
+
+bool same_schedule_class(Simulation& a, Simulation& b) {
+  return a.plant().soc().config() == b.plant().soc().config() &&
+         a.staged_demand() == b.staged_demand() &&
+         a.staged_background() == b.staged_background();
+}
+
 }  // namespace
+
+void BatchPlantStepper::stage_wave_noise(
+    const std::vector<Simulation*>& lanes) {
+  if (lanes.empty()) return;
+  const std::size_t stride = lanes.front()->plant().sensor_noise_count();
+  noise_.resize(lanes.size() * stride);
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    Simulation& sim = *lanes[l];
+    const bool profiling = sim.profile_phases();
+    const std::uint64_t t0 = profiling ? util::cycle_now() : 0;
+    double* row = &noise_[l * stride];
+    sim.plant().draw_sensor_noise_into(row);
+    sim.plant().stage_sensor_noise(row);
+    if (profiling) {
+      util::PhaseCycles cycles;
+      cycles.add(util::Phase::kSensor, util::cycle_now() - t0);
+      sim.add_phase_cycles(cycles);
+    }
+  }
+}
 
 void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
   const std::size_t lanes = wave.size();
@@ -35,6 +109,10 @@ void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
   const double sub_dt = first.plant_sub_dt_s();
   const thermal::Floorplan& fp = first.plant().floorplan();
   const std::size_t nodes = fp.network.node_count();
+  const bool profiling = first.profile_phases();
+  std::uint64_t mark = profiling ? util::cycle_now() : 0;
+  std::uint64_t setup_ticks = 0;
+  std::uint64_t schedule_ticks = 0;
   for (Simulation* sim : wave) {
     if (sim->plant_substeps() != substeps ||
         sim->plant_sub_dt_s() != sub_dt ||
@@ -57,14 +135,28 @@ void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
   }
   order_.resize(lanes);
   std::iota(order_.begin(), order_.end(), std::size_t{0});
-  std::stable_sort(order_.begin(), order_.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return fan_g_[a] < fan_g_[b];
-                   });
+  // Stable insertion sort: at most kMaxLanesPerGroup keys, nearly sorted
+  // from the previous interval's order -- and unlike std::stable_sort it
+  // allocates nothing, which keeps the steady-state batched path under the
+  // zero-allocation guard (tests/test_zero_alloc.cpp).
+  for (std::size_t i = 1; i < lanes; ++i) {
+    const std::size_t key = order_[i];
+    const double key_g = fan_g_[key];
+    std::size_t j = i;
+    for (; j > 0 && fan_g_[order_[j - 1]] > key_g; --j) {
+      order_[j] = order_[j - 1];
+    }
+    order_[j] = key;
+  }
   sorted_.resize(lanes);
   for (std::size_t l = 0; l < lanes; ++l) sorted_[l] = wave[order_[l]];
   wave.swap(sorted_);
-  std::sort(fan_g_.begin(), fan_g_.end());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const thermal::Floorplan& lane_fp = wave[l]->plant().floorplan();
+    fan_g_[l] = lane_fp.has_fan_edge()
+                    ? lane_fp.network.edge_conductance(lane_fp.fan_edge)
+                    : 0.0;
+  }
   // Compile every distinct fan state first (a compile can grow the cache
   // and move earlier entries, so pointers are only taken on the second,
   // compile-free pass), then hand each bucket its shared matrices.
@@ -88,6 +180,7 @@ void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
   row_node_.push_back(fp.mem_node_index);
 
   temps_.resize(nodes * lanes);
+  temps_alt_.resize(nodes * lanes);
   power_.resize(nodes * lanes);
   c2_.resize(kLeakRows * lanes);
   scale_.resize(kLeakRows * lanes);
@@ -96,15 +189,37 @@ void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
   leak_.resize(kLeakRows * lanes);
   konst_.resize(lanes);
   committing_.assign(lanes, 1);
+  if (profiling) {
+    const std::uint64_t now = util::cycle_now();
+    setup_ticks = now - mark;
+    mark = now;
+  }
 
   // --- Substep 0: scalar schedule + power per lane, packed into columns.
+  // The schedule solve (thread placement, contention bisection, activity)
+  // is a pure function of (staged demand, background, applied config);
+  // lanes matching an earlier lane's tuple adopt its solved schedule and
+  // take the reuse path, so each equivalence class solves once per wave.
+  memo_hash_.resize(lanes);
   for (std::size_t l = 0; l < lanes; ++l) {
     Simulation& sim = *wave[l];
     Plant& plant = sim.plant();
     plant.interval_begin();
-    const std::vector<double>& node_power = plant.substep_prepare(
-        sim.staged_demand(), sim.staged_background(), sub_dt,
-        /*reuse_schedule=*/false);
+    bool reuse = false;
+    if (schedule_memo_) {
+      memo_hash_[l] = schedule_class_hash(sim);
+      for (std::size_t r = 0; r < l; ++r) {
+        if (memo_hash_[r] == memo_hash_[l] &&
+            same_schedule_class(*wave[r], sim)) {
+          plant.soc().adopt_schedule(wave[r]->plant().soc().schedule());
+          reuse = true;
+          break;
+        }
+      }
+    }
+    const std::vector<double>& node_power =
+        plant.substep_prepare(sim.staged_demand(), sim.staged_background(),
+                              sub_dt, /*reuse_schedule=*/reuse);
     konst_[l] = plant.soc().interval_constants();
     const std::vector<double>& t = plant.network().temperatures_c();
     for (std::size_t n = 0; n < nodes; ++n) {
@@ -125,8 +240,45 @@ void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
     }
   }
 
+  if (profiling) {
+    const std::uint64_t now = util::cycle_now();
+    schedule_ticks = now - mark;
+    mark = now;
+  }
+
+  // Seed the matvec ping-pong buffer once per interval: boundary-node rows
+  // never change inside an interval and every free row is rewritten before
+  // it is read, so one bulk copy here keeps the fixed-temperature rows of
+  // both buffers valid for every substep's swap.
+  std::copy(temps_.begin(), temps_.end(), temps_alt_.begin());
+
+  // The thermal input vector z = power + boundary-conductance terms is
+  // constant across substeps except on the leakage rows (the only node
+  // powers compute_lane_powers rewrites), so build it in full once here
+  // and refresh just those rows per substep. The leak-row -> free-slot map
+  // is the same for every bucket (one platform, one free/boundary split).
+  leak_slot_.assign(kLeakRows, std::size_t(-1));
+  z_leak_only_ok_ = true;
+  {
+    const thermal::PropagatorMatrices* m0 = mats_[0];
+    for (std::size_t r = 0; r < kLeakRows; ++r) {
+      for (std::size_t i = 0; i < m0->free_count; ++i) {
+        if (m0->free_nodes[i] == row_node_[r]) {
+          leak_slot_[r] = i;
+          break;
+        }
+      }
+      if (leak_slot_[r] == std::size_t(-1)) z_leak_only_ok_ = false;
+    }
+    z_.resize(m0->free_count * lanes);
+  }
+  refresh_z(lanes, /*leak_rows_only=*/false);
+
   for (int s = 0; s < substeps; ++s) {
-    if (s > 0) compute_lane_powers(wave, sub_dt);
+    if (s > 0) {
+      compute_lane_powers(wave, sub_dt);
+      refresh_z(lanes, /*leak_rows_only=*/z_leak_only_ok_);
+    }
     thermal_matvec(lanes);
     for (std::size_t l = 0; l < lanes; ++l) {
       if (!committing_[l]) continue;
@@ -139,6 +291,18 @@ void BatchPlantStepper::run_interval(std::vector<Simulation*>& wave) {
         scatter_lane(sim, l, lanes, nodes);
       }
     }
+  }
+
+  if (profiling) {
+    // Setup (bucketing, matrix resolution) rides with the plant phase; the
+    // group totals are split evenly across lanes, mirroring how the work
+    // was actually shared.
+    const std::uint64_t plant_ticks =
+        util::cycle_now() - mark + setup_ticks;
+    util::PhaseCycles share;
+    share.add(util::Phase::kSchedule, schedule_ticks / lanes);
+    share.add(util::Phase::kPlant, plant_ticks / lanes);
+    for (std::size_t l = 0; l < lanes; ++l) wave[l]->add_phase_cycles(share);
   }
 
   for (std::size_t l = 0; l < lanes; ++l) {
@@ -203,11 +367,67 @@ void BatchPlantStepper::compute_lane_powers(std::vector<Simulation*>& wave,
   }
 }
 
+void BatchPlantStepper::refresh_z(std::size_t lane_count,
+                                  bool leak_rows_only) {
+  // Rebuilds the thermal input rows z = power + sum(boundary g * T_b),
+  // applying each bucket's boundary terms in declaration order so every
+  // row's floating-point sum matches PropagatorRcModel::step exactly. In
+  // leak_rows_only mode just the rows compute_lane_powers rewrote are
+  // rebuilt (same per-row op order: copy, then matching terms in order).
+  std::size_t lo = 0;
+  while (lo < lane_count) {
+    const thermal::PropagatorMatrices* m = mats_[lo];
+    std::size_t hi = lo + 1;
+    while (hi < lane_count && mats_[hi] == m) ++hi;
+    const std::size_t width = hi - lo;
+    if (leak_rows_only) {
+      for (std::size_t r = 0; r < kLeakRows; ++r) {
+        const std::size_t slot = leak_slot_[r];
+        const double* p_row = &power_[row_node_[r] * lane_count + lo];
+        double* z_row = &z_[slot * lane_count + lo];
+        for (std::size_t l = 0; l < width; ++l) z_row[l] = p_row[l];
+        for (const thermal::PropagatorMatrices::BoundaryTerm& bt :
+             m->boundary_terms) {
+          if (bt.free_slot != slot) continue;
+          const double* b_row = &temps_[bt.boundary_node * lane_count + lo];
+          for (std::size_t l = 0; l < width; ++l) {
+            z_row[l] += bt.g * b_row[l];
+          }
+        }
+      }
+    } else {
+      const std::size_t n = m->free_count;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* p_row = &power_[m->free_nodes[i] * lane_count + lo];
+        double* z_row = &z_[i * lane_count + lo];
+        for (std::size_t l = 0; l < width; ++l) z_row[l] = p_row[l];
+      }
+      for (const thermal::PropagatorMatrices::BoundaryTerm& bt :
+           m->boundary_terms) {
+        const double* b_row = &temps_[bt.boundary_node * lane_count + lo];
+        double* z_row = &z_[bt.free_slot * lane_count + lo];
+        for (std::size_t l = 0; l < width; ++l) z_row[l] += bt.g * b_row[l];
+      }
+    }
+    lo = hi;
+  }
+}
+
 void BatchPlantStepper::thermal_matvec(std::size_t lane_count) {
   // One pass per fan-state bucket (contiguous columns after the sort). The
   // per-lane sum order -- all Phi terms in ascending j, then all Gamma
   // terms -- matches PropagatorRcModel::step exactly, so a lane's thermal
   // update is bit-identical to the scalar propagator for identical inputs.
+  //
+  // Free-node temperatures are read out of temps_ while each row's result
+  // is written straight into temps_alt_ (ping-pong: a single pointer swap
+  // at the end replaces the old copy-back scatter), and the lanes are
+  // walked in 8-wide blocks whose accumulators live in registers across
+  // the whole j loop -- one vector register per block instead of a
+  // load/store per (i, j) pair -- with a half-width tier ahead of the
+  // scalar remainder so odd bucket widths keep most lanes vectorized.
+  // The input rows z_ are maintained by refresh_z between substeps.
+  constexpr std::size_t kBlock = 8;
   std::size_t lo = 0;
   while (lo < lane_count) {
     const thermal::PropagatorMatrices* m = mats_[lo];
@@ -215,51 +435,56 @@ void BatchPlantStepper::thermal_matvec(std::size_t lane_count) {
     while (hi < lane_count && mats_[hi] == m) ++hi;
     const std::size_t width = hi - lo;
     const std::size_t n = m->free_count;
-    tf_.resize(n * width);
-    z_.resize(n * width);
-    out_.resize(n * width);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t node = m->free_nodes[i];
-      const double* t_row = &temps_[node * lane_count + lo];
-      const double* p_row = &power_[node * lane_count + lo];
-      double* tf_row = &tf_[i * width];
-      double* z_row = &z_[i * width];
-      for (std::size_t l = 0; l < width; ++l) {
-        tf_row[l] = t_row[l];
-        z_row[l] = p_row[l];
-      }
-    }
-    for (const thermal::PropagatorMatrices::BoundaryTerm& bt :
-         m->boundary_terms) {
-      const double* b_row = &temps_[bt.boundary_node * lane_count + lo];
-      double* z_row = &z_[bt.free_slot * width];
-      for (std::size_t l = 0; l < width; ++l) z_row[l] += bt.g * b_row[l];
-    }
     const double* phi = m->phi.data();
     const double* gamma = m->gamma.data();
     for (std::size_t i = 0; i < n; ++i) {
-      double* acc = &out_[i * width];
-      for (std::size_t l = 0; l < width; ++l) acc[l] = 0.0;
       const double* phi_row = phi + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double pij = phi_row[j];
-        const double* tf_row = &tf_[j * width];
-        for (std::size_t l = 0; l < width; ++l) acc[l] += pij * tf_row[l];
-      }
       const double* gamma_row = gamma + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double gij = gamma_row[j];
-        const double* z_row = &z_[j * width];
-        for (std::size_t l = 0; l < width; ++l) acc[l] += gij * z_row[l];
+      double* out_row = &temps_alt_[m->free_nodes[i] * lane_count + lo];
+      std::size_t l = 0;
+      for (; l + kBlock <= width; l += kBlock) {
+        double acc[kBlock] = {};
+        for (std::size_t j = 0; j < n; ++j) {
+          const double pij = phi_row[j];
+          const double* t_row = &temps_[m->free_nodes[j] * lane_count + lo + l];
+          for (std::size_t k = 0; k < kBlock; ++k) acc[k] += pij * t_row[k];
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const double gij = gamma_row[j];
+          const double* z_row = &z_[j * lane_count + lo + l];
+          for (std::size_t k = 0; k < kBlock; ++k) acc[k] += gij * z_row[k];
+        }
+        for (std::size_t k = 0; k < kBlock; ++k) out_row[l + k] = acc[k];
       }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      double* t_row = &temps_[m->free_nodes[i] * lane_count + lo];
-      const double* o_row = &out_[i * width];
-      for (std::size_t l = 0; l < width; ++l) t_row[l] = o_row[l];
+      constexpr std::size_t kHalf = kBlock / 2;
+      for (; l + kHalf <= width; l += kHalf) {
+        double acc[kHalf] = {};
+        for (std::size_t j = 0; j < n; ++j) {
+          const double pij = phi_row[j];
+          const double* t_row = &temps_[m->free_nodes[j] * lane_count + lo + l];
+          for (std::size_t k = 0; k < kHalf; ++k) acc[k] += pij * t_row[k];
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const double gij = gamma_row[j];
+          const double* z_row = &z_[j * lane_count + lo + l];
+          for (std::size_t k = 0; k < kHalf; ++k) acc[k] += gij * z_row[k];
+        }
+        for (std::size_t k = 0; k < kHalf; ++k) out_row[l + k] = acc[k];
+      }
+      for (; l < width; ++l) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          acc += phi_row[j] * temps_[m->free_nodes[j] * lane_count + lo + l];
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          acc += gamma_row[j] * z_[j * lane_count + lo + l];
+        }
+        out_row[l] = acc;
+      }
     }
     lo = hi;
   }
+  temps_.swap(temps_alt_);
 }
 
 void BatchPlantStepper::scatter_lane(Simulation& sim, std::size_t lane,
@@ -272,7 +497,8 @@ void BatchPlantStepper::scatter_lane(Simulation& sim, std::size_t lane,
 }
 
 std::vector<LockstepGroup> plan_lockstep_groups(
-    const std::vector<BatchJob>& jobs, std::vector<std::size_t>& singles) {
+    const std::vector<BatchJob>& jobs, std::vector<std::size_t>& singles,
+    unsigned worker_count) {
   struct Bucket {
     PlatformPtr platform;
     double control_interval_s;
@@ -305,22 +531,35 @@ std::vector<LockstepGroup> plan_lockstep_groups(
     }
   }
 
+  // SoA rows narrower than this stop paying for the lockstep machinery, so
+  // sharding never cuts a bucket into tiles smaller than it.
+  constexpr std::size_t kMinShardLanes = 4;
+
   std::vector<LockstepGroup> groups;
   for (Bucket& b : buckets) {
-    if (b.members.size() < 2) {
+    const std::size_t count = b.members.size();
+    if (count < 2) {
       singles.insert(singles.end(), b.members.begin(), b.members.end());
       continue;
     }
-    for (std::size_t off = 0; off < b.members.size();
-         off += kMaxLanesPerGroup) {
-      const std::size_t end =
-          std::min(off + kMaxLanesPerGroup, b.members.size());
-      if (end - off == 1) {
-        singles.push_back(b.members[off]);  // a chunk of one gains nothing
+    // One balanced contiguous tile per worker (as far as the minimum tile
+    // width allows); the lane cap forces further splits regardless.
+    std::size_t shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(worker_count, count / kMinShardLanes));
+    shards = std::max(shards,
+                      (count + kMaxLanesPerGroup - 1) / kMaxLanesPerGroup);
+    const std::size_t base = count / shards;
+    const std::size_t rem = count % shards;
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t len = base + (s < rem ? 1 : 0);
+      if (len == 1) {
+        singles.push_back(b.members[off]);  // a tile of one gains nothing
       } else {
         groups.emplace_back(b.members.begin() + std::ptrdiff_t(off),
-                            b.members.begin() + std::ptrdiff_t(end));
+                            b.members.begin() + std::ptrdiff_t(off + len));
       }
+      off += len;
     }
   }
   return groups;
@@ -356,6 +595,18 @@ void run_lockstep_group(const std::vector<BatchJob>& jobs,
   std::vector<Simulation*> wave;
   try {
     for (;;) {
+      // Batched sensor pass: draw every in-flight lane's whole-interval
+      // noise in one sweep and stage it, so the begin_step() reads below
+      // are pure arithmetic. A lane whose run turns out to be done never
+      // consumes its staged block -- harmless, nothing reads its sensors
+      // again.
+      wave.clear();
+      for (Lane& lane : lanes) {
+        if (!lane.finished) wave.push_back(lane.sim.get());
+      }
+      if (wave.empty()) break;
+      stepper.stage_wave_noise(wave);
+
       wave.clear();
       for (Lane& lane : lanes) {
         if (lane.finished) continue;

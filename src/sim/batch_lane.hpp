@@ -12,12 +12,19 @@
 //
 // Division of labour per control interval:
 //
-//   * control + sensors + actuation: per-lane scalar (Simulation::begin_step
-//     -- policies are stateful and branchy; no value in lanes there),
+//   * sensor noise: one batched pass (stage_wave_noise) draws every lane's
+//     whole-interval noise block up front -- util/vgauss.hpp, sequence-
+//     identical to the per-read draws -- and stages it on the Plants, so
+//     begin_step's sensor reads become pure arithmetic,
+//   * control + actuation: per-lane scalar (Simulation::begin_step --
+//     policies are stateful and branchy; no value in lanes there),
 //   * substep 0: per-lane scalar Plant::substep_prepare (recomputes the
 //     workload schedule) whose outputs seed the lane columns, plus a
 //     Soc::interval_constants() capture of the temperature-independent
-//     power terms,
+//     power terms. Lanes whose (demand, background, applied config) tuple
+//     matches an earlier lane's adopt that lane's solved schedule instead
+//     of re-running the placement/contention bisection -- the memo that
+//     collapses the schedule solve to once per equivalence class,
 //   * substeps >= 1: structure-of-arrays leakage (util/vexp.hpp) + rail
 //     assembly + propagator matvec across all lanes, with lanes bucketed by
 //     fan-state conductance so each bucket shares one (Phi, Gamma) pair,
@@ -39,6 +46,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <vector>
@@ -70,11 +78,23 @@ class BatchPlantStepper {
       thermal::PropagatorMode mode = thermal::PropagatorMode::kRk4Map)
       : propagator_(mode) {}
 
+  /// Draws and stages one control interval's sensor noise for every lane,
+  /// in one pass, before the lanes' begin_step() calls. Each lane's draws
+  /// consume its own sensor-bank RNG streams exactly as the scalar reads
+  /// would, so staged reads stay bit-identical to unstaged ones. The staged
+  /// block stays valid until the next stage_wave_noise() call.
+  void stage_wave_noise(const std::vector<Simulation*>& lanes);
+
   /// Runs one control interval for every lane in `wave`. Every lane must
   /// have returned true from Simulation::begin_step() and not yet advanced;
   /// on return every lane has been through finish_step(). Reorders `wave`
   /// (lanes sharing a fan-state bucket become contiguous columns).
   void run_interval(std::vector<Simulation*>& wave);
+
+  /// The per-wave schedule memo (on by default). Off forces every lane
+  /// through its own schedule solve -- the reference the memo is tested
+  /// bit-identical against.
+  void set_schedule_memo(bool on) { schedule_memo_ = on; }
 
   thermal::PropagatorRcModel& propagator() { return propagator_; }
 
@@ -83,11 +103,13 @@ class BatchPlantStepper {
   static constexpr std::size_t kLeakRows = soc::kBigCoreCount + 3;
 
   void compute_lane_powers(std::vector<Simulation*>& wave, double sub_dt);
+  void refresh_z(std::size_t lane_count, bool leak_rows_only);
   void thermal_matvec(std::size_t lane_count);
   void scatter_lane(Simulation& sim, std::size_t lane, std::size_t lane_count,
                     std::size_t node_count);
 
   thermal::PropagatorRcModel propagator_;
+  bool schedule_memo_ = true;
 
   // Per-wave scratch, resized (capacity-preserving) each interval. SoA rows
   // have stride = current lane count.
@@ -96,12 +118,17 @@ class BatchPlantStepper {
   std::vector<char> committing_;                          ///< per lane
   std::vector<std::size_t> row_node_;        ///< leak row -> node index
   std::vector<double> temps_, power_;        ///< [node][lane]
+  std::vector<double> temps_alt_;            ///< matvec ping-pong target
   std::vector<double> c2_, scale_, gate_;    ///< [leak row][lane]
   std::vector<double> tk_, leak_;            ///< [leak row][lane]
-  std::vector<double> tf_, z_, out_;         ///< [free slot][lane]
+  std::vector<double> z_;                    ///< [free slot][lane]
+  std::vector<std::size_t> leak_slot_;       ///< leak row -> free slot
+  bool z_leak_only_ok_ = false;              ///< every leak node is free
   std::vector<double> fan_g_;                ///< per-lane bucket key
   std::vector<std::size_t> order_;
   std::vector<Simulation*> sorted_;
+  std::vector<double> noise_;                ///< [lane][sensor noise slot]
+  std::vector<std::uint64_t> memo_hash_;     ///< schedule-memo class key
 };
 
 /// Partitions a batch into lockstep groups: jobs whose config selects
@@ -109,8 +136,16 @@ class BatchPlantStepper {
 /// substep) land in one group; everything else -- other engines, and
 /// batched jobs with no lockstep partner -- is appended to `singles` for
 /// the ordinary per-run path. Groups larger than the lane cap are split.
+///
+/// `worker_count` shards each bucket into balanced contiguous column tiles
+/// so a multi-worker pool has one tile per worker instead of one monolithic
+/// group serializing on a single thread. Tiles never drop below a few lanes
+/// (SoA rows narrower than a vector register stop paying), and since lanes
+/// are fully independent Simulations, any sharding produces bit-identical
+/// per-run results.
 std::vector<LockstepGroup> plan_lockstep_groups(
-    const std::vector<BatchJob>& jobs, std::vector<std::size_t>& singles);
+    const std::vector<BatchJob>& jobs, std::vector<std::size_t>& singles,
+    unsigned worker_count = 1);
 
 /// Runs one lockstep group to completion, writing each job's RunResult (or
 /// exception) into its own slot of the batch-aligned arrays. Construction

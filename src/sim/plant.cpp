@@ -44,17 +44,40 @@ std::vector<double> Plant::read_temps() {
 }
 
 void Plant::read_temps_into(std::vector<double>& readings_out) {
+  if (staged_noise_ != nullptr) {
+    temp_bank_.read_with_noise_into(floorplan_.network.temperatures_c(),
+                                    staged_noise_, readings_out);
+    return;
+  }
   temp_bank_.read_into(floorplan_.network.temperatures_c(), readings_out);
 }
 
 power::ResourceVector Plant::read_rails(
     const power::ResourceVector& true_avg_w) {
+  if (staged_noise_ != nullptr) {
+    return power_bank_.read_with_noise(true_avg_w,
+                                       staged_noise_ + temp_bank_.noise_count());
+  }
   return power_bank_.read(true_avg_w);
 }
 
 double Plant::read_platform_power(const power::ResourceVector& true_avg_w,
                                   double fan_power_w) {
+  if (staged_noise_ != nullptr) {
+    const double* slice =
+        staged_noise_ + temp_bank_.noise_count() + power_bank_.noise_count();
+    const double reading = meter_.read_with_noise(true_avg_w, fan_power_w, slice);
+    staged_noise_ = nullptr;  // the meter is the interval's last sensor read
+    return reading;
+  }
   return meter_.read(true_avg_w, fan_power_w);
+}
+
+void Plant::draw_sensor_noise_into(double* noise_out) {
+  temp_bank_.draw_noise_into(noise_out);
+  power_bank_.draw_noise_into(noise_out + temp_bank_.noise_count());
+  meter_.draw_noise_into(noise_out + temp_bank_.noise_count() +
+                         power_bank_.noise_count());
 }
 
 void Plant::set_fan(thermal::FanSpeed speed) {
@@ -130,15 +153,27 @@ PlantIntervalResult Plant::interval_end() {
 PlantIntervalResult Plant::advance(
     const workload::Demand& demand,
     const std::vector<workload::ThreadDemand>& background_threads,
-    workload::WorkloadInstance* instance, int substeps, double sub_dt) {
+    workload::WorkloadInstance* instance, int substeps, double sub_dt,
+    util::PhaseCycles* phases) {
   interval_begin();
+  std::uint64_t mark = phases != nullptr ? util::cycle_now() : 0;
   for (int s = 0; s < substeps; ++s) {
     substep_prepare(demand, background_threads, sub_dt,
                     /*reuse_schedule=*/s > 0);
+    if (phases != nullptr && s == 0) {
+      // The schedule solve happens once, inside the first prepare.
+      const std::uint64_t now = util::cycle_now();
+      phases->add(util::Phase::kSchedule, now - mark);
+      mark = now;
+    }
     thermal_substep(sub_dt);
     if (!substep_commit(instance, sub_dt)) break;
   }
-  return interval_end();
+  PlantIntervalResult result = interval_end();
+  if (phases != nullptr) {
+    phases->add(util::Phase::kPlant, util::cycle_now() - mark);
+  }
+  return result;
 }
 
 }  // namespace dtpm::sim

@@ -16,6 +16,7 @@
 #include "thermal/floorplan.hpp"
 #include "thermal/lti_propagator.hpp"
 #include "thermal/sensor.hpp"
+#include "util/phase.hpp"
 #include "util/rng.hpp"
 #include "workload/runtime.hpp"
 
@@ -61,6 +62,23 @@ class Plant {
   double read_platform_power(const power::ResourceVector& true_avg_w,
                              double fan_power_w);
 
+  /// Batched sensor noise. Each control interval samples every sensor bank
+  /// exactly once (temperatures at the start, rails + platform meter at the
+  /// end), and the banks own independent forked RNG streams, so all of an
+  /// interval's noise can be drawn in one pass up front without changing
+  /// any stream. draw_sensor_noise_into() fills sensor_noise_count() values
+  /// (temp bank, then power bank, then meter -- each consuming its own RNG
+  /// exactly as the scalar reads would); stage_sensor_noise() hands the
+  /// block back, after which the three reads above consume their slices
+  /// instead of drawing, bit-identical to the unstaged path. The staging is
+  /// cleared when the meter slice is consumed (the interval's last read).
+  std::size_t sensor_noise_count() const {
+    return temp_bank_.noise_count() + power_bank_.noise_count() +
+           meter_.noise_count();
+  }
+  void draw_sensor_noise_into(double* noise_out);
+  void stage_sensor_noise(const double* noise) { staged_noise_ = noise; }
+
   /// Actuation.
   void apply(const soc::SocConfig& config) { soc_.apply(config); }
   void set_fan(thermal::FanSpeed speed);
@@ -72,10 +90,14 @@ class Plant {
   /// re-evaluating leakage-temperature feedback per substep. When `instance`
   /// is non-null the foreground progress advances it, and the interval ends
   /// early if it completes.
+  /// When `phases` is non-null, the first substep's SoC schedule solve is
+  /// billed to Phase::kSchedule and the rest of the interval to
+  /// Phase::kPlant.
   PlantIntervalResult advance(
       const workload::Demand& demand,
       const std::vector<workload::ThreadDemand>& background_threads,
-      workload::WorkloadInstance* instance, int substeps, double sub_dt);
+      workload::WorkloadInstance* instance, int substeps, double sub_dt,
+      util::PhaseCycles* phases = nullptr);
 
   /// Phase-decomposed interval API -- advance() is exactly this sequence:
   ///
@@ -146,6 +168,8 @@ class Plant {
   /// Interval accumulation state between interval_begin()/interval_end().
   PlantIntervalResult pending_;
   power::ResourceVector rails_accum_{};
+  /// Pre-drawn sensor noise for the current interval (null = draw inline).
+  const double* staged_noise_ = nullptr;
 };
 
 }  // namespace dtpm::sim

@@ -7,6 +7,7 @@
 
 #include "core/dtpm_governor.hpp"
 #include "util/csv.hpp"
+#include "util/phase.hpp"
 #include "util/stats.hpp"
 
 namespace dtpm::sim {
@@ -48,6 +49,8 @@ struct RunResult {
   std::size_t control_steps = 0;   ///< Simulation::step() calls executed
   std::size_t plant_substeps = 0;  ///< plant substeps actually taken
   double wall_time_s = 0.0;        ///< wall-clock from construction to finish
+  /// Per-phase tick breakdown (all zero unless config.profile_phases).
+  util::PhaseCycles phase_cycles;
 
   /// Per-interval trace (absent when record_trace is false). The column
   /// schema is owned by TraceRecorder::column_names() -- see

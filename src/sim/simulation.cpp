@@ -74,12 +74,15 @@ bool Simulation::step() {
   if (!begin_step()) return false;
   const PlantIntervalResult interval =
       plant_.advance(staged_demand(), staged_background(), staged_instance(),
-                     substeps_, sub_dt_s_);
+                     substeps_, sub_dt_s_,
+                     config_.profile_phases ? &phase_cycles_ : nullptr);
   return finish_step(interval);
 }
 
 bool Simulation::begin_step() {
   if (done_) return false;
+  const bool profiling = config_.profile_phases;
+  std::uint64_t mark = profiling ? util::cycle_now() : 0;
 
   // 1. Sensor sampling (into the reused step buffers).
   plant_.read_temps_into(buffers_.sensor_temps);
@@ -87,6 +90,11 @@ bool Simulation::begin_step() {
   const power::ResourceVector sensor_rails = plant_.read_rails(last_rails_avg_);
   pending_.platform_power_w =
       plant_.read_platform_power(last_rails_avg_, last_fan_power_);
+  if (profiling) {
+    const std::uint64_t now = util::cycle_now();
+    phase_cycles_.add(util::Phase::kSensor, now - mark);
+    mark = now;
+  }
 
   soc::PlatformView pv;
   pv.time_s = t_;
@@ -105,6 +113,11 @@ bool Simulation::begin_step() {
   plant_.apply(decision.soc);
   fan_speed_ = decision.fan;
   plant_.set_fan(fan_speed_);
+  if (profiling) {
+    const std::uint64_t now = util::cycle_now();
+    phase_cycles_.add(util::Phase::kPolicy, now - mark);
+    mark = now;
+  }
 
   // 3. Observe-only prediction bookkeeping.
   pending_.active = started_ && !instance_.done();
@@ -130,6 +143,11 @@ bool Simulation::begin_step() {
     demand.threads.push_back(warm);
   }
   background_.threads_into(buffers_.background_threads);
+  if (profiling) {
+    // Observer bookkeeping + workload staging ride with the schedule phase
+    // (they are the interval's decision-to-plant glue).
+    phase_cycles_.add(util::Phase::kSchedule, util::cycle_now() - mark);
+  }
   pending_.armed = true;
   return true;
 }
@@ -254,6 +272,7 @@ RunResult Simulation::finish() {
   result.trace = recorder_.take();
   result.control_steps = k_;
   result.plant_substeps = plant_substeps_;
+  result.phase_cycles = phase_cycles_;
   result.wall_time_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - wall_start_)
                            .count();

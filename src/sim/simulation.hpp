@@ -101,6 +101,15 @@ class Simulation {
   /// True once a termination condition has been reached.
   bool done() const { return done_; }
 
+  /// Phase accounting (config.profile_phases). begin_step() stamps the
+  /// sensor/policy/schedule phases itself; an external interval driver that
+  /// replaces plant().advance() measures its own plant-side ticks and hands
+  /// them back here so finish() reports the full interval either way.
+  bool profile_phases() const { return config_.profile_phases; }
+  void add_phase_cycles(const util::PhaseCycles& cycles) {
+    phase_cycles_ += cycles;
+  }
+
   const SimulationView& view() const { return view_; }
 
   /// Finalizes the derived metrics and returns the accumulated result.
@@ -164,6 +173,7 @@ class Simulation {
   StepBuffers buffers_;
   PendingStep pending_;
   std::size_t plant_substeps_ = 0;
+  util::PhaseCycles phase_cycles_;
   std::chrono::steady_clock::time_point wall_start_;
 
   RunResult result_;

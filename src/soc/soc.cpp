@@ -63,6 +63,11 @@ bool operator==(const PerfParams& a, const PerfParams& b) {
 }
 
 void Soc::apply(const SocConfig& config) {
+  // The common steady-state case: the governor re-applies the config it
+  // already holds. An identical config was validated when first applied and
+  // resolves to the same voltages, so the three OPP linear scans -- the
+  // dominant cost in a tight control loop -- can be skipped outright.
+  if (config == config_) return;
   if (!big_opps_.contains(config.big_freq_hz)) {
     throw std::invalid_argument("Soc::apply: big frequency not an OPP");
   }

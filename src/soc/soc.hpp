@@ -193,6 +193,26 @@ class Soc {
   const PlantPowerParams& power_params() const { return power_params_; }
   const PerfParams& perf_params() const { return perf_params_; }
 
+  /// Interval-invariant schedule outputs, valid while the workload and the
+  /// applied config are unchanged (see step()'s reuse_schedule).
+  struct Schedule {
+    double cpu_max_util = 0.0;
+    double cpu_avg_util = 0.0;
+    double gpu_busy = 0.0;
+    double mem_traffic = 0.0;
+    double progress_rate = 0.0;
+    std::array<double, kBigCoreCount> core_activity{};
+  };
+
+  /// The schedule computed by the last reuse_schedule=false step().
+  const Schedule& schedule() const { return schedule_; }
+  /// Installs a schedule solved on another Soc with identical (demand,
+  /// background, applied config) inputs -- the solve is a pure function of
+  /// those, so adopting it and calling step(reuse_schedule=true) is
+  /// bit-identical to solving locally. This is the lockstep lanes'
+  /// per-equivalence-class schedule memo.
+  void adopt_schedule(const Schedule& s) { schedule_ = s; }
+
  private:
   PlantPowerParams power_params_;
   PerfParams perf_params_;
@@ -218,16 +238,6 @@ class Soc {
   Placement placement_scratch_;
   std::vector<std::size_t> order_scratch_;
 
-  /// Interval-invariant schedule outputs, valid while the workload and the
-  /// applied config are unchanged (see step()'s reuse_schedule).
-  struct Schedule {
-    double cpu_max_util = 0.0;
-    double cpu_avg_util = 0.0;
-    double gpu_busy = 0.0;
-    double mem_traffic = 0.0;
-    double progress_rate = 0.0;
-    std::array<double, kBigCoreCount> core_activity{};
-  };
   Schedule schedule_;
 };
 

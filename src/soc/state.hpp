@@ -41,6 +41,13 @@ struct SocConfig {
   int schedulable_cores() const;
 };
 
+inline bool operator==(const SocConfig& a, const SocConfig& b) {
+  return a.active_cluster == b.active_cluster &&
+         a.big_core_online == b.big_core_online &&
+         a.big_freq_hz == b.big_freq_hz &&
+         a.little_freq_hz == b.little_freq_hz && a.gpu_freq_hz == b.gpu_freq_hz;
+}
+
 /// Everything the governors can see at a control interval boundary.
 struct PlatformView {
   double time_s = 0.0;

@@ -1,6 +1,7 @@
 // Deterministic random number generation for reproducible simulations.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -9,6 +10,16 @@ namespace dtpm::util {
 /// Thin wrapper over std::mt19937_64 with convenience draws. Every stochastic
 /// component in the library takes an explicit Rng (or a seed) so that whole
 /// experiments replay bit-identically; there is no hidden global state.
+///
+/// gaussian() is a hand-rolled Marsaglia polar transform that reproduces,
+/// bit for bit, the sequence a fresh libstdc++ std::normal_distribution
+/// produces per call -- the sequence every golden trace was recorded
+/// against. Hand-rolling it buys two things over the standard distribution
+/// object: the second deviate of each polar pair is exposed through
+/// gaussian_pair() (one log+sqrt per TWO deviates for callers whose draw
+/// sequence is not replay-pinned), and util/vgauss.hpp can batch-fill noise
+/// vectors through one tight loop instead of a distribution object per
+/// draw. The bit-compat contract is pinned by tests/test_rng_gaussian.cpp.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
@@ -18,10 +29,32 @@ class Rng {
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
 
-  /// Gaussian with the given mean and standard deviation.
+  /// Gaussian with the given mean and standard deviation. stddev <= 0
+  /// returns the mean without consuming the engine (a degenerate sensor is
+  /// noise-free, and must not perturb the stream other draws replay from).
   double gaussian(double mean = 0.0, double stddev = 1.0) {
     if (stddev <= 0.0) return mean;
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    double x, y, mult;
+    polar_core(x, y, mult);
+    return y * mult * stddev + mean;
+  }
+
+  /// Draws one polar pair and returns BOTH deviates: `first` is exactly the
+  /// value gaussian() would have returned from the same engine state (and
+  /// consumes the same engine draws); `second` is the companion deviate the
+  /// per-call path throws away. Callers whose sequence is not pinned to
+  /// golden traces get two deviates for one log+sqrt.
+  void gaussian_pair(double mean, double stddev, double& first,
+                     double& second) {
+    if (stddev <= 0.0) {
+      first = mean;
+      second = mean;
+      return;
+    }
+    double x, y, mult;
+    polar_core(x, y, mult);
+    first = y * mult * stddev + mean;
+    second = x * mult * stddev + mean;
   }
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -41,6 +74,29 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// One draw of std::generate_canonical<double, 53>(mt19937_64): a single
+  /// engine word scaled into [0, 1), clamped below 1 exactly as libstdc++
+  /// does when the word rounds up to 2^64.
+  double canonical() {
+    constexpr double kTwo64 = 18446744073709551616.0;  // 2^64
+    double ret = double(engine_()) / kTwo64;
+    if (ret >= 1.0) ret = std::nextafter(1.0, 0.0);
+    return ret;
+  }
+
+  /// Marsaglia polar rejection core, operation for operation the libstdc++
+  /// std::normal_distribution one (bits/random.tcc), so the engine stream
+  /// advances identically.
+  void polar_core(double& x, double& y, double& mult) {
+    double r2;
+    do {
+      x = 2.0 * canonical() - 1.0;
+      y = 2.0 * canonical() - 1.0;
+      r2 = x * x + y * y;
+    } while (r2 > 1.0 || r2 == 0.0);
+    mult = std::sqrt(-2.0 * std::log(r2) / r2);
+  }
+
   std::mt19937_64 engine_;
 };
 

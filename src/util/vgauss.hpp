@@ -1,0 +1,46 @@
+// vgauss: batched gaussian draws for the structure-of-arrays sensor path,
+// next to vexp.hpp in spirit -- one tight pass instead of a call per draw.
+//
+// Two fills with different contracts:
+//
+//  * gaussian_fill() draws n deviates in EXACTLY the sequence n successive
+//    Rng::gaussian() calls would (same rejection loops, same engine words),
+//    so a batch lane that pre-draws a whole control interval's sensor noise
+//    stays bit-identical to the scalar read path -- the property the
+//    lockstep engine's "tracks the scalar twin" contract rests on. The
+//    transcendental core (one log+sqrt per deviate) cannot be halved here:
+//    the per-call path throws the second polar deviate away, and consuming
+//    it would change every stream the golden traces replay.
+//
+//  * gaussian_pair_fill() consumes BOTH deviates of each polar pair -- half
+//    the transcendentals -- for callers whose draw sequence is not pinned
+//    (fresh noise streams, synthetic data generation). It produces a
+//    DIFFERENT sequence than per-call draws; never substitute it where a
+//    golden trace or a scalar/batched equivalence contract applies.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace dtpm::util {
+
+/// Fills out[0..n) with N(mean, stddev) draws, sequence-identical to n
+/// successive rng.gaussian(mean, stddev) calls.
+inline void gaussian_fill(Rng& rng, double mean, double stddev, double* out,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng.gaussian(mean, stddev);
+}
+
+/// Fills out[0..n) using both deviates of each polar pair (ceil(n/2)
+/// log+sqrt evaluations). NOT sequence-compatible with gaussian_fill().
+inline void gaussian_pair_fill(Rng& rng, double mean, double stddev,
+                               double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    rng.gaussian_pair(mean, stddev, out[i], out[i + 1]);
+  }
+  if (i < n) out[i] = rng.gaussian(mean, stddev);
+}
+
+}  // namespace dtpm::util

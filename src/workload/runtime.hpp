@@ -22,12 +22,26 @@ struct ThreadDemand {
   double mem_seconds_per_unit = 0.0;
 };
 
+inline bool operator==(const ThreadDemand& a, const ThreadDemand& b) {
+  return a.duty == b.duty && a.cpu_activity == b.cpu_activity &&
+         a.mem_intensity == b.mem_intensity &&
+         a.counts_progress == b.counts_progress &&
+         a.cpu_cycles_per_unit == b.cpu_cycles_per_unit &&
+         a.mem_seconds_per_unit == b.mem_seconds_per_unit;
+}
+
 /// Aggregate demand for one control interval.
 struct Demand {
   std::vector<ThreadDemand> threads;
   double gpu_load = 0.0;            ///< requested GPU utilization [0,1]
   double gpu_cycles_per_unit = 0.0; ///< > 0 if progress is GPU-gated
 };
+
+inline bool operator==(const Demand& a, const Demand& b) {
+  return a.gpu_load == b.gpu_load &&
+         a.gpu_cycles_per_unit == b.gpu_cycles_per_unit &&
+         a.threads == b.threads;
+}
 
 /// Tracks a single benchmark run.
 class WorkloadInstance {

@@ -186,6 +186,165 @@ TEST(BatchedEngine, BatchRunnerGroupMatchesStandaloneRuns) {
   }
 }
 
+TEST(PlanLockstepGroups, ShardsBucketsIntoPerWorkerColumnTiles) {
+  auto jobs_of = [](std::size_t n) {
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      ExperimentConfig c;
+      c.engine = Engine::kBatched;
+      jobs.push_back({c, nullptr});
+    }
+    return jobs;
+  };
+  // One worker keeps the whole bucket as one group (the pre-sharding
+  // shape, and what the 2-argument overload's default produces).
+  {
+    std::vector<std::size_t> singles;
+    const auto groups = plan_lockstep_groups(jobs_of(12), singles, 1);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 12u);
+    EXPECT_TRUE(singles.empty());
+  }
+  // Two workers: two balanced contiguous tiles.
+  {
+    std::vector<std::size_t> singles;
+    const auto groups = plan_lockstep_groups(jobs_of(12), singles, 2);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], (LockstepGroup{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(groups[1], (LockstepGroup{6, 7, 8, 9, 10, 11}));
+    EXPECT_TRUE(singles.empty());
+  }
+  // Four workers on 12 lanes: the minimum tile width (4) caps the shard
+  // count at 3 -- SoA rows narrower than a vector register stop paying.
+  {
+    std::vector<std::size_t> singles;
+    const auto groups = plan_lockstep_groups(jobs_of(12), singles, 4);
+    ASSERT_EQ(groups.size(), 3u);
+    for (const LockstepGroup& g : groups) EXPECT_EQ(g.size(), 4u);
+  }
+  // Uneven split spreads the remainder across the leading tiles.
+  {
+    std::vector<std::size_t> singles;
+    const auto groups = plan_lockstep_groups(jobs_of(13), singles, 2);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].size(), 7u);
+    EXPECT_EQ(groups[1].size(), 6u);
+  }
+  // A bucket too small to shard stays whole no matter the pool width.
+  {
+    std::vector<std::size_t> singles;
+    const auto groups = plan_lockstep_groups(jobs_of(6), singles, 8);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 6u);
+  }
+}
+
+TEST(BatchedEngine, ShardedTilesAreBitIdenticalToOneGroup) {
+  // 16 same-platform batched jobs run once as a single lockstep group and
+  // again under the 2- and 4-worker tile plans. Lanes are independent
+  // Simulations and the schedule memo only adopts exact-equality-verified
+  // solutions, so every sharding must reproduce the monolithic group's
+  // results bit for bit -- the invariant that makes multi-worker sharding
+  // a pure scheduling decision, never a numerics one.
+  std::vector<BatchJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    ExperimentConfig c = quick_config(
+        "crc32",
+        seed % 2 ? Policy::kDefaultWithFan : Policy::kWithoutFan, seed,
+        Engine::kBatched);
+    c.max_sim_time_s = 20.0;
+    jobs.push_back({c, nullptr});
+  }
+  const RunPlan plan(jobs);
+
+  auto run_with_workers = [&](unsigned workers) {
+    std::vector<std::size_t> singles;
+    const std::vector<LockstepGroup> groups =
+        plan_lockstep_groups(jobs, singles, workers);
+    EXPECT_TRUE(singles.empty());
+    std::vector<RunResult> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+    for (const LockstepGroup& group : groups) {
+      run_lockstep_group(jobs, group, plan, results, errors);
+    }
+    for (const std::exception_ptr& e : errors) EXPECT_TRUE(e == nullptr);
+    return results;
+  };
+
+  const std::vector<RunResult> one = run_with_workers(1);
+  for (const unsigned workers : {2u, 4u}) {
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    const std::vector<RunResult> tiled = run_with_workers(workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      SCOPED_TRACE("job " + std::to_string(i));
+      EXPECT_EQ(tiled[i].completed, one[i].completed);
+      EXPECT_EQ(tiled[i].control_steps, one[i].control_steps);
+      EXPECT_EQ(tiled[i].plant_substeps, one[i].plant_substeps);
+      EXPECT_EQ(tiled[i].execution_time_s, one[i].execution_time_s);
+      EXPECT_EQ(tiled[i].platform_energy_j, one[i].platform_energy_j);
+      EXPECT_EQ(tiled[i].avg_platform_power_w, one[i].avg_platform_power_w);
+      EXPECT_EQ(tiled[i].max_temp_stats.max(), one[i].max_temp_stats.max());
+    }
+  }
+}
+
+TEST(BatchPlantStepper, ScheduleMemoIsBitExact) {
+  // Two fleets on identical configs: one stepper with the per-wave schedule
+  // memo (the default), one forced to solve every lane. Two lanes share a
+  // seed so at least one pair stays in the same equivalence class for the
+  // whole run; the memo must nonetheless be invisible, because an adopted
+  // schedule comes from a lane whose (demand, background, config) tuple is
+  // equality-verified and the solve is a pure function of that tuple.
+  constexpr int kMaxIntervals = 3000;
+  const std::uint64_t seeds[] = {21, 21, 22, 23};
+  std::vector<std::unique_ptr<Simulation>> memo, ref;
+  for (const std::uint64_t seed : seeds) {
+    ExperimentConfig c = quick_config("crc32", Policy::kDefaultWithFan, seed,
+                                      Engine::kBatched);
+    c.max_sim_time_s = 20.0;
+    memo.push_back(std::make_unique<Simulation>(c));
+    ref.push_back(std::make_unique<Simulation>(c));
+  }
+  BatchPlantStepper memo_stepper, ref_stepper;
+  ref_stepper.set_schedule_memo(false);
+
+  auto drive = [&](std::vector<std::unique_ptr<Simulation>>& sims,
+                   BatchPlantStepper& stepper) {
+    std::vector<Simulation*> lanes, wave;
+    for (int step = 0; step < kMaxIntervals; ++step) {
+      lanes.clear();
+      for (auto& sim : sims) {
+        if (!sim->done()) lanes.push_back(sim.get());
+      }
+      if (lanes.empty()) return;
+      stepper.stage_wave_noise(lanes);
+      wave.clear();
+      for (Simulation* sim : lanes) {
+        if (sim->begin_step()) wave.push_back(sim);
+      }
+      if (!wave.empty()) stepper.run_interval(wave);
+    }
+  };
+  drive(memo, memo_stepper);
+  drive(ref, ref_stepper);
+
+  for (std::size_t i = 0; i < memo.size(); ++i) {
+    SCOPED_TRACE("lane " + std::to_string(i));
+    ASSERT_TRUE(memo[i]->done());
+    ASSERT_TRUE(ref[i]->done());
+    const std::vector<double>& mt = memo[i]->plant().true_temps_c();
+    const std::vector<double>& rt = ref[i]->plant().true_temps_c();
+    ASSERT_EQ(mt.size(), rt.size());
+    for (std::size_t n = 0; n < mt.size(); ++n) EXPECT_EQ(mt[n], rt[n]);
+    const RunResult mr = memo[i]->finish();
+    const RunResult rr = ref[i]->finish();
+    EXPECT_EQ(mr.control_steps, rr.control_steps);
+    EXPECT_EQ(mr.execution_time_s, rr.execution_time_s);
+    EXPECT_EQ(mr.platform_energy_j, rr.platform_energy_j);
+    EXPECT_EQ(mr.max_temp_stats.max(), rr.max_temp_stats.max());
+  }
+}
+
 TEST(BatchedEngine, ConstructionErrorStaysInItsOwnLane) {
   // One lane of the group carries an unknown benchmark; the other lanes
   // must still produce their ordinary results.

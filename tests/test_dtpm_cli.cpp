@@ -329,7 +329,12 @@ TEST(DtpmCli, SweepEngineFlagAppliesToEveryRow) {
                                "--smoke", "--out", out_dir, "--quiet"});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const std::string summary = slurp(out_dir + "/summary.csv");
-  EXPECT_EQ(line_count(summary), 3u);  // header + 2 seeds
+  EXPECT_EQ(line_count(summary), 5u);  // 2 comments + header + 2 seeds
+  // Provenance comments precede the header: the engine override and the
+  // requested-vs-effective worker width are part of the artifact.
+  EXPECT_EQ(summary.rfind("# engine: batched\n", 0), 0u) << summary;
+  EXPECT_NE(summary.find("# workers: requested "), std::string::npos);
+  EXPECT_NE(summary.find(", effective "), std::string::npos);
   // Both data rows stepped on the batched engine (as one lockstep group).
   std::size_t batched_rows = 0, pos = 0;
   while ((pos = summary.find(",batched,", pos)) != std::string::npos) {
@@ -363,8 +368,10 @@ TEST(DtpmCli, SweepSmokeWritesSummaryRows) {
       run_cli({"sweep", grid, "--smoke", "-j", "2", "--out", out_dir});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const std::string summary = slurp(out_dir + "/summary.csv");
-  EXPECT_EQ(line_count(summary), 5u);  // header + 2 policies x 2 seeds
+  EXPECT_EQ(line_count(summary), 7u);  // 2 comments + header + 2x2 rows
   EXPECT_NE(summary.find("crc32,reactive,2,"), std::string::npos);
+  // No --engine override: the comment records that rows kept their own.
+  EXPECT_EQ(summary.rfind("# engine: per-config\n", 0), 0u) << summary;
 }
 
 TEST(DtpmCli, SweepPlatformAxis) {
@@ -377,7 +384,7 @@ TEST(DtpmCli, SweepPlatformAxis) {
   const CliResult r = run_cli({"sweep", grid, "--smoke", "--out", out_dir});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const std::string summary = slurp(out_dir + "/summary.csv");
-  EXPECT_EQ(line_count(summary), 4u);  // header + one row per platform
+  EXPECT_EQ(line_count(summary), 6u);  // 2 comments + header + 3 platforms
   EXPECT_NE(summary.find("crc32,no-fan,1,odroid-xu-e,"), std::string::npos);
   EXPECT_NE(summary.find("crc32,no-fan,1,dragon,"), std::string::npos);
   EXPECT_NE(summary.find("crc32,no-fan,1,compact,"), std::string::npos);
@@ -393,7 +400,7 @@ TEST(DtpmCli, SweepScenarioSelection) {
   const CliResult r = run_cli({"sweep", grid, "--smoke", "--out", out_dir});
   EXPECT_EQ(r.exit_code, 0) << r.err;
   const std::string summary = slurp(out_dir + "/summary.csv");
-  EXPECT_EQ(line_count(summary), 3u);
+  EXPECT_EQ(line_count(summary), 5u);  // 2 comments + header + 2 scenarios
   EXPECT_NE(summary.find("bursty#s1,no-fan,1,"), std::string::npos);
   EXPECT_NE(summary.find("bursty#s2,no-fan,2,"), std::string::npos);
 }

@@ -74,6 +74,49 @@ TEST(TempSensor, ObservesRequestedNodesInOrder) {
   EXPECT_EQ(readings[1], 10.0);
 }
 
+TEST(TempSensor, BatchedNoiseSplitMatchesReadBitForBit) {
+  // The lockstep lane draws a whole interval's noise up front
+  // (draw_noise_into) and converts it later (read_with_noise_into); twin
+  // banks seeded identically must produce bit-identical reading streams
+  // whichever way they are driven -- this is the contract that lets the
+  // batched engine stage sensor noise without perturbing any trajectory.
+  const TempSensorParams params;  // default: noisy + quantized
+  TempSensorBank scalar({0, 2, 3}, params, util::Rng(42));
+  TempSensorBank batched({0, 2, 3}, params, util::Rng(42));
+  const std::vector<double> temps{45.26, 51.9, 60.01, 38.4};
+  ASSERT_EQ(batched.noise_count(), 3u);
+  std::vector<double> want, got;
+  double noise[3];
+  for (int i = 0; i < 64; ++i) {
+    scalar.read_into(temps, want);
+    batched.draw_noise_into(noise);
+    batched.read_with_noise_into(temps, noise, got);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t n = 0; n < want.size(); ++n) {
+      EXPECT_EQ(got[n], want[n]) << "draw " << i << " node " << n;
+    }
+  }
+}
+
+TEST(TempSensor, NoiseFreeBankDrawsZerosWithoutConsumingTheStream) {
+  // stddev <= 0 returns the mean without touching the engine, so staging
+  // noise for a noise-free bank must leave its RNG stream untouched --
+  // staged and unstaged runs of a quiet platform stay bit-identical.
+  TempSensorParams params;
+  params.noise_stddev_c = 0.0;
+  TempSensorBank staged({0, 1}, params, util::Rng(9));
+  TempSensorBank plain({0, 1}, params, util::Rng(9));
+  double noise[2] = {1.0, 1.0};
+  staged.draw_noise_into(noise);
+  EXPECT_EQ(noise[0], 0.0);
+  EXPECT_EQ(noise[1], 0.0);
+  // And the staged conversion must equal the plain read exactly.
+  std::vector<double> a, b;
+  staged.read_with_noise_into({50.26, 51.0}, noise, a);
+  plain.read_into({50.26, 51.0}, b);
+  EXPECT_EQ(a, b);
+}
+
 TEST(TempSensor, Validation) {
   TempSensorParams bad;
   bad.quantization_c = -1.0;

@@ -16,6 +16,8 @@
 #include <memory>
 #include <new>
 
+#include "sim/batch_lane.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulation.hpp"
 #include "workload/benchmark.hpp"
 
@@ -111,6 +113,61 @@ TEST(ZeroAllocation, SteadyStateStepAllocatesNothing) {
   EXPECT_GT(sim.view().progress, 0.0);
   EXPECT_GT(sim.view().max_temp_c, 30.0);
   EXPECT_LT(sim.view().max_temp_c, 115.0);
+}
+
+TEST(ZeroAllocation, BatchedLaneSteadyStateWaveAllocatesNothing) {
+  // The lockstep lane's whole interval -- batched noise staging, per-lane
+  // begin_step, the SoA kernel with its fan-state insertion sort and the
+  // schedule memo -- must be as heap-silent as the scalar path once every
+  // scratch vector (noise block, lane columns, memo hashes, propagator
+  // cache) has hit its high-water mark.
+  constexpr int kLanes = 4;
+  std::vector<std::unique_ptr<Simulation>> sims;
+  for (int i = 0; i < kLanes; ++i) {
+    ExperimentConfig config;
+    config.benchmark = "zero-alloc-steady";
+    config.scenario = steady_benchmark();
+    config.policy = Policy::kDefaultWithFan;
+    config.record_trace = false;
+    config.observe_predictions = false;
+    config.max_sim_time_s = 1e9;
+    config.seed = 3 + std::uint64_t(i);  // seeds diverge the fan buckets
+    config.engine = Engine::kBatched;
+    sims.push_back(std::make_unique<Simulation>(config));
+  }
+
+  BatchPlantStepper stepper;
+  std::vector<Simulation*> lanes, wave;
+  auto one_wave = [&] {
+    lanes.clear();
+    for (auto& sim : sims) lanes.push_back(sim.get());
+    stepper.stage_wave_noise(lanes);
+    wave.clear();
+    for (Simulation* sim : lanes) {
+      ASSERT_TRUE(sim->begin_step()) << "run terminated mid-test";
+      wave.push_back(sim);
+    }
+    stepper.run_interval(wave);
+  };
+
+  // Longer warm-up than the scalar test: the wave must also visit every
+  // fan speed the closed loop will ever command, so the conductance-keyed
+  // propagator cache is fully populated before counting starts.
+  for (int s = 0; s < 800; ++s) one_wave();
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int s = 0; s < 1000; ++s) one_wave();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "the steady-state lockstep wave heap-allocated; a lane scratch "
+         "buffer, the noise block or the memo regressed";
+
+  for (int i = 0; i < kLanes; ++i) {
+    EXPECT_GT(sims[i]->view().progress, 0.0);
+    EXPECT_LT(sims[i]->view().max_temp_c, 115.0);
+  }
 }
 
 TEST(ZeroAllocation, TraceRecordingAllocatesPerRowOnly) {
