@@ -10,6 +10,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "governors/policy_registry.hpp"
+#include "lint/lint.hpp"
 #include "sim/batch.hpp"
 #include "sim/calibration.hpp"
 #include "sim/config_io.hpp"
@@ -51,6 +52,12 @@ const char kUsageText[] =
     "      envelope. Prints a summary and writes one\n"
     "      <out>/analysis_<platform>.json per platform (all registered\n"
     "      platforms unless --platform narrows it).\n"
+    "  dtpm lint [<file.json>...] [--platforms] [--deep] [--quiet]\n"
+    "      Statically analyze configs, platform files, and sweep grids\n"
+    "      without running anything: all diagnostics in one pass, each with\n"
+    "      a stable code and an exact $.path location. --platforms also\n"
+    "      lints every registered platform; --deep adds the\n"
+    "      equilibrium/stability pre-check. Exits non-zero only on errors.\n"
     "  dtpm list <policies|governors|scenarios|platforms|presets|benchmarks"
     "|engines> [--long]\n"
     "      List registered names, one per line (--long adds descriptions).\n"
@@ -504,6 +511,66 @@ int analyze_command(const std::vector<std::string>& args, std::ostream& out,
   return kOk;
 }
 
+int lint_command(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  std::vector<std::string> files;
+  bool platforms = false;
+  bool quiet = false;
+  lint::LintOptions lint_options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--platforms") {
+      platforms = true;
+    } else if (arg == "--deep") {
+      lint_options.deep = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "dtpm: lint does not take '" << arg << "'\n";
+      return kUsage;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && !platforms) {
+    err << "dtpm: lint needs config files and/or --platforms\n";
+    return kUsage;
+  }
+
+  // One collecting pass per artifact; every diagnostic prints as
+  //   <artifact>: $.path: severity CODE: message
+  // so a line is self-contained in CI logs and editor jump-lists alike.
+  std::size_t artifacts = 0, errors = 0, warnings = 0;
+  auto report = [&](const std::string& label, util::CollectingSink& sink) {
+    ++artifacts;
+    errors += sink.error_count();
+    warnings += sink.warning_count();
+    for (const util::Diagnostic& diagnostic : sink.diagnostics()) {
+      out << label << ": " << util::format_diagnostic(diagnostic) << '\n';
+    }
+  };
+
+  for (const std::string& file : files) {
+    util::CollectingSink sink;
+    lint::lint_file(file, sink, lint_options);
+    report(file, sink);
+  }
+  if (platforms) {
+    const sim::PlatformRegistry& registry = sim::PlatformRegistry::instance();
+    for (const std::string& name : registry.names()) {
+      util::CollectingSink sink;
+      lint::lint_platform(*registry.get(name), "$", sink, lint_options);
+      report("platform:" + name, sink);
+    }
+  }
+
+  if (!quiet) {
+    out << artifacts << " artifact(s) checked: " << errors << " error(s), "
+        << warnings << " warning(s)\n";
+  }
+  return errors == 0 ? kOk : kFailure;
+}
+
 int list_command(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   std::string category;
@@ -613,6 +680,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "analyze") {
       return analyze_command(args, out, err);
+    }
+    if (command == "lint") {
+      return lint_command(args, out, err);
     }
     if (command == "list") {
       return list_command(args, out, err);

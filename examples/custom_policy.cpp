@@ -58,12 +58,17 @@ class HardTripPolicy final : public governors::ThermalPolicy {
 /// Startup self-registration: after this, "hard-trip" is a first-class
 /// policy name -- `{"policy": "hard-trip", "policy_params": {"trip_c": 63}}`
 /// in a config file runs it through `dtpm run` with zero library changes.
+/// The declared ParamSchema is what lets `dtpm lint` check a config's
+/// policy_params against this policy without constructing it.
 const governors::PolicyRegistration kHardTrip{
     "hard-trip",
     [](const governors::PolicyContext& context) {
       return std::make_unique<HardTripPolicy>(context.param("trip_c", 63.0));
     },
-    "bang-bang frequency trip (example policy)"};
+    "bang-bang frequency trip (example policy)",
+    governors::ParamSchema{
+        true,
+        {{"trip_c", 30.0, 150.0, "trip temperature in deg C (default 63)"}}}};
 
 }  // namespace
 

@@ -36,8 +36,18 @@ import sys
 
 REFERENCE_ENGINE = "reference-rk4"
 
+# One throughput cell is keyed by its (engine, workers) coordinates.
+Cell = tuple[str, int]
 
-def load_results(path):
+
+def load_results(
+    path: str,
+) -> tuple[
+    str,
+    dict[Cell, float],
+    dict[Cell, dict[str, float] | None],
+    dict[Cell, int | None],
+]:
     """Returns (platform, {(engine, workers): steps_per_sec},
     {(engine, workers): phase_ticks dict or None},
     {(engine, workers): workers_effective or None})."""
@@ -50,22 +60,28 @@ def load_results(path):
             "current bench_throughput (the flat pre-engine schema is not "
             "comparable)"
         )
-    cells = {}
-    phases = {}
-    effective = {}
+    cells: dict[Cell, float] = {}
+    phases: dict[Cell, dict[str, float] | None] = {}
+    effective: dict[Cell, int | None] = {}
     for cell in results:
-        key = (cell["engine"], int(cell["workers"]))
+        key = (str(cell["engine"]), int(cell["workers"]))
         if key in cells:
             raise SystemExit(f"{path}: duplicate cell {key}")
         cells[key] = float(cell["steps_per_sec"])
         ticks = cell.get("phase_ticks")
-        phases[key] = ticks if isinstance(ticks, dict) else None
+        phases[key] = (
+            {str(name): float(value) for name, value in ticks.items()}
+            if isinstance(ticks, dict)
+            else None
+        )
         width = cell.get("workers_effective")
         effective[key] = int(width) if width is not None else None
-    return doc.get("platform", "?"), cells, phases, effective
+    return str(doc.get("platform", "?")), cells, phases, effective
 
 
-def phase_fractions(ticks):
+def phase_fractions(
+    ticks: dict[str, float] | None,
+) -> dict[str, float] | None:
     """Tick dict -> {phase: fraction of total}, or None if unusable."""
     if not ticks:
         return None
@@ -75,13 +91,17 @@ def phase_fractions(ticks):
     return {name: float(v) / total for name, v in ticks.items()}
 
 
-def check_scaling(fresh, effective, threshold):
+def check_scaling(
+    fresh: dict[Cell, float],
+    effective: dict[Cell, int | None],
+    threshold: float,
+) -> list[Cell]:
     """No engine's multi-worker cell may trail its own workers=1 cell by
     more than the threshold. Cells whose effective width was clamped to the
     anchor's (the pool caps at the host's cpu count) ran the identical
     configuration and are skipped: their ratio measures scheduler noise,
     not scaling. Returns the list of offending cells."""
-    offenders = []
+    offenders: list[Cell] = []
     engines = sorted({engine for engine, _ in fresh})
     print(f"\nscaling gate (fresh run, threshold -{threshold:.0%} vs "
           "workers=1):")
@@ -108,10 +128,15 @@ def check_scaling(fresh, effective, threshold):
     return offenders
 
 
-def check_phases(base_phases, fresh_phases, shared, max_growth=0.10):
+def check_phases(
+    base_phases: dict[Cell, dict[str, float] | None],
+    fresh_phases: dict[Cell, dict[str, float] | None],
+    shared: list[Cell],
+    max_growth: float = 0.10,
+) -> list[tuple[Cell, str]]:
     """A phase's fraction of its cell may not grow past base + max_growth
     (absolute points). Returns the list of offending (cell, phase)."""
-    offenders = []
+    offenders: list[tuple[Cell, str]] = []
     skipped = 0
     print(f"\nphase gate (fraction growth limit +{max_growth:.0%} absolute):")
     for key in shared:
@@ -135,7 +160,7 @@ def check_phases(base_phases, fresh_phases, shared, max_growth=0.10):
     return offenders
 
 
-def normalize(cells, path):
+def normalize(cells: dict[Cell, float], path: str) -> dict[Cell, float]:
     """Divides every cell by the reference-rk4 workers=1 cell."""
     anchor = cells.get((REFERENCE_ENGINE, 1))
     if anchor is None or anchor <= 0.0:
@@ -146,7 +171,7 @@ def normalize(cells, path):
     return {key: value / anchor for key, value in cells.items()}
 
 
-def main():
+def main() -> int:
     parser = argparse.ArgumentParser(
         description="Fail on >threshold steps_per_sec regressions between "
         "two BENCH_throughput.json files."
@@ -202,7 +227,7 @@ def main():
         print(f"note: {len(missing)} baseline cell(s) not in fresh run: "
               f"{missing}")
 
-    regressions = []
+    regressions: list[Cell] = []
     print(f"{'engine':<14} {'workers':>7} {'baseline':>12} {'fresh':>12} "
           f"{'ratio':>7}   ({metric}, threshold -{args.threshold:.0%})")
     for key in shared:
@@ -215,7 +240,7 @@ def main():
         print(f"{engine:<14} {workers:>7} {base[key]:>12.4g} "
               f"{fresh[key]:>12.4g} {ratio:>7.2f}{flag}")
 
-    scaling_offenders = []
+    scaling_offenders: list[Cell] = []
     if args.scaling_gate:
         # Raw fresh cells, never the normalized view: within one run the
         # host is constant, so normalization would only obscure the ratios.
@@ -223,7 +248,7 @@ def main():
         scaling_offenders = check_scaling(fresh_raw, fresh_widths,
                                           args.threshold)
 
-    phase_offenders = []
+    phase_offenders: list[tuple[Cell, str]] = []
     if args.phase_gate:
         phase_offenders = check_phases(base_phases, fresh_phases, shared)
 

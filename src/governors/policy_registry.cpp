@@ -32,14 +32,19 @@ power::OppTable PolicyContext::resolved_gpu_opps() const {
 namespace {
 
 void register_builtin_policies(PolicyRegistry& registry) {
+  // All four paper policies take their tuning from typed config members
+  // (DtpmParams, ReactiveThrottleParams defaults), not the policy_params
+  // bag -- declared via ParamSchema::none() so the lint layer can flag any
+  // bag entry against them as a likely typo.
   registry.add(
       "default+fan",
       [](const PolicyContext&) { return std::make_unique<FanPolicy>(); },
-      "stock ondemand + hysteresis fan controller (the paper's default)");
+      "stock ondemand + hysteresis fan controller (the paper's default)",
+      ParamSchema::none());
   registry.add(
       "no-fan",
       [](const PolicyContext&) { return std::make_unique<NullPolicy>(); },
-      "fan disabled, no thermal management");
+      "fan disabled, no thermal management", ParamSchema::none());
   registry.add(
       "reactive",
       [](const PolicyContext& context) {
@@ -47,7 +52,8 @@ void register_builtin_policies(PolicyRegistry& registry) {
             ReactiveThrottleParams{}, context.resolved_big_opps(),
             context.resolved_little_opps());
       },
-      "heuristic mimicking the fan policy with frequency throttling");
+      "heuristic mimicking the fan policy with frequency throttling",
+      ParamSchema::none());
   registry.add(
       "dtpm",
       [](const PolicyContext& context) -> std::unique_ptr<ThermalPolicy> {
@@ -61,7 +67,8 @@ void register_builtin_policies(PolicyRegistry& registry) {
             context.resolved_big_opps(), context.resolved_little_opps(),
             context.resolved_gpu_opps());
       },
-      "the paper's predictive dynamic thermal and power management");
+      "the paper's predictive dynamic thermal and power management",
+      ParamSchema::none());
 }
 
 void register_builtin_governors(GovernorRegistry& registry) {
@@ -72,7 +79,8 @@ void register_builtin_governors(GovernorRegistry& registry) {
             OndemandParams{}, context.resolved_big_opps(),
             context.resolved_little_opps(), context.resolved_gpu_opps());
       },
-      "classic ondemand with 5410-style cluster migration + GPU DVFS");
+      "classic ondemand with 5410-style cluster migration + GPU DVFS",
+      ParamSchema::none());
 }
 
 }  // namespace
@@ -90,6 +98,11 @@ PolicyRegistry& PolicyRegistry::instance() {
 
 void PolicyRegistry::add(const std::string& name, Factory factory,
                          std::string description) {
+  add(name, std::move(factory), std::move(description), ParamSchema{});
+}
+
+void PolicyRegistry::add(const std::string& name, Factory factory,
+                         std::string description, ParamSchema schema) {
   if (name.empty()) {
     throw std::invalid_argument("PolicyRegistry: empty policy name");
   }
@@ -102,7 +115,8 @@ void PolicyRegistry::add(const std::string& name, Factory factory,
     throw std::invalid_argument("PolicyRegistry: duplicate policy '" + name +
                                 "'");
   }
-  entries_.emplace(name, Entry{std::move(factory), std::move(description)});
+  entries_.emplace(name, Entry{std::move(factory), std::move(description),
+                               std::move(schema)});
 }
 
 bool PolicyRegistry::remove(const std::string& name) {
@@ -127,6 +141,12 @@ std::string PolicyRegistry::description(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(name);
   return it != entries_.end() ? it->second.description : std::string();
+}
+
+ParamSchema PolicyRegistry::param_schema(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? it->second.schema : ParamSchema{};
 }
 
 std::unique_ptr<ThermalPolicy> PolicyRegistry::make(
@@ -157,6 +177,11 @@ GovernorRegistry& GovernorRegistry::instance() {
 
 void GovernorRegistry::add(const std::string& name, Factory factory,
                            std::string description) {
+  add(name, std::move(factory), std::move(description), ParamSchema{});
+}
+
+void GovernorRegistry::add(const std::string& name, Factory factory,
+                           std::string description, ParamSchema schema) {
   if (name.empty()) {
     throw std::invalid_argument("GovernorRegistry: empty governor name");
   }
@@ -169,7 +194,8 @@ void GovernorRegistry::add(const std::string& name, Factory factory,
     throw std::invalid_argument("GovernorRegistry: duplicate governor '" +
                                 name + "'");
   }
-  entries_.emplace(name, Entry{std::move(factory), std::move(description)});
+  entries_.emplace(name, Entry{std::move(factory), std::move(description),
+                               std::move(schema)});
 }
 
 bool GovernorRegistry::remove(const std::string& name) {
@@ -196,6 +222,12 @@ std::string GovernorRegistry::description(const std::string& name) const {
   return it != entries_.end() ? it->second.description : std::string();
 }
 
+ParamSchema GovernorRegistry::param_schema(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? it->second.schema : ParamSchema{};
+}
+
 std::unique_ptr<Governor> GovernorRegistry::make(
     const std::string& name, const PolicyContext& context) const {
   Factory factory;
@@ -218,11 +250,27 @@ PolicyRegistration::PolicyRegistration(const std::string& name,
                                  std::move(description));
 }
 
+PolicyRegistration::PolicyRegistration(const std::string& name,
+                                       PolicyRegistry::Factory factory,
+                                       std::string description,
+                                       ParamSchema schema) {
+  PolicyRegistry::instance().add(name, std::move(factory),
+                                 std::move(description), std::move(schema));
+}
+
 GovernorRegistration::GovernorRegistration(const std::string& name,
                                            GovernorRegistry::Factory factory,
                                            std::string description) {
   GovernorRegistry::instance().add(name, std::move(factory),
                                    std::move(description));
+}
+
+GovernorRegistration::GovernorRegistration(const std::string& name,
+                                           GovernorRegistry::Factory factory,
+                                           std::string description,
+                                           ParamSchema schema) {
+  GovernorRegistry::instance().add(name, std::move(factory),
+                                   std::move(description), std::move(schema));
 }
 
 }  // namespace dtpm::governors

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,29 @@ struct PolicyContext {
   power::OppTable resolved_gpu_opps() const;
 };
 
+/// One knob a policy or governor reads from the policy_params bag, with the
+/// range its factory accepts. Declared so `dtpm lint` can check params
+/// statically -- construction-time throws only fire when the config runs.
+struct ParamSpec {
+  std::string name;
+  double min_value = std::numeric_limits<double>::lowest();
+  double max_value = std::numeric_limits<double>::max();
+  std::string description;
+};
+
+/// What a registered policy/governor declared about its parameter bag.
+/// `declared == false` (the default for registrations that pass no schema)
+/// means "unknown": the lint layer can only note that params go unchecked.
+/// A declared schema with an empty param list means "takes no params" --
+/// anything in the bag is then a likely typo.
+struct ParamSchema {
+  bool declared = false;
+  std::vector<ParamSpec> params;
+
+  /// A declared empty schema: "this policy reads nothing from the bag".
+  static ParamSchema none() { return {true, {}}; }
+};
+
 /// String-keyed thermal-policy registry.
 class PolicyRegistry {
  public:
@@ -83,6 +107,10 @@ class PolicyRegistry {
   void add(const std::string& name, Factory factory,
            std::string description = "");
 
+  /// Registration with a declared parameter schema (see ParamSchema).
+  void add(const std::string& name, Factory factory, std::string description,
+           ParamSchema schema);
+
   /// Removes a registered policy (returns false when absent). Intended for
   /// tests that register throwaway policies.
   bool remove(const std::string& name);
@@ -90,6 +118,10 @@ class PolicyRegistry {
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;  ///< sorted
   std::string description(const std::string& name) const;
+
+  /// The declared parameter schema; `declared == false` when the
+  /// registration did not provide one (or the name is unknown).
+  ParamSchema param_schema(const std::string& name) const;
 
   /// Constructs the named policy; throws std::invalid_argument with the
   /// sorted valid names and a nearest-match suggestion on an unknown name.
@@ -100,6 +132,7 @@ class PolicyRegistry {
   struct Entry {
     Factory factory;
     std::string description;
+    ParamSchema schema;
   };
 
   mutable std::mutex mutex_;
@@ -116,10 +149,13 @@ class GovernorRegistry {
 
   void add(const std::string& name, Factory factory,
            std::string description = "");
+  void add(const std::string& name, Factory factory, std::string description,
+           ParamSchema schema);
   bool remove(const std::string& name);
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;  ///< sorted
   std::string description(const std::string& name) const;
+  ParamSchema param_schema(const std::string& name) const;
   std::unique_ptr<Governor> make(const std::string& name,
                                  const PolicyContext& context) const;
 
@@ -127,6 +163,7 @@ class GovernorRegistry {
   struct Entry {
     Factory factory;
     std::string description;
+    ParamSchema schema;
   };
 
   mutable std::mutex mutex_;
@@ -138,6 +175,8 @@ class GovernorRegistry {
 struct PolicyRegistration {
   PolicyRegistration(const std::string& name, PolicyRegistry::Factory factory,
                      std::string description = "");
+  PolicyRegistration(const std::string& name, PolicyRegistry::Factory factory,
+                     std::string description, ParamSchema schema);
 };
 
 /// Same for default governors.
@@ -145,6 +184,9 @@ struct GovernorRegistration {
   GovernorRegistration(const std::string& name,
                        GovernorRegistry::Factory factory,
                        std::string description = "");
+  GovernorRegistration(const std::string& name,
+                       GovernorRegistry::Factory factory,
+                       std::string description, ParamSchema schema);
 };
 
 }  // namespace dtpm::governors

@@ -1,0 +1,141 @@
+// Sweep-grid lint (L5xx): axis hygiene and expansion-size checks, plus the
+// experiment passes over the base config. Axis *names* (unknown benchmarks,
+// platforms, policies, families -- with did-you-mean suggestions) are
+// already validated by the collecting parser, so this pass focuses on what
+// the parsed spec alone can say about the grid's shape.
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/json.hpp"
+
+namespace dtpm::lint {
+
+namespace {
+
+/// Expanded-run count past which a per-run trace recording warning (L306)
+/// fires; traces dominate memory and output size at fleet scale.
+constexpr std::size_t kTracedRunsWarning = 32;
+
+/// Expanded-run count past which the size note (L503) fires.
+constexpr std::size_t kExpansionNote = 1000;
+
+/// L501: an axis written as an explicitly empty array. Only the source
+/// document can tell (the parsed spec cannot distinguish empty from
+/// absent); axes inherit from base when omitted, so an empty literal is
+/// almost always an editing accident.
+void check_empty_axis(const util::JsonValue& json, const std::string& member,
+                      const std::string& path, util::DiagnosticSink& sink) {
+  const util::JsonValue* v = json.find(member);
+  if (v != nullptr && v->is_array() && v->as_array().empty()) {
+    sink.error("L501", path + "." + member,
+               "explicitly empty '" + member +
+                   "' axis; axes inherit from base when omitted -- delete "
+                   "the member or add entries");
+  }
+}
+
+/// L502: duplicate axis entries -- each duplicate multiplies the expansion
+/// with runs identical to ones already in the grid.
+template <typename T>
+void check_duplicates(const std::vector<T>& axis, const std::string& member,
+                      const std::string& path, util::DiagnosticSink& sink,
+                      std::string (*render)(const T&)) {
+  std::set<T> seen;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (!seen.insert(axis[i]).second) {
+      sink.warning("L502", path + "." + member + "[" + std::to_string(i) + "]",
+                   "duplicate '" + member + "' entry " + render(axis[i]) +
+                       "; each duplicate re-runs an identical grid point");
+    }
+  }
+}
+
+std::string render_string(const std::string& value) { return "'" + value + "'"; }
+
+std::string render_seed(const std::uint64_t& value) {
+  return std::to_string(value);
+}
+
+std::size_t axis_factor(std::size_t size) { return size == 0 ? 1 : size; }
+
+}  // namespace
+
+void lint_sweep(const sim::SweepSpec& spec, const util::JsonValue* json,
+                const std::string& path, util::DiagnosticSink& sink,
+                const LintOptions& options) {
+  lint_experiment(spec.base, path + ".base", sink, options);
+
+  if (json != nullptr && json->is_object()) {
+    check_empty_axis(*json, "benchmarks", path, sink);
+    check_empty_axis(*json, "platforms", path, sink);
+    check_empty_axis(*json, "policies", path, sink);
+    check_empty_axis(*json, "seeds", path, sink);
+    check_empty_axis(*json, "dtpm_grid", path, sink);
+    if (const util::JsonValue* scenarios = json->find("scenarios")) {
+      if (scenarios->is_object()) {
+        check_empty_axis(*scenarios, "families", path + ".scenarios", sink);
+        check_empty_axis(*scenarios, "seeds", path + ".scenarios", sink);
+      }
+    }
+  }
+
+  check_duplicates(spec.benchmarks, "benchmarks", path, sink, render_string);
+  check_duplicates(spec.platforms, "platforms", path, sink, render_string);
+  check_duplicates(spec.policies, "policies", path, sink, render_string);
+  check_duplicates(spec.seeds, "seeds", path, sink, render_seed);
+  check_duplicates(spec.families, "families", path + ".scenarios", sink,
+                   render_string);
+  check_duplicates(spec.scenario_seeds, "seeds", path + ".scenarios", sink,
+                   render_seed);
+
+  // Duplicate dtpm_grid points compare by serialization: DtpmParams has no
+  // operator==, but its JSON round-trip is canonical.
+  {
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < spec.dtpm_grid.size(); ++i) {
+      const std::string rendered =
+          util::json_write(sim::to_json(spec.dtpm_grid[i]), 0);
+      if (!seen.insert(rendered).second) {
+        sink.warning("L502",
+                     path + ".dtpm_grid[" + std::to_string(i) + "]",
+                     "duplicate 'dtpm_grid' entry; each duplicate re-runs an "
+                     "identical grid point");
+      }
+    }
+  }
+
+  // Expansion size: the product of the populated axes (empty = one run
+  // inheriting base). Scenario selections expand families x seeds instead
+  // of benchmarks x seeds x dtpm_grid.
+  std::size_t runs = axis_factor(spec.platforms.size()) *
+                     axis_factor(spec.policies.size());
+  if (spec.has_scenarios) {
+    runs *= axis_factor(spec.families.size()) *
+            axis_factor(spec.scenario_seeds.size());
+  } else {
+    runs *= axis_factor(spec.benchmarks.size()) *
+            axis_factor(spec.seeds.size()) *
+            axis_factor(spec.dtpm_grid.size());
+  }
+
+  // L306: per-run traces across a large expansion.
+  if (spec.base.record_trace && runs > kTracedRunsWarning) {
+    sink.warning("L306", path + ".base.record_trace",
+                 "record_trace is on for each of the " + std::to_string(runs) +
+                     " expanded runs; traces dominate memory and output at "
+                     "this scale -- set it false and re-run single cells "
+                     "when a trace is needed");
+  }
+
+  // L503: a size heads-up for very large grids.
+  if (runs >= kExpansionNote) {
+    sink.note("L503", path,
+              "this grid expands to " + std::to_string(runs) + " runs");
+  }
+}
+
+}  // namespace dtpm::lint

@@ -17,6 +17,7 @@ namespace dtpm::sim {
 
 namespace {
 
+using util::DiagnosticSink;
 using util::JsonArray;
 using util::JsonObject;
 using util::JsonValue;
@@ -25,17 +26,55 @@ std::string type_of(const JsonValue& v) {
   return JsonValue::type_name(v.type());
 }
 
+// Diagnostic codes of the parse layer (the L0xx block; the lint passes own
+// L1xx and up). Stable identifiers -- never renumber.
+constexpr char kCodeType[] = "L002";      // type mismatch
+constexpr char kCodeRange[] = "L003";     // value outside its valid range
+constexpr char kCodeUnknownField[] = "L004";
+constexpr char kCodeUnknownName[] = "L005";
+constexpr char kCodeConstraint[] = "L006";  // structural/semantic violation
+
+/// Collecting-mode control flow: thrown *after* an error was reported when
+/// the surrounding subtree cannot be parsed further (e.g. a member that is
+/// not even an object). Callers recover at element/section boundaries via
+/// with_recovery. In throwing mode the ThrowingSink raises ConfigError
+/// before this is reached, so the legacy first-error contract is untouched.
+struct ParseAbort {};
+
+/// Reports an error and abandons the current subtree.
+[[noreturn]] void fail(DiagnosticSink& sink, const char* code,
+                       const std::string& path, const std::string& message) {
+  sink.error(code, path, message);
+  throw ParseAbort{};
+}
+
+/// A collecting-mode recovery boundary: swallows ParseAbort (the error it
+/// travels with is already in the sink) so parsing resumes with the next
+/// element or section. ConfigError from a ThrowingSink passes through.
+template <typename Fn>
+void with_recovery(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ParseAbort&) {
+  }
+}
+
 /// Reads one JSON object: typed, range-checked member access plus an
 /// unknown-member sweep (with a did-you-mean suggestion against the members
 /// this reader consulted) that every *_from_json runs before returning.
+/// Member getters report recoverable problems and leave the output untouched;
+/// only a non-object document aborts the subtree.
 class ObjectReader {
  public:
-  ObjectReader(const JsonValue& json, std::string path)
-      : json_(json), path_(std::move(path)) {
+  ObjectReader(const JsonValue& json, std::string path, DiagnosticSink& sink)
+      : json_(json), path_(std::move(path)), sink_(sink) {
     if (!json_.is_object()) {
-      throw ConfigError(path_, "expected an object, got " + type_of(json_));
+      fail(sink_, kCodeConstraint, path_,
+           "expected an object, got " + type_of(json_));
     }
   }
+
+  DiagnosticSink& sink() { return sink_; }
 
   std::string member_path(const std::string& key) const {
     return path_ + "." + key;
@@ -53,15 +92,17 @@ class ObjectReader {
     const JsonValue* v = get(key);
     if (v == nullptr) return;
     if (!v->is_number()) {
-      throw ConfigError(member_path(key),
-                        "expected a number, got " + type_of(*v));
+      sink_.error(kCodeType, member_path(key),
+                  "expected a number, got " + type_of(*v));
+      return;
     }
     const double n = v->as_number();
     if (n < lo || n > hi) {
-      throw ConfigError(member_path(key),
-                        "value " + util::json_write(*v, 0) + " outside [" +
-                            util::json_write(JsonValue(lo), 0) + ", " +
-                            util::json_write(JsonValue(hi), 0) + "]");
+      sink_.error(kCodeRange, member_path(key),
+                  "value " + util::json_write(*v, 0) + " outside [" +
+                      util::json_write(JsonValue(lo), 0) + ", " +
+                      util::json_write(JsonValue(hi), 0) + "]");
+      return;
     }
     out = n;
   }
@@ -70,8 +111,9 @@ class ObjectReader {
     const JsonValue* v = get(key);
     if (v == nullptr) return;
     if (!v->is_bool()) {
-      throw ConfigError(member_path(key),
-                        "expected true or false, got " + type_of(*v));
+      sink_.error(kCodeType, member_path(key),
+                  "expected true or false, got " + type_of(*v));
+      return;
     }
     out = v->as_bool();
   }
@@ -82,13 +124,14 @@ class ObjectReader {
     const JsonValue* v = get(key);
     if (v == nullptr) return;
     if (!v->is_number()) {
-      throw ConfigError(member_path(key),
-                        "expected an integer, got " + type_of(*v));
+      sink_.error(kCodeType, member_path(key),
+                  "expected an integer, got " + type_of(*v));
+      return;
     }
     try {
       out = static_cast<Int>(v->as_integer(lo, hi));
     } catch (const std::exception& e) {
-      throw ConfigError(member_path(key), e.what());
+      sink_.error(kCodeRange, member_path(key), e.what());
     }
   }
 
@@ -96,14 +139,16 @@ class ObjectReader {
     const JsonValue* v = get(key);
     if (v == nullptr) return;
     if (!v->is_string()) {
-      throw ConfigError(member_path(key),
-                        "expected a string, got " + type_of(*v));
+      sink_.error(kCodeType, member_path(key),
+                  "expected a string, got " + type_of(*v));
+      return;
     }
     out = v->as_string();
   }
 
-  /// Rejects members no getter consulted; catches config typos like
-  /// "plant_substeps_s" with a suggestion from the consulted keys.
+  /// Reports members no getter consulted; catches config typos like
+  /// "plant_substeps_s" with a suggestion from the consulted keys. In
+  /// collecting mode every unknown member is reported, not just the first.
   void finish() const {
     for (const auto& [key, value] : json_.as_object()) {
       if (std::find(known_.begin(), known_.end(), key) == known_.end()) {
@@ -112,7 +157,7 @@ class ObjectReader {
         if (!suggestion.empty()) {
           message += ", did you mean '" + suggestion + "'?";
         }
-        throw ConfigError(path_ + "." + key, message);
+        sink_.error(kCodeUnknownField, path_ + "." + key, message);
       }
     }
   }
@@ -120,26 +165,29 @@ class ObjectReader {
  private:
   const JsonValue& json_;
   std::string path_;
+  DiagnosticSink& sink_;
   std::vector<std::string> known_;
 };
 
-/// Validated name-list member: either absent, or an array of strings each
-/// checked by `validate(name, element_path)`.
+/// Validated name-list member: either absent, or an array of strings.
+/// Non-string elements are reported and skipped.
 std::vector<std::string> string_list(ObjectReader& reader,
                                      const std::string& key) {
   std::vector<std::string> out;
   const JsonValue* v = reader.get(key);
   if (v == nullptr) return out;
   if (!v->is_array()) {
-    throw ConfigError(reader.member_path(key),
-                      "expected an array of strings, got " + type_of(*v));
+    reader.sink().error(kCodeType, reader.member_path(key),
+                        "expected an array of strings, got " + type_of(*v));
+    return out;
   }
   const JsonArray& array = v->as_array();
   for (std::size_t i = 0; i < array.size(); ++i) {
     if (!array[i].is_string()) {
-      throw ConfigError(
-          reader.member_path(key) + "[" + std::to_string(i) + "]",
+      reader.sink().error(
+          kCodeType, reader.member_path(key) + "[" + std::to_string(i) + "]",
           "expected a string, got " + type_of(array[i]));
+      continue;
     }
     out.push_back(array[i].as_string());
   }
@@ -152,40 +200,50 @@ std::vector<std::uint64_t> seed_list(ObjectReader& reader,
   const JsonValue* v = reader.get(key);
   if (v == nullptr) return out;
   if (!v->is_array()) {
-    throw ConfigError(reader.member_path(key),
-                      "expected an array of seeds, got " + type_of(*v));
+    reader.sink().error(kCodeType, reader.member_path(key),
+                        "expected an array of seeds, got " + type_of(*v));
+    return out;
   }
   const JsonArray& array = v->as_array();
   for (std::size_t i = 0; i < array.size(); ++i) {
     const std::string path =
         reader.member_path(key) + "[" + std::to_string(i) + "]";
     if (!array[i].is_number()) {
-      throw ConfigError(path, "expected a seed, got " + type_of(array[i]));
+      reader.sink().error(kCodeType, path,
+                          "expected a seed, got " + type_of(array[i]));
+      continue;
     }
     try {
       out.push_back(std::uint64_t(array[i].as_integer(0)));
     } catch (const std::exception& e) {
-      throw ConfigError(path, e.what());
+      reader.sink().error(kCodeRange, path, e.what());
     }
   }
   return out;
 }
 
-void validate_policy_name(const std::string& name, const std::string& path) {
+/// True when the name is registered; reports L005 otherwise.
+bool validate_policy_name(const std::string& name, const std::string& path,
+                          DiagnosticSink& sink) {
   const governors::PolicyRegistry& registry =
       governors::PolicyRegistry::instance();
   if (!registry.contains(name)) {
-    throw ConfigError(
-        path, util::unknown_name_message("policy", name, registry.names()));
+    sink.error(kCodeUnknownName, path,
+               util::unknown_name_message("policy", name, registry.names()));
+    return false;
   }
+  return true;
 }
 
-void validate_benchmark_name(const std::string& name, const std::string& path) {
+bool validate_benchmark_name(const std::string& name, const std::string& path,
+                             DiagnosticSink& sink) {
   const std::vector<std::string> names = workload::all_benchmark_names();
   if (std::find(names.begin(), names.end(), name) == names.end()) {
-    throw ConfigError(path,
-                      util::unknown_name_message("benchmark", name, names));
+    sink.error(kCodeUnknownName, path,
+               util::unknown_name_message("benchmark", name, names));
+    return false;
   }
+  return true;
 }
 
 // --- enum <-> string tables --------------------------------------------------
@@ -195,13 +253,18 @@ const char* to_string(core::BudgetRowPolicy p) {
                                                   : "all-hotspots";
 }
 
-core::BudgetRowPolicy row_policy_from_string(const std::string& name,
-                                             const std::string& path) {
-  if (name == "hottest-core") return core::BudgetRowPolicy::kHottestCore;
-  if (name == "all-hotspots") return core::BudgetRowPolicy::kAllHotspots;
-  throw ConfigError(path,
-                    util::unknown_name_message("row policy", name,
-                                               {"hottest-core", "all-hotspots"}));
+/// Parses into `out`; reports L005 (and leaves `out` untouched) on a miss.
+void row_policy_from_string(const std::string& name, const std::string& path,
+                            core::BudgetRowPolicy& out, DiagnosticSink& sink) {
+  if (name == "hottest-core") {
+    out = core::BudgetRowPolicy::kHottestCore;
+  } else if (name == "all-hotspots") {
+    out = core::BudgetRowPolicy::kAllHotspots;
+  } else {
+    sink.error(kCodeUnknownName, path,
+               util::unknown_name_message("row policy", name,
+                                          {"hottest-core", "all-hotspots"}));
+  }
 }
 
 const std::vector<std::pair<workload::Category, std::string>>& categories() {
@@ -236,15 +299,20 @@ power_classes() {
 }
 
 template <typename Enum>
-Enum enum_from_string(
-    const std::vector<std::pair<Enum, std::string>>& table,
-    const std::string& kind, const std::string& name, const std::string& path) {
+void enum_from_string(const std::vector<std::pair<Enum, std::string>>& table,
+                      const std::string& kind, const std::string& name,
+                      const std::string& path, Enum& out,
+                      DiagnosticSink& sink) {
   std::vector<std::string> valid;
   for (const auto& [value, string] : table) {
-    if (string == name) return value;
+    if (string == name) {
+      out = value;
+      return;
+    }
     valid.push_back(string);
   }
-  throw ConfigError(path, util::unknown_name_message(kind, name, valid));
+  sink.error(kCodeUnknownName, path,
+             util::unknown_name_message(kind, name, valid));
 }
 
 }  // namespace
@@ -264,11 +332,11 @@ JsonValue to_json(const core::DtpmParams& params) {
   return json;
 }
 
-core::DtpmParams dtpm_params_from_json(const JsonValue& json,
-                                       const std::string& path,
-                                       const core::DtpmParams& base) {
-  core::DtpmParams params = base;
-  ObjectReader reader(json, path);
+namespace {
+
+void dtpm_params_into(core::DtpmParams& params, const JsonValue& json,
+                      const std::string& path, DiagnosticSink& sink) {
+  ObjectReader reader(json, path, sink);
   reader.number("t_max_c", params.t_max_c, 0.0, 150.0);
   reader.integer("horizon_steps", params.horizon_steps, 1, 1000);
   reader.number("guard_band_c", params.guard_band_c, 0.0, 50.0);
@@ -281,11 +349,28 @@ core::DtpmParams dtpm_params_from_json(const JsonValue& json,
   std::string row_policy;
   reader.string("row_policy", row_policy);
   if (!row_policy.empty()) {
-    params.row_policy =
-        row_policy_from_string(row_policy, path + ".row_policy");
+    row_policy_from_string(row_policy, path + ".row_policy",
+                           params.row_policy, sink);
   }
   reader.finish();
+}
+
+}  // namespace
+
+core::DtpmParams dtpm_params_from_json(const JsonValue& json,
+                                       const std::string& path,
+                                       const core::DtpmParams& base,
+                                       DiagnosticSink& sink) {
+  core::DtpmParams params = base;
+  with_recovery([&] { dtpm_params_into(params, json, path, sink); });
   return params;
+}
+
+core::DtpmParams dtpm_params_from_json(const JsonValue& json,
+                                       const std::string& path,
+                                       const core::DtpmParams& base) {
+  ThrowingSink sink;
+  return dtpm_params_from_json(json, path, base, sink);
 }
 
 // --- workload::Benchmark -----------------------------------------------------
@@ -315,43 +400,46 @@ JsonValue to_json(const workload::Benchmark& benchmark) {
   return json;
 }
 
-workload::Benchmark benchmark_from_json(const JsonValue& json,
-                                        const std::string& path) {
-  workload::Benchmark benchmark;
-  ObjectReader reader(json, path);
+namespace {
+
+void benchmark_into(workload::Benchmark& benchmark, const JsonValue& json,
+                    const std::string& path, DiagnosticSink& sink) {
+  ObjectReader reader(json, path, sink);
   reader.string("name", benchmark.name);
   std::string category, power_class;
   reader.string("category", category);
   if (!category.empty()) {
-    benchmark.category = enum_from_string(categories(), "category", category,
-                                          path + ".category");
+    enum_from_string(categories(), "category", category, path + ".category",
+                     benchmark.category, sink);
   }
   reader.string("power_class", power_class);
   if (!power_class.empty()) {
-    benchmark.power_class = enum_from_string(
-        power_classes(), "power class", power_class, path + ".power_class");
+    enum_from_string(power_classes(), "power class", power_class,
+                     path + ".power_class", benchmark.power_class, sink);
   }
   if (const JsonValue* phases = reader.get("phases")) {
     if (!phases->is_array()) {
-      throw ConfigError(path + ".phases",
-                        "expected an array of phase objects, got " +
-                            type_of(*phases));
-    }
-    benchmark.phases.clear();
-    const JsonArray& array = phases->as_array();
-    for (std::size_t i = 0; i < array.size(); ++i) {
-      const std::string phase_path =
-          path + ".phases[" + std::to_string(i) + "]";
-      workload::Phase phase;
-      ObjectReader phase_reader(array[i], phase_path);
-      phase_reader.number("work_fraction", phase.work_fraction, 0.0, 1.0);
-      phase_reader.number("cpu_activity", phase.cpu_activity, 0.0, 1.0);
-      phase_reader.number("mem_intensity", phase.mem_intensity, 0.0, 1.0);
-      phase_reader.number("gpu_load", phase.gpu_load, 0.0, 1.0);
-      phase_reader.integer("threads", phase.threads, 1, 64);
-      phase_reader.number("duty", phase.duty, 0.0, 1.0);
-      phase_reader.finish();
-      benchmark.phases.push_back(phase);
+      sink.error(kCodeType, path + ".phases",
+                 "expected an array of phase objects, got " + type_of(*phases));
+    } else {
+      benchmark.phases.clear();
+      const JsonArray& array = phases->as_array();
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        const std::string phase_path =
+            path + ".phases[" + std::to_string(i) + "]";
+        with_recovery([&] {
+          workload::Phase phase;
+          ObjectReader phase_reader(array[i], phase_path, sink);
+          phase_reader.number("work_fraction", phase.work_fraction, 0.0, 1.0);
+          phase_reader.number("cpu_activity", phase.cpu_activity, 0.0, 1.0);
+          phase_reader.number("mem_intensity", phase.mem_intensity, 0.0, 1.0);
+          phase_reader.number("gpu_load", phase.gpu_load, 0.0, 1.0);
+          phase_reader.integer("threads", phase.threads, 1, 64);
+          phase_reader.number("duty", phase.duty, 0.0, 1.0);
+          phase_reader.finish();
+          benchmark.phases.push_back(phase);
+        });
+      }
     }
   }
   reader.number("total_work_units", benchmark.total_work_units, 0.0,
@@ -367,9 +455,25 @@ workload::Benchmark benchmark_from_json(const JsonValue& json,
   try {
     benchmark.validate();
   } catch (const std::exception& e) {
-    throw ConfigError(path, std::string("invalid benchmark: ") + e.what());
+    sink.error(kCodeConstraint, path,
+               std::string("invalid benchmark: ") + e.what());
   }
+}
+
+}  // namespace
+
+workload::Benchmark benchmark_from_json(const JsonValue& json,
+                                        const std::string& path,
+                                        DiagnosticSink& sink) {
+  workload::Benchmark benchmark;
+  with_recovery([&] { benchmark_into(benchmark, json, path, sink); });
   return benchmark;
+}
+
+workload::Benchmark benchmark_from_json(const JsonValue& json,
+                                        const std::string& path) {
+  ThrowingSink sink;
+  return benchmark_from_json(json, path, sink);
 }
 
 // --- workload::ScenarioParams ------------------------------------------------
@@ -383,15 +487,24 @@ JsonValue to_json(const workload::ScenarioParams& params) {
 }
 
 workload::ScenarioParams scenario_params_from_json(const JsonValue& json,
-                                                   const std::string& path) {
+                                                   const std::string& path,
+                                                   DiagnosticSink& sink) {
   workload::ScenarioParams params;
-  ObjectReader reader(json, path);
-  reader.number("nominal_duration_s", params.nominal_duration_s, 1.0, 1e6);
-  reader.number("intensity", params.intensity, 0.0, 10.0);
-  reader.number("thermal_time_constant_s", params.thermal_time_constant_s,
-                0.1, 1e4);
-  reader.finish();
+  with_recovery([&] {
+    ObjectReader reader(json, path, sink);
+    reader.number("nominal_duration_s", params.nominal_duration_s, 1.0, 1e6);
+    reader.number("intensity", params.intensity, 0.0, 10.0);
+    reader.number("thermal_time_constant_s", params.thermal_time_constant_s,
+                  0.1, 1e4);
+    reader.finish();
+  });
   return params;
+}
+
+workload::ScenarioParams scenario_params_from_json(const JsonValue& json,
+                                                   const std::string& path) {
+  ThrowingSink sink;
+  return scenario_params_from_json(json, path, sink);
 }
 
 // --- sim::PlatformDescriptor -------------------------------------------------
@@ -412,13 +525,15 @@ void leakage_from_json(ObjectReader& parent, const std::string& key,
                        power::LeakageParams& out, const std::string& path) {
   const JsonValue* v = parent.get(key);
   if (v == nullptr) return;
-  ObjectReader reader(*v, path + "." + key);
-  reader.number("c1", out.c1, 0.0, 1.0);
-  reader.number("c2_k", out.c2_k, -1e5, 0.0);
-  reader.number("i_gate_a", out.i_gate_a, 0.0, 10.0);
-  reader.number("v_ref", out.v_ref, 1e-3, 10.0);
-  reader.number("dibl_exponent", out.dibl_exponent, 0.0, 10.0);
-  reader.finish();
+  with_recovery([&] {
+    ObjectReader reader(*v, path + "." + key, parent.sink());
+    reader.number("c1", out.c1, 0.0, 1.0);
+    reader.number("c2_k", out.c2_k, -1e5, 0.0);
+    reader.number("i_gate_a", out.i_gate_a, 0.0, 10.0);
+    reader.number("v_ref", out.v_ref, 1e-3, 10.0);
+    reader.number("dibl_exponent", out.dibl_exponent, 0.0, 10.0);
+    reader.finish();
+  });
 }
 
 JsonValue opps_to_json(const std::vector<power::Opp>& opps) {
@@ -436,24 +551,30 @@ void opps_from_json(ObjectReader& parent, const std::string& key,
                     std::vector<power::Opp>& out, const std::string& path) {
   const JsonValue* v = parent.get(key);
   if (v == nullptr) return;
+  DiagnosticSink& sink = parent.sink();
   const std::string list_path = path + "." + key;
   if (!v->is_array()) {
-    throw ConfigError(list_path, "expected an array of operating points, got " +
-                                     type_of(*v));
+    sink.error(kCodeType, list_path,
+               "expected an array of operating points, got " + type_of(*v));
+    return;
   }
   out.clear();
   const JsonArray& array = v->as_array();
   for (std::size_t i = 0; i < array.size(); ++i) {
     const std::string p = list_path + "[" + std::to_string(i) + "]";
-    power::Opp opp;
-    ObjectReader reader(array[i], p);
-    reader.number("frequency_hz", opp.frequency_hz, 1.0, 1e12);
-    reader.number("voltage_v", opp.voltage_v, 1e-3, 10.0);
-    reader.finish();
-    if (opp.frequency_hz <= 0.0) {
-      throw ConfigError(p, "operating point needs a positive frequency_hz");
-    }
-    out.push_back(opp);
+    with_recovery([&] {
+      power::Opp opp;
+      ObjectReader reader(array[i], p, sink);
+      reader.number("frequency_hz", opp.frequency_hz, 1.0, 1e12);
+      reader.number("voltage_v", opp.voltage_v, 1e-3, 10.0);
+      reader.finish();
+      if (opp.frequency_hz <= 0.0) {
+        sink.error(kCodeConstraint, p,
+                   "operating point needs a positive frequency_hz");
+        return;
+      }
+      out.push_back(opp);
+    });
   }
 }
 
@@ -491,41 +612,45 @@ JsonValue floorplan_to_json(const thermal::FloorplanSpec& spec) {
   return json;
 }
 
-thermal::FloorplanSpec floorplan_from_json(const JsonValue& json,
-                                           const std::string& path) {
-  thermal::FloorplanSpec spec;
-  ObjectReader reader(json, path);
+void floorplan_into(thermal::FloorplanSpec& spec, const JsonValue& json,
+                    const std::string& path, DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+  ObjectReader reader(json, path, sink);
 
   const JsonValue* nodes = reader.get("nodes");
   if (nodes == nullptr || !nodes->is_array()) {
-    throw ConfigError(path + ".nodes",
-                      nodes == nullptr ? "a floorplan requires a 'nodes' array"
-                                       : "expected an array of node objects, "
-                                         "got " + type_of(*nodes));
+    fail(sink, nodes == nullptr ? kCodeConstraint : kCodeType, path + ".nodes",
+         nodes == nullptr ? "a floorplan requires a 'nodes' array"
+                          : "expected an array of node objects, "
+                            "got " + type_of(*nodes));
   }
   for (std::size_t i = 0; i < nodes->as_array().size(); ++i) {
     const std::string node_path =
         path + ".nodes[" + std::to_string(i) + "]";
-    thermal::FloorplanNodeSpec node;
-    ObjectReader node_reader(nodes->as_array()[i], node_path);
-    node_reader.string("name", node.name);
-    if (node.name.empty()) {
-      throw ConfigError(node_path, "node needs a non-empty 'name'");
-    }
-    node_reader.number("capacitance_j_per_k", node.capacitance_j_per_k, 1e-9,
-                       1e9);
-    node_reader.number("initial_temp_c", node.initial_temp_c, -273.15, 1000.0);
-    node_reader.boolean("boundary", node.is_boundary);
-    node_reader.finish();
-    spec.nodes.push_back(std::move(node));
+    with_recovery([&] {
+      thermal::FloorplanNodeSpec node;
+      ObjectReader node_reader(nodes->as_array()[i], node_path, sink);
+      node_reader.string("name", node.name);
+      if (node.name.empty()) {
+        fail(sink, kCodeConstraint, node_path,
+             "node needs a non-empty 'name'");
+      }
+      node_reader.number("capacitance_j_per_k", node.capacitance_j_per_k, 1e-9,
+                         1e9);
+      node_reader.number("initial_temp_c", node.initial_temp_c, -273.15,
+                         1000.0);
+      node_reader.boolean("boundary", node.is_boundary);
+      node_reader.finish();
+      spec.nodes.push_back(std::move(node));
+    });
   }
 
   const JsonValue* edges = reader.get("edges");
   if (edges == nullptr || !edges->is_array()) {
-    throw ConfigError(path + ".edges",
-                      edges == nullptr ? "a floorplan requires an 'edges' array"
-                                       : "expected an array of edge objects, "
-                                         "got " + type_of(*edges));
+    fail(sink, edges == nullptr ? kCodeConstraint : kCodeType, path + ".edges",
+         edges == nullptr ? "a floorplan requires an 'edges' array"
+                          : "expected an array of edge objects, "
+                            "got " + type_of(*edges));
   }
   // Known node names, for reference checks that pin the exact member --
   // "$.platform.floorplan.edges[3].a: unknown node 'big9'" beats a
@@ -538,28 +663,31 @@ thermal::FloorplanSpec floorplan_from_json(const JsonValue& json,
                             const std::string& ref_path) {
     if (std::find(node_names.begin(), node_names.end(), name) ==
         node_names.end()) {
-      throw ConfigError(ref_path,
-                        util::unknown_name_message("node", name, node_names));
+      sink.error(kCodeUnknownName, ref_path,
+                 util::unknown_name_message("node", name, node_names));
     }
   };
 
   for (std::size_t i = 0; i < edges->as_array().size(); ++i) {
     const std::string edge_path =
         path + ".edges[" + std::to_string(i) + "]";
-    thermal::FloorplanEdgeSpec edge;
-    ObjectReader edge_reader(edges->as_array()[i], edge_path);
-    edge_reader.string("a", edge.node_a);
-    edge_reader.string("b", edge.node_b);
-    if (edge.node_a.empty() || edge.node_b.empty()) {
-      throw ConfigError(edge_path, "edge needs node names 'a' and 'b'");
-    }
-    check_node_ref(edge.node_a, edge_path + ".a");
-    check_node_ref(edge.node_b, edge_path + ".b");
-    edge_reader.number("conductance_w_per_k", edge.conductance_w_per_k, 1e-12,
-                       1e9);
-    edge_reader.boolean("fan", edge.fan_modulated);
-    edge_reader.finish();
-    spec.edges.push_back(std::move(edge));
+    with_recovery([&] {
+      thermal::FloorplanEdgeSpec edge;
+      ObjectReader edge_reader(edges->as_array()[i], edge_path, sink);
+      edge_reader.string("a", edge.node_a);
+      edge_reader.string("b", edge.node_b);
+      if (edge.node_a.empty() || edge.node_b.empty()) {
+        fail(sink, kCodeConstraint, edge_path,
+             "edge needs node names 'a' and 'b'");
+      }
+      check_node_ref(edge.node_a, edge_path + ".a");
+      check_node_ref(edge.node_b, edge_path + ".b");
+      edge_reader.number("conductance_w_per_k", edge.conductance_w_per_k,
+                         1e-12, 1e9);
+      edge_reader.boolean("fan", edge.fan_modulated);
+      edge_reader.finish();
+      spec.edges.push_back(std::move(edge));
+    });
   }
 
   spec.core_nodes = string_list(reader, "core_nodes");
@@ -582,11 +710,21 @@ thermal::FloorplanSpec floorplan_from_json(const JsonValue& json,
   }
   reader.finish();
 
+  // Whole-spec validation only when the members parsed clean: re-checking a
+  // knowingly partial spec would bury the real findings under follow-ons.
+  if (sink.error_count() != errors_before) return;
   try {
     thermal::validate_floorplan_spec(spec);
   } catch (const std::exception& e) {
-    throw ConfigError(path, e.what());
+    sink.error(kCodeConstraint, path, e.what());
   }
+}
+
+thermal::FloorplanSpec floorplan_from_json(const JsonValue& json,
+                                           const std::string& path,
+                                           DiagnosticSink& sink) {
+  thermal::FloorplanSpec spec;
+  with_recovery([&] { floorplan_into(spec, json, path, sink); });
   return spec;
 }
 
@@ -596,34 +734,37 @@ void plant_power_from_json(ObjectReader& parent, const std::string& key,
   const JsonValue* v = parent.get(key);
   if (v == nullptr) return;
   const std::string path = parent_path + "." + key;
-  ObjectReader reader(*v, path);
-  leakage_from_json(reader, "big_leakage", out.big_leakage, path);
-  leakage_from_json(reader, "little_leakage", out.little_leakage, path);
-  leakage_from_json(reader, "gpu_leakage", out.gpu_leakage, path);
-  leakage_from_json(reader, "mem_leakage", out.mem_leakage, path);
-  reader.number("big_core_alpha_c_max", out.big_core_alpha_c_max, 0.0, 1.0);
-  reader.number("little_core_alpha_c_max", out.little_core_alpha_c_max, 0.0,
-                1.0);
-  reader.number("gpu_alpha_c_max", out.gpu_alpha_c_max, 0.0, 1.0);
-  reader.number("big_uncore_alpha_c", out.big_uncore_alpha_c, 0.0, 1.0);
-  reader.number("little_uncore_alpha_c", out.little_uncore_alpha_c, 0.0, 1.0);
-  reader.number("big_idle_activity", out.big_idle_activity, 0.0, 1.0);
-  reader.number("little_idle_activity", out.little_idle_activity, 0.0, 1.0);
-  reader.number("gpu_idle_util", out.gpu_idle_util, 0.0, 1.0);
-  reader.number("mem_bandwidth_cap", out.mem_bandwidth_cap, 1e-3, 1e3);
-  reader.number("offline_core_leakage_fraction",
-                out.offline_core_leakage_fraction, 0.0, 1.0);
-  reader.number("inactive_cluster_leakage_fraction",
-                out.inactive_cluster_leakage_fraction, 0.0, 1.0);
-  reader.number("mem_dynamic_max_w", out.mem_dynamic_max_w, 0.0, 100.0);
-  reader.number("mem_base_w", out.mem_base_w, 0.0, 100.0);
-  reader.number("mem_gpu_traffic_weight", out.mem_gpu_traffic_weight, 0.0,
-                10.0);
-  reader.number("mem_nominal_voltage_v", out.mem_nominal_voltage_v, 1e-3,
-                10.0);
-  reader.number("mem_nominal_frequency_hz", out.mem_nominal_frequency_hz, 1.0,
-                1e12);
-  reader.finish();
+  with_recovery([&] {
+    ObjectReader reader(*v, path, parent.sink());
+    leakage_from_json(reader, "big_leakage", out.big_leakage, path);
+    leakage_from_json(reader, "little_leakage", out.little_leakage, path);
+    leakage_from_json(reader, "gpu_leakage", out.gpu_leakage, path);
+    leakage_from_json(reader, "mem_leakage", out.mem_leakage, path);
+    reader.number("big_core_alpha_c_max", out.big_core_alpha_c_max, 0.0, 1.0);
+    reader.number("little_core_alpha_c_max", out.little_core_alpha_c_max, 0.0,
+                  1.0);
+    reader.number("gpu_alpha_c_max", out.gpu_alpha_c_max, 0.0, 1.0);
+    reader.number("big_uncore_alpha_c", out.big_uncore_alpha_c, 0.0, 1.0);
+    reader.number("little_uncore_alpha_c", out.little_uncore_alpha_c, 0.0,
+                  1.0);
+    reader.number("big_idle_activity", out.big_idle_activity, 0.0, 1.0);
+    reader.number("little_idle_activity", out.little_idle_activity, 0.0, 1.0);
+    reader.number("gpu_idle_util", out.gpu_idle_util, 0.0, 1.0);
+    reader.number("mem_bandwidth_cap", out.mem_bandwidth_cap, 1e-3, 1e3);
+    reader.number("offline_core_leakage_fraction",
+                  out.offline_core_leakage_fraction, 0.0, 1.0);
+    reader.number("inactive_cluster_leakage_fraction",
+                  out.inactive_cluster_leakage_fraction, 0.0, 1.0);
+    reader.number("mem_dynamic_max_w", out.mem_dynamic_max_w, 0.0, 100.0);
+    reader.number("mem_base_w", out.mem_base_w, 0.0, 100.0);
+    reader.number("mem_gpu_traffic_weight", out.mem_gpu_traffic_weight, 0.0,
+                  10.0);
+    reader.number("mem_nominal_voltage_v", out.mem_nominal_voltage_v, 1e-3,
+                  10.0);
+    reader.number("mem_nominal_frequency_hz", out.mem_nominal_frequency_hz,
+                  1.0, 1e12);
+    reader.finish();
+  });
 }
 
 JsonValue plant_power_to_json(const soc::PlantPowerParams& p) {
@@ -707,14 +848,16 @@ JsonValue to_json(const PlatformDescriptor& d) {
   return json;
 }
 
-PlatformDescriptor platform_from_json(const JsonValue& json,
-                                      const std::string& path) {
-  PlatformDescriptor d;  // defaults: the Odroid plant
-  ObjectReader reader(json, path);
+namespace {
+
+void platform_into(PlatformDescriptor& d, const JsonValue& json,
+                   const std::string& path, DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+  ObjectReader reader(json, path, sink);
   reader.string("name", d.name);
   reader.string("description", d.description);
   if (const JsonValue* floorplan = reader.get("floorplan")) {
-    d.floorplan = floorplan_from_json(*floorplan, path + ".floorplan");
+    d.floorplan = floorplan_from_json(*floorplan, path + ".floorplan", sink);
   }
   reader.integer("big_cores", d.big_cores, 1, 64);
   reader.integer("little_cores", d.little_cores, 0, 64);
@@ -723,59 +866,88 @@ PlatformDescriptor platform_from_json(const JsonValue& json,
   opps_from_json(reader, "gpu_opps", d.gpu_opps, path);
   plant_power_from_json(reader, "power", d.power, path);
   if (const JsonValue* perf = reader.get("perf")) {
-    ObjectReader perf_reader(*perf, path + ".perf");
-    perf_reader.number("big_ipc_scale", d.perf.big_ipc_scale, 1e-3, 100.0);
-    perf_reader.number("little_ipc_scale", d.perf.little_ipc_scale, 1e-3,
-                       100.0);
-    perf_reader.number("cluster_switch_stall_s",
-                       d.perf.cluster_switch_stall_s, 0.0, 10.0);
-    perf_reader.finish();
+    with_recovery([&] {
+      ObjectReader perf_reader(*perf, path + ".perf", sink);
+      perf_reader.number("big_ipc_scale", d.perf.big_ipc_scale, 1e-3, 100.0);
+      perf_reader.number("little_ipc_scale", d.perf.little_ipc_scale, 1e-3,
+                         100.0);
+      perf_reader.number("cluster_switch_stall_s",
+                         d.perf.cluster_switch_stall_s, 0.0, 10.0);
+      perf_reader.finish();
+    });
   }
   if (const JsonValue* fan = reader.get("fan")) {
-    ObjectReader fan_reader(*fan, path + ".fan");
-    fan_reader.number("conductance_off", d.fan.conductance_off, 0.0, 1e6);
-    fan_reader.number("conductance_low", d.fan.conductance_low, 0.0, 1e6);
-    fan_reader.number("conductance_half", d.fan.conductance_half, 0.0, 1e6);
-    fan_reader.number("conductance_full", d.fan.conductance_full, 0.0, 1e6);
-    fan_reader.number("power_off", d.fan.power_off, 0.0, 1e3);
-    fan_reader.number("power_low", d.fan.power_low, 0.0, 1e3);
-    fan_reader.number("power_half", d.fan.power_half, 0.0, 1e3);
-    fan_reader.number("power_full", d.fan.power_full, 0.0, 1e3);
-    fan_reader.finish();
+    with_recovery([&] {
+      ObjectReader fan_reader(*fan, path + ".fan", sink);
+      fan_reader.number("conductance_off", d.fan.conductance_off, 0.0, 1e6);
+      fan_reader.number("conductance_low", d.fan.conductance_low, 0.0, 1e6);
+      fan_reader.number("conductance_half", d.fan.conductance_half, 0.0, 1e6);
+      fan_reader.number("conductance_full", d.fan.conductance_full, 0.0, 1e6);
+      fan_reader.number("power_off", d.fan.power_off, 0.0, 1e3);
+      fan_reader.number("power_low", d.fan.power_low, 0.0, 1e3);
+      fan_reader.number("power_half", d.fan.power_half, 0.0, 1e3);
+      fan_reader.number("power_full", d.fan.power_full, 0.0, 1e3);
+      fan_reader.finish();
+    });
   }
   if (const JsonValue* sensor = reader.get("temp_sensor")) {
-    ObjectReader sensor_reader(*sensor, path + ".temp_sensor");
-    sensor_reader.number("quantization_c", d.temp_sensor.quantization_c, 0.0,
-                         100.0);
-    sensor_reader.number("noise_stddev_c", d.temp_sensor.noise_stddev_c, 0.0,
-                         100.0);
-    sensor_reader.finish();
+    with_recovery([&] {
+      ObjectReader sensor_reader(*sensor, path + ".temp_sensor", sink);
+      sensor_reader.number("quantization_c", d.temp_sensor.quantization_c, 0.0,
+                           100.0);
+      sensor_reader.number("noise_stddev_c", d.temp_sensor.noise_stddev_c, 0.0,
+                           100.0);
+      sensor_reader.finish();
+    });
   }
   if (const JsonValue* sensor = reader.get("power_sensor")) {
-    ObjectReader sensor_reader(*sensor, path + ".power_sensor");
-    sensor_reader.number("noise_fraction", d.power_sensor.noise_fraction, 0.0,
-                         1.0);
-    sensor_reader.number("quantization_w", d.power_sensor.quantization_w, 0.0,
-                         100.0);
-    sensor_reader.finish();
+    with_recovery([&] {
+      ObjectReader sensor_reader(*sensor, path + ".power_sensor", sink);
+      sensor_reader.number("noise_fraction", d.power_sensor.noise_fraction,
+                           0.0, 1.0);
+      sensor_reader.number("quantization_w", d.power_sensor.quantization_w,
+                           0.0, 100.0);
+      sensor_reader.finish();
+    });
   }
   if (const JsonValue* load = reader.get("platform_load")) {
-    ObjectReader load_reader(*load, path + ".platform_load");
-    load_reader.number("board_base_w", d.platform_load.board_base_w, 0.0,
-                       1e3);
-    load_reader.number("display_w", d.platform_load.display_w, 0.0, 1e3);
-    load_reader.finish();
+    with_recovery([&] {
+      ObjectReader load_reader(*load, path + ".platform_load", sink);
+      load_reader.number("board_base_w", d.platform_load.board_base_w, 0.0,
+                         1e3);
+      load_reader.number("display_w", d.platform_load.display_w, 0.0, 1e3);
+      load_reader.finish();
+    });
   }
   reader.number("default_t_max_c", d.default_t_max_c, 0.0, 150.0);
   reader.number("runaway_abort_temp_c", d.runaway_abort_temp_c, 0.0, 500.0);
   reader.finish();
 
+  // Descriptor-level validation only on a member-clean parse (see
+  // floorplan_into).
+  if (sink.error_count() != errors_before) return;
   try {
     d.validate();
   } catch (const std::exception& e) {
-    throw ConfigError(path, std::string("invalid platform: ") + e.what());
+    sink.error(kCodeConstraint, path,
+               std::string("invalid platform: ") + e.what());
   }
+}
+
+}  // namespace
+
+PlatformDescriptor platform_from_json(const JsonValue& json,
+                                      const std::string& path,
+                                      DiagnosticSink& sink) {
+  PlatformDescriptor d;  // defaults: the Odroid plant
+  with_recovery([&] { platform_into(d, json, path, sink); });
   return d;
+}
+
+PlatformDescriptor platform_from_json(const JsonValue& json,
+                                      const std::string& path) {
+  ThrowingSink sink;
+  return platform_from_json(json, path, sink);
 }
 
 PlatformDescriptor load_platform(const std::string& file_path) {
@@ -829,88 +1001,97 @@ JsonValue to_json(const ExperimentConfig& config) {
   return json;
 }
 
-ExperimentConfig experiment_from_json(const JsonValue& json,
-                                      const std::string& path) {
-  ExperimentConfig config;
-  ObjectReader reader(json, path);
+namespace {
+
+void experiment_into(ExperimentConfig& config, const JsonValue& json,
+                     const std::string& path, DiagnosticSink& sink) {
+  ObjectReader reader(json, path, sink);
 
   bool benchmark_named = false;
   {
     const JsonValue* v = reader.get("benchmark");
     if (v != nullptr) {
       if (!v->is_string()) {
-        throw ConfigError(path + ".benchmark",
-                          "expected a string, got " + type_of(*v));
+        sink.error(kCodeType, path + ".benchmark",
+                   "expected a string, got " + type_of(*v));
+      } else {
+        config.benchmark = v->as_string();
+        benchmark_named = true;
       }
-      config.benchmark = v->as_string();
-      benchmark_named = true;
     }
   }
 
   if (const JsonValue* scenario = reader.get("scenario")) {
     const std::string scenario_path = path + ".scenario";
-    ObjectReader scenario_reader(*scenario, scenario_path);
-    const JsonValue* family = scenario_reader.get("family");
-    const JsonValue* inline_benchmark = scenario_reader.get("benchmark");
-    if ((family != nullptr) == (inline_benchmark != nullptr)) {
-      throw ConfigError(scenario_path,
-                        "expected exactly one of 'family' (generated via the "
-                        "scenario catalog) or 'benchmark' (fully inline)");
-    }
-    if (family != nullptr) {
-      if (!family->is_string()) {
-        throw ConfigError(scenario_path + ".family",
-                          "expected a string, got " + type_of(*family));
+    with_recovery([&] {
+      ObjectReader scenario_reader(*scenario, scenario_path, sink);
+      const JsonValue* family = scenario_reader.get("family");
+      const JsonValue* inline_benchmark = scenario_reader.get("benchmark");
+      if ((family != nullptr) == (inline_benchmark != nullptr)) {
+        fail(sink, kCodeConstraint, scenario_path,
+             "expected exactly one of 'family' (generated via the "
+             "scenario catalog) or 'benchmark' (fully inline)");
       }
-      std::uint64_t seed = 1;
-      scenario_reader.integer("seed", seed, 0, INT64_MAX);
-      workload::ScenarioParams params;
-      if (const JsonValue* p = scenario_reader.get("params")) {
-        params = scenario_params_from_json(*p, scenario_path + ".params");
+      if (family != nullptr) {
+        if (!family->is_string()) {
+          fail(sink, kCodeType, scenario_path + ".family",
+               "expected a string, got " + type_of(*family));
+        }
+        std::uint64_t seed = 1;
+        scenario_reader.integer("seed", seed, 0, INT64_MAX);
+        workload::ScenarioParams params;
+        if (const JsonValue* p = scenario_reader.get("params")) {
+          params = scenario_params_from_json(*p, scenario_path + ".params",
+                                             sink);
+        }
+        const ScenarioCatalog catalog = ScenarioCatalog::standard(params);
+        const std::string& name = family->as_string();
+        if (!catalog.contains(name)) {
+          fail(sink, kCodeUnknownName, scenario_path + ".family",
+               util::unknown_name_message("scenario family", name,
+                                          catalog.family_names()));
+        }
+        config.scenario = std::make_shared<const workload::Benchmark>(
+            catalog.make(name, seed));
+        if (!benchmark_named) {
+          config.benchmark = name + "#s" + std::to_string(seed);
+        }
+        // Mirror ScenarioCatalog::expand: unless the document pins its own
+        // simulation seed, reuse the scenario seed so a `dtpm run` of
+        // {family, seed} reproduces the matching sweep row bit-for-bit.
+        if (json.find("seed") == nullptr) config.seed = seed;
+      } else {
+        config.scenario = std::make_shared<const workload::Benchmark>(
+            benchmark_from_json(*inline_benchmark,
+                                scenario_path + ".benchmark", sink));
+        if (!benchmark_named) config.benchmark = config.scenario->name;
       }
-      const ScenarioCatalog catalog = ScenarioCatalog::standard(params);
-      const std::string& name = family->as_string();
-      if (!catalog.contains(name)) {
-        throw ConfigError(scenario_path + ".family",
-                          util::unknown_name_message("scenario family", name,
-                                                     catalog.family_names()));
-      }
-      config.scenario = std::make_shared<const workload::Benchmark>(
-          catalog.make(name, seed));
-      if (!benchmark_named) {
-        config.benchmark = name + "#s" + std::to_string(seed);
-      }
-      // Mirror ScenarioCatalog::expand: unless the document pins its own
-      // simulation seed, reuse the scenario seed so a `dtpm run` of
-      // {family, seed} reproduces the matching sweep row bit-for-bit.
-      if (json.find("seed") == nullptr) config.seed = seed;
-    } else {
-      config.scenario = std::make_shared<const workload::Benchmark>(
-          benchmark_from_json(*inline_benchmark, scenario_path + ".benchmark"));
-      if (!benchmark_named) config.benchmark = config.scenario->name;
-    }
-    scenario_reader.finish();
+      scenario_reader.finish();
+    });
   } else if (benchmark_named) {
     // Without an inline scenario the benchmark must resolve in the suite.
-    validate_benchmark_name(config.benchmark, path + ".benchmark");
+    validate_benchmark_name(config.benchmark, path + ".benchmark", sink);
   }
 
   std::string policy;
   reader.string("policy", policy);
-  if (!policy.empty()) {
-    validate_policy_name(policy, path + ".policy");
+  if (!policy.empty() &&
+      validate_policy_name(policy, path + ".policy", sink)) {
     set_policy(config, policy);
   }
 
   if (const JsonValue* params = reader.get("policy_params")) {
-    ObjectReader ignored(*params, path + ".policy_params");
-    for (const auto& [key, value] : params->as_object()) {
-      if (!value.is_number()) {
-        throw ConfigError(path + ".policy_params." + key,
-                          "expected a number, got " + type_of(value));
+    with_recovery([&] {
+      ObjectReader ignored(*params, path + ".policy_params", sink);
+      for (const auto& [key, value] : params->as_object()) {
+        if (!value.is_number()) {
+          sink.error(kCodeType, path + ".policy_params." + key,
+                     "expected a number, got " + type_of(value));
+          continue;
+        }
+        config.policy_params[key] = value.as_number();
       }
-      config.policy_params[key] = value.as_number();
-    }
+    });
   }
 
   std::string governor;
@@ -919,11 +1100,12 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
     const governors::GovernorRegistry& registry =
         governors::GovernorRegistry::instance();
     if (!registry.contains(governor)) {
-      throw ConfigError(path + ".governor",
-                        util::unknown_name_message("governor", governor,
-                                                   registry.names()));
+      sink.error(kCodeUnknownName, path + ".governor",
+                 util::unknown_name_message("governor", governor,
+                                            registry.names()));
+    } else {
+      config.governor_name = governor;
     }
-    config.governor_name = governor;
   }
 
   std::string preset;
@@ -932,9 +1114,8 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
     try {
       config.preset = preset_by_name(preset);
     } catch (const std::exception&) {
-      throw ConfigError(path + ".preset",
-                        util::unknown_name_message("preset", preset,
-                                                   preset_names()));
+      sink.error(kCodeUnknownName, path + ".preset",
+                 util::unknown_name_message("preset", preset, preset_names()));
     }
   }
 
@@ -947,24 +1128,33 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
       const PlatformRegistry& registry = PlatformRegistry::instance();
       const std::string& name = platform->as_string();
       if (!registry.contains(name)) {
-        throw ConfigError(platform_path,
-                          util::unknown_name_message("platform", name,
-                                                     registry.names()));
+        sink.error(kCodeUnknownName, platform_path,
+                   util::unknown_name_message("platform", name,
+                                              registry.names()));
+      } else {
+        set_platform(config, registry.get(name));
       }
-      set_platform(config, registry.get(name));
     } else if (platform->is_object()) {
-      set_platform(config,
-                   std::make_shared<const PlatformDescriptor>(
-                       platform_from_json(*platform, platform_path)));
+      // Adopt the inline descriptor only when its subtree parsed clean:
+      // set_platform derives the preset mirror from the descriptor, which
+      // a knowingly broken one cannot support.
+      const std::size_t errors_before = sink.error_count();
+      PlatformDescriptor d = platform_from_json(*platform, platform_path,
+                                                sink);
+      if (sink.error_count() == errors_before) {
+        set_platform(config, std::make_shared<const PlatformDescriptor>(
+                                 std::move(d)));
+      }
     } else {
-      throw ConfigError(platform_path,
-                        "expected a platform name or an inline platform "
-                        "object, got " + type_of(*platform));
+      sink.error(kCodeType, platform_path,
+                 "expected a platform name or an inline platform "
+                 "object, got " + type_of(*platform));
     }
   }
 
   if (const JsonValue* dtpm = reader.get("dtpm")) {
-    config.dtpm = dtpm_params_from_json(*dtpm, path + ".dtpm", config.dtpm);
+    config.dtpm =
+        dtpm_params_from_json(*dtpm, path + ".dtpm", config.dtpm, sink);
   }
 
   std::string engine;
@@ -972,11 +1162,11 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
   if (!engine.empty()) {
     const std::optional<Engine> parsed = try_parse_engine(engine);
     if (!parsed.has_value()) {
-      throw ConfigError(path + ".engine",
-                        util::unknown_name_message("engine", engine,
-                                                   engine_names()));
+      sink.error(kCodeUnknownName, path + ".engine",
+                 util::unknown_name_message("engine", engine, engine_names()));
+    } else {
+      config.engine = *parsed;
     }
-    config.engine = *parsed;
   }
 
   reader.number("control_interval_s", config.control_interval_s, 1e-4, 60.0);
@@ -992,10 +1182,25 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
   reader.finish();
 
   if (config.plant_substep_s > config.control_interval_s) {
-    throw ConfigError(path + ".plant_substep_s",
-                      "plant substep must not exceed control_interval_s");
+    sink.error(kCodeConstraint, path + ".plant_substep_s",
+               "plant substep must not exceed control_interval_s");
   }
+}
+
+}  // namespace
+
+ExperimentConfig experiment_from_json(const JsonValue& json,
+                                      const std::string& path,
+                                      DiagnosticSink& sink) {
+  ExperimentConfig config;
+  with_recovery([&] { experiment_into(config, json, path, sink); });
   return config;
+}
+
+ExperimentConfig experiment_from_json(const JsonValue& json,
+                                      const std::string& path) {
+  ThrowingSink sink;
+  return experiment_from_json(json, path, sink);
 }
 
 ExperimentConfig load_experiment_config(const std::string& file_path) {
@@ -1081,94 +1286,116 @@ JsonValue to_json(const SweepSpec& spec) {
   return json;
 }
 
-SweepSpec sweep_from_json(const JsonValue& json, const std::string& path) {
-  SweepSpec spec;
-  ObjectReader reader(json, path);
+namespace {
+
+void sweep_into(SweepSpec& spec, const JsonValue& json,
+                const std::string& path, DiagnosticSink& sink) {
+  ObjectReader reader(json, path, sink);
 
   if (const JsonValue* base = reader.get("base")) {
-    spec.base = experiment_from_json(*base, path + ".base");
+    spec.base = experiment_from_json(*base, path + ".base", sink);
   }
 
   spec.benchmarks = string_list(reader, "benchmarks");
   for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
     validate_benchmark_name(
-        spec.benchmarks[i], path + ".benchmarks[" + std::to_string(i) + "]");
+        spec.benchmarks[i], path + ".benchmarks[" + std::to_string(i) + "]",
+        sink);
   }
 
   spec.platforms = string_list(reader, "platforms");
   for (std::size_t i = 0; i < spec.platforms.size(); ++i) {
     const PlatformRegistry& registry = PlatformRegistry::instance();
     if (!registry.contains(spec.platforms[i])) {
-      throw ConfigError(path + ".platforms[" + std::to_string(i) + "]",
-                        util::unknown_name_message("platform",
-                                                   spec.platforms[i],
-                                                   registry.names()));
+      sink.error(kCodeUnknownName,
+                 path + ".platforms[" + std::to_string(i) + "]",
+                 util::unknown_name_message("platform", spec.platforms[i],
+                                            registry.names()));
     }
   }
 
   spec.policies = string_list(reader, "policies");
   for (std::size_t i = 0; i < spec.policies.size(); ++i) {
     validate_policy_name(spec.policies[i],
-                         path + ".policies[" + std::to_string(i) + "]");
+                         path + ".policies[" + std::to_string(i) + "]", sink);
   }
 
   spec.seeds = seed_list(reader, "seeds");
 
   if (const JsonValue* grid = reader.get("dtpm_grid")) {
     if (!grid->is_array()) {
-      throw ConfigError(path + ".dtpm_grid",
-                        "expected an array of DTPM parameter objects, got " +
-                            type_of(*grid));
-    }
-    const JsonArray& array = grid->as_array();
-    for (std::size_t i = 0; i < array.size(); ++i) {
-      spec.dtpm_grid.push_back(dtpm_params_from_json(
-          array[i], path + ".dtpm_grid[" + std::to_string(i) + "]"));
+      sink.error(kCodeType, path + ".dtpm_grid",
+                 "expected an array of DTPM parameter objects, got " +
+                     type_of(*grid));
+    } else {
+      const JsonArray& array = grid->as_array();
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        spec.dtpm_grid.push_back(dtpm_params_from_json(
+            array[i], path + ".dtpm_grid[" + std::to_string(i) + "]",
+            core::DtpmParams{}, sink));
+      }
     }
   }
 
   if (const JsonValue* scenarios = reader.get("scenarios")) {
     if (!spec.benchmarks.empty()) {
-      throw ConfigError(path + ".scenarios",
-                        "cannot combine a 'benchmarks' axis with a "
-                        "'scenarios' selection in one sweep");
+      sink.error(kCodeConstraint, path + ".scenarios",
+                 "cannot combine a 'benchmarks' axis with a "
+                 "'scenarios' selection in one sweep");
     }
     // The catalog expansion has no dtpm axis and reads its seeds from
     // $.scenarios.seeds; accepting these here would silently ignore them.
     if (!spec.seeds.empty()) {
-      throw ConfigError(path + ".seeds",
-                        "a 'scenarios' sweep takes its seeds from "
-                        "$.scenarios.seeds, not a top-level 'seeds' axis");
+      sink.error(kCodeConstraint, path + ".seeds",
+                 "a 'scenarios' sweep takes its seeds from "
+                 "$.scenarios.seeds, not a top-level 'seeds' axis");
     }
     if (!spec.dtpm_grid.empty()) {
-      throw ConfigError(path + ".dtpm_grid",
-                        "a 'dtpm_grid' axis cannot be combined with a "
-                        "'scenarios' selection; set base.dtpm instead");
+      sink.error(kCodeConstraint, path + ".dtpm_grid",
+                 "a 'dtpm_grid' axis cannot be combined with a "
+                 "'scenarios' selection; set base.dtpm instead");
     }
     spec.has_scenarios = true;
     const std::string scenarios_path = path + ".scenarios";
-    ObjectReader scenario_reader(*scenarios, scenarios_path);
-    if (const JsonValue* params = scenario_reader.get("params")) {
-      spec.scenario_params =
-          scenario_params_from_json(*params, scenarios_path + ".params");
-    }
-    spec.families = string_list(scenario_reader, "families");
-    const ScenarioCatalog catalog =
-        ScenarioCatalog::standard(spec.scenario_params);
-    for (std::size_t i = 0; i < spec.families.size(); ++i) {
-      if (!catalog.contains(spec.families[i])) {
-        throw ConfigError(
-            scenarios_path + ".families[" + std::to_string(i) + "]",
-            util::unknown_name_message("scenario family", spec.families[i],
-                                       catalog.family_names()));
+    with_recovery([&] {
+      ObjectReader scenario_reader(*scenarios, scenarios_path, sink);
+      if (const JsonValue* params = scenario_reader.get("params")) {
+        spec.scenario_params =
+            scenario_params_from_json(*params, scenarios_path + ".params",
+                                      sink);
       }
-    }
-    spec.scenario_seeds = seed_list(scenario_reader, "seeds");
-    scenario_reader.finish();
+      spec.families = string_list(scenario_reader, "families");
+      const ScenarioCatalog catalog =
+          ScenarioCatalog::standard(spec.scenario_params);
+      for (std::size_t i = 0; i < spec.families.size(); ++i) {
+        if (!catalog.contains(spec.families[i])) {
+          sink.error(
+              kCodeUnknownName,
+              scenarios_path + ".families[" + std::to_string(i) + "]",
+              util::unknown_name_message("scenario family", spec.families[i],
+                                         catalog.family_names()));
+        }
+      }
+      spec.scenario_seeds = seed_list(scenario_reader, "seeds");
+      scenario_reader.finish();
+    });
   }
 
   reader.finish();
+}
+
+}  // namespace
+
+SweepSpec sweep_from_json(const JsonValue& json, const std::string& path,
+                          DiagnosticSink& sink) {
+  SweepSpec spec;
+  with_recovery([&] { sweep_into(spec, json, path, sink); });
   return spec;
+}
+
+SweepSpec sweep_from_json(const JsonValue& json, const std::string& path) {
+  ThrowingSink sink;
+  return sweep_from_json(json, path, sink);
 }
 
 SweepSpec load_sweep_spec(const std::string& file_path) {

@@ -5,12 +5,26 @@
 // loaders, and anything registered in governors::PolicyRegistry is
 // selectable by name from a config file.
 //
-// Every validation failure throws ConfigError carrying a JSON-pointer-style
-// path and, for name lookups, the sorted valid names plus a nearest-match
-// suggestion:
+// Every parser runs on the util::diagnostics engine and comes in two modes:
 //
-//   $.policies[2]: unknown policy 'dtmp', did you mean 'dtpm'?
-//       (valid: default+fan, dtpm, no-fan, reactive)
+//   * Throwing (the legacy default, no sink argument): the first validation
+//     failure throws ConfigError carrying a JSON-pointer-style path and, for
+//     name lookups, the sorted valid names plus a nearest-match suggestion:
+//
+//       $.policies[2]: unknown policy 'dtmp', did you mean 'dtpm'?
+//           (valid: default+fan, dtpm, no-fan, reactive)
+//
+//   * Collecting (the overloads taking a util::DiagnosticSink&): every
+//     problem in the document is reported into the sink in one pass --
+//     parsing recovers at member/element/section boundaries instead of
+//     stopping -- and a best-effort value is returned. This is what
+//     `dtpm lint` builds on. When the sink records no errors the returned
+//     value is identical to the throwing parse; when it does, the value is
+//     partial and should not be executed.
+//
+// The throwing mode is a thin wrapper over the collecting machinery (a
+// ThrowingSink turns the first error into the legacy ConfigError), so the
+// two modes cannot drift apart.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +34,7 @@
 
 #include "sim/batch.hpp"
 #include "sim/config.hpp"
+#include "util/diagnostics.hpp"
 #include "util/json.hpp"
 #include "workload/scenario.hpp"
 
@@ -42,6 +57,19 @@ class ConfigError : public std::runtime_error {
   std::string detail_;
 };
 
+/// DiagnosticSink preserving the legacy parse contract: the first
+/// error-severity diagnostic becomes ConfigError(path, message) -- the exact
+/// strings the pre-sink parsers threw. Warnings and notes pass through
+/// silently (the throwing API has nowhere to put them).
+class ThrowingSink : public util::DiagnosticSink {
+ protected:
+  void on_report(util::Diagnostic diagnostic) override {
+    if (diagnostic.severity == util::Severity::kError) {
+      throw ConfigError(diagnostic.path, diagnostic.message);
+    }
+  }
+};
+
 // --- DtpmParams --------------------------------------------------------------
 util::JsonValue to_json(const core::DtpmParams& params);
 /// Members absent from the document keep their value in `base` -- which is
@@ -49,16 +77,27 @@ util::JsonValue to_json(const core::DtpmParams& params);
 core::DtpmParams dtpm_params_from_json(const util::JsonValue& json,
                                        const std::string& path = "$",
                                        const core::DtpmParams& base = {});
+/// Collecting mode: reports every problem into `sink`, returns best-effort.
+core::DtpmParams dtpm_params_from_json(const util::JsonValue& json,
+                                       const std::string& path,
+                                       const core::DtpmParams& base,
+                                       util::DiagnosticSink& sink);
 
 // --- workload::Benchmark (the inline-scenario path) --------------------------
 util::JsonValue to_json(const workload::Benchmark& benchmark);
 workload::Benchmark benchmark_from_json(const util::JsonValue& json,
                                         const std::string& path = "$");
+workload::Benchmark benchmark_from_json(const util::JsonValue& json,
+                                        const std::string& path,
+                                        util::DiagnosticSink& sink);
 
 // --- workload::ScenarioParams ------------------------------------------------
 util::JsonValue to_json(const workload::ScenarioParams& params);
 workload::ScenarioParams scenario_params_from_json(
     const util::JsonValue& json, const std::string& path = "$");
+workload::ScenarioParams scenario_params_from_json(const util::JsonValue& json,
+                                                   const std::string& path,
+                                                   util::DiagnosticSink& sink);
 
 // --- sim::PlatformDescriptor -------------------------------------------------
 // The platform-as-data path: a descriptor serializes completely (floorplan
@@ -71,6 +110,9 @@ workload::ScenarioParams scenario_params_from_json(
 util::JsonValue to_json(const PlatformDescriptor& descriptor);
 PlatformDescriptor platform_from_json(const util::JsonValue& json,
                                       const std::string& path = "$");
+PlatformDescriptor platform_from_json(const util::JsonValue& json,
+                                      const std::string& path,
+                                      util::DiagnosticSink& sink);
 
 /// Parses a standalone platform file (e.g. examples/configs/
 /// custom_platform.json) and validates the result.
@@ -86,6 +128,9 @@ PlatformDescriptor load_platform(const std::string& file_path);
 util::JsonValue to_json(const ExperimentConfig& config);
 ExperimentConfig experiment_from_json(const util::JsonValue& json,
                                       const std::string& path = "$");
+ExperimentConfig experiment_from_json(const util::JsonValue& json,
+                                      const std::string& path,
+                                      util::DiagnosticSink& sink);
 
 /// Parses a `dtpm run` config file; JSON syntax errors carry line/column,
 /// validation errors carry their $.path.
@@ -120,6 +165,8 @@ struct SweepSpec {
 util::JsonValue to_json(const SweepSpec& spec);
 SweepSpec sweep_from_json(const util::JsonValue& json,
                           const std::string& path = "$");
+SweepSpec sweep_from_json(const util::JsonValue& json, const std::string& path,
+                          util::DiagnosticSink& sink);
 
 /// Parses a `dtpm sweep` grid file.
 SweepSpec load_sweep_spec(const std::string& file_path);

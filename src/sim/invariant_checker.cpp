@@ -268,7 +268,7 @@ std::vector<InvariantViolation> InvariantChecker::check(
     }
     const double online = row[col.online];
     if (online < 1.0 || online > double(soc::kBigCoreCount) ||
-        std::fabs(online - std::lround(online)) > 1e-9) {
+        std::fabs(online - double(std::lround(online))) > 1e-9) {
       violate("actuation-range", r,
               format_row("online core count outside 1..4", online));
     }

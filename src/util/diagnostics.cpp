@@ -1,0 +1,31 @@
+#include "util/diagnostics.hpp"
+
+namespace dtpm::util {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "error";
+}
+
+std::string format_diagnostic(const Diagnostic& diagnostic) {
+  return diagnostic.path + ": " + to_string(diagnostic.severity) + " " +
+         diagnostic.code + ": " + diagnostic.message;
+}
+
+void DiagnosticSink::report(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) {
+    ++errors_;
+  } else if (diagnostic.severity == Severity::kWarning) {
+    ++warnings_;
+  }
+  on_report(std::move(diagnostic));
+}
+
+}  // namespace dtpm::util

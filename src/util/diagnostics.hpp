@@ -1,0 +1,97 @@
+// Shared diagnostics engine for the data layer: a Diagnostic is one finding
+// (severity, a stable code like "L012", a JSON-path location like
+// "$.platform.floorplan.edges[3]", and a human message), and a
+// DiagnosticSink decides what happens when one is reported. The two modes
+// every consumer builds on:
+//
+//   * CollectingSink -- accumulates every finding so one pass over a
+//     document surfaces *all* its problems (what `dtpm lint` and the
+//     collecting config_io overloads use).
+//   * sim::config_io's ThrowingSink -- throws ConfigError on the first
+//     error, preserving the legacy parse contract byte for byte.
+//
+// Codes are stable identifiers documented in README "Linting configs";
+// messages may be reworded, codes must never be renumbered.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtpm::util {
+
+enum class Severity {
+  kError,    ///< the artifact is broken; `dtpm lint` exits non-zero
+  kWarning,  ///< almost certainly a mistake, but the run would proceed
+  kNote,     ///< surprising-but-defined behavior worth knowing about
+};
+
+/// "error", "warning", "note".
+const char* to_string(Severity severity);
+
+/// One finding, pinned to a document path.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     ///< stable identifier, e.g. "L103"
+  std::string path;     ///< JSON-pointer-style, e.g. "$.floorplan.edges[3]"
+  std::string message;  ///< human-readable detail (may carry a suggestion)
+};
+
+/// Canonical one-line rendering: "$.path: error L103: message".
+std::string format_diagnostic(const Diagnostic& diagnostic);
+
+/// Where findings go. The base class counts severities (so passes can ask
+/// "did this subtree produce errors?" in either mode) and dispatches to the
+/// mode-specific on_report.
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+
+  /// Counts the diagnostic, then hands it to the sink implementation. A
+  /// throwing implementation may not return.
+  void report(Diagnostic diagnostic);
+
+  void error(std::string code, std::string path, std::string message) {
+    report({Severity::kError, std::move(code), std::move(path),
+            std::move(message)});
+  }
+  void warning(std::string code, std::string path, std::string message) {
+    report({Severity::kWarning, std::move(code), std::move(path),
+            std::move(message)});
+  }
+  void note(std::string code, std::string path, std::string message) {
+    report({Severity::kNote, std::move(code), std::move(path),
+            std::move(message)});
+  }
+
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ != 0; }
+
+ protected:
+  virtual void on_report(Diagnostic diagnostic) = 0;
+
+ private:
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+/// Accumulates every finding in report order.
+class CollectingSink : public DiagnosticSink {
+ public:
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// Moves the findings out (the sink is empty-but-valid afterwards).
+  std::vector<Diagnostic> take() { return std::move(diagnostics_); }
+
+ protected:
+  void on_report(Diagnostic diagnostic) override {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace dtpm::util

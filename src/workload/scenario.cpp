@@ -38,7 +38,7 @@ Phase burst_phase(util::Rng& rng, double intensity) {
   Phase p;
   p.cpu_activity = clamp_activity(rng.uniform(0.70, 0.95) * intensity);
   p.mem_intensity = rng.uniform(0.05, 0.35);
-  p.threads = clamp_threads(int(rng.uniform_int(2, 4) * intensity));
+  p.threads = clamp_threads(int(double(rng.uniform_int(2, 4)) * intensity));
   p.duty = 1.0;
   return p;
 }
@@ -182,7 +182,7 @@ Benchmark ScenarioGenerator::generate(ScenarioFamily family) const {
           p.cpu_activity = clamp_activity(
               (lo + (hi - lo) * s / double(steps - 1)) * intensity);
           p.mem_intensity = 0.2;
-          p.threads = clamp_threads(int(rng.uniform_int(2, 3) * intensity));
+          p.threads = clamp_threads(int(double(rng.uniform_int(2, 3)) * intensity));
           p.duty = 1.0;
           b.phases.push_back(p);
         }
@@ -285,7 +285,7 @@ Benchmark ScenarioGenerator::generate(ScenarioFamily family) const {
         render.mem_intensity = rng.uniform(0.25, 0.45);
         render.gpu_load = std::clamp(rng.uniform(0.75, 1.0) * intensity,
                                      0.0, 1.0);
-        render.threads = clamp_threads(int(rng.uniform_int(2, 4) * intensity));
+        render.threads = clamp_threads(int(double(rng.uniform_int(2, 4)) * intensity));
         render.duty = 1.0;
         b.phases.push_back(render);
         Phase load_screen;

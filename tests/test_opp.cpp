@@ -11,7 +11,7 @@ TEST(OppTable, BigClusterMatchesTable6_1) {
   const OppTable t = big_cluster_opp_table();
   ASSERT_EQ(t.size(), 9u);  // nine discrete levels (Table 6.1)
   for (std::size_t i = 0; i < t.size(); ++i) {
-    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, (800.0 + 100.0 * i) * 1e6);
+    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, (800.0 + 100.0 * double(i)) * 1e6);
   }
   EXPECT_DOUBLE_EQ(t.min().frequency_hz, 800e6);
   EXPECT_DOUBLE_EQ(t.max().frequency_hz, 1600e6);
@@ -21,7 +21,7 @@ TEST(OppTable, LittleClusterMatchesTable6_2) {
   const OppTable t = little_cluster_opp_table();
   ASSERT_EQ(t.size(), 8u);  // eight discrete levels (Table 6.2)
   for (std::size_t i = 0; i < t.size(); ++i) {
-    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, (500.0 + 100.0 * i) * 1e6);
+    EXPECT_DOUBLE_EQ(t.at(i).frequency_hz, (500.0 + 100.0 * double(i)) * 1e6);
   }
 }
 
