@@ -1,9 +1,12 @@
 #include "dtpm_cli.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -11,6 +14,9 @@
 #include "analysis/analyzer.hpp"
 #include "governors/policy_registry.hpp"
 #include "lint/lint.hpp"
+#include "serve/fleet.hpp"
+#include "serve/fleet_io.hpp"
+#include "serve/server.hpp"
 #include "sim/batch.hpp"
 #include "sim/calibration.hpp"
 #include "sim/config_io.hpp"
@@ -52,9 +58,24 @@ const char kUsageText[] =
     "      envelope. Prints a summary and writes one\n"
     "      <out>/analysis_<platform>.json per platform (all registered\n"
     "      platforms unless --platform narrows it).\n"
+    "  dtpm fleet <spec.json>  [-j N] [--out DIR] [--smoke] [--quiet]\n"
+    "      One-shot fleet run: sample device profiles from the spec's\n"
+    "      distributions (platform x ambient x background x scenario x\n"
+    "      seed), stream them through the batched engine in waves, and\n"
+    "      write the memory-flat streaming aggregate to\n"
+    "      <out>/fleet_aggregate.json.\n"
+    "  dtpm serve [--socket PATH] [-j N] [--executors N] [--queue N] "
+    "[--smoke] [--quiet]\n"
+    "      Persistent fleet-simulation service: NDJSON requests (submit /\n"
+    "      status / cancel / shutdown) from stdin -- or a Unix socket with\n"
+    "      --socket -- with streaming replies. Calibrations and compiled\n"
+    "      floorplans stay warm across jobs; -j sets the worker width\n"
+    "      inside each fleet job; --smoke caps every submitted job for CI.\n"
+    "      SIGINT/SIGTERM cancels queued jobs and ships partial aggregates.\n"
     "  dtpm lint [<file.json>...] [--platforms] [--deep] [--quiet]\n"
-    "      Statically analyze configs, platform files, and sweep grids\n"
-    "      without running anything: all diagnostics in one pass, each with\n"
+    "      Statically analyze configs, platform files, sweep grids, and\n"
+    "      fleet specs without running anything: all diagnostics in one\n"
+    "      pass, each with\n"
     "      a stable code and an exact $.path location. --platforms also\n"
     "      lints every registered platform; --deep adds the\n"
     "      equilibrium/stability pre-check. Exits non-zero only on errors.\n"
@@ -211,15 +232,6 @@ void print_result_line(std::ostream& out, const sim::ExperimentConfig& config,
   out << line.str() << '\n';
 }
 
-/// Caps simulated durations for CI smoke runs; traces stay off so artifact
-/// sizes stay bounded.
-void apply_smoke(sim::ExperimentConfig& config) {
-  config.warmup_s = std::min(config.warmup_s, 2.0);
-  config.max_sim_time_s = std::min(config.max_sim_time_s, 15.0);
-  config.record_trace = false;
-  config.observe_predictions = false;
-}
-
 std::ofstream open_or_throw(const std::filesystem::path& path) {
   std::ofstream out(path);
   if (!out) {
@@ -239,7 +251,7 @@ int run_command(const Options& options, std::ostream& out,
   if (!options.engine.empty()) {
     config.engine = sim::parse_engine(options.engine);
   }
-  if (options.smoke) apply_smoke(config);
+  if (options.smoke) sim::apply_smoke_caps(config);
 
   const sysid::IdentifiedPlatformModel* model = nullptr;
   if (options.with_model || needs_model(config)) {
@@ -291,7 +303,9 @@ int sweep_command(const Options& options, std::ostream& out,
     for (sim::ExperimentConfig& config : configs) config.engine = engine;
   }
   if (options.smoke) {
-    for (sim::ExperimentConfig& config : configs) apply_smoke(config);
+    for (sim::ExperimentConfig& config : configs) {
+      sim::apply_smoke_caps(config);
+    }
   }
   if (configs.empty()) {
     err << "dtpm: the sweep expanded to zero configs\n";
@@ -571,6 +585,183 @@ int lint_command(const std::vector<std::string>& args, std::ostream& out,
   return errors == 0 ? kOk : kFailure;
 }
 
+int fleet_command(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  std::string file;
+  std::string out_dir = "dtpm-out";
+  unsigned workers = 0;
+  bool smoke = false;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--out" || arg == "-j") {
+      if (i + 1 >= args.size()) {
+        err << "dtpm: " << arg << " requires an argument\n";
+        return kUsage;
+      }
+      const std::string& value = args[++i];
+      if (arg == "--out") {
+        out_dir = value;
+      } else {
+        try {
+          const int n = std::stoi(value);
+          if (n < 0) throw std::invalid_argument("negative");
+          workers = unsigned(n);
+        } catch (const std::exception&) {
+          err << "dtpm: -j expects a non-negative worker count, got '" << value
+              << "'\n";
+          return kUsage;
+        }
+      }
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "dtpm: fleet does not take '" << arg << "'\n";
+      return kUsage;
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      err << "dtpm: fleet takes one spec file\n";
+      return kUsage;
+    }
+  }
+  if (file.empty()) {
+    err << "dtpm: fleet needs a spec file\n";
+    return kUsage;
+  }
+
+  // Lint before running: a fleet is too big to discover a bad distribution
+  // three waves in. Errors abort; warnings and notes print and proceed.
+  {
+    util::CollectingSink sink;
+    lint::lint_file(file, sink);
+    for (const util::Diagnostic& diagnostic : sink.diagnostics()) {
+      (diagnostic.severity == util::Severity::kError ? err : out)
+          << file << ": " << util::format_diagnostic(diagnostic) << '\n';
+    }
+    if (sink.has_errors()) return kFailure;
+  }
+
+  serve::FleetSpec spec = serve::load_fleet_spec(file);
+  if (smoke) serve::apply_smoke_caps(spec);
+
+  serve::FleetRunOptions run_options;
+  run_options.workers = workers;
+  std::uint64_t waves = 0;
+  if (!quiet) {
+    run_options.on_wave = [&](const serve::FleetProgress& progress) {
+      ++waves;
+      if (waves % 16 == 0 || progress.done == progress.total) {
+        out << "fleet: " << progress.done << "/" << progress.total
+            << " devices\n";
+      }
+    };
+  }
+  const serve::FleetRunResult result = serve::run_fleet(spec, run_options);
+
+  std::filesystem::create_directories(out_dir);
+  const std::filesystem::path json_path =
+      std::filesystem::path(out_dir) / "fleet_aggregate.json";
+  util::json_write_file(json_path.string(), result.aggregate.to_json());
+  if (!quiet) {
+    out << "aggregate: " << json_path.string() << " (" << result.devices_run
+        << " devices, " << result.aggregate.failed() << " failed)\n";
+  }
+  return result.aggregate.failed() == 0 ? kOk : kFailure;
+}
+
+/// Set by the serve command's SIGINT/SIGTERM handler; polled by the server.
+std::atomic<bool> g_serve_stop{false};
+
+extern "C" void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int serve_command(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  std::string socket_path;
+  serve::ServeOptions options;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--socket" || arg == "-j" || arg == "--executors" ||
+        arg == "--queue") {
+      if (i + 1 >= args.size()) {
+        err << "dtpm: " << arg << " requires an argument\n";
+        return kUsage;
+      }
+      const std::string& value = args[++i];
+      if (arg == "--socket") {
+        socket_path = value;
+        continue;
+      }
+      int n = 0;
+      try {
+        n = std::stoi(value);
+        if (n < 0) throw std::invalid_argument("negative");
+      } catch (const std::exception&) {
+        err << "dtpm: " << arg << " expects a non-negative count, got '"
+            << value << "'\n";
+        return kUsage;
+      }
+      if (arg == "-j") {
+        options.fleet_workers = unsigned(n);
+      } else if (arg == "--executors") {
+        options.executors = unsigned(std::max(1, n));
+      } else {
+        options.queue_capacity = std::size_t(std::max(1, n));
+      }
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      err << "dtpm: serve does not take '" << arg << "'\n";
+      return kUsage;
+    }
+  }
+
+  // SIGINT/SIGTERM flip the stop flag the server polls. Deliberately no
+  // SA_RESTART: a getline blocked on stdin must fail with EINTR so the
+  // request loop wakes up and sees the flag. SIGPIPE (client gone
+  // mid-reply) must not kill the process; writes fail normally instead.
+  g_serve_stop.store(false);
+  options.stop_flag = &g_serve_stop;
+  struct sigaction stop_action = {};
+  stop_action.sa_handler = serve_signal_handler;
+  sigemptyset(&stop_action.sa_mask);
+  stop_action.sa_flags = 0;
+  struct sigaction ignore_action = {};
+  ignore_action.sa_handler = SIG_IGN;
+  sigemptyset(&ignore_action.sa_mask);
+  struct sigaction old_int = {}, old_term = {}, old_pipe = {};
+  sigaction(SIGINT, &stop_action, &old_int);
+  sigaction(SIGTERM, &stop_action, &old_term);
+  sigaction(SIGPIPE, &ignore_action, &old_pipe);
+
+  serve::ServeStatus status;
+  {
+    serve::Server server(options);
+    if (!socket_path.empty()) {
+      if (!quiet) err << "dtpm: serving on " << socket_path << "\n";
+      status = server.serve_unix(socket_path);
+    } else {
+      if (!quiet) err << "dtpm: serving on stdin (NDJSON requests)\n";
+      status = server.serve(std::cin, out);
+    }
+  }
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  sigaction(SIGPIPE, &old_pipe, nullptr);
+  if (!quiet) {
+    err << "dtpm: serve "
+        << (status == serve::ServeStatus::kStopped ? "stopped" : "drained")
+        << "\n";
+  }
+  return kOk;
+}
+
 int list_command(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   std::string category;
@@ -677,6 +868,12 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       }
       return command == "run" ? run_command(options, out, err)
                               : sweep_command(options, out, err);
+    }
+    if (command == "fleet") {
+      return fleet_command(args, out, err);
+    }
+    if (command == "serve") {
+      return serve_command(args, out, err);
     }
     if (command == "analyze") {
       return analyze_command(args, out, err);

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Reference client for the `dtpm serve` NDJSON protocol.
+
+Submits experiment configs (--run) and fleet specs (--fleet) to a server,
+streams every reply to stdout, waits for the jobs' terminal results, then
+shuts the server down gracefully. Two transports:
+
+    dtpm_client.py --server "build/dtpm serve --smoke" --fleet spec.json
+        spawns the server as a child process and talks over its pipes
+        (the mode CI's serve-smoke job uses -- the client owns the
+        server's lifecycle, so nothing leaks on failure);
+
+    dtpm_client.py --socket /tmp/dtpm.sock --run config.json
+        connects to an already-running `dtpm serve --socket` instance.
+
+Config files may use the repo's `//` line-comment extension; comments are
+stripped (string-aware) before the JSON is embedded into the request.
+
+--telemetry FILE writes the server's final telemetry counters (from the
+"bye" reply) as JSON -- the artifact CI archives per PR.
+
+Exit status: 0 when every submitted job reached state "done" with a
+non-empty payload, 1 on any error reply / failed job / empty aggregate,
+2 on usage errors. Stdlib only; typed; `mypy --strict` clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shlex
+import socket
+import subprocess
+import sys
+from collections.abc import Iterator
+
+
+def strip_json_comments(text: str) -> str:
+    """Removes `//` line comments, leaving string contents untouched."""
+    out: list[str] = []
+    in_string = False
+    escaped = False
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if in_string:
+            out.append(c)
+            if escaped:
+                escaped = False
+            elif c == "\\":
+                escaped = True
+            elif c == '"':
+                in_string = False
+            i += 1
+            continue
+        if c == '"':
+            in_string = True
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < len(text) and text[i + 1] == "/":
+            while i < len(text) and text[i] != "\n":
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def load_json_file(path: str) -> dict[str, object]:
+    with open(path, encoding="utf-8") as f:
+        data = json.loads(strip_json_comments(f.read()))
+    if not isinstance(data, dict):
+        raise SystemExit(f"dtpm_client: {path}: expected a JSON object")
+    return data
+
+
+def parse_reply(line: str) -> dict[str, object]:
+    data = json.loads(line)
+    if not isinstance(data, dict):
+        raise SystemExit(f"dtpm_client: malformed reply line: {line!r}")
+    return data
+
+
+class StdioServer:
+    """Spawns `dtpm serve` and talks NDJSON over its stdin/stdout."""
+
+    def __init__(self, command: list[str]) -> None:
+        self._proc = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+
+    def send(self, request: dict[str, object]) -> None:
+        stdin = self._proc.stdin
+        if stdin is None:  # pragma: no cover - Popen(PIPE) guarantees it
+            raise SystemExit("dtpm_client: server stdin unavailable")
+        stdin.write(json.dumps(request) + "\n")
+        stdin.flush()
+
+    def lines(self) -> Iterator[str]:
+        stdout = self._proc.stdout
+        if stdout is None:  # pragma: no cover
+            raise SystemExit("dtpm_client: server stdout unavailable")
+        yield from stdout
+
+    def close(self) -> int:
+        if self._proc.stdin is not None:
+            self._proc.stdin.close()
+        return self._proc.wait()
+
+
+class SocketClient:
+    """Connects to a running `dtpm serve --socket PATH` instance."""
+
+    def __init__(self, path: str) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.connect(path)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    def send(self, request: dict[str, object]) -> None:
+        self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+
+    def lines(self) -> Iterator[str]:
+        yield from self._reader
+
+    def close(self) -> int:
+        self._reader.close()
+        self._sock.close()
+        return 0
+
+
+def build_requests(
+    run_files: list[str], fleet_files: list[str], smoke: bool
+) -> tuple[list[dict[str, object]], list[str]]:
+    """One submit request per file; returns (requests, job ids)."""
+    requests: list[dict[str, object]] = []
+    job_ids: list[str] = []
+    for i, path in enumerate(run_files):
+        job_id = f"run-{i}"
+        requests.append(
+            {"op": "submit", "job": job_id, "smoke": smoke,
+             "run": load_json_file(path)}
+        )
+        job_ids.append(job_id)
+    for i, path in enumerate(fleet_files):
+        job_id = f"fleet-{i}"
+        requests.append(
+            {"op": "submit", "job": job_id, "smoke": smoke,
+             "fleet": load_json_file(path)}
+        )
+        job_ids.append(job_id)
+    return requests, job_ids
+
+
+def check_results(
+    job_ids: list[str],
+    results: dict[str, dict[str, object]],
+    error_count: int,
+) -> list[str]:
+    """Returns human-readable failure descriptions; empty means success."""
+    failures: list[str] = []
+    if error_count:
+        failures.append(f"{error_count} error repl(y/ies) from the server")
+    for job_id in job_ids:
+        result = results.get(job_id)
+        if result is None:
+            failures.append(f"job {job_id}: no result reply")
+            continue
+        state = result.get("state")
+        if state != "done":
+            failures.append(f"job {job_id}: terminal state {state!r}")
+            continue
+        if job_id.startswith("fleet-"):
+            aggregate = result.get("aggregate")
+            if not isinstance(aggregate, dict):
+                failures.append(f"job {job_id}: result has no aggregate")
+                continue
+            devices = aggregate.get("devices")
+            failed = aggregate.get("failed")
+            if not isinstance(devices, int) or devices <= 0:
+                failures.append(f"job {job_id}: empty aggregate")
+            elif isinstance(failed, int) and failed > 0:
+                failures.append(f"job {job_id}: {failed} device runs failed")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dtpm_client.py",
+        description="Drive a dtpm serve instance over NDJSON.",
+    )
+    transport_group = parser.add_mutually_exclusive_group()
+    transport_group.add_argument(
+        "--server",
+        default="build/dtpm serve",
+        help="command to spawn the server (shlex-split; default %(default)r)",
+    )
+    transport_group.add_argument(
+        "--socket", help="connect to a running server on this Unix socket"
+    )
+    parser.add_argument(
+        "--run", action="append", default=[], metavar="CONFIG",
+        help="submit this experiment config (repeatable)",
+    )
+    parser.add_argument(
+        "--fleet", action="append", default=[], metavar="SPEC",
+        help="submit this fleet spec (repeatable)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="ask the server to apply smoke caps to each submitted job",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="FILE",
+        help="write the server's closing telemetry counters as JSON",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-reply echo; print only the summary",
+    )
+    args = parser.parse_args(argv)
+
+    requests, job_ids = build_requests(args.run, args.fleet, args.smoke)
+    if not job_ids:
+        parser.error("nothing to submit: pass --run and/or --fleet")
+
+    transport: StdioServer | SocketClient
+    if args.socket:
+        transport = SocketClient(args.socket)
+    else:
+        transport = StdioServer(shlex.split(args.server))
+
+    for request in requests:
+        transport.send(request)
+    transport.send({"op": "shutdown"})
+
+    results: dict[str, dict[str, object]] = {}
+    telemetry: dict[str, object] | None = None
+    error_count = 0
+    for line in transport.lines():
+        line = line.strip()
+        if not line:
+            continue
+        reply = parse_reply(line)
+        if not args.quiet:
+            print(line)
+        kind = reply.get("reply")
+        if kind == "error":
+            error_count += 1
+        elif kind == "result":
+            results[str(reply.get("job"))] = reply
+        elif kind == "bye":
+            counters = reply.get("telemetry")
+            if isinstance(counters, dict):
+                telemetry = counters
+    exit_code = transport.close()
+    if exit_code != 0:
+        print(f"dtpm_client: server exited with {exit_code}", file=sys.stderr)
+        return 1
+
+    if args.telemetry:
+        if telemetry is None:
+            print("dtpm_client: no closing telemetry received",
+                  file=sys.stderr)
+            return 1
+        with open(args.telemetry, "w", encoding="utf-8") as f:
+            json.dump(telemetry, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    failures = check_results(job_ids, results, error_count)
+    for failure in failures:
+        print(f"dtpm_client: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"dtpm_client: {len(job_ids)} job(s) done")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,6 +8,7 @@
 #include <exception>
 #include <string>
 
+#include "serve/fleet_io.hpp"
 #include "util/json.hpp"
 
 namespace dtpm::lint {
@@ -32,6 +33,15 @@ bool looks_like_sweep(const util::JsonValue& json) {
 void lint_document(const util::JsonValue& json, const std::string& path,
                    util::DiagnosticSink& sink, const LintOptions& options) {
   const std::size_t errors_before = sink.error_count();
+  // Fleet first: a fleet spec also has "base", so the sweep check would
+  // otherwise claim it. "device_count" is the fleet discriminator.
+  if (json.is_object() && json.find("device_count") != nullptr) {
+    const serve::FleetSpec spec = serve::fleet_from_json(json, path, sink);
+    if (sink.error_count() == errors_before) {
+      lint_fleet(spec, &json, path, sink, options);
+    }
+    return;
+  }
   if (json.is_object() && looks_like_sweep(json)) {
     const sim::SweepSpec spec = sim::sweep_from_json(json, path, sink);
     if (sink.error_count() == errors_before) {

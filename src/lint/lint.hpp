@@ -20,10 +20,13 @@
 //   L4xx  policy params vs registry-declared schemas
 //   L5xx  sweep grids: empty axes, duplicates, expansion size
 //   L6xx  deep (opt-in): equilibrium/stability pre-check
+//   L7xx  fleet specs: degenerate distributions, trace-retention blowup,
+//         unknown axis names, ambient vs thermal limit, wave sizing
 #pragma once
 
 #include <string>
 
+#include "serve/fleet.hpp"
 #include "sim/config_io.hpp"
 #include "util/diagnostics.hpp"
 
@@ -56,6 +59,13 @@ void lint_experiment(const sim::ExperimentConfig& config,
 /// which the parsed spec cannot distinguish from absent ones); pass nullptr
 /// for C++-built specs.
 void lint_sweep(const sim::SweepSpec& spec, const util::JsonValue* json,
+                const std::string& path, util::DiagnosticSink& sink,
+                const LintOptions& options = {});
+
+/// Fleet-spec checks (L7xx) and the experiment passes over the base config.
+/// `json` plays the same role as in lint_sweep (explicitly-empty axis
+/// detection); pass nullptr for C++-built specs.
+void lint_fleet(const serve::FleetSpec& spec, const util::JsonValue* json,
                 const std::string& path, util::DiagnosticSink& sink,
                 const LintOptions& options = {});
 

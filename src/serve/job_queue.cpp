@@ -1,0 +1,72 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace dtpm::serve {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+BoundedJobQueue::BoundedJobQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool BoundedJobQueue::try_push(JobPtr job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+JobPtr BoundedJobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopped_.load(std::memory_order_relaxed)) return nullptr;
+    if (!queue_.empty()) {
+      JobPtr job = std::move(queue_.front());
+      queue_.pop_front();
+      return job;
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void BoundedJobQueue::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+std::vector<JobPtr> BoundedJobQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobPtr> drained(queue_.begin(), queue_.end());
+  queue_.clear();
+  return drained;
+}
+
+std::size_t BoundedJobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dtpm::serve

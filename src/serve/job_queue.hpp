@@ -1,0 +1,94 @@
+// Job lifecycle and the bounded submission queue of the dtpm server. A
+// JobRecord is shared between the request loop (submits, answers status,
+// flips cancel) and the executor pool (runs it, publishes the outcome);
+// BoundedJobQueue is the hand-off in between, with a fixed capacity so a
+// client that submits faster than the pool drains gets an immediate
+// backpressure error instead of growing server memory.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/fleet.hpp"
+#include "sim/config.hpp"
+#include "util/json.hpp"
+
+namespace dtpm::serve {
+
+enum class JobKind { kRun, kFleet };
+
+/// queued -> running -> one of {done, failed, cancelled}. `cancelled` covers
+/// both never-started jobs and fleets whose cancel curtailed them mid-run
+/// (their partial aggregate still ships in the result reply).
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobState state);
+
+struct JobRecord {
+  std::string id;  ///< client-chosen, unique among live jobs
+  JobKind kind = JobKind::kRun;
+  bool smoke = false;
+
+  sim::ExperimentConfig run;  ///< kRun payload
+  FleetSpec fleet;            ///< kFleet payload
+
+  std::atomic<JobState> state{JobState::kQueued};
+  /// Set by `cancel` (and by server stop); fleet executors poll it between
+  /// waves, so cancellation lands within one wave.
+  std::atomic<bool> cancel_requested{false};
+
+  /// Fleet progress, readable by `status` while the job runs.
+  std::atomic<std::uint64_t> devices_done{0};
+  std::atomic<std::uint64_t> devices_total{0};
+
+  /// Published exactly once by the executor under `mutex`, before the final
+  /// state store; `error` is non-empty iff the final state is kFailed.
+  mutable std::mutex mutex;
+  util::JsonValue outcome;
+  std::string error;
+};
+
+using JobPtr = std::shared_ptr<JobRecord>;
+
+/// FIFO with a hard capacity. Producers never block (try_push reports
+/// backpressure); consumers block in pop() until a job, a stop, or -- as a
+/// belt-and-braces against a lost notify -- a 100 ms poll tick.
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity);
+
+  /// False when the queue is at capacity or stopped (caller replies with the
+  /// matching protocol error either way).
+  bool try_push(JobPtr job);
+
+  /// Next job in FIFO order; null once stopped (remaining entries are
+  /// reclaimed via drain(), not handed to executors).
+  JobPtr pop();
+
+  /// Wakes every blocked pop() and makes further try_push fail. Queued jobs
+  /// stay in place for drain().
+  void request_stop();
+
+  /// Removes and returns everything still queued (the server marks these
+  /// cancelled on stop).
+  std::vector<JobPtr> drain();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<JobPtr> queue_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dtpm::serve

@@ -1,0 +1,197 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lint/lint.hpp"
+#include "serve/fleet_io.hpp"
+#include "sim/config_io.hpp"
+#include "util/names.hpp"
+
+namespace dtpm::serve {
+
+namespace {
+
+using util::JsonObject;
+using util::JsonValue;
+
+const std::vector<std::string>& op_names() {
+  static const std::vector<std::string> kNames{"submit", "status", "cancel",
+                                              "shutdown"};
+  return kNames;
+}
+
+/// Allowed top-level members of each op; anything else draws an S002
+/// warning with a did-you-mean, mirroring the config parsers' L004.
+std::vector<std::string> allowed_members(Request::Op op) {
+  switch (op) {
+    case Request::Op::kSubmit:
+      return {"op", "job", "run", "fleet", "smoke"};
+    case Request::Op::kStatus:
+      return {"op", "job"};
+    case Request::Op::kCancel:
+      return {"op", "job"};
+    case Request::Op::kShutdown:
+      return {"op"};
+  }
+  return {"op"};
+}
+
+void check_unknown_members(const JsonValue& json, Request::Op op,
+                           util::DiagnosticSink& sink) {
+  const std::vector<std::string> allowed = allowed_members(op);
+  for (const auto& [key, value] : json.as_object()) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string message = "unknown request member '" + key + "'";
+    const std::string suggestion = util::closest_match(key, allowed);
+    if (!suggestion.empty()) {
+      message += ", did you mean '" + suggestion + "'?";
+    }
+    sink.warning(kCodeShape, "$." + key, message);
+  }
+}
+
+/// Reads an optional string member; reports S002 on a non-string.
+std::string string_member(const JsonValue& json, const char* key,
+                          util::DiagnosticSink& sink) {
+  const JsonValue* value = json.find(key);
+  if (value == nullptr) return "";
+  if (!value->is_string()) {
+    sink.error(kCodeShape, std::string("$.") + key,
+               std::string("'") + key + "' must be a string");
+    return "";
+  }
+  return value->as_string();
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line,
+                                     util::DiagnosticSink& sink) {
+  JsonValue json;
+  try {
+    json = util::json_parse(line);
+  } catch (const util::JsonParseError& error) {
+    sink.error(kCodeSyntax, "$", error.what());
+    return std::nullopt;
+  }
+  if (!json.is_object()) {
+    sink.error(kCodeShape, "$", "a request must be a JSON object");
+    return std::nullopt;
+  }
+
+  const JsonValue* op = json.find("op");
+  if (op == nullptr || !op->is_string()) {
+    sink.error(kCodeShape, "$.op", "every request needs a string 'op'");
+    return std::nullopt;
+  }
+  Request request;
+  const std::string& name = op->as_string();
+  if (name == "submit") {
+    request.op = Request::Op::kSubmit;
+  } else if (name == "status") {
+    request.op = Request::Op::kStatus;
+  } else if (name == "cancel") {
+    request.op = Request::Op::kCancel;
+  } else if (name == "shutdown") {
+    request.op = Request::Op::kShutdown;
+  } else {
+    sink.error(kCodeUnknownOp, "$.op",
+               util::unknown_name_message("op", name, op_names()));
+    return std::nullopt;
+  }
+
+  check_unknown_members(json, request.op, sink);
+  request.job = string_member(json, "job", sink);
+  if (request.job.empty() && (request.op == Request::Op::kSubmit ||
+                              request.op == Request::Op::kCancel)) {
+    sink.error(kCodeShape, "$.job",
+               "'" + name + "' requires a non-empty job id");
+  }
+
+  if (request.op == Request::Op::kSubmit) {
+    if (const JsonValue* smoke = json.find("smoke")) {
+      if (smoke->is_bool()) {
+        request.smoke = smoke->as_bool();
+      } else {
+        sink.error(kCodeShape, "$.smoke", "'smoke' must be a boolean");
+      }
+    }
+    const JsonValue* run = json.find("run");
+    const JsonValue* fleet = json.find("fleet");
+    if ((run != nullptr) == (fleet != nullptr)) {
+      sink.error(kCodeShape, "$",
+                 "a submit carries exactly one of 'run' or 'fleet'");
+    } else if (run != nullptr) {
+      request.run = sim::experiment_from_json(*run, "$.run", sink);
+    } else {
+      // The fleet payload gets the full lint treatment (parse-level L0xx
+      // plus the semantic L7xx pass) so a submit fails with exactly the
+      // findings `dtpm lint` would print for the same document.
+      request.fleet = fleet_from_json(*fleet, "$.fleet", sink);
+      if (!sink.has_errors()) {
+        lint::lint_fleet(*request.fleet, fleet, "$.fleet", sink);
+      }
+    }
+  }
+
+  if (sink.has_errors()) return std::nullopt;
+  return request;
+}
+
+JsonValue diagnostics_json(const std::vector<util::Diagnostic>& diagnostics) {
+  util::JsonArray array;
+  array.reserve(diagnostics.size());
+  for (const util::Diagnostic& d : diagnostics) {
+    JsonValue entry((JsonObject()));
+    entry.set("severity", util::to_string(d.severity));
+    entry.set("code", d.code);
+    entry.set("path", d.path);
+    entry.set("message", d.message);
+    array.push_back(std::move(entry));
+  }
+  return JsonValue(std::move(array));
+}
+
+JsonValue make_ack(const std::string& job, std::size_t queue_depth) {
+  JsonValue reply((JsonObject()));
+  reply.set("reply", "ack");
+  reply.set("job", job);
+  reply.set("queued", std::uint64_t(queue_depth));
+  return reply;
+}
+
+JsonValue make_error(const std::string& code, const std::string& message,
+                     const std::string& job,
+                     const std::vector<util::Diagnostic>& diagnostics) {
+  JsonValue reply((JsonObject()));
+  reply.set("reply", "error");
+  if (!job.empty()) reply.set("job", job);
+  reply.set("code", code);
+  reply.set("message", message);
+  if (!diagnostics.empty()) {
+    reply.set("diagnostics", diagnostics_json(diagnostics));
+  }
+  return reply;
+}
+
+JsonValue run_summary_json(const sim::RunResult& result) {
+  JsonValue json((JsonObject()));
+  json.set("completed", result.completed);
+  json.set("runaway", result.runaway);
+  json.set("execution_time_s", result.execution_time_s);
+  json.set("violation_time_s", result.violation_time_s);
+  json.set("platform_energy_j", result.platform_energy_j);
+  json.set("avg_platform_power_w", result.avg_platform_power_w);
+  json.set("avg_soc_power_w", result.avg_soc_power_w);
+  json.set("peak_temp_c", result.max_temp_stats.max());
+  json.set("mean_temp_c", result.max_temp_stats.mean());
+  json.set("control_steps", std::uint64_t(result.control_steps));
+  json.set("wall_time_s", result.wall_time_s);
+  return json;
+}
+
+}  // namespace dtpm::serve

@@ -1,0 +1,22 @@
+#include "serve/telemetry.hpp"
+
+namespace dtpm::serve {
+
+util::JsonValue ServerTelemetry::to_json() const {
+  auto get = [](const std::atomic<std::uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  util::JsonValue json((util::JsonObject()));
+  json.set("requests", get(requests));
+  json.set("malformed", get(malformed));
+  json.set("jobs_submitted", get(jobs_submitted));
+  json.set("jobs_completed", get(jobs_completed));
+  json.set("jobs_failed", get(jobs_failed));
+  json.set("jobs_cancelled", get(jobs_cancelled));
+  json.set("devices_simulated", get(devices_simulated));
+  json.set("runs_simulated", get(runs_simulated));
+  json.set("queue_high_water", get(queue_high_water));
+  return json;
+}
+
+}  // namespace dtpm::serve

@@ -1,0 +1,39 @@
+// Server-side counters. One ServerTelemetry instance lives as long as the
+// server; executors and the request loop bump it from their own threads
+// (relaxed atomics -- these are monotone counters, not synchronization), and
+// a `status` request snapshots it to JSON. Nothing here grows with job count
+// or fleet size, so a long-lived server's footprint stays flat.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/json.hpp"
+
+namespace dtpm::serve {
+
+struct ServerTelemetry {
+  std::atomic<std::uint64_t> requests{0};         ///< parsed protocol lines
+  std::atomic<std::uint64_t> malformed{0};        ///< lines rejected with S0xx
+  std::atomic<std::uint64_t> jobs_submitted{0};
+  std::atomic<std::uint64_t> jobs_completed{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> jobs_cancelled{0};
+  std::atomic<std::uint64_t> devices_simulated{0};  ///< fleet slots folded
+  std::atomic<std::uint64_t> runs_simulated{0};     ///< single-run jobs done
+  std::atomic<std::uint64_t> queue_high_water{0};
+
+  /// Records a queue depth observation, ratcheting the high-water mark.
+  void observe_queue_depth(std::uint64_t depth) {
+    std::uint64_t seen = queue_high_water.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !queue_high_water.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Point-in-time snapshot (relaxed loads; counters may be mid-flight).
+  util::JsonValue to_json() const;
+};
+
+}  // namespace dtpm::serve

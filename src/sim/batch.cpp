@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <thread>
 
 #include "sim/batch_lane.hpp"
@@ -23,17 +24,17 @@ unsigned BatchRunner::effective_worker_count() const {
   return std::max(1u, std::min(worker_count_, hw));
 }
 
-std::vector<RunResult> BatchRunner::run(
-    const std::vector<BatchJob>& jobs) const {
-  BatchOutcome outcome = run_collecting(jobs);
+std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
+                                        const RunPlan* shared_plan) const {
+  BatchOutcome outcome = run_collecting(jobs, shared_plan);
   for (const std::exception_ptr& e : outcome.errors) {
     if (e) std::rethrow_exception(e);
   }
   return std::move(outcome.results);
 }
 
-BatchOutcome BatchRunner::run_collecting(
-    const std::vector<BatchJob>& jobs) const {
+BatchOutcome BatchRunner::run_collecting(const std::vector<BatchJob>& jobs,
+                                         const RunPlan* shared_plan) const {
   BatchOutcome outcome;
   outcome.results.resize(jobs.size());
   outcome.errors.resize(jobs.size());
@@ -42,17 +43,25 @@ BatchOutcome BatchRunner::run_collecting(
   // Hoist the per-run invariants (per-platform floorplan templates,
   // benchmark resolution, per-platform calibration) once, single-threaded,
   // before the pool spawns; workers share the plan read-only. Configs the
-  // plan does not cover fall back transparently.
-  RunPlan plan(jobs);
-  for (const BatchJob& job : jobs) {
-    // Jobs that need the identified model but were not handed one get it
-    // from the plan's per-platform calibration cache (one calibration per
-    // distinct platform, shared read-only by every run on it). A job that
-    // carries its own model keeps it.
-    if (job.model == nullptr && needs_identified_model(job.config)) {
-      plan.cache_model_for(job.config);
+  // plan does not cover fall back transparently. A caller-supplied shared
+  // plan (the serve layer's warm cache) replaces the per-call build; its
+  // population -- including any models jobs rely on -- is the caller's
+  // responsibility, because a plan shared across calls must stay read-only
+  // here.
+  std::unique_ptr<RunPlan> local_plan;
+  if (shared_plan == nullptr) {
+    local_plan = std::make_unique<RunPlan>(jobs);
+    for (const BatchJob& job : jobs) {
+      // Jobs that need the identified model but were not handed one get it
+      // from the plan's per-platform calibration cache (one calibration per
+      // distinct platform, shared read-only by every run on it). A job that
+      // carries its own model keeps it.
+      if (job.model == nullptr && needs_identified_model(job.config)) {
+        local_plan->cache_model_for(job.config);
+      }
     }
   }
+  const RunPlan& plan = shared_plan != nullptr ? *shared_plan : *local_plan;
 
   // Lockstep partition: batched-engine jobs that share a platform and a
   // step geometry run as structure-of-arrays lane groups (sim/batch_lane);

@@ -17,6 +17,8 @@
 
 namespace dtpm::sim {
 
+class RunPlan;
+
 /// One batch entry: a config plus the (shared, read-only) identified model
 /// it needs. `model` may be null: policies that require one then get the
 /// config's platform calibrated through the batch's RunPlan (once per
@@ -50,14 +52,24 @@ class BatchRunner {
   /// every job has executed -- even with a single worker there is no
   /// fast-fail, so a batch always costs the same wall-clock whether or not
   /// something throws. Use run_collecting() to inspect partial results.
-  std::vector<RunResult> run(const std::vector<BatchJob>& jobs) const;
+  ///
+  /// `shared_plan`, when non-null, supplies the batch invariants (floorplan
+  /// templates, resolved benchmarks, calibrated models) instead of building
+  /// a fresh RunPlan per call -- this is how a persistent server keeps its
+  /// caches warm across requests. The caller owns its population: jobs that
+  /// need an identified model must either carry one or find it in the plan
+  /// (the per-call auto-calibration step is skipped, since a shared plan is
+  /// read-only while workers run). Results are identical either way.
+  std::vector<RunResult> run(const std::vector<BatchJob>& jobs,
+                             const RunPlan* shared_plan = nullptr) const;
 
   /// Like run(), but a throwing job (malformed scenario, unknown benchmark)
   /// is captured in its own slot instead of aborting the batch: the pool
   /// always drains, and every other slot holds the same result it would in
   /// a failure-free batch. This is the entry point for fuzzing sweeps that
   /// must survive pathological catalog entries.
-  BatchOutcome run_collecting(const std::vector<BatchJob>& jobs) const;
+  BatchOutcome run_collecting(const std::vector<BatchJob>& jobs,
+                              const RunPlan* shared_plan = nullptr) const;
 
   /// Convenience overload: the same model pointer for every config.
   std::vector<RunResult> run(

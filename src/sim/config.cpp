@@ -3,6 +3,7 @@
 // switch copy-pasted between engine.cpp and control_stack.cpp).
 #include "sim/config.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -96,6 +97,13 @@ void set_policy(ExperimentConfig& config, const std::string& name) {
   if (const std::optional<Policy> p = try_parse_policy(name)) {
     config.policy = *p;
   }
+}
+
+void apply_smoke_caps(ExperimentConfig& config) {
+  config.warmup_s = std::min(config.warmup_s, 2.0);
+  config.max_sim_time_s = std::min(config.max_sim_time_s, 15.0);
+  config.record_trace = false;
+  config.observe_predictions = false;
 }
 
 std::vector<std::string> merged_policy_axis(

@@ -13,6 +13,7 @@
 #include "core/dtpm_governor.hpp"
 #include "sim/preset.hpp"
 #include "sim/stepping_engine.hpp"
+#include "workload/background.hpp"
 #include "workload/benchmark.hpp"
 
 namespace dtpm::sim {
@@ -72,6 +73,13 @@ struct ExperimentConfig {
   /// Select via set_platform() so `preset` and dtpm.t_max_c stay coherent.
   PlatformPtr platform;
   core::DtpmParams dtpm{};  ///< used when the resolved policy is "dtpm"
+
+  /// Explicit ambient background-load parameters. Unset (the default), the
+  /// simulation derives them from the benchmark exactly as it always has
+  /// (paper defaults, heavy matmul for games/video), so existing configs and
+  /// golden traces are untouched. The fleet sampler sets this to give every
+  /// simulated device its own background duty cycle.
+  std::optional<workload::BackgroundParams> background;
 
   double control_interval_s = 0.1;  ///< 100 ms driver period (§6.2)
   double plant_substep_s = 0.01;
@@ -134,6 +142,11 @@ void set_platform(ExperimentConfig& config, PlatformPtr platform);
 /// Selects a policy by registry name, keeping the enum shim in sync for the
 /// four paper policies (registry-only names rely on policy_name alone).
 void set_policy(ExperimentConfig& config, const std::string& name);
+
+/// Caps simulated durations for CI-sized smoke runs and disables traces /
+/// prediction observation so artifact sizes stay bounded. One definition
+/// shared by the CLI's --smoke flag and the serve layer's smoke jobs.
+void apply_smoke_caps(ExperimentConfig& config);
 
 /// Merges an enum axis and a registry-name axis into one name axis (enum
 /// entries first, mapped onto their registry names), falling back to base's

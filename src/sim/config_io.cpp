@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "governors/policy_registry.hpp"
+#include "serve/fleet_io.hpp"
 #include "sim/platform_registry.hpp"
 #include "sim/scenario_catalog.hpp"
 #include "sim/stepping_engine.hpp"
@@ -973,6 +974,24 @@ JsonValue to_json(const ExperimentConfig& config) {
     json.set("policy_params", std::move(params));
   }
   json.set("governor", resolved_governor_name(config));
+  if (config.background.has_value()) {
+    // Emitted only when set, so configs that derive their background from
+    // the benchmark (the default) round-trip byte-identically.
+    const workload::BackgroundParams& b = *config.background;
+    JsonValue background((JsonObject()));
+    background.set("thread_count", b.thread_count);
+    background.set("base_duty", b.base_duty);
+    background.set("duty_jitter", b.duty_jitter);
+    background.set("spike_probability", b.spike_probability);
+    background.set("spike_duty", b.spike_duty);
+    background.set("cpu_activity", b.cpu_activity);
+    background.set("mem_intensity", b.mem_intensity);
+    background.set("heavy_load", b.heavy_load);
+    background.set("heavy_threads", b.heavy_threads);
+    background.set("heavy_activity", b.heavy_activity);
+    background.set("heavy_mem_intensity", b.heavy_mem_intensity);
+    json.set("background", std::move(background));
+  }
   if (config.platform != nullptr) {
     // Emit the compact registry reference when the descriptor is exactly a
     // registered one; a customized descriptor rides along fully inline so
@@ -1108,6 +1127,28 @@ void experiment_into(ExperimentConfig& config, const JsonValue& json,
     }
   }
 
+  if (const JsonValue* background = reader.get("background")) {
+    const std::string background_path = path + ".background";
+    with_recovery([&] {
+      workload::BackgroundParams params =
+          config.background.value_or(workload::BackgroundParams{});
+      ObjectReader bg(*background, background_path, sink);
+      bg.integer("thread_count", params.thread_count, 0, 64);
+      bg.number("base_duty", params.base_duty, 0.0, 1.0);
+      bg.number("duty_jitter", params.duty_jitter, 0.0, 1.0);
+      bg.number("spike_probability", params.spike_probability, 0.0, 1.0);
+      bg.number("spike_duty", params.spike_duty, 0.0, 1.0);
+      bg.number("cpu_activity", params.cpu_activity, 0.0, 1.0);
+      bg.number("mem_intensity", params.mem_intensity, 0.0, 1.0);
+      bg.boolean("heavy_load", params.heavy_load);
+      bg.integer("heavy_threads", params.heavy_threads, 0, 64);
+      bg.number("heavy_activity", params.heavy_activity, 0.0, 1.0);
+      bg.number("heavy_mem_intensity", params.heavy_mem_intensity, 0.0, 1.0);
+      bg.finish();
+      config.background = params;
+    });
+  }
+
   std::string preset;
   reader.string("preset", preset);
   if (!preset.empty()) {
@@ -1205,6 +1246,11 @@ ExperimentConfig experiment_from_json(const JsonValue& json,
 
 ExperimentConfig load_experiment_config(const std::string& file_path) {
   const JsonValue json = util::json_parse_file(file_path);
+  if (json.is_object() && json.find("device_count") != nullptr) {
+    throw ConfigError(
+        "$", "this looks like a fleet spec (has 'device_count'); run it "
+             "with `dtpm serve` instead");
+  }
   if (json.is_object() &&
       (json.find("base") != nullptr || json.find("scenarios") != nullptr ||
        json.find("benchmarks") != nullptr ||
@@ -1403,3 +1449,183 @@ SweepSpec load_sweep_spec(const std::string& file_path) {
 }
 
 }  // namespace dtpm::sim
+
+// --- serve::FleetSpec --------------------------------------------------------
+// Lives here, not under src/serve/, so the fleet parser shares the exact
+// field-reading machinery (ObjectReader, L00x codes, recovery) of every
+// other config document.
+
+namespace dtpm::serve {
+
+namespace {
+
+// Pull the TU-local parse machinery (anonymous namespace above) into scope.
+using namespace dtpm::sim;  // NOLINT(google-build-using-namespace)
+
+util::JsonValue weight_list_json(const std::vector<FleetWeight>& entries) {
+  JsonArray array;
+  for (const FleetWeight& e : entries) {
+    if (e.weight == 1.0) {
+      array.emplace_back(e.name);
+    } else {
+      JsonValue entry((JsonObject()));
+      entry.set("name", e.name);
+      entry.set("weight", e.weight);
+      array.push_back(std::move(entry));
+    }
+  }
+  return JsonValue(std::move(array));
+}
+
+util::JsonValue range_json(const FleetRange& range) {
+  JsonValue json((JsonObject()));
+  json.set("lo", range.lo);
+  json.set("hi", range.hi);
+  return json;
+}
+
+/// Weighted-axis member: an array whose elements are either a bare name
+/// (weight 1) or a {"name", "weight"} object. Name validity is the L703
+/// lint's job, not the parser's, so a spec with a typo still parses into
+/// a lintable value.
+std::vector<FleetWeight> weight_list(ObjectReader& reader,
+                                     const std::string& key) {
+  std::vector<FleetWeight> out;
+  const JsonValue* v = reader.get(key);
+  if (v == nullptr) return out;
+  if (!v->is_array()) {
+    reader.sink().error(
+        kCodeType, reader.member_path(key),
+        "expected an array of names or {name, weight} objects, got " +
+            type_of(*v));
+    return out;
+  }
+  const JsonArray& array = v->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const std::string path =
+        reader.member_path(key) + "[" + std::to_string(i) + "]";
+    const JsonValue& element = array[i];
+    if (element.is_string()) {
+      out.push_back({element.as_string(), 1.0});
+      continue;
+    }
+    if (!element.is_object()) {
+      reader.sink().error(kCodeType, path,
+                          "expected a name or a {name, weight} object, got " +
+                              type_of(element));
+      continue;
+    }
+    with_recovery([&] {
+      ObjectReader entry(element, path, reader.sink());
+      FleetWeight weight;
+      entry.string("name", weight.name);
+      entry.number("weight", weight.weight, 0.0,
+                   std::numeric_limits<double>::max());
+      entry.finish();
+      if (weight.name.empty()) {
+        reader.sink().error(kCodeConstraint, path,
+                            "a weighted entry needs a non-empty 'name'");
+        return;
+      }
+      out.push_back(std::move(weight));
+    });
+  }
+  return out;
+}
+
+/// Range member: a bare number pins lo == hi; an object reads {lo, hi}.
+/// An inverted range (hi < lo) parses fine -- flagging it is L701's job.
+void range_member(ObjectReader& reader, const std::string& key,
+                  FleetRange& out, double lo, double hi) {
+  const JsonValue* v = reader.get(key);
+  if (v == nullptr) return;
+  const std::string path = reader.member_path(key);
+  if (v->is_number()) {
+    const double n = v->as_number();
+    if (n < lo || n > hi) {
+      reader.sink().error(kCodeRange, path,
+                          "value " + util::json_write(*v, 0) + " outside [" +
+                              util::json_write(JsonValue(lo), 0) + ", " +
+                              util::json_write(JsonValue(hi), 0) + "]");
+      return;
+    }
+    out.lo = n;
+    out.hi = n;
+    return;
+  }
+  if (!v->is_object()) {
+    reader.sink().error(kCodeType, path,
+                        "expected a number or a {lo, hi} object, got " +
+                            type_of(*v));
+    return;
+  }
+  with_recovery([&] {
+    ObjectReader range(*v, path, reader.sink());
+    range.number("lo", out.lo, lo, hi);
+    range.number("hi", out.hi, lo, hi);
+    range.finish();
+  });
+}
+
+void fleet_into(FleetSpec& spec, const JsonValue& json, const std::string& path,
+                DiagnosticSink& sink) {
+  ObjectReader reader(json, path, sink);
+  reader.integer("device_count", spec.device_count, 1,
+                 std::numeric_limits<std::int64_t>::max());
+  reader.integer("seed", spec.seed, 0,
+                 std::numeric_limits<std::int64_t>::max());
+  reader.integer("wave_size", spec.wave_size, 1, 1 << 20);
+  if (const JsonValue* base = reader.get("base")) {
+    spec.base = experiment_from_json(*base, path + ".base", sink);
+  }
+  spec.platforms = weight_list(reader, "platforms");
+  spec.families = weight_list(reader, "families");
+  range_member(reader, "ambient_c", spec.ambient_c, -50.0, 150.0);
+  range_member(reader, "background_duty", spec.background_duty, 0.0, 1.0);
+  reader.number("scenario_nominal_duration_s",
+                spec.scenario_nominal_duration_s, 1e-3, 1e6);
+  reader.number("scenario_intensity", spec.scenario_intensity, 1e-3, 100.0);
+  reader.boolean("retain_traces", spec.retain_traces);
+  reader.finish();
+}
+
+}  // namespace
+
+util::JsonValue to_json(const FleetSpec& spec) {
+  JsonValue json((JsonObject()));
+  json.set("device_count", spec.device_count);
+  json.set("seed", spec.seed);
+  json.set("wave_size", spec.wave_size);
+  json.set("base", sim::to_json(spec.base));
+  if (!spec.platforms.empty()) {
+    json.set("platforms", weight_list_json(spec.platforms));
+  }
+  if (!spec.families.empty()) {
+    json.set("families", weight_list_json(spec.families));
+  }
+  json.set("ambient_c", range_json(spec.ambient_c));
+  json.set("background_duty", range_json(spec.background_duty));
+  json.set("scenario_nominal_duration_s", spec.scenario_nominal_duration_s);
+  json.set("scenario_intensity", spec.scenario_intensity);
+  json.set("retain_traces", spec.retain_traces);
+  return json;
+}
+
+FleetSpec fleet_from_json(const util::JsonValue& json, const std::string& path,
+                          util::DiagnosticSink& sink) {
+  FleetSpec spec;
+  with_recovery([&] { fleet_into(spec, json, path, sink); });
+  return spec;
+}
+
+FleetSpec fleet_from_json(const util::JsonValue& json,
+                          const std::string& path) {
+  ThrowingSink sink;
+  return fleet_from_json(json, path, sink);
+}
+
+FleetSpec load_fleet_spec(const std::string& file_path) {
+  return fleet_from_json(util::json_parse_file(file_path));
+}
+
+}  // namespace dtpm::serve

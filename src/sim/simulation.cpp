@@ -59,7 +59,9 @@ Simulation::Simulation(const ExperimentConfig& config,
              plan != nullptr ? plan->floorplan_for(*platform_) : nullptr,
              config_.engine),
       bench_(resolve_benchmark(config_, plan)),
-      background_(background_params(bench_), root_.fork()),
+      background_(config_.background.has_value() ? *config_.background
+                                                 : background_params(bench_),
+                  root_.fork()),
       instance_(bench_),
       control_(config_, model, std::move(policy_override), platform_.get()),
       observer_(config_.observe_predictions

@@ -1,0 +1,120 @@
+#include "util/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dtpm::util {
+
+QuantileSketch::QuantileSketch(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 8)) {}
+
+std::vector<double>& QuantileSketch::level(std::size_t i) {
+  while (levels_.size() <= i) {
+    levels_.emplace_back();
+    levels_.back().reserve(capacity_);
+    parity_.push_back(0);
+  }
+  return levels_[i];
+}
+
+void QuantileSketch::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  level(0).push_back(x);
+  if (levels_[0].size() >= capacity_) compact_level(0);
+}
+
+void QuantileSketch::compact_level(std::size_t start) {
+  for (std::size_t i = start; i < levels_.size(); ++i) {
+    if (levels_[i].size() < capacity_) return;
+    // Materialize the parent level *before* taking references: growing
+    // levels_ reallocates it and would dangle a buffer reference.
+    level(i + 1);
+    std::vector<double>& buffer = levels_[i];
+    std::vector<double>& parent = levels_[i + 1];
+    std::sort(buffer.begin(), buffer.end());
+    // Keep every other element; which half survives alternates per
+    // compaction (the parity bit), so neither the low nor the high tail is
+    // systematically favored over a long stream.
+    const std::size_t offset = parity_[i];
+    parity_[i] ^= 1;
+    for (std::size_t j = offset; j < buffer.size(); j += 2) {
+      parent.push_back(buffer[j]);
+    }
+    buffer.clear();
+    // Loop continues: if the parent just crossed capacity it compacts next.
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (capacity_ != other.capacity_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: capacity mismatch (" +
+        std::to_string(capacity_) + " vs " + std::to_string(other.capacity_) +
+        ")");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  for (std::size_t i = 0; i < other.levels_.size(); ++i) {
+    if (other.levels_[i].empty()) continue;
+    std::vector<double>& mine = level(i);
+    mine.insert(mine.end(), other.levels_[i].begin(), other.levels_[i].end());
+    if (mine.size() >= capacity_) compact_level(i);
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Gather (value, weight) pairs; level i samples each stand for 2^i inputs.
+  std::vector<std::pair<double, std::uint64_t>> samples;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const std::uint64_t weight = std::uint64_t(1) << i;
+    for (double v : levels_[i]) {
+      samples.emplace_back(v, weight);
+      total += weight;
+    }
+  }
+  if (samples.empty()) return min_;
+  std::sort(samples.begin(), samples.end());
+
+  // Nearest-rank over the retained weights. `total` can differ from count_
+  // only by compaction rounding (at most one sample per compacted level),
+  // so ranking against the retained total keeps the answer consistent with
+  // what the sketch actually holds.
+  const double target_rank = q * double(total);
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, weight] : samples) {
+    cumulative += weight;
+    if (double(cumulative) >= target_rank) return value;
+  }
+  return samples.back().first;
+}
+
+std::size_t QuantileSketch::retained() const {
+  std::size_t n = 0;
+  for (const std::vector<double>& buffer : levels_) n += buffer.size();
+  return n;
+}
+
+}  // namespace dtpm::util

@@ -140,6 +140,8 @@ TEST(LintCorpus, RunawayVsTmax) {
 TEST(LintCorpus, BadParams) { expect_matches_golden("bad_params.json"); }
 TEST(LintCorpus, EmptyAxes) { expect_matches_golden("empty_axes.json"); }
 TEST(LintCorpus, TraceBlowup) { expect_matches_golden("trace_blowup.json"); }
+TEST(LintCorpus, FleetBad) { expect_matches_golden("fleet_bad.json"); }
+TEST(LintCorpus, FleetHot) { expect_matches_golden("fleet_hot.json"); }
 
 /// The headline acceptance: one invocation over one broken file surfaces
 /// every problem -- four distinct codes here -- instead of stopping at the

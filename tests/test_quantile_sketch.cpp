@@ -1,0 +1,206 @@
+// The fixed-size quantile sketch behind fleet aggregation: accuracy bounds
+// against exact quantiles on adversarial streams (sorted both ways,
+// constant, bimodal), exact min/max at q = 0 / 1, determinism (the
+// parity-bit compactor makes identical streams produce identical state),
+// and merge associativity within the sketch's rank tolerance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/quantile_sketch.hpp"
+
+namespace dtpm::util {
+namespace {
+
+/// Nearest-rank exact quantile over a full copy of the stream.
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = q * double(values.size());
+  std::size_t index =
+      rank <= 1.0 ? 0 : std::size_t(std::ceil(rank)) - 1;
+  index = std::min(index, values.size() - 1);
+  return values[index];
+}
+
+/// Rank error of the sketch's answer: where the reported value actually
+/// sits in the sorted stream vs. where q asked, as a fraction of n.
+double rank_error(const std::vector<double>& values, double q,
+                  double reported) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), reported);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), reported);
+  const double target = q * double(sorted.size());
+  const double lo_rank = double(lo - sorted.begin());
+  const double hi_rank = double(hi - sorted.begin());
+  // The reported value spans [lo_rank, hi_rank) ranks; distance from the
+  // target to the nearest covered rank.
+  double error = 0.0;
+  if (target < lo_rank) {
+    error = lo_rank - target;
+  } else if (target > hi_rank) {
+    error = target - hi_rank;
+  }
+  return error / double(sorted.size());
+}
+
+const double kQuantiles[] = {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
+
+/// The pinned accuracy envelope for the default capacity. The theoretical
+/// deterministic bound is looser; this is the observed envelope on the
+/// adversarial streams below, with headroom.
+constexpr double kRankTolerance = 0.02;
+
+void expect_within_tolerance(const std::vector<double>& values,
+                             const QuantileSketch& sketch,
+                             double tolerance = kRankTolerance) {
+  for (double q : kQuantiles) {
+    EXPECT_LE(rank_error(values, q, sketch.quantile(q)), tolerance)
+        << "q=" << q << " reported=" << sketch.quantile(q)
+        << " exact=" << exact_quantile(values, q);
+  }
+}
+
+TEST(QuantileSketch, EmptySketchReturnsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(0u, sketch.count());
+  EXPECT_EQ(0.0, sketch.quantile(0.5));
+  EXPECT_EQ(0.0, sketch.min());
+  EXPECT_EQ(0.0, sketch.max());
+  EXPECT_EQ(0u, sketch.retained());
+}
+
+TEST(QuantileSketch, SingleValueEverywhere) {
+  QuantileSketch sketch;
+  sketch.add(42.5);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(42.5, sketch.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, SortedAscendingStream) {
+  QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(double(i));
+    sketch.add(double(i));
+  }
+  EXPECT_EQ(100000u, sketch.count());
+  EXPECT_EQ(0.0, sketch.quantile(0.0));       // exact min
+  EXPECT_EQ(99999.0, sketch.quantile(1.0));   // exact max
+  expect_within_tolerance(values, sketch);
+}
+
+TEST(QuantileSketch, SortedDescendingStream) {
+  QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 99999; i >= 0; --i) {
+    values.push_back(double(i));
+    sketch.add(double(i));
+  }
+  expect_within_tolerance(values, sketch);
+}
+
+TEST(QuantileSketch, ConstantStreamIsExact) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 50000; ++i) sketch.add(7.25);
+  for (double q : kQuantiles) EXPECT_EQ(7.25, sketch.quantile(q));
+}
+
+TEST(QuantileSketch, BimodalStream) {
+  // Two tight modes far apart, interleaved -- the worst case for a sketch
+  // that favored either half during compaction.
+  QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = (i % 2 == 0) ? 10.0 : 90.0;
+    values.push_back(v);
+    sketch.add(v);
+  }
+  EXPECT_EQ(10.0, sketch.quantile(0.25));
+  EXPECT_EQ(90.0, sketch.quantile(0.75));
+  expect_within_tolerance(values, sketch);
+}
+
+TEST(QuantileSketch, BoundedRetention) {
+  QuantileSketch sketch(64);
+  for (int i = 0; i < 1000000; ++i) sketch.add(double(i % 977));
+  // capacity * (log2(n / capacity) + slack) is the design bound; 64 levels
+  // would mean compaction broke down entirely.
+  EXPECT_LE(sketch.retained(), std::size_t(64) * 20);
+}
+
+TEST(QuantileSketch, DeterministicAcrossIdenticalStreams) {
+  QuantileSketch a, b;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = double((i * 2654435761u) % 100000);
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_EQ(a.retained(), b.retained());
+  for (double q : kQuantiles) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeMatchesSingleStream) {
+  QuantileSketch whole, left, right;
+  std::vector<double> values;
+  for (int i = 0; i < 60000; ++i) {
+    const double v = double((i * 48271LL) % 30011);  // LL: i*48271 overflows int
+    values.push_back(v);
+    whole.add(v);
+    (i < 30000 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(whole.count(), left.count());
+  EXPECT_EQ(whole.min(), left.min());
+  EXPECT_EQ(whole.max(), left.max());
+  // Merged answers stay within the (slightly looser) merged tolerance.
+  expect_within_tolerance(values, left, 2.0 * kRankTolerance);
+}
+
+TEST(QuantileSketch, MergeIsAssociativeWithinTolerance) {
+  std::vector<double> values;
+  QuantileSketch a1, b1, c1, a2, b2, c2;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = double((i * 16807LL) % 9973);
+    values.push_back(v);
+    QuantileSketch& first = (i % 3 == 0) ? a1 : (i % 3 == 1) ? b1 : c1;
+    QuantileSketch& second = (i % 3 == 0) ? a2 : (i % 3 == 1) ? b2 : c2;
+    first.add(v);
+    second.add(v);
+  }
+  // (a + b) + c  vs  a + (b + c): counts and min/max are exact either way,
+  // quantiles agree within the merged rank tolerance.
+  a1.merge(b1);
+  a1.merge(c1);
+  b2.merge(c2);
+  a2.merge(b2);
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_EQ(a1.min(), a2.min());
+  EXPECT_EQ(a1.max(), a2.max());
+  expect_within_tolerance(values, a1, 2.0 * kRankTolerance);
+  expect_within_tolerance(values, a2, 2.0 * kRankTolerance);
+}
+
+TEST(QuantileSketch, MergeCapacityMismatchThrows) {
+  QuantileSketch a(64), b(128);
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, MinimumCapacityClamped) {
+  QuantileSketch tiny(1);  // clamps to the floor of 8
+  for (int i = 0; i < 1000; ++i) tiny.add(double(i));
+  EXPECT_EQ(0.0, tiny.quantile(0.0));
+  EXPECT_EQ(999.0, tiny.quantile(1.0));
+  EXPECT_EQ(1000u, tiny.count());
+}
+
+}  // namespace
+}  // namespace dtpm::util
